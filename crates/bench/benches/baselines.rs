@@ -1,0 +1,24 @@
+//! E4 cost: the naive estimators vs the Byzantine-tolerant protocol.
+use byzcount_baselines::{run_geometric_support, run_spanning_tree_count, BaselineAttack};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim_graph::SmallWorldNetwork;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let net = SmallWorldNetwork::generate_seeded(n, 8, 7).unwrap();
+        let byz = vec![false; n];
+        let ttl = (3.0 * (n as f64).log2()).ceil() as u64 + 5;
+        group.bench_with_input(BenchmarkId::new("geometric_support", n), &n, |b, _| {
+            b.iter(|| run_geometric_support(net.h().csr(), &byz, BaselineAttack::None, ttl, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("spanning_tree_count", n), &n, |b, _| {
+            b.iter(|| run_spanning_tree_count(net.h().csr(), &byz, BaselineAttack::None, 4 * ttl, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

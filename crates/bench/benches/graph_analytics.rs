@@ -1,0 +1,27 @@
+//! E5/E6 cost: locally-tree-like classification, clustering, spectral gap.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim_graph::expansion::spectral_gap;
+use netsim_graph::metrics::average_clustering;
+use netsim_graph::treelike::classify_all;
+use netsim_graph::SmallWorldNetwork;
+
+fn bench_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_analytics");
+    group.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        let net = SmallWorldNetwork::generate_seeded(n, 6, 3).unwrap();
+        group.bench_with_input(BenchmarkId::new("tree_like_classification", n), &net, |b, net| {
+            b.iter(|| classify_all(net.h(), Some(1)))
+        });
+        group.bench_with_input(BenchmarkId::new("clustering_G", n), &net, |b, net| {
+            b.iter(|| average_clustering(net.g()))
+        });
+        group.bench_with_input(BenchmarkId::new("spectral_gap_H", n), &net, |b, net| {
+            b.iter(|| spectral_gap(net.h().csr(), 100, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytics);
+criterion_main!(benches);

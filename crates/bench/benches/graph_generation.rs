@@ -1,0 +1,28 @@
+//! E12 (part 1): cost of generating H(n,d) and the small-world overlay G.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim_graph::{HGraph, SmallWorldConfig, SmallWorldNetwork};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generation");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::new("hgraph_d8", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                HGraph::generate(n, 8, &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("small_world_d6", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                SmallWorldNetwork::generate(SmallWorldConfig::new(n, 6), &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

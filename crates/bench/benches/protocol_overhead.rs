@@ -1,0 +1,26 @@
+//! E12 (part 2): what Byzantine tolerance costs — Algorithm 1 vs Algorithm 2
+//! on the same fault-free network.
+use byzcount_core::{run_basic_counting, run_counting_with, ProtocolParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim_graph::SmallWorldNetwork;
+use netsim_runtime::NullAdversary;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_overhead");
+    group.sample_size(10);
+    for &n in &[512usize, 1024] {
+        let net = SmallWorldNetwork::generate_seeded(n, 6, 9).unwrap();
+        let params = ProtocolParams::for_network_default_expansion(&net, 0.6, 0.1);
+        let byz = vec![false; n];
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| run_basic_counting(&net, &params, 13))
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &n, |b, _| {
+            b.iter(|| run_counting_with(&net, &params, &byz, NullAdversary, 13))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

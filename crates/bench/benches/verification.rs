@@ -1,0 +1,33 @@
+//! Microbenchmark of the two Byzantine-specific mechanisms: neighbourhood
+//! reconstruction (Lemma 3) and geometric color sampling.
+use byzcount_core::color::sample_color;
+use byzcount_core::discovery::reconstruct;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim_graph::{NodeId, SmallWorldNetwork};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    for &d in &[6usize, 8] {
+        let net = SmallWorldNetwork::generate_seeded(4096, d, 21).unwrap();
+        let v = NodeId(0);
+        let reports: HashMap<u32, Vec<u32>> = net
+            .g_neighbors(v)
+            .iter()
+            .map(|&u| (u, net.g_neighbors(NodeId(u)).to_vec()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("reconstruct_k_ball", d), &d, |b, _| {
+            b.iter(|| reconstruct(v.0, net.g_neighbors(v), &reports))
+        });
+    }
+    group.bench_function("sample_color", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        b.iter(|| sample_color(&mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Experiment e3: regenerates the corresponding table of EXPERIMENTS.md.
+//! Equivalent to `byzcount-cli e3 --standard`.
+use byzcount_analysis::experiments::{self, ExperimentConfig};
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    };
+    let n_big = cfg.n_values.last().copied().unwrap_or(1024);
+    let n_small = cfg.n_values.first().copied().unwrap_or(512);
+    let table = match "e3" {
+        "e1" => experiments::exp_theorem1(&cfg),
+        "e2" => experiments::exp_rounds(&cfg),
+        "e3" => experiments::exp_approx_factor(&cfg, &[6, 8, 10], n_small),
+        "e4" => experiments::exp_baselines(&cfg, n_big),
+        "e5" => experiments::exp_structure(&cfg),
+        "e6" => experiments::exp_expander(&cfg),
+        "e7" => experiments::exp_discovery(&cfg),
+        "e8" => experiments::exp_fakechain(&cfg, n_big.min(2048)),
+        "e9" => experiments::exp_core(&cfg, n_big.min(2048)),
+        "e10" => experiments::exp_phases(&cfg, n_big.min(2048)),
+        _ => experiments::exp_placement(&cfg, n_big.min(2048)),
+    };
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,14 @@
+//! Runs every experiment (E1–E11) and prints the Markdown tables recorded in
+//! EXPERIMENTS.md.  Pass `--quick` for a fast smoke run.
+use byzcount_analysis::experiments::{run_all, ExperimentConfig};
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    };
+    for table in run_all(&cfg) {
+        println!("{}", table.to_markdown());
+    }
+}

@@ -1,0 +1,48 @@
+//! # byzcount-adversary
+//!
+//! Concrete full-information Byzantine adversary strategies for the counting
+//! protocols.
+//!
+//! A real Byzantine adversary is computationally unbounded and can deviate
+//! arbitrarily; a simulation can only exercise *specific* behaviours.  This
+//! crate implements every attack the paper's analysis explicitly defends
+//! against, plus controls:
+//!
+//! * [`HonestBehavingAdversary`] — Byzantine nodes follow the protocol
+//!   (control group);
+//! * [`SilentAdversary`] — Byzantine nodes never send anything (their
+//!   refusal to report an adjacency list crashes their audit neighbourhood,
+//!   a loss bounded by Lemma 14);
+//! * [`ColorInflationAdversary`] — inject colors far above the honest
+//!   maximum, either in the legal injection window (the first `k−1` steps of
+//!   a subphase, the attack Lemma 17 absorbs) or in the *last* step of a
+//!   subphase with a fabricated provenance path (the attack Lemma 16 shows
+//!   is always rejected by Algorithm 2 — and which breaks Algorithm 1);
+//! * [`SuppressionAdversary`] — participate honestly in discovery, then
+//!   never generate or forward any color (the attack that breaks the naive
+//!   geometric max-propagation protocol);
+//! * [`FakeChainAdversary`] — lie during neighbourhood discovery by hiding a
+//!   real neighbour and inventing a fake one (the Figure 1 attack; detected
+//!   via the symmetry check, crashing only the liar's audit neighbourhood);
+//! * [`CombinedAdversary`] — discovery lies plus inflation plus suppression.
+//!
+//! [`Placement`] chooses which nodes are Byzantine (random, as the paper
+//! assumes, or adversarially clustered for the open-problem ablation).
+
+pub mod knowledge;
+pub mod placement;
+pub mod strategies;
+
+pub use knowledge::AdversaryKnowledge;
+pub use placement::Placement;
+pub use strategies::{
+    ColorInflationAdversary, CombinedAdversary, FakeChainAdversary, HonestBehavingAdversary,
+    InjectionTiming, SilentAdversary, SuppressionAdversary,
+};
+
+use byzcount_core::CountingNode;
+use netsim_runtime::Adversary;
+
+/// Marker trait: any adversary usable with the counting protocol node.
+pub trait CountingAdversary: Adversary<CountingNode> {}
+impl<T: Adversary<CountingNode>> CountingAdversary for T {}

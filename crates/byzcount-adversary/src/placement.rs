@@ -1,0 +1,170 @@
+//! Byzantine node placement.
+//!
+//! The paper assumes the Byzantine nodes are *randomly distributed* in the
+//! network; it explicitly leaves adversarial placement as an open problem.
+//! [`Placement`] supports both (random for the main experiments, clustered
+//! for the E11 ablation), plus targeted placement for unit tests.
+
+use netsim_graph::{bfs, NodeId, SmallWorldNetwork};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A choice of Byzantine nodes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    mask: Vec<bool>,
+    count: usize,
+}
+
+impl Placement {
+    /// No Byzantine nodes at all.
+    pub fn none(n: usize) -> Self {
+        Placement { mask: vec![false; n], count: 0 }
+    }
+
+    /// `count` Byzantine nodes chosen uniformly at random (the paper's
+    /// model).
+    pub fn random(n: usize, count: usize, seed: u64) -> Self {
+        let count = count.min(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        let mut mask = vec![false; n];
+        for &i in idx.iter().take(count) {
+            mask[i] = true;
+        }
+        Placement { mask, count }
+    }
+
+    /// The paper's Byzantine budget: `⌊n^{1−δ}⌋` random nodes.
+    pub fn random_budget(n: usize, delta: f64, seed: u64) -> Self {
+        let count = (n as f64).powf(1.0 - delta).floor() as usize;
+        Self::random(n, count, seed)
+    }
+
+    /// `count` Byzantine nodes clustered around a random centre: the centre's
+    /// BFS ball in `H` is corrupted first (adversarial placement ablation,
+    /// experiment E11).
+    pub fn clustered(net: &SmallWorldNetwork, count: usize, seed: u64) -> Self {
+        let n = net.len();
+        let count = count.min(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let center = NodeId::from_index((0..n).collect::<Vec<_>>().choose(&mut rng).copied().unwrap_or(0));
+        let dist = bfs::bfs_distances(net.h().csr(), center, usize::MAX);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| dist[i]);
+        let mut mask = vec![false; n];
+        for &i in order.iter().take(count) {
+            mask[i] = true;
+        }
+        Placement { mask, count }
+    }
+
+    /// Exactly these nodes are Byzantine (for tests).
+    pub fn exact(n: usize, nodes: &[NodeId]) -> Self {
+        let mut mask = vec![false; n];
+        let mut count = 0;
+        for &v in nodes {
+            if v.index() < n && !mask[v.index()] {
+                mask[v.index()] = true;
+                count += 1;
+            }
+        }
+        Placement { mask, count }
+    }
+
+    /// The Byzantine mask, indexed by node.
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Number of Byzantine nodes.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// True when the placement covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty()
+    }
+
+    /// The Byzantine node ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Whether a specific node is Byzantine.
+    pub fn is_byzantine(&self, v: NodeId) -> bool {
+        self.mask.get(v.index()).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_no_byzantine_nodes() {
+        let p = Placement::none(10);
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.len(), 10);
+        assert!(p.nodes().is_empty());
+    }
+
+    #[test]
+    fn random_placement_has_exact_count_and_is_reproducible() {
+        let a = Placement::random(100, 17, 3);
+        let b = Placement::random(100, 17, 3);
+        let c = Placement::random(100, 17, 4);
+        assert_eq!(a.count(), 17);
+        assert_eq!(a.nodes().len(), 17);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_budget_matches_formula() {
+        let p = Placement::random_budget(1 << 10, 0.6, 0);
+        // (2^10)^{0.4} = 2^4 = 16.
+        assert_eq!(p.count(), 16);
+    }
+
+    #[test]
+    fn count_is_clamped_to_n() {
+        let p = Placement::random(5, 50, 0);
+        assert_eq!(p.count(), 5);
+    }
+
+    #[test]
+    fn clustered_placement_is_connected_around_a_center() {
+        let net = SmallWorldNetwork::generate_seeded(300, 6, 2).unwrap();
+        let p = Placement::clustered(&net, 20, 7);
+        assert_eq!(p.count(), 20);
+        // The chosen nodes form a ball: their pairwise H-distances are small.
+        let nodes = p.nodes();
+        let dist = bfs::bfs_distances(net.h().csr(), nodes[0], usize::MAX);
+        let max_d = nodes.iter().map(|v| dist[v.index()]).max().unwrap();
+        assert!(max_d <= 6, "clustered nodes too spread out: {max_d}");
+    }
+
+    #[test]
+    fn exact_placement_deduplicates() {
+        let p = Placement::exact(10, &[NodeId(1), NodeId(1), NodeId(3)]);
+        assert_eq!(p.count(), 2);
+        assert!(p.is_byzantine(NodeId(1)));
+        assert!(p.is_byzantine(NodeId(3)));
+        assert!(!p.is_byzantine(NodeId(2)));
+    }
+}

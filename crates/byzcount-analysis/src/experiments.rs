@@ -1,0 +1,729 @@
+//! The experiment suite: one function per experiment of DESIGN.md §3.
+//!
+//! The paper is a theory paper, so its "tables" are the quantitative claims
+//! of Theorem 1 and the supporting lemmas.  Each function here regenerates
+//! one of them as a [`Table`] over concrete network sizes; `EXPERIMENTS.md`
+//! records representative output.
+//!
+//! All experiments are deterministic given the [`ExperimentConfig`] seed and
+//! are parallelised over trials with rayon.
+
+use crate::stats::summarize;
+use crate::table::{fmt_f, Table};
+use byzcount_adversary::{
+    AdversaryKnowledge, ColorInflationAdversary, CombinedAdversary, FakeChainAdversary,
+    HonestBehavingAdversary, InjectionTiming, Placement, SilentAdversary, SuppressionAdversary,
+};
+use byzcount_baselines::{
+    geometric, run_geometric_support, run_spanning_tree_count, BaselineAttack,
+};
+use byzcount_core::{
+    run_basic_counting_with, run_counting_with, CountingOutcome, ProtocolParams,
+};
+use netsim_graph::expansion::spectral_gap;
+use netsim_graph::metrics::average_clustering;
+use netsim_graph::prelude::*;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by the experiments.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Network sizes to sweep.
+    pub n_values: Vec<usize>,
+    /// Degree of the base expander `H`.
+    pub d: usize,
+    /// Fault exponent `δ` (Byzantine budget `n^{1−δ}`).
+    pub delta: f64,
+    /// Error parameter `ε`.
+    pub epsilon: f64,
+    /// Independent trials (seeds) per configuration.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A configuration small enough for CI and unit tests (seconds).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            n_values: vec![256, 512, 1024],
+            d: 6,
+            delta: 0.6,
+            epsilon: 0.1,
+            trials: 2,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The configuration used for the numbers recorded in EXPERIMENTS.md
+    /// (minutes on a laptop).
+    pub fn standard() -> Self {
+        ExperimentConfig {
+            n_values: vec![512, 1024, 2048, 4096, 8192],
+            d: 6,
+            delta: 0.6,
+            epsilon: 0.1,
+            trials: 5,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    fn trial_seed(&self, n: usize, trial: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((n as u64) << 20)
+            .wrapping_add(trial as u64)
+    }
+
+    fn network(&self, n: usize, trial: usize) -> SmallWorldNetwork {
+        SmallWorldNetwork::generate_seeded(n, self.d, self.trial_seed(n, trial))
+            .expect("network generation")
+    }
+
+    fn params(&self, net: &SmallWorldNetwork) -> ProtocolParams {
+        ProtocolParams::for_network_default_expansion(net, self.delta, self.epsilon)
+    }
+}
+
+/// One Byzantine-counting run under a named adversary; used by several
+/// experiments.
+fn run_with_adversary(
+    cfg: &ExperimentConfig,
+    n: usize,
+    trial: usize,
+    adversary_name: &str,
+    verify: bool,
+) -> CountingOutcome {
+    let net = cfg.network(n, trial);
+    let params = cfg.params(&net);
+    let placement = Placement::random_budget(n, cfg.delta, cfg.trial_seed(n, trial) ^ 0xB12);
+    let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
+    let seed = cfg.trial_seed(n, trial) ^ 0x5EED;
+    let mask = placement.mask();
+    let run = |adv: &str| -> CountingOutcome {
+        match adv {
+            "honest" => {
+                if verify {
+                    run_counting_with(&net, &params, mask, HonestBehavingAdversary, seed)
+                } else {
+                    run_basic_counting_with(&net, &params, mask, HonestBehavingAdversary, seed)
+                }
+            }
+            "inflate-legal" => {
+                let a = ColorInflationAdversary::new(knowledge.clone(), InjectionTiming::Legal);
+                if verify {
+                    run_counting_with(&net, &params, mask, a, seed)
+                } else {
+                    run_basic_counting_with(&net, &params, mask, a, seed)
+                }
+            }
+            "inflate-last" => {
+                let a = ColorInflationAdversary::new(knowledge.clone(), InjectionTiming::LastStep);
+                if verify {
+                    run_counting_with(&net, &params, mask, a, seed)
+                } else {
+                    run_basic_counting_with(&net, &params, mask, a, seed)
+                }
+            }
+            "suppress" => {
+                let a = SuppressionAdversary::new(knowledge.clone());
+                if verify {
+                    run_counting_with(&net, &params, mask, a, seed)
+                } else {
+                    run_basic_counting_with(&net, &params, mask, a, seed)
+                }
+            }
+            "fake-chain" => {
+                let a = FakeChainAdversary::new(knowledge.clone());
+                if verify {
+                    run_counting_with(&net, &params, mask, a, seed)
+                } else {
+                    run_basic_counting_with(&net, &params, mask, a, seed)
+                }
+            }
+            "silent" => {
+                if verify {
+                    run_counting_with(&net, &params, mask, SilentAdversary, seed)
+                } else {
+                    run_basic_counting_with(&net, &params, mask, SilentAdversary, seed)
+                }
+            }
+            "combined" => {
+                let a = CombinedAdversary::new(knowledge.clone());
+                if verify {
+                    run_counting_with(&net, &params, mask, a, seed)
+                } else {
+                    run_basic_counting_with(&net, &params, mask, a, seed)
+                }
+            }
+            other => panic!("unknown adversary {other}"),
+        }
+    };
+    run(adversary_name)
+}
+
+/// E1 — Theorem 1: fraction of honest nodes with a constant-factor estimate
+/// of `log n` under the full Byzantine budget and the combined attack.
+pub fn exp_theorem1(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E1",
+        "Theorem 1: honest nodes with a estimate of log n within 3x of the reference phase (combined attack, B(n)=n^{1-δ})",
+        &["n", "byz", "good frac", "crashed frac", "mean est", "ref phase", "def1 ok"],
+    );
+    for &n in &cfg.n_values {
+        let results: Vec<(f64, f64, f64, f64, bool)> = (0..cfg.trials)
+            .into_par_iter()
+            .map(|t| {
+                let outcome = run_with_adversary(cfg, n, t, "combined", true);
+                let eval = outcome.evaluate_with_factor(3.0);
+                (
+                    eval.good_fraction_of_honest,
+                    eval.honest_crashed as f64 / eval.honest_total.max(1) as f64,
+                    eval.mean_estimate,
+                    eval.reference_phase,
+                    outcome.satisfies_definition1(3.0),
+                )
+            })
+            .collect();
+        let good = summarize(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+        let crashed = summarize(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        let mean_est = summarize(&results.iter().map(|r| r.2).collect::<Vec<_>>());
+        let def1_ok = results.iter().filter(|r| r.4).count();
+        let byz = (n as f64).powf(1.0 - cfg.delta).floor() as usize;
+        table.push_row(vec![
+            n.to_string(),
+            byz.to_string(),
+            fmt_f(good.mean),
+            fmt_f(crashed.mean),
+            fmt_f(mean_est.mean),
+            fmt_f(results[0].3),
+            format!("{def1_ok}/{}", cfg.trials),
+        ]);
+    }
+    table
+}
+
+/// E2 — round complexity `O(log³ n)` and small messages.
+pub fn exp_rounds(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E2",
+        "Round complexity and message sizes (honest-behaving Byzantine nodes)",
+        &["n", "rounds", "rounds/log^3 n", "msgs/node/round", "max msg IDs", "max msg bits"],
+    );
+    for &n in &cfg.n_values {
+        let rows: Vec<(u64, f64, u32, u32)> = (0..cfg.trials)
+            .into_par_iter()
+            .map(|t| {
+                let outcome = run_with_adversary(cfg, n, t, "honest", true);
+                (
+                    outcome.metrics.rounds,
+                    outcome.metrics.avg_messages_per_node_round(n),
+                    outcome.metrics.max_message.ids,
+                    outcome.metrics.max_message.bits,
+                )
+            })
+            .collect();
+        let rounds = summarize(&rows.iter().map(|r| r.0 as f64).collect::<Vec<_>>());
+        let mpr = summarize(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+        let log_n = netsim_graph::log2n(n).max(1.0);
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(rounds.mean),
+            fmt_f(rounds.mean / log_n.powi(3)),
+            fmt_f(mpr.mean),
+            rows.iter().map(|r| r.2).max().unwrap_or(0).to_string(),
+            rows.iter().map(|r| r.3).max().unwrap_or(0).to_string(),
+        ]);
+    }
+    table
+}
+
+/// E3 — the approximation factor: analytic `b/a` versus the empirical spread
+/// of honest estimates, as a function of the degree `d`.
+pub fn exp_approx_factor(cfg: &ExperimentConfig, d_values: &[usize], n: usize) -> Table {
+    let mut table = Table::new(
+        "E3",
+        "Approximation factor: analytic b/a vs empirical estimate spread",
+        &["d", "k", "a", "b", "b/a (analytic)", "empirical spread", "mean est / log2 n"],
+    );
+    for &d in d_values {
+        let results: Vec<(f64, f64)> = (0..cfg.trials)
+            .into_par_iter()
+            .map(|t| {
+                let seed = cfg.trial_seed(n + d, t);
+                let net = SmallWorldNetwork::generate_seeded(n, d, seed).expect("net");
+                let params = ProtocolParams::for_network(&net, cfg.delta, cfg.epsilon);
+                let placement = Placement::random_budget(n, cfg.delta, seed ^ 1);
+                let outcome = run_counting_with(
+                    &net,
+                    &params,
+                    placement.mask(),
+                    HonestBehavingAdversary,
+                    seed ^ 2,
+                );
+                let eval = outcome.evaluate_with_factor(3.0);
+                (eval.estimate_spread, eval.mean_estimate / netsim_graph::log2n(n).max(1.0))
+            })
+            .collect();
+        let dummy_net = SmallWorldNetwork::generate_seeded(256, d, 7).expect("net");
+        let params = ProtocolParams::for_network(&dummy_net, cfg.delta, cfg.epsilon);
+        let spread = summarize(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+        let ratio = summarize(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        table.push_row(vec![
+            d.to_string(),
+            params.k.to_string(),
+            fmt_f(params.a()),
+            fmt_f(params.b()),
+            fmt_f(params.approximation_factor()),
+            fmt_f(spread.mean),
+            fmt_f(ratio.mean),
+        ]);
+    }
+    table
+}
+
+/// E4 — the naive baselines: accurate without Byzantine nodes, broken by a
+/// single one.
+pub fn exp_baselines(cfg: &ExperimentConfig, n: usize) -> Table {
+    let mut table = Table::new(
+        "E4",
+        "Baselines under Byzantine faults (geometric support estimation & spanning-tree count)",
+        &["estimator", "attack", "#byz", "mean estimate", "truth", "relative error"],
+    );
+    let ttl = (3.0 * netsim_graph::log2n(n)).ceil() as u64 + 5;
+    let cases: Vec<(BaselineAttack, usize)> = vec![
+        (BaselineAttack::None, 0),
+        (BaselineAttack::Inflate, 1),
+        (BaselineAttack::Suppress, (n as f64).powf(1.0 - cfg.delta) as usize),
+    ];
+    for (attack, byz_count) in cases {
+        let net = cfg.network(n, 0);
+        let placement = Placement::random(n, byz_count, cfg.seed ^ 0x4444);
+        // Geometric support estimation: estimate of log2(n).
+        let geo = run_geometric_support(net.h().csr(), placement.mask(), attack, ttl, cfg.seed);
+        let geo_vals: Vec<f64> = geometric::honest_estimates(&geo, placement.mask())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let geo_mean = summarize(&geo_vals).mean;
+        let truth_log = netsim_graph::log2n(n);
+        table.push_row(vec![
+            "geometric (log2 n)".into(),
+            attack.label().into(),
+            byz_count.to_string(),
+            fmt_f(geo_mean),
+            fmt_f(truth_log),
+            fmt_f((geo_mean - truth_log).abs() / truth_log),
+        ]);
+        // Spanning-tree exact count: estimate of n.
+        let st = run_spanning_tree_count(
+            net.h().csr(),
+            placement.mask(),
+            attack,
+            4 * ttl,
+            cfg.seed ^ 0x77,
+        );
+        let st_vals: Vec<f64> = st
+            .outputs
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| !placement.mask()[*i] && o.is_some())
+            .map(|(_, o)| o.unwrap() as f64)
+            .collect();
+        let st_mean = if st_vals.is_empty() { f64::NAN } else { summarize(&st_vals).mean };
+        table.push_row(vec![
+            "spanning-tree (n)".into(),
+            attack.label().into(),
+            byz_count.to_string(),
+            if st_vals.is_empty() { "stalled".into() } else { fmt_f(st_mean) },
+            n.to_string(),
+            if st_vals.is_empty() { "-".into() } else { fmt_f((st_mean - n as f64).abs() / n as f64) },
+        ]);
+    }
+    table
+}
+
+/// E5 — Lemma 1 / Lemma 2: locally-tree-like fraction and the sizes of the
+/// Definition 9 node categories.
+pub fn exp_structure(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E5",
+        "Locally-tree-like fraction and node-category sizes (Lemmas 1 and 2)",
+        &["n", "LTL frac", "paper bound 1-O(n^-0.2)", "safe frac", "byz-safe frac"],
+    );
+    for &n in &cfg.n_values {
+        let rows: Vec<(f64, f64, f64)> = (0..cfg.trials)
+            .into_par_iter()
+            .map(|t| {
+                let net = cfg.network(n, t);
+                let placement =
+                    Placement::random_budget(n, cfg.delta, cfg.trial_seed(n, t) ^ 0x99);
+                let cats = NodeCategories::compute(&net, placement.mask(), cfg.delta);
+                let counts = cats.counts();
+                (
+                    counts.locally_tree_like as f64 / n as f64,
+                    counts.safe as f64 / n as f64,
+                    counts.byzantine_safe as f64 / n as f64,
+                )
+            })
+            .collect();
+        let ltl = summarize(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
+        let safe = summarize(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+        let bsafe = summarize(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(ltl.mean),
+            fmt_f(1.0 - (n as f64).powf(-0.2)),
+            fmt_f(safe.mean),
+            fmt_f(bsafe.mean),
+        ]);
+    }
+    table
+}
+
+/// E6 — expansion and clustering of `H`, `G` and Watts–Strogatz (Lemma 19
+/// and the small-world property of Section 2.1).
+pub fn exp_expander(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E6",
+        "Spectral gap and clustering: H(n,d) vs G = H∪L vs Watts–Strogatz",
+        &["n", "gap(H)", "gap(G)", "cc(H)", "cc(G)", "cc(WS β=0.1)"],
+    );
+    for &n in &cfg.n_values {
+        let net = cfg.network(n, 0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed ^ n as u64);
+        use rand::SeedableRng;
+        let _ = &mut rng;
+        let ws = netsim_graph::WattsStrogatz::generate(
+            n,
+            cfg.d / 2,
+            0.1,
+            &mut rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed ^ n as u64),
+        )
+        .expect("ws");
+        let gap_h = spectral_gap(net.h().csr(), 200, cfg.seed).gap;
+        let gap_g = spectral_gap(net.g(), 200, cfg.seed).gap;
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(gap_h),
+            fmt_f(gap_g),
+            fmt_f(average_clustering(net.h().csr())),
+            fmt_f(average_clustering(net.g())),
+            fmt_f(average_clustering(ws.csr())),
+        ]);
+    }
+    table
+}
+
+/// E7 — Lemma 3: accuracy of the H-neighbourhood reconstruction from honest
+/// adjacency reports.
+pub fn exp_discovery(cfg: &ExperimentConfig) -> Table {
+    use byzcount_core::discovery::{reconstruct, ReconstructionAccuracy};
+    use std::collections::HashMap;
+    let mut table = Table::new(
+        "E7",
+        "Lemma 3: H-neighbourhood reconstruction accuracy from G-adjacency reports",
+        &["n", "exact frac", "missed H-edge frac", "spurious H-edge frac"],
+    );
+    for &n in &cfg.n_values {
+        let net = cfg.network(n, 0);
+        let sample = n.min(400);
+        let accs: Vec<ReconstructionAccuracy> = (0..sample)
+            .into_par_iter()
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                let reports: HashMap<u32, Vec<u32>> = net
+                    .g_neighbors(v)
+                    .iter()
+                    .map(|&u| (u, net.g_neighbors(NodeId(u)).to_vec()))
+                    .collect();
+                let out = reconstruct(v.0, net.g_neighbors(v), &reports);
+                let mut truth: Vec<u32> = net.h_neighbors(v).to_vec();
+                truth.dedup();
+                ReconstructionAccuracy::compare(&out.h_neighbors, &truth)
+            })
+            .collect();
+        let exact = accs.iter().filter(|a| a.is_exact()).count() as f64 / sample as f64;
+        let total_h: usize = accs.iter().map(|a| a.true_positives + a.false_negatives).sum();
+        let missed: usize = accs.iter().map(|a| a.false_negatives).sum();
+        let spurious: usize = accs.iter().map(|a| a.false_positives).sum();
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(exact),
+            fmt_f(missed as f64 / total_h.max(1) as f64),
+            fmt_f(spurious as f64 / total_h.max(1) as f64),
+        ]);
+    }
+    table
+}
+
+/// E8 — Lemma 15/16 and Figure 1: the fake-chain and last-step injection
+/// attacks against Algorithm 1 vs Algorithm 2.
+pub fn exp_fakechain(cfg: &ExperimentConfig, n: usize) -> Table {
+    let mut table = Table::new(
+        "E8",
+        "Attack resistance: Algorithm 1 (no verification) vs Algorithm 2 (verification)",
+        &["adversary", "algorithm", "good frac", "crashed frac", "completed"],
+    );
+    for adversary in ["inflate-last", "fake-chain", "suppress", "silent"] {
+        for (algo, verify) in [("Algo 1", false), ("Algo 2", true)] {
+            let rows: Vec<(f64, f64, bool)> = (0..cfg.trials)
+                .into_par_iter()
+                .map(|t| {
+                    let outcome = run_with_adversary(cfg, n, t, adversary, verify);
+                    let eval = outcome.evaluate_with_factor(3.0);
+                    (
+                        eval.good_fraction_of_honest,
+                        eval.honest_crashed as f64 / eval.honest_total.max(1) as f64,
+                        outcome.completed,
+                    )
+                })
+                .collect();
+            let good = summarize(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
+            let crashed = summarize(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+            let completed = rows.iter().filter(|r| r.2).count();
+            table.push_row(vec![
+                adversary.into(),
+                algo.into(),
+                fmt_f(good.mean),
+                fmt_f(crashed.mean),
+                format!("{completed}/{}", cfg.trials),
+            ]);
+        }
+    }
+    table
+}
+
+/// E9 — Lemma 14: the uncrashed core retains `n − o(n)` nodes and positive
+/// expansion under topology-lying adversaries.
+pub fn exp_core(cfg: &ExperimentConfig, n: usize) -> Table {
+    let mut table = Table::new(
+        "E9",
+        "Lemma 14: size and expansion of the uncrashed honest core",
+        &["adversary", "core frac", "crashed frac", "core spectral gap"],
+    );
+    for adversary in ["fake-chain", "silent", "combined"] {
+        let rows: Vec<(f64, f64, f64)> = (0..cfg.trials)
+            .into_par_iter()
+            .map(|t| {
+                let net = cfg.network(n, t);
+                let params = cfg.params(&net);
+                let placement =
+                    Placement::random_budget(n, cfg.delta, cfg.trial_seed(n, t) ^ 0xB12);
+                let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
+                let seed = cfg.trial_seed(n, t) ^ 0x5EED;
+                let outcome = match adversary {
+                    "fake-chain" => run_counting_with(
+                        &net,
+                        &params,
+                        placement.mask(),
+                        FakeChainAdversary::new(knowledge),
+                        seed,
+                    ),
+                    "silent" => run_counting_with(
+                        &net,
+                        &params,
+                        placement.mask(),
+                        SilentAdversary,
+                        seed,
+                    ),
+                    _ => run_counting_with(
+                        &net,
+                        &params,
+                        placement.mask(),
+                        CombinedAdversary::new(knowledge),
+                        seed,
+                    ),
+                };
+                let keep: Vec<bool> = (0..n)
+                    .map(|i| !outcome.crashed[i] && !placement.mask()[i])
+                    .collect();
+                let core = netsim_graph::bfs::largest_component_induced(net.h().csr(), &keep);
+                let crashed = outcome.crashed_honest() as f64 / n as f64;
+                // Spectral gap of the core's induced subgraph.
+                let core_set: std::collections::HashSet<u32> =
+                    core.iter().map(|v| v.0).collect();
+                let remap: std::collections::HashMap<u32, u32> = core
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v.0, i as u32))
+                    .collect();
+                let mut edges = Vec::new();
+                for &v in &core {
+                    for &u in net.h_neighbors(v) {
+                        if u > v.0 && core_set.contains(&u) {
+                            edges.push((remap[&v.0], remap[&u]));
+                        }
+                    }
+                }
+                let gap = if core.len() > 2 {
+                    let sub = Csr::from_undirected_edges(core.len(), &edges).expect("core csr");
+                    spectral_gap(&sub, 150, seed).gap
+                } else {
+                    0.0
+                };
+                (core.len() as f64 / n as f64, crashed, gap)
+            })
+            .collect();
+        let core = summarize(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
+        let crashed = summarize(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+        let gap = summarize(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+        table.push_row(vec![
+            adversary.into(),
+            fmt_f(core.mean),
+            fmt_f(crashed.mean),
+            fmt_f(gap.mean),
+        ]);
+    }
+    table
+}
+
+/// E10 — the two-stage analysis (Lemmas 11 and 13): the distribution of
+/// decided phases relative to `a·log n` and `b·log n`.
+pub fn exp_phases(cfg: &ExperimentConfig, n: usize) -> Table {
+    let mut table = Table::new(
+        "E10",
+        "Decision-phase distribution relative to the reference phase",
+        &["phase", "honest nodes deciding", "fraction", "reference phase"],
+    );
+    let outcome = run_with_adversary(cfg, n, 0, "inflate-legal", true);
+    let reference = outcome.params.expected_decision_phase(n);
+    let mut histogram: std::collections::BTreeMap<u64, usize> = Default::default();
+    let mut honest_total = 0usize;
+    for i in 0..n {
+        if outcome.byzantine[i] {
+            continue;
+        }
+        honest_total += 1;
+        if let Some(p) = outcome.estimates[i] {
+            *histogram.entry(p).or_insert(0) += 1;
+        }
+    }
+    for (phase, count) in histogram {
+        table.push_row(vec![
+            phase.to_string(),
+            count.to_string(),
+            fmt_f(count as f64 / honest_total.max(1) as f64),
+            fmt_f(reference),
+        ]);
+    }
+    table
+}
+
+/// E11 — random vs adversarially clustered Byzantine placement (the paper's
+/// open-problem ablation).
+pub fn exp_placement(cfg: &ExperimentConfig, n: usize) -> Table {
+    let mut table = Table::new(
+        "E11",
+        "Byzantine placement ablation: random (paper's model) vs clustered",
+        &["placement", "good frac", "crashed frac"],
+    );
+    for mode in ["random", "clustered"] {
+        let rows: Vec<(f64, f64)> = (0..cfg.trials)
+            .into_par_iter()
+            .map(|t| {
+                let net = cfg.network(n, t);
+                let params = cfg.params(&net);
+                let budget = (n as f64).powf(1.0 - cfg.delta).floor() as usize;
+                let placement = if mode == "random" {
+                    Placement::random(n, budget, cfg.trial_seed(n, t) ^ 0x1)
+                } else {
+                    Placement::clustered(&net, budget, cfg.trial_seed(n, t) ^ 0x1)
+                };
+                let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
+                let outcome = run_counting_with(
+                    &net,
+                    &params,
+                    placement.mask(),
+                    CombinedAdversary::new(knowledge),
+                    cfg.trial_seed(n, t) ^ 0x2,
+                );
+                let eval = outcome.evaluate_with_factor(3.0);
+                (
+                    eval.good_fraction_of_honest,
+                    eval.honest_crashed as f64 / eval.honest_total.max(1) as f64,
+                )
+            })
+            .collect();
+        let good = summarize(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
+        let crashed = summarize(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+        table.push_row(vec![mode.into(), fmt_f(good.mean), fmt_f(crashed.mean)]);
+    }
+    table
+}
+
+/// Every experiment with its default workload, in DESIGN.md order.
+pub fn run_all(cfg: &ExperimentConfig) -> Vec<Table> {
+    let n_mid = cfg.n_values.last().copied().unwrap_or(1024);
+    vec![
+        exp_theorem1(cfg),
+        exp_rounds(cfg),
+        exp_approx_factor(cfg, &[6, 8, 10], cfg.n_values.first().copied().unwrap_or(512)),
+        exp_baselines(cfg, n_mid),
+        exp_structure(cfg),
+        exp_expander(cfg),
+        exp_discovery(cfg),
+        exp_fakechain(cfg, n_mid.min(2048)),
+        exp_core(cfg, n_mid.min(2048)),
+        exp_phases(cfg, n_mid.min(2048)),
+        exp_placement(cfg, n_mid.min(2048)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            n_values: vec![256],
+            d: 6,
+            delta: 0.6,
+            epsilon: 0.1,
+            trials: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn theorem1_quick_run_produces_high_accuracy() {
+        let table = exp_theorem1(&tiny());
+        assert_eq!(table.rows.len(), 1);
+        let good: f64 = table.rows[0][2].parse().unwrap();
+        assert!(good > 0.5, "good fraction {good} too low even for a tiny run");
+    }
+
+    #[test]
+    fn rounds_table_has_expected_columns() {
+        let table = exp_rounds(&tiny());
+        assert_eq!(table.headers.len(), 6);
+        let rounds: f64 = table.rows[0][1].parse().unwrap();
+        assert!(rounds > 10.0);
+        // Small messages: a constant number of IDs.
+        let max_ids: u32 = table.rows[0][4].parse().unwrap();
+        assert!(max_ids <= 64, "messages must stay small, got {max_ids} IDs");
+    }
+
+    #[test]
+    fn baselines_table_shows_inflation_damage() {
+        let cfg = tiny();
+        let table = exp_baselines(&cfg, 256);
+        // Row 0: geometric honest; row 2: geometric under inflation.
+        let honest_err: f64 = table.rows[0][5].parse().unwrap();
+        let inflated_err: f64 = table.rows[2][5].parse().unwrap();
+        assert!(honest_err < 1.0);
+        assert!(inflated_err > honest_err, "inflation must worsen the estimate");
+    }
+
+    #[test]
+    fn structure_and_discovery_tables_are_sane() {
+        let cfg = tiny();
+        let s = exp_structure(&cfg);
+        let ltl: f64 = s.rows[0][1].parse().unwrap();
+        assert!(ltl > 0.8);
+        let d = exp_discovery(&cfg);
+        let exact: f64 = d.rows[0][1].parse().unwrap();
+        assert!(exact > 0.5);
+    }
+}

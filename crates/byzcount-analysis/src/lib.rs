@@ -1,0 +1,31 @@
+//! # byzcount-analysis
+//!
+//! The experiment harness of the reproduction: statistics ([`stats`]),
+//! paper-style result tables ([`table`]) and one function per experiment of
+//! DESIGN.md §3 ([`experiments`]).
+//!
+//! ```no_run
+//! use byzcount_analysis::experiments::{exp_theorem1, ExperimentConfig};
+//!
+//! let table = exp_theorem1(&ExperimentConfig::quick());
+//! println!("{}", table.to_markdown());
+//! ```
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+
+pub use experiments::{run_all, ExperimentConfig};
+pub use stats::{percentile, summarize, Summary};
+pub use table::{fmt_f, Table};
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::experiments::{
+        exp_approx_factor, exp_baselines, exp_core, exp_discovery, exp_expander, exp_fakechain,
+        exp_phases, exp_placement, exp_rounds, exp_structure, exp_theorem1, run_all,
+        ExperimentConfig,
+    };
+    pub use crate::stats::{percentile, summarize, Summary};
+    pub use crate::table::{fmt_f, Table};
+}

@@ -1,0 +1,95 @@
+//! Small statistics helpers for aggregating trial results.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub median: f64,
+}
+
+/// Compute summary statistics (sample standard deviation).
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary::default();
+    }
+    let count = values.len();
+    let mean = values.iter().sum::<f64>() / count as f64;
+    let var = if count > 1 {
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+    } else {
+        0.0
+    };
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Summary {
+        count,
+        mean,
+        std_dev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[count - 1],
+        median: percentile_sorted(&sorted, 50.0),
+    }
+}
+
+/// Percentile (0–100) of a pre-sorted sample via linear interpolation.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile of an unsorted sample.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        assert_eq!(summarize(&[]), Summary::default());
+        let s = summarize(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [0.0, 10.0];
+        assert!((percentile(&v, 50.0) - 5.0).abs() < 1e-12);
+        assert!((percentile(&v, 0.0) - 0.0).abs() < 1e-12);
+        assert!((percentile(&v, 100.0) - 10.0).abs() < 1e-12);
+        let v = [3.0, 1.0, 2.0];
+        assert!((percentile(&v, 50.0) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! Paper-style result tables.
+//!
+//! Every experiment produces a [`Table`]; the CLI and the benchmark binaries
+//! print them as aligned ASCII/Markdown, and `EXPERIMENTS.md` records them.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular table of results.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. "E1").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavoured Markdown table preceded by its title.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = format!("### {}: {}\n\n", self.id, self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Serialise to JSON for machine consumption.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialisation cannot fail")
+    }
+}
+
+/// Format a float with 3 significant decimals (helper for experiment code).
+pub fn fmt_f(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_is_aligned() {
+        let mut t = Table::new("E0", "demo", &["n", "value"]);
+        t.push_row(vec!["1024".into(), "0.5".into()]);
+        t.push_row(vec!["16".into(), "123.456".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### E0: demo"));
+        assert!(md.contains("| n    | value   |"));
+        assert!(md.contains("| 16   | 123.456 |"));
+        // Header separator present.
+        assert!(md.contains("| ---- | ------- |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("E1", "x", &["a"]);
+        t.push_row(vec!["y".into()]);
+        let parsed: Table = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.123456), "0.123");
+        assert_eq!(fmt_f(12345.6), "12346");
+    }
+}

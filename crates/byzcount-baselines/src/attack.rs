@@ -1,0 +1,53 @@
+//! Minimal Byzantine behaviours against the baseline estimators.
+//!
+//! The paper's Section 1.2 argument is qualitative: "Byzantine nodes can
+//! fake the maximum value or can stop the correct maximum value from
+//! spreading".  [`BaselineAttack`] implements exactly those two behaviours
+//! generically for any baseline whose messages carry an aggregatable value,
+//! so experiment E4 can show the baselines collapsing under a *single*
+//! Byzantine node.
+
+use serde::{Deserialize, Serialize};
+
+/// How Byzantine nodes behave against a baseline estimator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BaselineAttack {
+    /// Byzantine nodes follow the baseline protocol (control).
+    #[default]
+    None,
+    /// Byzantine nodes report/forward an extreme value that drags the
+    /// aggregate as far as possible (a huge color for max-aggregation, a
+    /// near-zero exponential for min-aggregation, a huge subtree count for
+    /// the converge-cast).
+    Inflate,
+    /// Byzantine nodes drop every message they should have forwarded.
+    Suppress,
+}
+
+impl BaselineAttack {
+    /// All attack modes, in presentation order for tables.
+    pub const ALL: [BaselineAttack; 3] =
+        [BaselineAttack::None, BaselineAttack::Inflate, BaselineAttack::Suppress];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineAttack::None => "honest",
+            BaselineAttack::Inflate => "inflate",
+            BaselineAttack::Suppress => "suppress",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            BaselineAttack::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(BaselineAttack::default(), BaselineAttack::None);
+    }
+}

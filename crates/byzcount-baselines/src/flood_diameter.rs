@@ -1,0 +1,148 @@
+//! Diameter-based estimation by leader flooding (Section 1.2).
+//!
+//! If an honest leader were available, it could flood a token; every node's
+//! first-arrival round is at most the diameter, which is `Θ(log n)` on a
+//! sparse expander, giving a constant-factor estimate of `log n`.  The
+//! catch — and the reason the paper rejects this approach — is that electing
+//! that leader under Byzantine faults without knowing `n` is itself an open
+//! problem, and a Byzantine node can trivially pretend to be a (closer)
+//! leader, shrinking everyone's estimate.
+
+use crate::attack::BaselineAttack;
+use netsim_runtime::{
+    Action, EngineConfig, Envelope, MessageSize, NodeContext, NullAdversary, Outbox, Protocol,
+    RunResult, SizedMessage, SyncEngine, Topology,
+};
+use rand_chacha::ChaCha8Rng;
+
+/// The flooded token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TokenMsg;
+
+impl MessageSize for TokenMsg {
+    fn message_size(&self) -> SizedMessage {
+        SizedMessage::new(0, 1)
+    }
+}
+
+/// Per-node state of the flooding diameter estimator.
+#[derive(Clone, Debug)]
+pub struct FloodDiameterEstimator {
+    is_leader: bool,
+    byz: Option<BaselineAttack>,
+    ttl: u64,
+    first_seen: Option<u64>,
+}
+
+impl FloodDiameterEstimator {
+    /// Construct a node; exactly one honest node should be the leader.
+    pub fn new(is_leader: bool, byz: Option<BaselineAttack>, ttl: u64) -> Self {
+        FloodDiameterEstimator { is_leader, byz, ttl, first_seen: None }
+    }
+}
+
+impl Protocol for FloodDiameterEstimator {
+    type Message = TokenMsg;
+    /// The round at which the token was first seen (≈ distance to the
+    /// leader, a proxy for `log n`).
+    type Output = u64;
+
+    fn step(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &[Envelope<TokenMsg>],
+        outbox: &mut Outbox<TokenMsg>,
+        _rng: &mut ChaCha8Rng,
+    ) -> Action<u64> {
+        if ctx.round == 0 {
+            let pretend_leader = matches!(self.byz, Some(BaselineAttack::Inflate));
+            if (self.is_leader && self.byz.is_none()) || pretend_leader {
+                self.first_seen = Some(0);
+                outbox.broadcast(ctx.neighbors.iter(), TokenMsg);
+            }
+            return Action::Continue;
+        }
+        if self.first_seen.is_none() && !inbox.is_empty() {
+            self.first_seen = Some(ctx.round);
+            if !matches!(self.byz, Some(BaselineAttack::Suppress)) {
+                outbox.broadcast(ctx.neighbors.iter(), TokenMsg);
+            }
+        }
+        if ctx.round >= self.ttl {
+            match self.first_seen {
+                Some(r) => Action::Decide(r),
+                None => Action::Decide(u64::MAX),
+            }
+        } else {
+            Action::Continue
+        }
+    }
+}
+
+/// Run the flooding estimator with node 0 as the (honest) leader.
+pub fn run_flood_diameter<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+) -> RunResult<u64> {
+    let nodes: Vec<FloodDiameterEstimator> = (0..topo.len())
+        .map(|i| {
+            FloodDiameterEstimator::new(i == 0, if byzantine[i] { Some(attack) } else { None }, ttl)
+        })
+        .collect();
+    let config = EngineConfig { max_rounds: ttl + 4, stop_when_all_decided: true };
+    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::metrics::diameter_estimate;
+    use netsim_graph::SmallWorldNetwork;
+
+    #[test]
+    fn honest_flood_matches_bfs_distances() {
+        let n = 1024usize;
+        let net = SmallWorldNetwork::generate_seeded(n, 8, 1).unwrap();
+        let byz = vec![false; n];
+        let ttl = (3.0 * (n as f64).log2()).ceil() as u64;
+        let result = run_flood_diameter(net.h().csr(), &byz, BaselineAttack::None, ttl, 2);
+        assert!(result.completed);
+        let max_round = result.outputs.iter().map(|o| o.unwrap()).max().unwrap();
+        let diam = diameter_estimate(net.h().csr(), 0).lower_bound as u64;
+        // The farthest node hears the token after ecc(leader) rounds, which
+        // is between diam/2 and diam.
+        assert!(max_round <= diam + 1, "max arrival {max_round} vs diameter {diam}");
+        assert!(max_round as f64 >= (n as f64).log2() / (8f64).log2() - 1.0);
+    }
+
+    #[test]
+    fn fake_leaders_shrink_estimates() {
+        let n = 512usize;
+        let net = SmallWorldNetwork::generate_seeded(n, 8, 3).unwrap();
+        let mut byz = vec![false; n];
+        // A handful of Byzantine nodes all pretend to be the leader.
+        for i in [37usize, 113, 301, 444] {
+            byz[i] = true;
+        }
+        let ttl = (3.0 * (n as f64).log2()).ceil() as u64;
+        let honest = run_flood_diameter(net.h().csr(), &vec![false; n], BaselineAttack::None, ttl, 4);
+        let attacked = run_flood_diameter(net.h().csr(), &byz, BaselineAttack::Inflate, ttl, 4);
+        let sum = |r: &RunResult<u64>, mask: &[bool]| -> f64 {
+            let vals: Vec<u64> = r
+                .outputs
+                .iter()
+                .enumerate()
+                .filter(|(i, o)| !mask[*i] && o.is_some())
+                .map(|(_, o)| o.unwrap())
+                .collect();
+            vals.iter().sum::<u64>() as f64 / vals.len() as f64
+        };
+        assert!(
+            sum(&attacked, &byz) < sum(&honest, &vec![false; n]),
+            "fake leaders must shrink the average first-arrival round"
+        );
+    }
+}

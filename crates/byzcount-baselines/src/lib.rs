@@ -1,0 +1,36 @@
+//! # byzcount-baselines
+//!
+//! Non-Byzantine-tolerant network size estimators, used to reproduce the
+//! paper's motivating observations (Section 1.2):
+//!
+//! * [`GeometricSupportEstimator`] — every node draws a geometric color and
+//!   the network floods the maximum; the maximum concentrates around
+//!   `log₂ n`.  Accurate without faults, broken by a single Byzantine node
+//!   that either fakes a huge color or suppresses the true maximum.
+//! * [`ExponentialSupportEstimator`] — support estimation with exponential
+//!   variables (min-aggregation, averaged over repetitions); same failure
+//!   mode, in the opposite direction (a faked 0 makes `n̂` explode).
+//! * [`SpanningTreeCounter`] — BFS spanning tree plus converge-cast: exact
+//!   count without faults, arbitrarily corruptible by one Byzantine node on
+//!   the tree.
+//! * [`FloodDiameterEstimator`] — a designated leader floods a token and
+//!   every node uses its first-arrival round as a proxy for `log n`
+//!   (requires an honest, pre-agreed leader — itself unobtainable in the
+//!   Byzantine setting, which is the paper's point).
+//!
+//! Every estimator runs on the same [`netsim_runtime`] engine as the real
+//! protocol, and [`BaselineAttack`] provides the minimal Byzantine
+//! behaviours (value inflation / suppression) that demonstrate their
+//! fragility for experiment E4.
+
+pub mod attack;
+pub mod exponential;
+pub mod flood_diameter;
+pub mod geometric;
+pub mod spanning_tree;
+
+pub use attack::BaselineAttack;
+pub use exponential::{run_exponential_support, ExponentialSupportEstimator};
+pub use flood_diameter::{run_flood_diameter, FloodDiameterEstimator};
+pub use geometric::{run_geometric_support, GeometricSupportEstimator};
+pub use spanning_tree::{run_spanning_tree_count, SpanningTreeCounter};

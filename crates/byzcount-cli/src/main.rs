@@ -1,0 +1,103 @@
+//! Command-line driver for the Byzantine counting experiments.
+//!
+//! ```text
+//! byzcount-cli <experiment> [options]
+//!
+//! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 all
+//!
+//! Options:
+//!   --quick            small workload (default)
+//!   --standard         the workload recorded in EXPERIMENTS.md
+//!   --n <list>         comma-separated network sizes, e.g. 512,1024,4096
+//!   --d <int>          degree of the base expander H
+//!   --delta <float>    fault exponent (Byzantine budget n^{1-delta})
+//!   --epsilon <float>  error parameter
+//!   --trials <int>     trials per configuration
+//!   --seed <int>       master seed
+//!   --json             emit JSON instead of Markdown tables
+//! ```
+
+use byzcount_analysis::experiments::{self, ExperimentConfig};
+use byzcount_analysis::Table;
+use std::env;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: byzcount-cli <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|all> \
+         [--quick|--standard] [--n 512,1024] [--d 6] [--delta 0.6] \
+         [--epsilon 0.1] [--trials 3] [--seed 42] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let experiment = args[0].to_lowercase();
+    let mut cfg = ExperimentConfig::quick();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--standard" => cfg = ExperimentConfig::standard(),
+            "--json" => json = true,
+            "--n" | "--d" | "--delta" | "--epsilon" | "--trials" | "--seed" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--n" => {
+                        cfg.n_values = value
+                            .split(',')
+                            .filter_map(|s| s.trim().parse().ok())
+                            .collect();
+                        if cfg.n_values.is_empty() {
+                            return usage();
+                        }
+                    }
+                    "--d" => cfg.d = value.parse().unwrap_or(cfg.d),
+                    "--delta" => cfg.delta = value.parse().unwrap_or(cfg.delta),
+                    "--epsilon" => cfg.epsilon = value.parse().unwrap_or(cfg.epsilon),
+                    "--trials" => cfg.trials = value.parse().unwrap_or(cfg.trials),
+                    "--seed" => cfg.seed = value.parse().unwrap_or(cfg.seed),
+                    _ => unreachable!(),
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let n_big = cfg.n_values.last().copied().unwrap_or(1024);
+    let n_small = cfg.n_values.first().copied().unwrap_or(512);
+    let tables: Vec<Table> = match experiment.as_str() {
+        "e1" => vec![experiments::exp_theorem1(&cfg)],
+        "e2" => vec![experiments::exp_rounds(&cfg)],
+        "e3" => vec![experiments::exp_approx_factor(&cfg, &[6, 8, 10], n_small)],
+        "e4" => vec![experiments::exp_baselines(&cfg, n_big)],
+        "e5" => vec![experiments::exp_structure(&cfg)],
+        "e6" => vec![experiments::exp_expander(&cfg)],
+        "e7" => vec![experiments::exp_discovery(&cfg)],
+        "e8" => vec![experiments::exp_fakechain(&cfg, n_big.min(2048))],
+        "e9" => vec![experiments::exp_core(&cfg, n_big.min(2048))],
+        "e10" => vec![experiments::exp_phases(&cfg, n_big.min(2048))],
+        "e11" => vec![experiments::exp_placement(&cfg, n_big.min(2048))],
+        "all" => experiments::run_all(&cfg),
+        _ => return usage(),
+    };
+    for table in &tables {
+        if json {
+            println!("{}", table.to_json());
+        } else {
+            println!("{}", table.to_markdown());
+        }
+    }
+    ExitCode::SUCCESS
+}

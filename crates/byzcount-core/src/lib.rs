@@ -1,0 +1,51 @@
+//! # byzcount-core
+//!
+//! The counting protocols of *"Network Size Estimation in Small-World
+//! Networks under Byzantine Faults"* (Chatterjee, Pandurangan, Robinson):
+//!
+//! * [`node::CountingNode`] — the per-node state machine, in its
+//!   [basic](node::CountingNode::basic_variant) (Algorithm 1) and
+//!   [Byzantine-tolerant](node::CountingNode::byzantine_variant)
+//!   (Algorithm 2) variants;
+//! * [`params::ProtocolParams`] — the analytical constants (`a`, `b`, the
+//!   level sizes `l_r`, the continuation thresholds, the Byzantine budget
+//!   `n^{1−δ}`);
+//! * [`schedule::Schedule`] — the phase / subphase / round structure and the
+//!   repetition counts `α_i`;
+//! * [`color`] — geometric colors and their distribution facts;
+//! * [`discovery`] — neighbourhood reconstruction (Lemma 3) and the
+//!   crash-on-conflict rule (Algorithm 2 line 2);
+//! * [`runner`] — one-call execution over a [`netsim_graph::SmallWorldNetwork`]
+//!   with any [`netsim_runtime::Adversary`];
+//! * [`outcome`] — the Definition-1 evaluation of a run.
+//!
+//! ```
+//! use byzcount_core::{run_basic_counting, ProtocolParams};
+//! use netsim_graph::SmallWorldNetwork;
+//!
+//! let net = SmallWorldNetwork::generate_seeded(256, 8, 1).unwrap();
+//! let params = ProtocolParams::for_network_default_expansion(&net, 0.6, 0.1);
+//! let outcome = run_basic_counting(&net, &params, 42);
+//! let eval = outcome.evaluate();
+//! assert!(eval.good_fraction_of_honest > 0.9);
+//! ```
+
+pub mod color;
+pub mod discovery;
+pub mod messages;
+pub mod node;
+pub mod outcome;
+pub mod params;
+pub mod runner;
+pub mod schedule;
+
+pub use color::{sample_color, Color, MAX_COLOR};
+pub use discovery::{DiscoveryOutcome, ReconstructionAccuracy};
+pub use messages::CountingMessage;
+pub use node::{CountingNode, Decision};
+pub use outcome::{CountingOutcome, EstimateEvaluation};
+pub use params::ProtocolParams;
+pub use runner::{
+    round_cap, run_basic_counting, run_basic_counting_with, run_counting_with,
+};
+pub use schedule::{PhasePosition, Position, Schedule, DISCOVERY_ROUNDS};

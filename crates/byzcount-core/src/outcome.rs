@@ -1,0 +1,238 @@
+//! Run outcomes and the Definition-1 evaluation of estimate quality.
+//!
+//! A run of the counting protocol yields, for every node, either a crash, no
+//! decision (the round cap was hit), or a decided phase index — the node's
+//! estimate of `log n`.  [`CountingOutcome::evaluate`] turns this into the
+//! quantities Theorem 1 talks about: the fraction of honest nodes holding a
+//! constant-factor estimate of `log n`, the achieved approximation factors,
+//! and the honest casualties (crashed or undecided nodes).
+
+use crate::params::ProtocolParams;
+use netsim_runtime::RunMetrics;
+use serde::{Deserialize, Serialize};
+
+/// The complete result of one protocol execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CountingOutcome {
+    /// Network size (ground truth, used only for evaluation).
+    pub n: usize,
+    /// Per-node decided phase (None = crashed or never decided).
+    pub estimates: Vec<Option<u64>>,
+    /// Round at which each node decided.
+    pub decided_round: Vec<Option<u64>>,
+    /// Per-node crash flag.
+    pub crashed: Vec<bool>,
+    /// Which nodes were Byzantine.
+    pub byzantine: Vec<bool>,
+    /// Parameters the run used.
+    pub params: ProtocolParams,
+    /// Engine metrics (rounds, messages, message sizes).
+    pub metrics: RunMetrics,
+    /// Whether every honest node decided or crashed before the round cap.
+    pub completed: bool,
+}
+
+/// Aggregated estimate quality (the empirical face of Theorem 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EstimateEvaluation {
+    /// Number of honest nodes.
+    pub honest_total: usize,
+    /// Honest nodes that decided an estimate.
+    pub honest_decided: usize,
+    /// Honest nodes that crashed.
+    pub honest_crashed: usize,
+    /// Honest nodes whose estimate is within the accepted factor of the
+    /// reference phase (see [`CountingOutcome::evaluate_with_factor`]).
+    pub honest_good: usize,
+    /// `honest_good / honest_total`.
+    pub good_fraction_of_honest: f64,
+    /// The reference phase `i*` with `l_{i*−1} ≈ log₂ n` (what a perfectly
+    /// calibrated node would decide).
+    pub reference_phase: f64,
+    /// Mean decided phase over honest deciders.
+    pub mean_estimate: f64,
+    /// Minimum decided phase over honest deciders.
+    pub min_estimate: u64,
+    /// Maximum decided phase over honest deciders.
+    pub max_estimate: u64,
+    /// Empirical approximation factor: `max_estimate / min_estimate`
+    /// (1.0 when every honest node agrees).
+    pub estimate_spread: f64,
+    /// Total rounds of the run.
+    pub rounds: u64,
+}
+
+impl CountingOutcome {
+    /// Evaluate with the default acceptance factor of 2 (an estimate is
+    /// "good" if it lies within a factor 2 of the reference phase).
+    pub fn evaluate(&self) -> EstimateEvaluation {
+        self.evaluate_with_factor(2.0)
+    }
+
+    /// Evaluate estimate quality.
+    ///
+    /// An honest node's estimate `L` (its decided phase) is *good* when
+    /// `i*/factor ≤ L ≤ i*·factor`, where `i*` is the phase at which the
+    /// tree-like ball boundary reaches `n` nodes
+    /// ([`ProtocolParams::expected_decision_phase`]).  Because `d` is a
+    /// constant, this is the same notion as Definition 1's
+    /// `c₁·log n ≤ L ≤ c₂·log n` up to the choice of constants.
+    pub fn evaluate_with_factor(&self, factor: f64) -> EstimateEvaluation {
+        assert!(factor >= 1.0, "acceptance factor must be at least 1");
+        let reference = self.params.expected_decision_phase(self.n).max(1.0);
+        let mut eval = EstimateEvaluation {
+            reference_phase: reference,
+            rounds: self.metrics.rounds,
+            min_estimate: u64::MAX,
+            ..Default::default()
+        };
+        let mut sum = 0.0f64;
+        for i in 0..self.estimates.len() {
+            if self.byzantine[i] {
+                continue;
+            }
+            eval.honest_total += 1;
+            if self.crashed[i] {
+                eval.honest_crashed += 1;
+                continue;
+            }
+            let Some(est) = self.estimates[i] else { continue };
+            eval.honest_decided += 1;
+            sum += est as f64;
+            eval.min_estimate = eval.min_estimate.min(est);
+            eval.max_estimate = eval.max_estimate.max(est);
+            let lo = reference / factor;
+            let hi = reference * factor;
+            if (est as f64) >= lo && (est as f64) <= hi {
+                eval.honest_good += 1;
+            }
+        }
+        if eval.honest_decided == 0 {
+            eval.min_estimate = 0;
+        }
+        eval.mean_estimate =
+            if eval.honest_decided > 0 { sum / eval.honest_decided as f64 } else { 0.0 };
+        eval.good_fraction_of_honest = if eval.honest_total > 0 {
+            eval.honest_good as f64 / eval.honest_total as f64
+        } else {
+            0.0
+        };
+        eval.estimate_spread = if eval.min_estimate > 0 {
+            eval.max_estimate as f64 / eval.min_estimate as f64
+        } else {
+            1.0
+        };
+        eval
+    }
+
+    /// Whether the run satisfies Definition 1 for the given `ε`: all but
+    /// `B(n) + ε·n` honest nodes hold a good estimate.
+    pub fn satisfies_definition1(&self, factor: f64) -> bool {
+        let eval = self.evaluate_with_factor(factor);
+        let byz_count = self.byzantine.iter().filter(|&&b| b).count();
+        let allowed_misses = byz_count as f64 + self.params.epsilon * self.n as f64;
+        let misses = (eval.honest_total - eval.honest_good) as f64;
+        misses <= allowed_misses
+    }
+
+    /// Derived absolute size estimate `n̂ = d·(d−1)^{L−1}` for a decided
+    /// phase `L` — the size of a tree-like ball of radius `L`, i.e. what the
+    /// decided phase "means" in terms of node count.
+    pub fn size_estimate(&self, phase: u64) -> f64 {
+        let d = self.params.d as f64;
+        d * (d - 1.0).powf(phase.saturating_sub(1) as f64)
+    }
+
+    /// Number of crashed honest nodes.
+    pub fn crashed_honest(&self) -> usize {
+        (0..self.crashed.len()).filter(|&i| self.crashed[i] && !self.byzantine[i]).count()
+    }
+
+    /// Number of Byzantine nodes in this run.
+    pub fn byzantine_count(&self) -> usize {
+        self.byzantine.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_outcome(estimates: Vec<Option<u64>>, crashed: Vec<bool>, byz: Vec<bool>) -> CountingOutcome {
+        let n = estimates.len();
+        CountingOutcome {
+            n,
+            estimates,
+            decided_round: vec![None; n],
+            crashed,
+            byzantine: byz,
+            params: ProtocolParams::new(8, 3, 0.6, 0.1, 1.0),
+            metrics: RunMetrics::default(),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn evaluation_counts_good_estimates() {
+        // n = 1024 → reference phase ≈ 1 + (10−3)/log2(7) ≈ 3.49.
+        let estimates = vec![Some(3), Some(4), Some(30), None, Some(3), Some(3), Some(4), Some(3)];
+        let crashed = vec![false, false, false, true, false, false, false, false];
+        let byz = vec![false; 8];
+        let mut outcome = make_outcome(estimates, crashed, byz);
+        outcome.n = 1024;
+        let eval = outcome.evaluate();
+        assert_eq!(eval.honest_total, 8);
+        assert_eq!(eval.honest_crashed, 1);
+        assert_eq!(eval.honest_decided, 7);
+        // 30 is far outside the factor-2 window; the six 3s/4s are inside.
+        assert_eq!(eval.honest_good, 6);
+        assert!((eval.good_fraction_of_honest - 6.0 / 8.0).abs() < 1e-12);
+        assert_eq!(eval.min_estimate, 3);
+        assert_eq!(eval.max_estimate, 30);
+        assert!(eval.estimate_spread > 9.0);
+    }
+
+    #[test]
+    fn byzantine_nodes_are_excluded() {
+        let estimates = vec![Some(3), Some(999)];
+        let crashed = vec![false, false];
+        let byz = vec![false, true];
+        let mut outcome = make_outcome(estimates, crashed, byz);
+        outcome.n = 1024;
+        let eval = outcome.evaluate();
+        assert_eq!(eval.honest_total, 1);
+        assert_eq!(eval.max_estimate, 3);
+    }
+
+    #[test]
+    fn definition1_check_uses_epsilon_slack() {
+        // 10 honest nodes (n = 10, reference phase ≈ 1.1), epsilon = 0.1 →
+        // allowed misses = 0 Byzantine + 1.0, so 2 misses violate
+        // Definition 1 while a single miss is tolerated.
+        let mut estimates = vec![Some(1); 10];
+        estimates[0] = Some(50);
+        estimates[1] = Some(50);
+        let outcome = make_outcome(estimates, vec![false; 10], vec![false; 10]);
+        assert!(!outcome.satisfies_definition1(2.0));
+        let mut estimates = vec![Some(1); 10];
+        estimates[0] = Some(50);
+        let outcome = make_outcome(estimates, vec![false; 10], vec![false; 10]);
+        assert!(outcome.satisfies_definition1(2.0));
+    }
+
+    #[test]
+    fn size_estimate_is_ball_size() {
+        let outcome = make_outcome(vec![Some(1)], vec![false], vec![false]);
+        assert!((outcome.size_estimate(1) - 8.0).abs() < 1e-9);
+        assert!((outcome.size_estimate(3) - 8.0 * 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_undecided_runs_do_not_panic() {
+        let outcome = make_outcome(vec![None, None], vec![false, false], vec![false, false]);
+        let eval = outcome.evaluate();
+        assert_eq!(eval.honest_decided, 0);
+        assert_eq!(eval.mean_estimate, 0.0);
+        assert_eq!(eval.estimate_spread, 1.0);
+    }
+}

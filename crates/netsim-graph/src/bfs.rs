@@ -1,0 +1,312 @@
+//! Breadth-first search utilities: distances, balls `B(v, r)`, boundaries
+//! `Bd(v, r)` and multi-source distances.
+//!
+//! These implement Definitions 2–6 of the paper and are used both by the
+//! protocol (to materialise the `L` overlay and the `k`-ball audits) and by
+//! the analysis (node categories, diameter, locally-tree-like checks).
+
+use crate::csr::Csr;
+use crate::ids::NodeId;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances, truncated at `max_depth`.
+///
+/// Returns a vector of length `n` where entry `i` is `dist(source, i)` or
+/// [`UNREACHABLE`] if node `i` is farther than `max_depth` (or disconnected).
+pub fn bfs_distances(g: &Csr, source: NodeId, max_depth: usize) -> Vec<u32> {
+    let n = g.len();
+    let mut dist = vec![UNREACHABLE; n];
+    if source.index() >= n {
+        return dist;
+    }
+    let mut frontier = vec![source.0];
+    dist[source.index()] = 0;
+    let mut depth = 0u32;
+    while !frontier.is_empty() && (depth as usize) < max_depth {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.neighbors(NodeId(u)) {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = depth + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    dist
+}
+
+/// Multi-source BFS distances (distance from the nearest source), truncated
+/// at `max_depth`.  Implements Definition 3/4 (`dist(u, V′)`).
+pub fn multi_source_distances(g: &Csr, sources: &[NodeId], max_depth: usize) -> Vec<u32> {
+    let n = g.len();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut frontier = Vec::with_capacity(sources.len());
+    for &s in sources {
+        if s.index() < n && dist[s.index()] == UNREACHABLE {
+            dist[s.index()] = 0;
+            frontier.push(s.0);
+        }
+    }
+    let mut depth = 0u32;
+    while !frontier.is_empty() && (depth as usize) < max_depth {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.neighbors(NodeId(u)) {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = depth + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    dist
+}
+
+/// The ball `B(v, r)`: all nodes within distance `r` of `v`, including `v`
+/// itself (Definition 5).  Returned sorted by node index.
+pub fn ball(g: &Csr, v: NodeId, r: usize) -> Vec<NodeId> {
+    let dist = bfs_distances(g, v, r);
+    let mut out: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE && d as usize <= r)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The boundary `Bd(v, r)`: all nodes at distance exactly `r` from `v`
+/// (Definition 6).  Returned sorted by node index.
+pub fn boundary(g: &Csr, v: NodeId, r: usize) -> Vec<NodeId> {
+    let dist = bfs_distances(g, v, r);
+    let mut out: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d as usize == r && d != UNREACHABLE)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Distance between `u` and the set `targets` (Definition 3); `UNREACHABLE`
+/// if no target is reachable.
+pub fn distance_to_set(g: &Csr, u: NodeId, targets: &[NodeId]) -> u32 {
+    if targets.is_empty() {
+        return UNREACHABLE;
+    }
+    let target_mask: Vec<bool> = {
+        let mut m = vec![false; g.len()];
+        for &t in targets {
+            if t.index() < g.len() {
+                m[t.index()] = true;
+            }
+        }
+        m
+    };
+    if target_mask.get(u.index()).copied().unwrap_or(false) {
+        return 0;
+    }
+    let dist = bfs_distances(g, u, usize::MAX);
+    dist.iter()
+        .enumerate()
+        .filter(|(i, &d)| target_mask[*i] && d != UNREACHABLE)
+        .map(|(_, &d)| d)
+        .min()
+        .unwrap_or(UNREACHABLE)
+}
+
+/// Eccentricity of `v`: the maximum finite BFS distance from `v`.
+/// Returns `None` when some node is unreachable from `v`.
+pub fn eccentricity(g: &Csr, v: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, v, usize::MAX);
+    if dist.iter().any(|&d| d == UNREACHABLE) {
+        None
+    } else {
+        dist.into_iter().max()
+    }
+}
+
+/// Connected components; returns `(component_id_per_node, component_sizes)`.
+pub fn connected_components(g: &Csr) -> (Vec<u32>, Vec<usize>) {
+    let n = g.len();
+    let mut comp = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        let mut stack = vec![start as u32];
+        comp[start] = id;
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in g.neighbors(NodeId(u)) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    (comp, sizes)
+}
+
+/// The largest connected component of the subgraph induced by `keep`.
+///
+/// Used for the paper's `Core` (Lemma 14): the largest connected component
+/// of `H` induced by the uncrashed honest nodes.  Returns the member set,
+/// sorted by node index.
+pub fn largest_component_induced(g: &Csr, keep: &[bool]) -> Vec<NodeId> {
+    let n = g.len();
+    assert_eq!(keep.len(), n, "keep mask length mismatch");
+    let mut comp = vec![u32::MAX; n];
+    let mut best: (usize, u32) = (0, u32::MAX);
+    let mut next_id = 0u32;
+    for start in 0..n {
+        if !keep[start] || comp[start] != u32::MAX {
+            continue;
+        }
+        let id = next_id;
+        next_id += 1;
+        let mut size = 0usize;
+        let mut stack = vec![start as u32];
+        comp[start] = id;
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in g.neighbors(NodeId(u)) {
+                if keep[v as usize] && comp[v as usize] == u32::MAX {
+                    comp[v as usize] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        if size > best.0 {
+            best = (size, id);
+        }
+    }
+    let mut out: Vec<NodeId> = (0..n)
+        .filter(|&i| keep[i] && comp[i] == best.1 && best.1 != u32::MAX)
+        .map(NodeId::from_index)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A path graph 0 - 1 - 2 - 3 - 4.
+    fn path5() -> Csr {
+        Csr::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    /// Two triangles: {0,1,2} and {3,4,5}.
+    fn two_triangles() -> Csr {
+        Csr::from_undirected_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path5();
+        let d = bfs_distances(&g, NodeId(0), usize::MAX);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, NodeId(2), usize::MAX);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn truncated_bfs_stops_at_max_depth() {
+        let g = path5();
+        let d = bfs_distances(&g, NodeId(0), 2);
+        assert_eq!(d, vec![0, 1, 2, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn ball_and_boundary_match_definitions() {
+        let g = path5();
+        assert_eq!(ball(&g, NodeId(2), 1), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(boundary(&g, NodeId(2), 2), vec![NodeId(0), NodeId(4)]);
+        // Convention: dist(v, v) = 0 so v is in its own ball of any radius.
+        assert_eq!(ball(&g, NodeId(0), 0), vec![NodeId(0)]);
+        assert_eq!(boundary(&g, NodeId(0), 0), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = path5();
+        let d = multi_source_distances(&g, &[NodeId(0), NodeId(4)], usize::MAX);
+        assert_eq!(d, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let g = path5();
+        let d = multi_source_distances(&g, &[], usize::MAX);
+        assert!(d.iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn distance_to_set_matches_min() {
+        let g = path5();
+        assert_eq!(distance_to_set(&g, NodeId(2), &[NodeId(0), NodeId(4)]), 2);
+        assert_eq!(distance_to_set(&g, NodeId(4), &[NodeId(4)]), 0);
+        assert_eq!(distance_to_set(&g, NodeId(4), &[]), UNREACHABLE);
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = path5();
+        assert_eq!(eccentricity(&g, NodeId(0)), Some(4));
+        assert_eq!(eccentricity(&g, NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn eccentricity_disconnected_is_none() {
+        let g = two_triangles();
+        assert_eq!(eccentricity(&g, NodeId(0)), None);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let g = two_triangles();
+        let (comp, sizes) = connected_components(&g);
+        assert_eq!(sizes, vec![3, 3]);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn largest_induced_component_respects_mask() {
+        let g = path5();
+        // Remove node 2: components {0,1} and {3,4}; the first found of size 2 wins.
+        let keep = vec![true, true, false, true, true];
+        let core = largest_component_induced(&g, &keep);
+        assert_eq!(core.len(), 2);
+        // Remove nothing: whole path.
+        let core = largest_component_induced(&g, &vec![true; 5]);
+        assert_eq!(core.len(), 5);
+        // Remove everything: empty.
+        let core = largest_component_induced(&g, &vec![false; 5]);
+        assert!(core.is_empty());
+    }
+
+    #[test]
+    fn unreachable_in_disconnected_graph() {
+        let g = two_triangles();
+        let d = bfs_distances(&g, NodeId(0), usize::MAX);
+        assert_eq!(d[3], UNREACHABLE);
+        assert_eq!(d[1], 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! The node-category partition of Definition 9 and the size accounting of
+//! Lemma 2.
+//!
+//! Given the network `G`, the set of Byzantine nodes and the fault exponent
+//! `δ`, the paper classifies nodes as Byzantine / honest, locally-tree-like
+//! (LTL) / not (NLT), safe / unsafe (no NLT node within distance `a·log n`
+//! in `G`), bad (`Byz ∪ NLT`) and Byzantine-safe / Byzantine-unsafe (no bad
+//! node within `a·log n`).  The stage-1 analysis (`i < a log n`) only argues
+//! about Byzantine-safe nodes; experiment E5 measures the sizes of all of
+//! these sets.
+
+use crate::bfs::{multi_source_distances, UNREACHABLE};
+use crate::ids::NodeId;
+use crate::smallworld::SmallWorldNetwork;
+use crate::treelike::{classify_all, locally_tree_like_radius};
+use serde::{Deserialize, Serialize};
+
+/// Sizes of the node categories (Lemma 2's quantities).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategoryCounts {
+    pub n: usize,
+    pub byzantine: usize,
+    pub honest: usize,
+    pub locally_tree_like: usize,
+    pub not_locally_tree_like: usize,
+    pub safe: usize,
+    pub unsafe_: usize,
+    pub bad: usize,
+    pub byzantine_unsafe: usize,
+    pub byzantine_safe: usize,
+}
+
+/// Per-node membership masks for the Definition 9 categories.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeCategories {
+    /// Fault exponent `δ` used to derive the safety radius.
+    pub delta: f64,
+    /// The paper's constant `a = δ / (10 k log(d−1))`.
+    pub a: f64,
+    /// The safety radius `⌊a · log n⌋`.  At simulation scales this is often
+    /// 0, in which case "unsafe" degenerates to "is itself an NLT/bad node"
+    /// — exactly what Definition 9 prescribes for `dist ≤ a log n < 1`.
+    pub safety_radius: usize,
+    /// Radius used for the locally-tree-like classification.
+    pub ltl_radius: usize,
+    pub byzantine: Vec<bool>,
+    pub locally_tree_like: Vec<bool>,
+    pub safe: Vec<bool>,
+    pub byzantine_safe: Vec<bool>,
+}
+
+impl NodeCategories {
+    /// Compute the categories for a network, a Byzantine mask and `δ`.
+    ///
+    /// # Panics
+    /// Panics if `byzantine.len()` does not match the network size.
+    pub fn compute(net: &SmallWorldNetwork, byzantine: &[bool], delta: f64) -> Self {
+        let n = net.len();
+        assert_eq!(byzantine.len(), n, "byzantine mask length mismatch");
+        let d = net.d();
+        let k = net.k();
+        let log_n = crate::log2n(n);
+        let a = if d > 2 {
+            delta / (10.0 * k as f64 * ((d - 1) as f64).log2())
+        } else {
+            delta / (10.0 * k as f64)
+        };
+        let safety_radius = (a * log_n).floor() as usize;
+        let ltl_radius = locally_tree_like_radius(n, d);
+        let report = classify_all(net.h(), Some(ltl_radius));
+        let locally_tree_like = report.tree_like.clone();
+
+        // Unsafe = within safety_radius (in G) of any NLT node.
+        let nlt_nodes: Vec<NodeId> = report.nlt_nodes();
+        let dist_nlt = multi_source_distances(net.g(), &nlt_nodes, safety_radius);
+        let safe: Vec<bool> = dist_nlt
+            .iter()
+            .map(|&dv| dv == UNREACHABLE || dv as usize > safety_radius)
+            .collect();
+
+        // Bad = Byz ∪ NLT; Byzantine-unsafe = within safety_radius of Bad.
+        let bad_nodes: Vec<NodeId> = (0..n)
+            .filter(|&i| byzantine[i] || !locally_tree_like[i])
+            .map(NodeId::from_index)
+            .collect();
+        let dist_bad = multi_source_distances(net.g(), &bad_nodes, safety_radius);
+        let byzantine_safe: Vec<bool> = dist_bad
+            .iter()
+            .map(|&dv| dv == UNREACHABLE || dv as usize > safety_radius)
+            .collect();
+
+        NodeCategories {
+            delta,
+            a,
+            safety_radius,
+            ltl_radius,
+            byzantine: byzantine.to_vec(),
+            locally_tree_like,
+            safe,
+            byzantine_safe,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.byzantine.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.byzantine.is_empty()
+    }
+
+    /// Whether node `v` is honest.
+    pub fn is_honest(&self, v: NodeId) -> bool {
+        !self.byzantine[v.index()]
+    }
+
+    /// Whether node `v` is Byzantine-safe (Definition 9.9).
+    pub fn is_byzantine_safe(&self, v: NodeId) -> bool {
+        self.byzantine_safe[v.index()]
+    }
+
+    /// Aggregate category counts (the quantities bounded in Lemma 2).
+    pub fn counts(&self) -> CategoryCounts {
+        let n = self.len();
+        let byz = self.byzantine.iter().filter(|&&b| b).count();
+        let ltl = self.locally_tree_like.iter().filter(|&&b| b).count();
+        let safe = self.safe.iter().filter(|&&b| b).count();
+        let byz_safe = self.byzantine_safe.iter().filter(|&&b| b).count();
+        let bad = (0..n)
+            .filter(|&i| self.byzantine[i] || !self.locally_tree_like[i])
+            .count();
+        CategoryCounts {
+            n,
+            byzantine: byz,
+            honest: n - byz,
+            locally_tree_like: ltl,
+            not_locally_tree_like: n - ltl,
+            safe,
+            unsafe_: n - safe,
+            bad,
+            byzantine_unsafe: n - byz_safe,
+            byzantine_safe: byz_safe,
+        }
+    }
+}
+
+impl CategoryCounts {
+    /// Structural identities that must hold for any valid partition
+    /// (complement relations of Definition 9).
+    pub fn is_consistent(&self) -> bool {
+        self.byzantine + self.honest == self.n
+            && self.locally_tree_like + self.not_locally_tree_like == self.n
+            && self.safe + self.unsafe_ == self.n
+            && self.byzantine_safe + self.byzantine_unsafe == self.n
+            && self.bad <= self.byzantine + self.not_locally_tree_like
+            && self.bad >= self.byzantine.max(self.not_locally_tree_like)
+            && self.byzantine_safe <= self.safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smallworld::{SmallWorldConfig, SmallWorldNetwork};
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net_and_byz(n: usize, d: usize, num_byz: usize, seed: u64) -> (SmallWorldNetwork, Vec<bool>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = SmallWorldNetwork::generate(SmallWorldConfig::new(n, d), &mut rng).unwrap();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        let mut byz = vec![false; n];
+        for &i in idx.iter().take(num_byz) {
+            byz[i] = true;
+        }
+        (net, byz)
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let (net, byz) = net_and_byz(800, 8, 20, 1);
+        let cats = NodeCategories::compute(&net, &byz, 0.6);
+        let counts = cats.counts();
+        assert!(counts.is_consistent(), "{counts:?}");
+        assert_eq!(counts.byzantine, 20);
+        assert_eq!(counts.honest, 780);
+    }
+
+    #[test]
+    fn byzantine_safe_nodes_are_far_from_byzantine_nodes() {
+        let (net, byz) = net_and_byz(600, 8, 10, 2);
+        let cats = NodeCategories::compute(&net, &byz, 0.6);
+        let byz_nodes: Vec<NodeId> = (0..net.len())
+            .filter(|&i| byz[i])
+            .map(NodeId::from_index)
+            .collect();
+        let dist = multi_source_distances(net.g(), &byz_nodes, usize::MAX);
+        for v in net.node_ids() {
+            if cats.is_byzantine_safe(v) {
+                assert!(
+                    dist[v.index()] == UNREACHABLE
+                        || dist[v.index()] as usize > cats.safety_radius,
+                    "Byzantine-safe node {v} is within the safety radius of a Byzantine node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_byzantine_node_is_byzantine_safe() {
+        let (net, byz) = net_and_byz(400, 6, 15, 3);
+        let cats = NodeCategories::compute(&net, &byz, 0.8);
+        for v in net.node_ids() {
+            if byz[v.index()] {
+                assert!(!cats.is_byzantine_safe(v));
+                assert!(!cats.is_honest(v));
+            }
+        }
+    }
+
+    #[test]
+    fn with_zero_byzantine_nodes_byz_safe_equals_safe() {
+        let (net, _) = net_and_byz(500, 8, 0, 4);
+        let byz = vec![false; 500];
+        let cats = NodeCategories::compute(&net, &byz, 0.6);
+        assert_eq!(cats.safe, cats.byzantine_safe);
+        let counts = cats.counts();
+        assert_eq!(counts.byzantine, 0);
+        assert_eq!(counts.bad, counts.not_locally_tree_like);
+    }
+
+    #[test]
+    fn lemma2_style_bounds_hold_at_scale() {
+        // |Safe| = n - o(n) and |Byz-safe| = n - o(n) when the Byzantine
+        // count is ~ n^{1-δ}; at n = 2000, δ = 0.6 that is ~ 21 nodes.
+        let n = 2000;
+        let num_byz = (n as f64).powf(0.4).round() as usize;
+        let (net, byz) = net_and_byz(n, 8, num_byz, 5);
+        let cats = NodeCategories::compute(&net, &byz, 0.6);
+        let counts = cats.counts();
+        assert!(counts.safe as f64 >= 0.8 * n as f64, "safe = {}", counts.safe);
+        assert!(
+            counts.byzantine_safe as f64 >= 0.6 * n as f64,
+            "byz-safe = {}",
+            counts.byzantine_safe
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "byzantine mask length mismatch")]
+    fn mismatched_mask_panics() {
+        let (net, _) = net_and_byz(100, 6, 0, 6);
+        let _ = NodeCategories::compute(&net, &[false; 5], 0.5);
+    }
+}

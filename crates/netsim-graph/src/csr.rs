@@ -1,0 +1,294 @@
+//! Compressed sparse row (CSR) adjacency structure.
+//!
+//! All graphs in this workspace are undirected and sparse (constant degree),
+//! so a CSR layout — one contiguous `targets` array indexed by per-node
+//! `offsets` — gives cache-friendly neighbour iteration, which dominates the
+//! running time of the flooding protocols and the BFS-heavy analytics.
+//!
+//! The structure supports multigraphs: `H(n, d)` is formally a multigraph
+//! (two Hamiltonian cycles may share an edge), and the paper keeps it that
+//! way so that every node has degree exactly `d`.
+
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Undirected adjacency in compressed sparse row form.
+///
+/// Every undirected edge `{u, v}` is stored twice: once in `u`'s list and
+/// once in `v`'s.  Parallel edges are stored as many times as they occur.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build a CSR from an undirected edge list over `n` nodes.
+    ///
+    /// Each `(u, v)` pair is interpreted as one undirected edge; parallel
+    /// edges and self-loops are kept as given.
+    pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { index: u as usize, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { index: v as usize, n });
+            }
+        }
+        let mut degree = vec![0u32; n];
+        for &(u, v) in edges {
+            degree[u as usize] += 1;
+            if u != v {
+                degree[v as usize] += 1;
+            } else {
+                // A self-loop contributes two endpoints to the same node.
+                degree[u as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; offsets[n] as usize];
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        let mut csr = Csr { offsets, targets };
+        csr.sort_adjacency();
+        Ok(csr)
+    }
+
+    /// Build a CSR directly from per-node adjacency lists.
+    ///
+    /// The caller is responsible for symmetry (if `v` appears in `u`'s list,
+    /// `u` must appear in `v`'s list); [`Csr::is_symmetric`] can verify it.
+    pub fn from_adjacency_lists(lists: &[Vec<u32>]) -> Result<Self, GraphError> {
+        let n = lists.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::new();
+        for (u, list) in lists.iter().enumerate() {
+            for &v in list {
+                if v as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { index: v as usize, n });
+                }
+                targets.push(v);
+            }
+            let _ = u;
+            offsets.push(targets.len() as u32);
+        }
+        let mut csr = Csr { offsets, targets };
+        csr.sort_adjacency();
+        Ok(csr)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of stored adjacency entries (twice the number of
+    /// undirected edges for a loop-free graph).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of undirected edges (counting multiplicity; self-loops count
+    /// once).
+    #[inline]
+    pub fn num_undirected_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of a node (number of incident edge endpoints).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Neighbours of `v` as raw `u32` indices (sorted, may contain
+    /// duplicates for parallel edges).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        let i = v.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterator over the neighbours of `v` as [`NodeId`]s.
+    pub fn neighbor_ids(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(v).iter().map(|&t| NodeId(t))
+    }
+
+    /// True if there is at least one edge between `u` and `v`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v.0).is_ok()
+    }
+
+    /// Iterate over every node id.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|i| self.degree(NodeId::from_index(i))).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> usize {
+        (0..self.len()).map(|i| self.degree(NodeId::from_index(i))).min().unwrap_or(0)
+    }
+
+    /// Check adjacency symmetry: `v ∈ N(u)` with multiplicity `m` iff
+    /// `u ∈ N(v)` with multiplicity `m`.
+    pub fn is_symmetric(&self) -> bool {
+        for u in 0..self.len() {
+            for &v in self.neighbors(NodeId::from_index(u)) {
+                let back = self
+                    .neighbors(NodeId(v))
+                    .iter()
+                    .filter(|&&w| w as usize == u)
+                    .count();
+                let forward = self
+                    .neighbors(NodeId::from_index(u))
+                    .iter()
+                    .filter(|&&w| w == v)
+                    .count();
+                if back != forward {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of parallel-edge duplicates (adjacency entries beyond the
+    /// first for each unordered pair), counted over directed entries.
+    pub fn parallel_edge_entries(&self) -> usize {
+        let mut dup = 0usize;
+        for u in 0..self.len() {
+            let neigh = self.neighbors(NodeId::from_index(u));
+            for w in neigh.windows(2) {
+                if w[0] == w[1] {
+                    dup += 1;
+                }
+            }
+        }
+        dup / 2
+    }
+
+    /// Number of self-loop entries.
+    pub fn self_loops(&self) -> usize {
+        let mut loops = 0usize;
+        for u in 0..self.len() {
+            loops += self
+                .neighbors(NodeId::from_index(u))
+                .iter()
+                .filter(|&&v| v as usize == u)
+                .count();
+        }
+        loops / 2
+    }
+
+    fn sort_adjacency(&mut self) {
+        let n = self.len();
+        for i in 0..n {
+            let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+            self.targets[range].sort_unstable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Csr {
+        Csr::from_undirected_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_undirected_edges(), 3);
+        for v in g.node_ids() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Csr::from_undirected_edges(2, &[(0, 5)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { index: 5, n: 2 });
+    }
+
+    #[test]
+    fn adjacency_lists_roundtrip() {
+        let lists = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let g = Csr::from_adjacency_lists(&lists).unwrap();
+        assert_eq!(g, triangle());
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn adjacency_lists_reject_out_of_range() {
+        let lists = vec![vec![1], vec![0, 7]];
+        assert!(Csr::from_adjacency_lists(&lists).is_err());
+    }
+
+    #[test]
+    fn parallel_edges_are_counted() {
+        let g = Csr::from_undirected_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.parallel_edge_entries(), 1);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn self_loops_count_twice_toward_degree() {
+        let g = Csr::from_undirected_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.self_loops(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Csr::from_undirected_edges(5, &[(4, 0), (4, 2), (4, 1), (4, 3)]).unwrap();
+        let neigh: Vec<u32> = g.neighbors(NodeId(4)).to_vec();
+        assert_eq!(neigh, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn min_max_degree() {
+        let g = Csr::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_undirected_edges(0, &[]).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for graph construction.
+
+use std::fmt;
+
+/// Errors raised by the topology generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// The requested number of nodes is too small for the requested model
+    /// (e.g. a Hamiltonian-cycle union needs at least 3 nodes).
+    TooFewNodes { n: usize, minimum: usize },
+    /// The requested degree is invalid for the model (e.g. `H(n,d)` needs an
+    /// even degree of at least 4).
+    InvalidDegree { d: usize, reason: &'static str },
+    /// A parameter was outside its admissible range.
+    InvalidParameter { name: &'static str, value: f64, reason: &'static str },
+    /// An edge list referenced a node index `>= n`.
+    NodeOutOfRange { index: usize, n: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooFewNodes { n, minimum } => {
+                write!(f, "too few nodes: n = {n}, minimum is {minimum}")
+            }
+            GraphError::InvalidDegree { d, reason } => {
+                write!(f, "invalid degree d = {d}: {reason}")
+            }
+            GraphError::InvalidParameter { name, value, reason } => {
+                write!(f, "invalid parameter {name} = {value}: {reason}")
+            }
+            GraphError::NodeOutOfRange { index, n } => {
+                write!(f, "node index {index} out of range for n = {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::TooFewNodes { n: 2, minimum: 3 };
+        assert!(e.to_string().contains("too few nodes"));
+        let e = GraphError::InvalidDegree { d: 5, reason: "must be even" };
+        assert!(e.to_string().contains("must be even"));
+        let e = GraphError::InvalidParameter { name: "delta", value: 2.0, reason: "must be <= 1" };
+        assert!(e.to_string().contains("delta"));
+        let e = GraphError::NodeOutOfRange { index: 9, n: 4 };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GraphError::TooFewNodes { n: 1, minimum: 3 });
+    }
+}

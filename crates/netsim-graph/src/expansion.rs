@@ -1,0 +1,303 @@
+//! Spectral gap and edge-expansion estimation.
+//!
+//! The paper's termination constant is `b = 4 / log(1 + h/d)` where `h` is
+//! the edge expansion of `H` (resp. `γ`, the expansion of the uncrashed
+//! core, for Algorithm 2).  Neither quantity is cheap to compute exactly
+//! (edge expansion is NP-hard), so we estimate:
+//!
+//! * the second-largest eigenvalue modulus of the lazy random-walk matrix via
+//!   power iteration with deflation of the stationary vector, and
+//! * the edge expansion via a Cheeger sweep over the resulting Fiedler-like
+//!   vector (which yields an *upper bound* on the true expansion and is the
+//!   standard practical estimator) combined with the spectral lower bound
+//!   `h ≥ d·(1−λ₂)/2` for `d`-regular graphs.
+
+use crate::csr::Csr;
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Result of the power-iteration spectral estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpectralEstimate {
+    /// Estimated second-largest eigenvalue (in absolute value) of the
+    /// random-walk matrix `P = A / d`; in `[0, 1]` for connected graphs.
+    pub lambda2: f64,
+    /// Spectral gap `1 − λ₂`.
+    pub gap: f64,
+    /// Number of power iterations performed.
+    pub iterations: usize,
+}
+
+/// Result of the edge-expansion estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionEstimate {
+    /// Cheeger-sweep upper bound on the edge expansion
+    /// `h(G) = min_{|S| ≤ n/2} |∂S| / |S|`.
+    pub sweep_upper_bound: f64,
+    /// Spectral lower bound `d·(1−λ₂)/2` (valid for `d`-regular graphs).
+    pub spectral_lower_bound: f64,
+    /// The spectral estimate used to derive the bounds.
+    pub spectral: SpectralEstimate,
+}
+
+impl ExpansionEstimate {
+    /// A single working value for `h`: the geometric mean of the two bounds,
+    /// clamped into `[lower, upper]`.  The paper only needs a constant-order
+    /// estimate of `h` to define `b`, so any value between the bounds is
+    /// admissible.
+    pub fn working_value(&self) -> f64 {
+        let lo = self.spectral_lower_bound.max(1e-9);
+        let hi = self.sweep_upper_bound.max(lo);
+        (lo * hi).sqrt()
+    }
+}
+
+/// Estimate `λ₂` of the random-walk matrix of `g` by power iteration with
+/// deflation against the all-ones vector (the top eigenvector for regular
+/// graphs; for non-regular graphs this is still a serviceable heuristic).
+pub fn spectral_gap(g: &Csr, max_iterations: usize, seed: u64) -> SpectralEstimate {
+    let n = g.len();
+    if n < 2 {
+        return SpectralEstimate { lambda2: 0.0, gap: 1.0, iterations: 0 };
+    }
+    // Deterministic pseudo-random starting vector (SplitMix64) so the
+    // estimate is reproducible without threading an RNG through.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut x: Vec<f64> = (0..n).map(|_| (next() as f64 / u64::MAX as f64) - 0.5).collect();
+    orthogonalize_against_ones(&mut x);
+    normalize(&mut x);
+
+    let degrees: Vec<f64> = (0..n).map(|i| g.degree(NodeId::from_index(i)).max(1) as f64).collect();
+    let mut lambda_lazy = 0.0f64;
+    let mut iterations = 0usize;
+    let mut y = vec![0.0f64; n];
+    for it in 0..max_iterations {
+        iterations = it + 1;
+        // y = (I + P)/2 · x with P = D^{-1} A — the *lazy* random walk, whose
+        // spectrum is non-negative; this avoids the −1 eigenvalue of
+        // bipartite graphs hijacking the power iteration.
+        lazy_walk_step(g, &degrees, &x, &mut y);
+        orthogonalize_against_ones(&mut y);
+        let norm = l2_norm(&y);
+        if norm < 1e-14 {
+            lambda_lazy = 0.0;
+            break;
+        }
+        let new_lambda = norm; // since ||x|| = 1, ||P'x|| approximates λ₂(P')
+        for (xi, yi) in x.iter_mut().zip(y.iter()) {
+            *xi = *yi / norm;
+        }
+        if (new_lambda - lambda_lazy).abs() < 1e-10 && it > 10 {
+            lambda_lazy = new_lambda;
+            break;
+        }
+        lambda_lazy = new_lambda;
+    }
+    // Undo the lazification: λ₂(P) = 2·λ₂(P') − 1, clamped to [0, 1] (a
+    // negative λ₂ means the non-trivial spectrum is entirely negative, i.e.
+    // the gap is as large as it gets).
+    let lambda2 = (2.0 * lambda_lazy - 1.0).clamp(0.0, 1.0);
+    SpectralEstimate { lambda2, gap: 1.0 - lambda2, iterations }
+}
+
+/// Estimate the edge expansion of a (nominally `d`-regular) graph.
+pub fn edge_expansion(g: &Csr, d: usize, max_iterations: usize, seed: u64) -> ExpansionEstimate {
+    let spectral = spectral_gap(g, max_iterations, seed);
+    let n = g.len();
+    if n < 2 {
+        return ExpansionEstimate {
+            sweep_upper_bound: 0.0,
+            spectral_lower_bound: 0.0,
+            spectral,
+        };
+    }
+    // Recover an approximate second eigenvector by re-running the power
+    // iteration and keeping the vector (spectral_gap only returns the value).
+    let fiedler = approximate_second_eigenvector(g, max_iterations, seed);
+    // Cheeger sweep: sort vertices by the eigenvector, consider every prefix
+    // S, and compute |∂S| / |S| incrementally.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| fiedler[a].partial_cmp(&fiedler[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut in_s = vec![false; n];
+    let mut boundary = 0isize;
+    let mut best = f64::INFINITY;
+    for (count, &v) in order.iter().enumerate() {
+        // Moving v into S flips the contribution of each incident edge.
+        for &u in g.neighbors(NodeId::from_index(v)) {
+            if in_s[u as usize] {
+                boundary -= 1;
+            } else {
+                boundary += 1;
+            }
+        }
+        in_s[v] = true;
+        let size = count + 1;
+        if size > n / 2 || size == n {
+            break;
+        }
+        let ratio = boundary.max(0) as f64 / size as f64;
+        if ratio < best {
+            best = ratio;
+        }
+    }
+    if !best.is_finite() {
+        best = d as f64;
+    }
+    let spectral_lower_bound = d as f64 * spectral.gap / 2.0;
+    ExpansionEstimate { sweep_upper_bound: best, spectral_lower_bound, spectral }
+}
+
+fn approximate_second_eigenvector(g: &Csr, iters: usize, seed: u64) -> Vec<f64> {
+    let n = g.len();
+    let mut state = seed.wrapping_add(0xD1B54A32D192ED03);
+    let mut next = || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut x: Vec<f64> = (0..n).map(|_| (next() as f64 / u64::MAX as f64) - 0.5).collect();
+    orthogonalize_against_ones(&mut x);
+    normalize(&mut x);
+    let degrees: Vec<f64> = (0..n).map(|i| g.degree(NodeId::from_index(i)).max(1) as f64).collect();
+    let mut y = vec![0.0f64; n];
+    for _ in 0..iters {
+        lazy_walk_step(g, &degrees, &x, &mut y);
+        orthogonalize_against_ones(&mut y);
+        let norm = l2_norm(&y);
+        if norm < 1e-14 {
+            break;
+        }
+        for (xi, yi) in x.iter_mut().zip(y.iter()) {
+            *xi = *yi / norm;
+        }
+    }
+    x
+}
+
+/// One step of the lazy random walk: `y = (x + D⁻¹A·x) / 2`.
+fn lazy_walk_step(g: &Csr, degrees: &[f64], x: &[f64], y: &mut [f64]) {
+    let n = g.len();
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = 0.5 * xi;
+    }
+    for u in 0..n {
+        let xu = 0.5 * x[u] / degrees[u];
+        for &v in g.neighbors(NodeId::from_index(u)) {
+            y[v as usize] += xu;
+        }
+    }
+}
+
+fn orthogonalize_against_ones(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for xi in x.iter_mut() {
+        *xi -= mean;
+    }
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm = l2_norm(x);
+    if norm > 1e-14 {
+        for xi in x.iter_mut() {
+            *xi /= norm;
+        }
+    }
+}
+
+fn l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hgraph::HGraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn complete(n: usize) -> Csr {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        Csr::from_undirected_edges(n, &edges).unwrap()
+    }
+
+    fn cycle(n: usize) -> Csr {
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Csr::from_undirected_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn complete_graph_has_large_gap() {
+        // K_n: the non-trivial spectrum of the walk matrix is −1/(n−1) < 0,
+        // so the reported λ₂ is ~0 and the gap is close to 1.
+        let est = spectral_gap(&complete(20), 500, 1);
+        assert!(est.gap > 0.9, "gap = {}", est.gap);
+        assert!(est.lambda2 < 0.1, "λ₂ = {}", est.lambda2);
+    }
+
+    #[test]
+    fn long_cycle_has_tiny_gap() {
+        // C_n: λ₂ = cos(2π/n) → 1, so the gap vanishes as n grows.
+        let est = spectral_gap(&cycle(200), 2000, 2);
+        assert!(est.gap < 0.05, "gap = {}", est.gap);
+    }
+
+    #[test]
+    fn hnd_graph_has_constant_gap() {
+        // Lemma 19: H(n, d) is an expander whp — the spectral gap of the walk
+        // matrix stays bounded away from zero as n grows.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let h = HGraph::generate(2000, 8, &mut rng).unwrap();
+        let est = spectral_gap(h.csr(), 300, 3);
+        assert!(est.gap > 0.2, "expected expander gap, got {}", est.gap);
+    }
+
+    #[test]
+    fn expansion_bounds_are_ordered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let h = HGraph::generate(1000, 8, &mut rng).unwrap();
+        let est = edge_expansion(h.csr(), 8, 300, 4);
+        assert!(est.spectral_lower_bound > 0.0);
+        assert!(est.sweep_upper_bound > 0.0);
+        // The sweep bound can occasionally dip below the spectral bound due
+        // to approximation error, but for an expander both should be Θ(1).
+        assert!(est.working_value() > 0.1, "working value = {}", est.working_value());
+        assert!(est.sweep_upper_bound <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn cycle_expansion_is_small() {
+        let est = edge_expansion(&cycle(400), 2, 2000, 5);
+        assert!(
+            est.sweep_upper_bound < 0.2,
+            "a long cycle has poor expansion, got {}",
+            est.sweep_upper_bound
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        let single = Csr::from_undirected_edges(1, &[]).unwrap();
+        let est = spectral_gap(&single, 10, 6);
+        assert_eq!(est.gap, 1.0);
+        let est = edge_expansion(&single, 4, 10, 6);
+        assert_eq!(est.sweep_upper_bound, 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The `H(n, d)` random regular graph model.
+//!
+//! Following Section 2.1 and Appendix A of the paper, `H(n, d)` is the union
+//! of `d/2` Hamiltonian cycles drawn independently and uniformly at random
+//! over the `n` nodes.  The resulting multigraph is `d`-regular and is an
+//! expander (in fact close to Ramanujan) with high probability — the
+//! property the counting protocol relies on for its `i = b·log n`
+//! termination stage.
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A `d`-regular multigraph built as the union of `d/2` random Hamiltonian
+/// cycles.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HGraph {
+    n: usize,
+    d: usize,
+    csr: Csr,
+    /// Number of parallel edges created by overlapping cycles.
+    parallel_edges: usize,
+}
+
+impl HGraph {
+    /// Minimum admissible degree (the paper assumes `d ≥ 8`, but smaller even
+    /// degrees are useful in unit tests; `d = 4` is the structural minimum
+    /// for two distinct cycles).
+    pub const MIN_DEGREE: usize = 4;
+
+    /// Generate an `H(n, d)` graph.
+    ///
+    /// # Errors
+    /// * `d` must be even and at least [`HGraph::MIN_DEGREE`];
+    /// * `n` must be at least `3` so that a Hamiltonian cycle exists.
+    pub fn generate<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Self, GraphError> {
+        if n < 3 {
+            return Err(GraphError::TooFewNodes { n, minimum: 3 });
+        }
+        if d % 2 != 0 {
+            return Err(GraphError::InvalidDegree { d, reason: "degree must be even" });
+        }
+        if d < Self::MIN_DEGREE {
+            return Err(GraphError::InvalidDegree { d, reason: "degree must be at least 4" });
+        }
+        let cycles = d / 2;
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(cycles * n);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for _ in 0..cycles {
+            perm.shuffle(rng);
+            for i in 0..n {
+                let u = perm[i];
+                let v = perm[(i + 1) % n];
+                edges.push((u, v));
+            }
+        }
+        let csr = Csr::from_undirected_edges(n, &edges)?;
+        let parallel_edges = csr.parallel_edge_entries();
+        Ok(HGraph { n, d, csr, parallel_edges })
+    }
+
+    /// Build an `HGraph` wrapper around an arbitrary regular CSR.
+    ///
+    /// This is used in tests and by the Watts–Strogatz comparison where a
+    /// non-`H(n,d)` topology must be driven through the same protocol code.
+    /// The graph is not checked for regularity; `d` is taken as the nominal
+    /// degree.
+    pub fn from_csr(csr: Csr, d: usize) -> Self {
+        let n = csr.len();
+        let parallel_edges = csr.parallel_edge_entries();
+        HGraph { n, d, csr, parallel_edges }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The nominal degree `d`.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Degree of a node (equals `d` for every node of a true `H(n,d)`).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.csr.degree(v)
+    }
+
+    /// Neighbours of `v` (with multiplicity).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        self.csr.neighbors(v)
+    }
+
+    /// The underlying CSR adjacency.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Number of parallel edges produced by overlapping Hamiltonian cycles.
+    ///
+    /// The paper (footnote 6) observes that in expectation only a constant
+    /// number of nodes are incident to multi-edges.
+    #[inline]
+    pub fn parallel_edges(&self) -> usize {
+        self.parallel_edges
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n as u32).map(NodeId)
+    }
+
+    /// Check `d`-regularity of the generated multigraph.
+    pub fn is_regular(&self) -> bool {
+        self.node_ids().all(|v| self.degree(v) == self.d)
+    }
+
+    /// The small-world radius `k = ⌈d/3⌉` prescribed by the paper for the
+    /// overlay `L`.
+    #[inline]
+    pub fn small_world_k(&self) -> usize {
+        self.d.div_ceil(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_distances;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(HGraph::generate(2, 8, &mut rng).is_err());
+        assert!(HGraph::generate(100, 7, &mut rng).is_err());
+        assert!(HGraph::generate(100, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn generated_graph_is_regular() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for &(n, d) in &[(50usize, 4usize), (200, 8), (333, 6)] {
+            let h = HGraph::generate(n, d, &mut rng).unwrap();
+            assert_eq!(h.len(), n);
+            assert_eq!(h.d(), d);
+            assert!(h.is_regular(), "every node must have degree d = {d}");
+            assert_eq!(h.csr().num_undirected_edges(), n * d / 2);
+        }
+    }
+
+    #[test]
+    fn generated_graph_is_connected() {
+        // A union of Hamiltonian cycles is trivially connected (each cycle
+        // alone is); this guards the edge-list plumbing.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let h = HGraph::generate(500, 8, &mut rng).unwrap();
+        let dist = bfs_distances(h.csr(), NodeId(0), usize::MAX);
+        assert!(dist.iter().all(|&d| d != u32::MAX));
+    }
+
+    #[test]
+    fn parallel_edges_are_rare() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let h = HGraph::generate(2000, 8, &mut rng).unwrap();
+        // Expected number of coinciding edges across cycles is O(d^2) = O(1)
+        // relative to n; allow a generous constant.
+        assert!(h.parallel_edges() < 64, "parallel edges: {}", h.parallel_edges());
+    }
+
+    #[test]
+    fn small_world_k_follows_paper() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let h6 = HGraph::generate(50, 6, &mut rng).unwrap();
+        let h8 = HGraph::generate(50, 8, &mut rng).unwrap();
+        let h10 = HGraph::generate(50, 10, &mut rng).unwrap();
+        assert_eq!(h6.small_world_k(), 2);
+        assert_eq!(h8.small_world_k(), 3);
+        assert_eq!(h10.small_world_k(), 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let ha = HGraph::generate(128, 8, &mut a).unwrap();
+        let hb = HGraph::generate(128, 8, &mut b).unwrap();
+        assert_eq!(ha.csr(), hb.csr());
+    }
+
+    #[test]
+    fn diameter_is_logarithmic() {
+        // Sanity check of the expander-ish behaviour used throughout the
+        // analysis: the diameter of H(n, 8) should be a small multiple of
+        // log n, certainly far below sqrt(n).
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 4096;
+        let h = HGraph::generate(n, 8, &mut rng).unwrap();
+        let dist = bfs_distances(h.csr(), NodeId(0), usize::MAX);
+        let ecc = dist.iter().copied().max().unwrap();
+        assert!(ecc as f64 <= 4.0 * (n as f64).log2(), "eccentricity {ecc} too large");
+    }
+}

@@ -1,0 +1,140 @@
+//! Node identifiers.
+//!
+//! The paper distinguishes between a node's *position* in the simulation
+//! (dense index, used by the simulator for adjacency lookups) and its
+//! *identity* (a distinct ID drawn from a large, a-priori unknown space, so
+//! that a node cannot infer `log n` from the length of its own ID — see
+//! Section 2.1 of the paper).  [`NodeId`] is the dense index; [`NodeLabel`]
+//! is the large-space identity.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Dense node index used by the simulator and graph structures.
+///
+/// `NodeId(i)` always satisfies `i < n` for a graph with `n` nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Convert to a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        assert!(idx <= u32::MAX as usize, "node index out of range");
+        NodeId(idx as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+/// A node's identity drawn from a large (64-bit) space.
+///
+/// Nodes — including Byzantine nodes — cannot lie about their own label when
+/// talking to a direct neighbour (paper, "Distinct IDs" paragraph), and the
+/// label space is much larger than `n`, so labels leak no information about
+/// the network size.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeLabel(pub u64);
+
+impl fmt::Debug for NodeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "id{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for NodeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Draw `n` *distinct* labels uniformly at random from the 64-bit space.
+///
+/// Collisions are astronomically unlikely for realistic `n`, but the paper
+/// requires distinct IDs, so we enforce distinctness explicitly.
+pub fn random_labels<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<NodeLabel> {
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let candidate = rng.gen::<u64>();
+        if seen.insert(candidate) {
+            out.push(NodeLabel(candidate));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn node_id_ordering_matches_index() {
+        assert!(NodeId(3) < NodeId(10));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let labels = random_labels(10_000, &mut rng);
+        let set: HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+
+    #[test]
+    fn labels_are_reproducible_from_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        assert_eq!(random_labels(100, &mut a), random_labels(100, &mut b));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", NodeId(5)), "v5");
+        assert_eq!(format!("{}", NodeLabel(0xff)), "00000000000000ff");
+    }
+}

@@ -1,0 +1,235 @@
+//! Graph metrics: clustering coefficients, degree statistics and diameter.
+//!
+//! The small-world property the protocol exploits is a *large clustering
+//! coefficient* (a node's neighbours are well connected among themselves);
+//! the expander property manifests as a *logarithmic diameter*.  Both are
+//! measured here for experiment E6.
+
+use crate::bfs::{bfs_distances, eccentricity, UNREACHABLE};
+use crate::csr::Csr;
+use crate::ids::NodeId;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Local clustering coefficient of `v`: the fraction of pairs of distinct
+/// neighbours of `v` that are themselves adjacent.  Nodes of degree < 2 have
+/// coefficient 0 by convention.
+pub fn local_clustering(g: &Csr, v: NodeId) -> f64 {
+    // Deduplicate neighbours (multigraph-safe) and drop self-loops.
+    let mut neigh: Vec<u32> = g
+        .neighbors(v)
+        .iter()
+        .copied()
+        .filter(|&u| u as usize != v.index())
+        .collect();
+    neigh.dedup();
+    let deg = neigh.len();
+    if deg < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..deg {
+        for j in (i + 1)..deg {
+            if g.has_edge(NodeId(neigh[i]), NodeId(neigh[j])) {
+                closed += 1;
+            }
+        }
+    }
+    let pairs = deg * (deg - 1) / 2;
+    closed as f64 / pairs as f64
+}
+
+/// Average (over all nodes) of the local clustering coefficient.
+pub fn average_clustering(g: &Csr) -> f64 {
+    let n = g.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..n)
+        .into_par_iter()
+        .map(|i| local_clustering(g, NodeId::from_index(i)))
+        .sum();
+    total / n as f64
+}
+
+/// Degree statistics of a graph.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+}
+
+/// Compute minimum / maximum / mean degree.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.len();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    for v in g.node_ids() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    DegreeStats { min, max, mean: sum as f64 / n as f64 }
+}
+
+/// Result of a diameter estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiameterEstimate {
+    /// A lower bound on the diameter (exact when `exact` is true).
+    pub lower_bound: u32,
+    /// Whether the bound is exact (full all-pairs sweep was affordable).
+    pub exact: bool,
+    /// Whether the graph is connected; a disconnected graph has no finite
+    /// diameter and `lower_bound` refers to the component of node 0.
+    pub connected: bool,
+}
+
+/// Estimate the diameter.
+///
+/// For `n ≤ exact_threshold` the diameter is computed exactly by running a
+/// BFS from every node (parallelised); otherwise a multi-sweep heuristic
+/// (repeated "BFS from the farthest node found so far") gives a lower bound
+/// that is exact on trees and very tight on expanders.
+pub fn diameter_estimate(g: &Csr, exact_threshold: usize) -> DiameterEstimate {
+    let n = g.len();
+    if n == 0 {
+        return DiameterEstimate { lower_bound: 0, exact: true, connected: true };
+    }
+    let first = bfs_distances(g, NodeId(0), usize::MAX);
+    let connected = first.iter().all(|&d| d != UNREACHABLE);
+    if !connected {
+        let far = first
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .copied()
+            .max()
+            .unwrap_or(0);
+        return DiameterEstimate { lower_bound: far, exact: false, connected: false };
+    }
+    if n <= exact_threshold {
+        let diameter = (0..n)
+            .into_par_iter()
+            .map(|i| eccentricity(g, NodeId::from_index(i)).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        return DiameterEstimate { lower_bound: diameter, exact: true, connected: true };
+    }
+    // Multi-sweep: start from node 0, repeatedly jump to the farthest node.
+    let mut best = 0u32;
+    let mut current = NodeId(0);
+    for _ in 0..4 {
+        let dist = bfs_distances(g, current, usize::MAX);
+        let (far_idx, far_d) = dist
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &d)| d)
+            .map(|(i, &d)| (i, d))
+            .unwrap_or((0, 0));
+        if far_d <= best {
+            break;
+        }
+        best = far_d;
+        current = NodeId::from_index(far_idx);
+    }
+    DiameterEstimate { lower_bound: best, exact: false, connected: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hgraph::HGraph;
+    use crate::smallworld::{SmallWorldConfig, SmallWorldNetwork};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn complete(n: usize) -> Csr {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        Csr::from_undirected_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = complete(6);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&g, NodeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = Csr::from_undirected_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(local_clustering(&g, NodeId(0)), 0.0);
+        assert_eq!(local_clustering(&g, NodeId(1)), 0.0); // degree 1
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_tail() {
+        // Triangle 0-1-2 plus tail 2-3: c(0)=c(1)=1, c(2)=1/3, c(3)=0.
+        let g = Csr::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        assert!((local_clustering(&g, NodeId(2)) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((average_clustering(&g) - (1.0 + 1.0 + 1.0 / 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_basic() {
+        let g = Csr::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_of_path_exact_and_sweep() {
+        let g = Csr::from_undirected_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let exact = diameter_estimate(&g, 100);
+        assert!(exact.exact);
+        assert_eq!(exact.lower_bound, 5);
+        let sweep = diameter_estimate(&g, 0);
+        assert!(!sweep.exact);
+        assert_eq!(sweep.lower_bound, 5, "multi-sweep is exact on paths");
+    }
+
+    #[test]
+    fn diameter_flags_disconnected() {
+        let g = Csr::from_undirected_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let est = diameter_estimate(&g, 100);
+        assert!(!est.connected);
+    }
+
+    #[test]
+    fn small_world_overlay_has_higher_clustering_than_h() {
+        // Section 2.1: adding the L edges increases the clustering
+        // coefficient compared to the random regular graph H.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let net =
+            SmallWorldNetwork::generate(SmallWorldConfig::new(600, 8), &mut rng).unwrap();
+        let cc_h = average_clustering(net.h().csr());
+        let cc_g = average_clustering(net.g());
+        assert!(
+            cc_g > 3.0 * cc_h.max(1e-3),
+            "G must have markedly higher clustering: H = {cc_h}, G = {cc_g}"
+        );
+        assert!(cc_g > 0.3, "small-world clustering should be large, got {cc_g}");
+    }
+
+    #[test]
+    fn h_graph_diameter_is_logarithmic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let h = HGraph::generate(2048, 8, &mut rng).unwrap();
+        let est = diameter_estimate(h.csr(), 0);
+        assert!(est.connected);
+        assert!((est.lower_bound as f64) < 3.0 * (2048f64).log2());
+    }
+}

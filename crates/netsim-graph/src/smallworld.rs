@@ -1,0 +1,361 @@
+//! The small-world network `G = H ∪ L` of Section 2.1.
+//!
+//! `H` is an `H(n, d)` random regular graph and `L` adds an edge between
+//! every pair of nodes whose `H`-distance is at most `k = ⌈d/3⌉`.  The
+//! resulting graph `G` keeps the expansion of `H` while gaining a large
+//! clustering coefficient, and the counting protocol exploits both:
+//! flooding happens along `H`-edges only, while the `L`-edges are used to
+//! audit neighbours' claims (topology reconstruction, Lemma 3, and color
+//! provenance checks, Lemma 16).
+
+use crate::bfs::bfs_distances;
+use crate::csr::Csr;
+use crate::error::GraphError;
+use crate::hgraph::HGraph;
+use crate::ids::{random_labels, NodeId, NodeLabel};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for generating a [`SmallWorldNetwork`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SmallWorldConfig {
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Degree `d` of the underlying `H(n, d)` graph (even, ≥ 4).
+    pub d: usize,
+    /// Small-world radius `k`; defaults to `⌈d/3⌉` as in the paper.
+    pub k: Option<usize>,
+}
+
+impl SmallWorldConfig {
+    /// Create a configuration with the paper's default `k = ⌈d/3⌉`.
+    pub fn new(n: usize, d: usize) -> Self {
+        SmallWorldConfig { n, d, k: None }
+    }
+
+    /// Override the small-world radius.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// The effective small-world radius.
+    pub fn effective_k(&self) -> usize {
+        self.k.unwrap_or(self.d.div_ceil(3)).max(1)
+    }
+}
+
+/// The small-world network `G = H ∪ L`.
+///
+/// Stores both the base graph `H` and the full graph `G`, plus the
+/// `H`-distance of every `G`-edge (1 for `H`-edges, `2..=k` for pure
+/// `L`-edges).  Each node also carries a [`NodeLabel`] from a large ID
+/// space.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SmallWorldNetwork {
+    h: HGraph,
+    g: Csr,
+    /// `H`-distance of each adjacency entry of `g`, aligned with
+    /// `g.neighbors(v)` for every `v`.
+    g_edge_dist: Vec<Vec<u8>>,
+    k: usize,
+    labels: Vec<NodeLabel>,
+    label_index: HashMap<NodeLabel, NodeId>,
+}
+
+impl SmallWorldNetwork {
+    /// Generate a small-world network from a configuration and RNG.
+    pub fn generate<R: Rng + ?Sized>(
+        config: SmallWorldConfig,
+        rng: &mut R,
+    ) -> Result<Self, GraphError> {
+        let h = HGraph::generate(config.n, config.d, rng)?;
+        let labels = random_labels(config.n, rng);
+        Self::from_hgraph(h, config.effective_k(), labels)
+    }
+
+    /// Convenience constructor: generate from `(n, d, seed)` with the default
+    /// `k`, using a dedicated ChaCha RNG.
+    pub fn generate_seeded(n: usize, d: usize, seed: u64) -> Result<Self, GraphError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Self::generate(SmallWorldConfig::new(n, d), &mut rng)
+    }
+
+    /// Build `G = H ∪ L` from an existing `H` graph, radius `k` and labels.
+    pub fn from_hgraph(h: HGraph, k: usize, labels: Vec<NodeLabel>) -> Result<Self, GraphError> {
+        let n = h.len();
+        if labels.len() != n {
+            return Err(GraphError::InvalidParameter {
+                name: "labels",
+                value: labels.len() as f64,
+                reason: "label count must equal node count",
+            });
+        }
+        if k == 0 {
+            return Err(GraphError::InvalidParameter {
+                name: "k",
+                value: 0.0,
+                reason: "small-world radius must be at least 1",
+            });
+        }
+        // For every node compute its k-ball in H; those are its G-neighbours.
+        let per_node: Vec<(Vec<u32>, Vec<u8>)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let dist = bfs_distances(h.csr(), NodeId::from_index(i), k);
+                let mut neigh = Vec::new();
+                let mut dists = Vec::new();
+                for (j, &dj) in dist.iter().enumerate() {
+                    if j != i && dj != u32::MAX && dj as usize <= k {
+                        neigh.push(j as u32);
+                        dists.push(dj as u8);
+                    }
+                }
+                // Already in increasing j order (enumeration order), hence sorted.
+                (neigh, dists)
+            })
+            .collect();
+        let lists: Vec<Vec<u32>> = per_node.iter().map(|(l, _)| l.clone()).collect();
+        let g_edge_dist: Vec<Vec<u8>> = per_node.into_iter().map(|(_, d)| d).collect();
+        let g = Csr::from_adjacency_lists(&lists)?;
+        let label_index = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, NodeId::from_index(i)))
+            .collect();
+        Ok(SmallWorldNetwork { h, g, g_edge_dist, k, labels, label_index })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.h.len()
+    }
+
+    /// True when the network has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.h.is_empty()
+    }
+
+    /// The base expander `H`.
+    #[inline]
+    pub fn h(&self) -> &HGraph {
+        &self.h
+    }
+
+    /// The full small-world graph `G = H ∪ L`.
+    #[inline]
+    pub fn g(&self) -> &Csr {
+        &self.g
+    }
+
+    /// The small-world radius `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Degree `d` of the base graph.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.h.d()
+    }
+
+    /// Node labels (large-ID-space identities), indexed by [`NodeId`].
+    #[inline]
+    pub fn labels(&self) -> &[NodeLabel] {
+        &self.labels
+    }
+
+    /// The label of a node.
+    #[inline]
+    pub fn label_of(&self, v: NodeId) -> NodeLabel {
+        self.labels[v.index()]
+    }
+
+    /// Look up the node carrying a label (simulator-side ground truth; the
+    /// protocol itself never uses this).
+    pub fn node_of_label(&self, label: NodeLabel) -> Option<NodeId> {
+        self.label_index.get(&label).copied()
+    }
+
+    /// `H`-neighbours of `v` (the flooding edges).
+    #[inline]
+    pub fn h_neighbors(&self, v: NodeId) -> &[u32] {
+        self.h.neighbors(v)
+    }
+
+    /// `G`-neighbours of `v` (flooding plus audit edges): exactly the nodes
+    /// within `H`-distance `k` of `v`.
+    #[inline]
+    pub fn g_neighbors(&self, v: NodeId) -> &[u32] {
+        self.g.neighbors(v)
+    }
+
+    /// The `H`-distances of `v`'s `G`-neighbours, aligned with
+    /// [`SmallWorldNetwork::g_neighbors`].
+    #[inline]
+    pub fn g_neighbor_h_distances(&self, v: NodeId) -> &[u8] {
+        &self.g_edge_dist[v.index()]
+    }
+
+    /// True if `{u, v}` is an edge of `H`.
+    pub fn is_h_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.h.csr().has_edge(u, v)
+    }
+
+    /// True if `{u, v}` is an edge of `G` (i.e. `dist_H(u,v) ≤ k`).
+    pub fn is_g_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.g.has_edge(u, v)
+    }
+
+    /// The ball `B_H(v, r)` (including `v`), used for audits with `r ≤ k`.
+    pub fn h_ball(&self, v: NodeId, r: usize) -> Vec<NodeId> {
+        crate::bfs::ball(self.h.csr(), v, r)
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Number of pure-`L` undirected edges (G-edges that are not H-edges).
+    pub fn num_l_edges(&self) -> usize {
+        let total_g: usize = self.g.num_undirected_edges();
+        // H may contain parallel edges which collapse to single entries in G;
+        // count distinct H pairs instead.
+        let mut distinct_h = 0usize;
+        for v in self.node_ids() {
+            let mut prev = u32::MAX;
+            for &u in self.h_neighbors(v) {
+                if u != prev && (u as usize) > v.index() {
+                    distinct_h += 1;
+                }
+                prev = u;
+            }
+        }
+        total_g.saturating_sub(distinct_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_net(n: usize, d: usize, seed: u64) -> SmallWorldNetwork {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        SmallWorldNetwork::generate(SmallWorldConfig::new(n, d), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn default_k_matches_paper() {
+        assert_eq!(SmallWorldConfig::new(100, 8).effective_k(), 3);
+        assert_eq!(SmallWorldConfig::new(100, 6).effective_k(), 2);
+        assert_eq!(SmallWorldConfig::new(100, 8).with_k(2).effective_k(), 2);
+    }
+
+    #[test]
+    fn g_neighbors_are_exactly_the_k_ball() {
+        let net = small_net(300, 6, 1);
+        let k = net.k();
+        for v in net.node_ids().take(25) {
+            let ball: Vec<u32> = net
+                .h_ball(v, k)
+                .into_iter()
+                .filter(|&u| u != v)
+                .map(|u| u.0)
+                .collect();
+            assert_eq!(net.g_neighbors(v), &ball[..], "G-neighbourhood must equal B_H(v,k)\\{{v}}");
+        }
+    }
+
+    #[test]
+    fn g_edge_distances_match_h_distances() {
+        let net = small_net(200, 8, 2);
+        for v in net.node_ids().take(10) {
+            let dist = bfs_distances(net.h().csr(), v, net.k());
+            let neigh = net.g_neighbors(v);
+            let dists = net.g_neighbor_h_distances(v);
+            assert_eq!(neigh.len(), dists.len());
+            for (&u, &du) in neigh.iter().zip(dists) {
+                assert_eq!(dist[u as usize], du as u32);
+                assert!(du as usize >= 1 && du as usize <= net.k());
+            }
+        }
+    }
+
+    #[test]
+    fn h_edges_are_g_edges() {
+        let net = small_net(150, 6, 3);
+        for v in net.node_ids() {
+            for &u in net.h_neighbors(v) {
+                if u as usize == v.index() {
+                    continue;
+                }
+                assert!(net.is_g_edge(v, NodeId(u)), "every H-edge must be a G-edge");
+            }
+        }
+    }
+
+    #[test]
+    fn g_is_symmetric() {
+        let net = small_net(150, 8, 4);
+        assert!(net.g().is_symmetric());
+    }
+
+    #[test]
+    fn g_degree_is_bounded_by_observation_2() {
+        // Observation 1: |B_H(v, k)| < (d-1)^{k+1}; hence G-degree < (d-1)^{k+1}.
+        let net = small_net(400, 8, 5);
+        let bound = (net.d() - 1).pow(net.k() as u32 + 1);
+        for v in net.node_ids() {
+            assert!(net.g_neighbors(v).len() < bound);
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let net = small_net(64, 6, 6);
+        for v in net.node_ids() {
+            assert_eq!(net.node_of_label(net.label_of(v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn l_edges_exist_for_k_ge_2() {
+        let net = small_net(256, 8, 7);
+        assert!(net.k() >= 2);
+        assert!(net.num_l_edges() > 0, "with k >= 2 there must be pure L-edges");
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let h = HGraph::generate(50, 6, &mut rng).unwrap();
+        let labels = random_labels(50, &mut rng);
+        assert!(SmallWorldNetwork::from_hgraph(h, 0, labels).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_label_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let h = HGraph::generate(50, 6, &mut rng).unwrap();
+        let labels = random_labels(49, &mut rng);
+        assert!(SmallWorldNetwork::from_hgraph(h, 2, labels).is_err());
+    }
+
+    #[test]
+    fn generate_seeded_is_deterministic() {
+        let a = SmallWorldNetwork::generate_seeded(128, 8, 42).unwrap();
+        let b = SmallWorldNetwork::generate_seeded(128, 8, 42).unwrap();
+        assert_eq!(a.g(), b.g());
+        assert_eq!(a.labels(), b.labels());
+    }
+}

@@ -1,0 +1,202 @@
+//! The Watts–Strogatz small-world model.
+//!
+//! The paper's network model is *inspired by but different from* the
+//! Watts–Strogatz model (Section 2.1): Watts–Strogatz permits Θ(log n)
+//! degrees after rewiring, whereas the paper's `G = H ∪ L` keeps constant
+//! bounded degree.  We implement Watts–Strogatz to reproduce that comparison
+//! (experiment E6: clustering coefficient and spectral gap of `H`, `G`, and
+//! Watts–Strogatz).
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A Watts–Strogatz ring graph: `n` nodes on a ring, each connected to its
+/// `k_half` nearest neighbours on each side, with each edge rewired to a
+/// uniformly random endpoint with probability `beta`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WattsStrogatz {
+    n: usize,
+    k_half: usize,
+    beta: f64,
+    csr: Csr,
+    rewired_edges: usize,
+}
+
+impl WattsStrogatz {
+    /// Generate a Watts–Strogatz graph.
+    ///
+    /// # Errors
+    /// * `n` must satisfy `n > 2 * k_half`;
+    /// * `k_half ≥ 1`;
+    /// * `beta ∈ [0, 1]`.
+    pub fn generate<R: Rng + ?Sized>(
+        n: usize,
+        k_half: usize,
+        beta: f64,
+        rng: &mut R,
+    ) -> Result<Self, GraphError> {
+        if k_half == 0 {
+            return Err(GraphError::InvalidParameter {
+                name: "k_half",
+                value: 0.0,
+                reason: "each node needs at least one neighbour per side",
+            });
+        }
+        if n <= 2 * k_half {
+            return Err(GraphError::TooFewNodes { n, minimum: 2 * k_half + 1 });
+        }
+        if !(0.0..=1.0).contains(&beta) {
+            return Err(GraphError::InvalidParameter {
+                name: "beta",
+                value: beta,
+                reason: "rewiring probability must lie in [0, 1]",
+            });
+        }
+        // Start from the ring lattice; store edges as an ordered set of
+        // (min, max) pairs so rewiring can avoid duplicates and self-loops.
+        let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for i in 0..n {
+            for j in 1..=k_half {
+                let u = i as u32;
+                let v = ((i + j) % n) as u32;
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        // Rewire: for each lattice edge (i, i+j) independently with
+        // probability beta, replace it by (i, random) avoiding self-loops and
+        // duplicates (the standard Watts–Strogatz procedure).
+        let mut rewired = 0usize;
+        for i in 0..n {
+            for j in 1..=k_half {
+                let u = i as u32;
+                let v = ((i + j) % n) as u32;
+                let key = (u.min(v), u.max(v));
+                if !edges.contains(&key) {
+                    continue; // already rewired away by an earlier step
+                }
+                if rng.gen::<f64>() < beta {
+                    // Try a bounded number of times to find a fresh endpoint.
+                    for _ in 0..32 {
+                        let w = rng.gen_range(0..n as u32);
+                        if w == u {
+                            continue;
+                        }
+                        let candidate = (u.min(w), u.max(w));
+                        if edges.contains(&candidate) {
+                            continue;
+                        }
+                        edges.remove(&key);
+                        edges.insert(candidate);
+                        rewired += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        let edge_list: Vec<(u32, u32)> = edges.into_iter().collect();
+        let csr = Csr::from_undirected_edges(n, &edge_list)?;
+        Ok(WattsStrogatz { n, k_half, beta, csr, rewired_edges: rewired })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbours per side in the initial lattice.
+    #[inline]
+    pub fn k_half(&self) -> usize {
+        self.k_half
+    }
+
+    /// The rewiring probability.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of edges that were actually rewired.
+    #[inline]
+    pub fn rewired_edges(&self) -> usize {
+        self.rewired_edges
+    }
+
+    /// The adjacency structure.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::metrics::average_clustering;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(WattsStrogatz::generate(10, 0, 0.1, &mut rng).is_err());
+        assert!(WattsStrogatz::generate(4, 2, 0.1, &mut rng).is_err());
+        assert!(WattsStrogatz::generate(100, 2, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_beta_is_the_ring_lattice() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ws = WattsStrogatz::generate(50, 2, 0.0, &mut rng).unwrap();
+        assert_eq!(ws.rewired_edges(), 0);
+        for v in ws.csr().node_ids() {
+            assert_eq!(ws.csr().degree(v), 4, "ring lattice is 2*k_half regular");
+        }
+        // Lattice with k_half = 2 has high clustering (0.5 exactly).
+        let cc = average_clustering(ws.csr());
+        assert!((cc - 0.5).abs() < 1e-9, "lattice clustering = {cc}");
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let lattice = WattsStrogatz::generate(500, 3, 0.0, &mut rng).unwrap();
+        let random = WattsStrogatz::generate(500, 3, 1.0, &mut rng).unwrap();
+        assert!(random.rewired_edges() > 0);
+        let cc_lattice = average_clustering(lattice.csr());
+        let cc_random = average_clustering(random.csr());
+        assert!(
+            cc_random < cc_lattice / 2.0,
+            "full rewiring must destroy clustering ({cc_random} vs {cc_lattice})"
+        );
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ws = WattsStrogatz::generate(200, 2, 0.3, &mut rng).unwrap();
+        assert_eq!(ws.csr().num_undirected_edges(), 200 * 2);
+    }
+
+    #[test]
+    fn no_self_loops_after_rewiring() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let ws = WattsStrogatz::generate(300, 2, 0.5, &mut rng).unwrap();
+        assert_eq!(ws.csr().self_loops(), 0);
+        for v in ws.csr().node_ids() {
+            let neigh = ws.csr().neighbors(v);
+            assert!(!neigh.contains(&(v.index() as u32)));
+            let _ = NodeId::from_index(v.index());
+        }
+    }
+}

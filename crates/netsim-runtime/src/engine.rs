@@ -1,0 +1,537 @@
+//! The synchronous round engine.
+//!
+//! One [`SyncEngine`] instance drives one protocol execution over a fixed
+//! topology.  Rounds are processed in lock-step:
+//!
+//! 1. every non-crashed node consumes the messages addressed to it in the
+//!    previous round and queues its outgoing messages (all nodes run in
+//!    parallel; determinism is preserved because every node has its own RNG
+//!    stream and results are collected in node order);
+//! 2. the full-information adversary inspects every state and every queued
+//!    message and may replace the Byzantine nodes' outboxes;
+//! 3. messages are validated against the topology (no edge → dropped),
+//!    accounted, and delivered into the next round's inboxes.
+//!
+//! The engine stops when every honest node has decided (or crashed), or when
+//! `max_rounds` is reached.
+
+use crate::adversary::{Adversary, AdversaryDecision, AdversaryView};
+use crate::message::{Envelope, MessageSize};
+use crate::metrics::RunMetrics;
+use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
+use crate::topology::Topology;
+use netsim_graph::NodeId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Hard cap on the number of rounds (safety net for protocols whose
+    /// termination is being studied).
+    pub max_rounds: u64,
+    /// Stop as soon as every honest, non-crashed node has decided.
+    pub stop_when_all_decided: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { max_rounds: 100_000, stop_when_all_decided: true }
+    }
+}
+
+/// The outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunResult<O> {
+    /// Output decided by each node (None for crashed / undecided nodes).
+    pub outputs: Vec<Option<O>>,
+    /// The round in which each node decided.
+    pub decided_round: Vec<Option<u64>>,
+    /// Which nodes crashed.
+    pub crashed: Vec<bool>,
+    /// Final status of each node.
+    pub statuses: Vec<NodeStatus>,
+    /// Message/round accounting.
+    pub metrics: RunMetrics,
+    /// True when every honest node decided or crashed before `max_rounds`.
+    pub completed: bool,
+}
+
+impl<O> RunResult<O> {
+    /// Number of honest nodes that decided, given the Byzantine mask used
+    /// for the run.
+    pub fn honest_decided(&self, byzantine: &[bool]) -> usize {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| !byzantine[*i] && o.is_some())
+            .count()
+    }
+}
+
+/// The synchronous engine; see the module documentation.
+pub struct SyncEngine<'a, T, P, A>
+where
+    T: Topology,
+    P: Protocol,
+    A: Adversary<P>,
+{
+    topology: &'a T,
+    states: Vec<P>,
+    byzantine: Vec<bool>,
+    adversary: A,
+    config: EngineConfig,
+    rngs: Vec<ChaCha8Rng>,
+    adversary_rng: ChaCha8Rng,
+    inboxes: Vec<Vec<Envelope<P::Message>>>,
+    statuses: Vec<NodeStatus>,
+    outputs: Vec<Option<P::Output>>,
+    decided_round: Vec<Option<u64>>,
+    metrics: RunMetrics,
+    round: u64,
+}
+
+impl<'a, T, P, A> SyncEngine<'a, T, P, A>
+where
+    T: Topology,
+    P: Protocol + Sync,
+    P::Output: Send,
+    A: Adversary<P>,
+{
+    /// Create an engine.
+    ///
+    /// # Panics
+    /// Panics if `states.len()` or `byzantine.len()` differ from the
+    /// topology size.
+    pub fn new(
+        topology: &'a T,
+        states: Vec<P>,
+        byzantine: Vec<bool>,
+        adversary: A,
+        config: EngineConfig,
+        seed: u64,
+    ) -> Self {
+        let n = topology.len();
+        assert_eq!(states.len(), n, "one protocol state per node required");
+        assert_eq!(byzantine.len(), n, "byzantine mask must cover every node");
+        let rngs = (0..n)
+            .map(|i| ChaCha8Rng::seed_from_u64(splitmix(seed, i as u64)))
+            .collect();
+        SyncEngine {
+            topology,
+            states,
+            byzantine,
+            adversary,
+            config,
+            rngs,
+            adversary_rng: ChaCha8Rng::seed_from_u64(splitmix(seed, u64::MAX)),
+            inboxes: vec![Vec::new(); n],
+            statuses: vec![NodeStatus::Active; n],
+            outputs: vec![None; n],
+            decided_round: vec![None; n],
+            metrics: RunMetrics::default(),
+            round: 0,
+        }
+    }
+
+    /// The current round number (number of rounds fully executed).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Read access to the per-node protocol states (for instrumentation).
+    pub fn states(&self) -> &[P] {
+        &self.states
+    }
+
+    /// Node statuses so far.
+    pub fn statuses(&self) -> &[NodeStatus] {
+        &self.statuses
+    }
+
+    /// Whether the stop condition has been reached.
+    pub fn finished(&self) -> bool {
+        if self.round >= self.config.max_rounds {
+            return true;
+        }
+        if self.config.stop_when_all_decided {
+            let all_done = self
+                .statuses
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.byzantine[*i])
+                .all(|(_, s)| *s != NodeStatus::Active);
+            if all_done {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Execute one round.  Returns `false` when the stop condition has been
+    /// reached (the round is still executed).
+    pub fn step_round(&mut self) -> bool {
+        let n = self.topology.len();
+        self.metrics.begin_round();
+        let round = self.round;
+
+        // Phase 1: run every non-crashed node against its inbox.
+        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
+        let topology = self.topology;
+        let statuses = &self.statuses;
+        let outputs = &self.outputs;
+        let step_results: Vec<(Vec<Envelope<P::Message>>, Action<P::Output>)> = self
+            .states
+            .par_iter_mut()
+            .zip(self.rngs.par_iter_mut())
+            .enumerate()
+            .map(|(i, (state, rng))| {
+                if statuses[i] == NodeStatus::Crashed {
+                    return (Vec::new(), Action::Continue);
+                }
+                let id = NodeId::from_index(i);
+                let ctx = NodeContext {
+                    id,
+                    round,
+                    neighbors: topology.neighbors(id),
+                    decided: outputs[i].is_some(),
+                };
+                let mut outbox = Outbox::new();
+                let action = state.step(&ctx, &inboxes[i], &mut outbox, rng);
+                (outbox.into_envelopes(id), action)
+            })
+            .collect();
+
+        // Phase 2: split messages into honest vs Byzantine-default and let
+        // the adversary intervene.
+        let mut honest_messages: Vec<Envelope<P::Message>> = Vec::new();
+        let mut byz_default: Vec<Envelope<P::Message>> = Vec::new();
+        for (i, (msgs, _)) in step_results.iter().enumerate() {
+            if self.byzantine[i] {
+                byz_default.extend(msgs.iter().cloned());
+            } else {
+                honest_messages.extend(msgs.iter().cloned());
+            }
+        }
+        let crashed_mask: Vec<bool> =
+            self.statuses.iter().map(|s| *s == NodeStatus::Crashed).collect();
+        let decision = {
+            let view = AdversaryView {
+                round,
+                byzantine: &self.byzantine,
+                crashed: &crashed_mask,
+                states: &self.states,
+                honest_messages: &honest_messages,
+                byzantine_default_messages: &byz_default,
+            };
+            self.adversary.act(&view, &mut self.adversary_rng)
+        };
+        let byz_messages = match decision {
+            AdversaryDecision::FollowProtocol => byz_default,
+            AdversaryDecision::Replace(msgs) => msgs,
+        };
+
+        // Phase 3: apply actions (honest nodes only; Byzantine nodes are
+        // puppets of the adversary and their "decisions" are meaningless).
+        for (i, (_, action)) in step_results.iter().enumerate() {
+            if self.byzantine[i] || self.statuses[i] == NodeStatus::Crashed {
+                continue;
+            }
+            match action {
+                Action::Continue => {}
+                Action::Decide(o) => {
+                    if self.outputs[i].is_none() {
+                        self.outputs[i] = Some(o.clone());
+                        self.decided_round[i] = Some(round);
+                        self.statuses[i] = NodeStatus::Decided;
+                    }
+                }
+                Action::Crash => {
+                    self.statuses[i] = NodeStatus::Crashed;
+                }
+            }
+        }
+
+        // Phase 4: validate, account and deliver messages for the next round.
+        for env in honest_messages.into_iter().chain(byz_messages.into_iter()) {
+            let from_ok = env.from.index() < n
+                && self.statuses[env.from.index()] != NodeStatus::Crashed
+                // The adversary may only speak through Byzantine nodes.
+                || (env.from.index() < n && self.byzantine[env.from.index()]);
+            let edge_ok = env.to.index() < n && self.topology.can_send(env.from, env.to);
+            let to_ok = env.to.index() < n && self.statuses[env.to.index()] != NodeStatus::Crashed;
+            if from_ok && edge_ok && to_ok {
+                self.metrics.record_delivery(env.payload.message_size());
+                self.inboxes[env.to.index()].push(env);
+            } else {
+                self.metrics.record_drop();
+            }
+        }
+
+        self.round += 1;
+        !self.finished()
+    }
+
+    /// Run until the stop condition and return the result.
+    pub fn run(mut self) -> RunResult<P::Output> {
+        while !self.finished() {
+            self.step_round();
+        }
+        self.into_result()
+    }
+
+    /// Consume the engine and produce the result without running further.
+    pub fn into_result(self) -> RunResult<P::Output> {
+        let completed = self
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.byzantine[*i])
+            .all(|(_, s)| *s != NodeStatus::Active);
+        let crashed = self.statuses.iter().map(|s| *s == NodeStatus::Crashed).collect();
+        RunResult {
+            outputs: self.outputs,
+            decided_round: self.decided_round,
+            crashed,
+            statuses: self.statuses,
+            metrics: self.metrics,
+            completed,
+        }
+    }
+}
+
+/// SplitMix64-style seed derivation so per-node RNG streams are independent.
+fn splitmix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NullAdversary;
+    use crate::message::SizedMessage;
+    use netsim_graph::Csr;
+    use rand::Rng;
+
+    /// Message carrying a single value; one ID's worth of payload.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Val(u64);
+    impl MessageSize for Val {
+        fn message_size(&self) -> SizedMessage {
+            SizedMessage::new(0, 64)
+        }
+    }
+
+    /// Max-flooding: every node starts with a random value and repeatedly
+    /// forwards the maximum it has seen; decides after `ttl` rounds.
+    #[derive(Clone)]
+    struct MaxFlood {
+        value: u64,
+        best: u64,
+        ttl: u64,
+        started: bool,
+    }
+
+    impl Protocol for MaxFlood {
+        type Message = Val;
+        type Output = u64;
+        fn step(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &[Envelope<Val>],
+            outbox: &mut Outbox<Val>,
+            rng: &mut ChaCha8Rng,
+        ) -> Action<u64> {
+            if !self.started {
+                self.started = true;
+                if self.value == 0 {
+                    self.value = rng.gen::<u64>() | 1;
+                }
+                self.best = self.value;
+                outbox.broadcast(ctx.neighbors.iter(), Val(self.best));
+                return Action::Continue;
+            }
+            let mut improved = false;
+            for env in inbox {
+                if env.payload.0 > self.best {
+                    self.best = env.payload.0;
+                    improved = true;
+                }
+            }
+            if improved {
+                outbox.broadcast(ctx.neighbors.iter(), Val(self.best));
+            }
+            if ctx.round >= self.ttl {
+                Action::Decide(self.best)
+            } else {
+                Action::Continue
+            }
+        }
+    }
+
+    fn line_graph(n: usize) -> Csr {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Csr::from_undirected_edges(n, &edges).unwrap()
+    }
+
+    fn flood_states(n: usize, ttl: u64) -> Vec<MaxFlood> {
+        (0..n).map(|_| MaxFlood { value: 0, best: 0, ttl, started: false }).collect()
+    }
+
+    #[test]
+    fn max_flood_converges_on_a_line() {
+        let n = 16;
+        let g = line_graph(n);
+        let engine = SyncEngine::new(
+            &g,
+            flood_states(n, 2 * n as u64),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            42,
+        );
+        let result = engine.run();
+        assert!(result.completed);
+        let first = result.outputs[0].unwrap();
+        assert!(result.outputs.iter().all(|o| *o == Some(first)));
+        assert!(result.metrics.rounds <= 2 * n as u64 + 1);
+        assert!(result.metrics.messages_delivered > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let n = 12;
+        let g = line_graph(n);
+        let run = |seed| {
+            SyncEngine::new(
+                &g,
+                flood_states(n, 40),
+                vec![false; n],
+                NullAdversary,
+                EngineConfig::default(),
+                seed,
+            )
+            .run()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+        assert_ne!(a.outputs, c.outputs, "different seeds should give different values");
+    }
+
+    #[test]
+    fn max_rounds_caps_execution() {
+        let n = 8;
+        let g = line_graph(n);
+        let cfg = EngineConfig { max_rounds: 3, stop_when_all_decided: true };
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 1000),
+            vec![false; n],
+            NullAdversary,
+            cfg,
+            1,
+        )
+        .run();
+        assert!(!result.completed);
+        assert_eq!(result.metrics.rounds, 3);
+    }
+
+    /// An adversary that makes Byzantine nodes shout a huge value.
+    struct Shouter;
+    impl Adversary<MaxFlood> for Shouter {
+        fn act(
+            &mut self,
+            view: &AdversaryView<'_, MaxFlood>,
+            _rng: &mut ChaCha8Rng,
+        ) -> AdversaryDecision<Val> {
+            let mut msgs = Vec::new();
+            for (i, &b) in view.byzantine.iter().enumerate() {
+                if b {
+                    // Send the maximum possible value to node 0 (a neighbour
+                    // in the line graph only if i == 1).
+                    msgs.push(Envelope::new(
+                        NodeId::from_index(i),
+                        NodeId(0),
+                        Val(u64::MAX),
+                    ));
+                    // Also an illegal long-range message that must be dropped.
+                    msgs.push(Envelope::new(
+                        NodeId::from_index(i),
+                        NodeId(5),
+                        Val(u64::MAX),
+                    ));
+                }
+            }
+            AdversaryDecision::Replace(msgs)
+        }
+    }
+
+    #[test]
+    fn adversary_messages_respect_topology() {
+        let n = 8;
+        let g = line_graph(n);
+        let mut byz = vec![false; n];
+        byz[1] = true;
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 20),
+            byz.clone(),
+            Shouter,
+            EngineConfig::default(),
+            3,
+        )
+        .run();
+        // Node 0 is adjacent to the Byzantine node 1, so the huge value
+        // poisons it (this is exactly why the naive protocol fails).
+        assert_eq!(result.outputs[0], Some(u64::MAX));
+        // Node 5 is NOT adjacent to node 1; the illegal direct message was
+        // dropped every round.
+        assert!(result.metrics.messages_dropped > 0);
+        assert!(result.honest_decided(&byz) == n - 1);
+    }
+
+    /// Protocol that crashes immediately; used to test crash bookkeeping.
+    #[derive(Clone)]
+    struct CrashImmediately;
+    impl Protocol for CrashImmediately {
+        type Message = ();
+        type Output = ();
+        fn step(
+            &mut self,
+            _ctx: &NodeContext<'_>,
+            _inbox: &[Envelope<()>],
+            _outbox: &mut Outbox<()>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Action<()> {
+            Action::Crash
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_stop_participating() {
+        let n = 4;
+        let g = line_graph(n);
+        let cfg = EngineConfig { max_rounds: 5, stop_when_all_decided: true };
+        let result = SyncEngine::new(
+            &g,
+            vec![CrashImmediately; n],
+            vec![false; n],
+            NullAdversary,
+            cfg,
+            0,
+        )
+        .run();
+        assert!(result.crashed.iter().all(|&c| c));
+        assert!(result.completed, "all honest nodes crashed counts as completed");
+        assert_eq!(result.metrics.rounds, 1);
+        assert!(result.outputs.iter().all(|o| o.is_none()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Run metrics: rounds, message counts, and the paper's message-size units.
+
+use crate::message::SizedMessage;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate metrics for one protocol execution.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Total number of messages delivered.
+    pub messages_delivered: u64,
+    /// Total number of messages dropped because the sender/receiver pair was
+    /// not an edge of the communication graph or the recipient had crashed.
+    pub messages_dropped: u64,
+    /// Sum over delivered messages of the number of IDs they carry.
+    pub total_ids: u64,
+    /// Sum over delivered messages of their additional payload bits.
+    pub total_bits: u64,
+    /// Largest single-message size observed.
+    pub max_message: SizedMessage,
+    /// Messages delivered per round.
+    pub per_round_messages: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// Record one delivered message of the given size.
+    pub fn record_delivery(&mut self, size: SizedMessage) {
+        self.messages_delivered += 1;
+        self.total_ids += size.ids as u64;
+        self.total_bits += size.bits as u64;
+        if size.ids > self.max_message.ids
+            || (size.ids == self.max_message.ids && size.bits > self.max_message.bits)
+        {
+            self.max_message = size;
+        }
+        if let Some(last) = self.per_round_messages.last_mut() {
+            *last += 1;
+        }
+    }
+
+    /// Record one dropped message.
+    pub fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Open accounting for a new round.
+    pub fn begin_round(&mut self) {
+        self.rounds += 1;
+        self.per_round_messages.push(0);
+    }
+
+    /// Average messages per round.
+    pub fn avg_messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.rounds as f64
+        }
+    }
+
+    /// Average messages per node per round.
+    pub fn avg_messages_per_node_round(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.avg_messages_per_round() / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut m = RunMetrics::default();
+        m.begin_round();
+        m.record_delivery(SizedMessage::new(2, 10));
+        m.record_delivery(SizedMessage::new(1, 64));
+        m.record_drop();
+        m.begin_round();
+        m.record_delivery(SizedMessage::new(3, 1));
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.messages_delivered, 3);
+        assert_eq!(m.messages_dropped, 1);
+        assert_eq!(m.total_ids, 6);
+        assert_eq!(m.total_bits, 75);
+        assert_eq!(m.max_message, SizedMessage::new(3, 1));
+        assert_eq!(m.per_round_messages, vec![2, 1]);
+        assert!((m.avg_messages_per_round() - 1.5).abs() < 1e-12);
+        assert!((m.avg_messages_per_node_round(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.avg_messages_per_round(), 0.0);
+        assert_eq!(m.avg_messages_per_node_round(10), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The per-node protocol abstraction.
+//!
+//! A [`Protocol`] is a deterministic state machine driven once per round.
+//! Each invocation receives the node's inbox (every message addressed to it
+//! in the previous round), may enqueue messages into an [`Outbox`], and
+//! returns an [`Action`]: keep going, decide on an output (while continuing
+//! to forward messages, as the counting protocol requires), or crash
+//! (Algorithm 2's voluntary shutdown on conflicting neighbourhood reports).
+
+use crate::message::Envelope;
+use netsim_graph::NodeId;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Life-cycle status of a node as tracked by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// Participating normally, no output decided yet.
+    Active,
+    /// Has decided an output but keeps participating (forwarding tokens).
+    Decided,
+    /// Crashed: sends and receives nothing from now on.
+    Crashed,
+}
+
+/// What a node wants the engine to do after a round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action<O> {
+    /// Keep running.
+    Continue,
+    /// Record `O` as this node's output.  The node keeps being scheduled
+    /// (the counting protocol's decided nodes still forward other nodes'
+    /// tokens); deciding twice keeps the first output.
+    Decide(O),
+    /// Stop participating entirely (crash failure).
+    Crash,
+}
+
+/// Read-only per-round context handed to a protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeContext<'a> {
+    /// This node's id.
+    pub id: NodeId,
+    /// The current round (0-based; round 0 is the first time `step` runs).
+    pub round: u64,
+    /// Nodes this node may send to this round.
+    pub neighbors: &'a [u32],
+    /// Whether this node has already decided an output.
+    pub decided: bool,
+}
+
+/// Outgoing message buffer for one node in one round.
+#[derive(Clone, Debug, Default)]
+pub struct Outbox<M> {
+    messages: Vec<(NodeId, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// Create an empty outbox.
+    pub fn new() -> Self {
+        Outbox { messages: Vec::new() }
+    }
+
+    /// Queue a message to a single recipient.
+    pub fn send(&mut self, to: NodeId, payload: M) {
+        self.messages.push((to, payload));
+    }
+
+    /// Queue the same message to many recipients.
+    pub fn broadcast<'a, I>(&mut self, to: I, payload: M)
+    where
+        M: Clone,
+        I: IntoIterator<Item = &'a u32>,
+    {
+        for &t in to {
+            self.messages.push((NodeId(t), payload.clone()));
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Drain into envelopes stamped with the sender id.
+    pub(crate) fn into_envelopes(self, from: NodeId) -> Vec<Envelope<M>> {
+        self.messages
+            .into_iter()
+            .map(|(to, payload)| Envelope { from, to, payload })
+            .collect()
+    }
+}
+
+/// A synchronous per-node protocol.
+pub trait Protocol: Send + Sized {
+    /// The message type exchanged between nodes.
+    type Message: Clone + Send + Sync + crate::message::MessageSize;
+    /// The output a node eventually decides.
+    type Output: Clone + Send + Sync;
+
+    /// Run one round: consume the inbox, enqueue outgoing messages, and
+    /// report the resulting action.
+    fn step(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &[Envelope<Self::Message>],
+        outbox: &mut Outbox<Self::Message>,
+        rng: &mut ChaCha8Rng,
+    ) -> Action<Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_send_and_broadcast() {
+        let mut ob: Outbox<u64> = Outbox::new();
+        assert!(ob.is_empty());
+        ob.send(NodeId(1), 10);
+        ob.broadcast([2u32, 3u32].iter(), 20);
+        assert_eq!(ob.len(), 3);
+        let envs = ob.into_envelopes(NodeId(0));
+        assert_eq!(envs[0], Envelope::new(NodeId(0), NodeId(1), 10));
+        assert_eq!(envs[1], Envelope::new(NodeId(0), NodeId(2), 20));
+        assert_eq!(envs[2], Envelope::new(NodeId(0), NodeId(3), 20));
+    }
+
+    #[test]
+    fn action_equality() {
+        assert_eq!(Action::<u32>::Continue, Action::Continue);
+        assert_eq!(Action::Decide(3u32), Action::Decide(3u32));
+        assert_ne!(Action::Decide(3u32), Action::Decide(4u32));
+    }
+}

@@ -1,0 +1,77 @@
+//! The communication topology seen by the engine.
+//!
+//! A [`Topology`] only answers "who can node `v` talk to"; the richer
+//! structure (which edges belong to `H` vs `L`, node labels, …) lives in
+//! `netsim-graph` and is made available to protocols at construction time.
+
+use netsim_graph::{Csr, NodeId, SmallWorldNetwork};
+
+/// Communication topology: the set of edges messages may traverse.
+pub trait Topology: Sync {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// True when there are no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nodes that `v` can exchange messages with (sorted, deduplicated not
+    /// required but recommended).
+    fn neighbors(&self, v: NodeId) -> &[u32];
+
+    /// Whether `from` may send a message to `to`.  The engine drops (and
+    /// counts) any message violating this — Byzantine nodes included, since
+    /// the paper's adversary "can send messages directly only to their
+    /// neighbours".
+    fn can_send(&self, from: NodeId, to: NodeId) -> bool {
+        self.neighbors(from).binary_search(&to.0).is_ok()
+    }
+}
+
+impl Topology for Csr {
+    fn len(&self) -> usize {
+        Csr::len(self)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[u32] {
+        Csr::neighbors(self, v)
+    }
+}
+
+/// A small-world network communicates over `G = H ∪ L`.
+impl Topology for SmallWorldNetwork {
+    fn len(&self) -> usize {
+        SmallWorldNetwork::len(self)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[u32] {
+        self.g_neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_topology_respects_edges() {
+        let g = Csr::from_undirected_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(Topology::len(&g), 3);
+        assert!(g.can_send(NodeId(0), NodeId(1)));
+        assert!(g.can_send(NodeId(1), NodeId(0)));
+        assert!(!g.can_send(NodeId(0), NodeId(2)));
+        assert!(!Topology::is_empty(&g));
+    }
+
+    #[test]
+    fn small_world_topology_uses_g_edges() {
+        let net = SmallWorldNetwork::generate_seeded(128, 8, 3).unwrap();
+        let v = NodeId(0);
+        // Every H-neighbour and every L-neighbour is reachable.
+        for &u in net.g_neighbors(v) {
+            assert!(Topology::can_send(&net, v, NodeId(u)));
+        }
+        assert_eq!(Topology::len(&net), 128);
+    }
+}

@@ -1,0 +1,88 @@
+//! Run every implemented adversary strategy against Algorithm 2 on the same
+//! network and compare the damage each one manages to do.
+//!
+//! Run with: `cargo run --release --example adversary_showdown`
+
+use byzcount::prelude::*;
+
+fn main() {
+    let n = 1024;
+    let delta = 0.6;
+    let net = SmallWorldNetwork::generate_seeded(n, 6, 23).expect("network");
+    let params = ProtocolParams::for_network_default_expansion(&net, delta, 0.1);
+    let placement = Placement::random_budget(n, delta, 17);
+    let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
+
+    println!("n = {n}, Byzantine nodes = {}, d = {}, k = {}\n", placement.count(), params.d, params.k);
+    println!("{:<22} {:>10} {:>10} {:>10}", "adversary", "good %", "crashed", "rounds");
+
+    let report = |name: &str, outcome: CountingOutcome| {
+        let eval = outcome.evaluate();
+        println!(
+            "{:<22} {:>9.1}% {:>10} {:>10}",
+            name,
+            100.0 * eval.good_fraction_of_honest,
+            eval.honest_crashed,
+            eval.rounds
+        );
+    };
+
+    report(
+        "honest-behaving",
+        run_counting_with(&net, &params, placement.mask(), HonestBehavingAdversary, 1),
+    );
+    report(
+        "silent",
+        run_counting_with(&net, &params, placement.mask(), SilentAdversary, 2),
+    );
+    report(
+        "inflation (legal)",
+        run_counting_with(
+            &net,
+            &params,
+            placement.mask(),
+            ColorInflationAdversary::new(knowledge.clone(), InjectionTiming::Legal),
+            3,
+        ),
+    );
+    report(
+        "inflation (last step)",
+        run_counting_with(
+            &net,
+            &params,
+            placement.mask(),
+            ColorInflationAdversary::new(knowledge.clone(), InjectionTiming::LastStep),
+            4,
+        ),
+    );
+    report(
+        "suppression",
+        run_counting_with(
+            &net,
+            &params,
+            placement.mask(),
+            SuppressionAdversary::new(knowledge.clone()),
+            5,
+        ),
+    );
+    report(
+        "fake chain (Fig. 1)",
+        run_counting_with(
+            &net,
+            &params,
+            placement.mask(),
+            FakeChainAdversary::new(knowledge.clone()),
+            6,
+        ),
+    );
+    report(
+        "combined",
+        run_counting_with(
+            &net,
+            &params,
+            placement.mask(),
+            CombinedAdversary::new(knowledge),
+            7,
+        ),
+    );
+}

@@ -1,0 +1,32 @@
+//! A miniature scaling study: how accuracy, round count and message volume
+//! evolve with n.  (The full sweep lives in `byzcount-cli e1/e2`.)
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use byzcount::prelude::*;
+
+fn main() {
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>14} {:>10}",
+        "n", "byz", "good %", "rounds", "msgs/node/rnd", "est/log2n"
+    );
+    for &n in &[512usize, 1024, 2048, 4096] {
+        let delta = 0.6;
+        let net = SmallWorldNetwork::generate_seeded(n, 6, n as u64).expect("network");
+        let params = ProtocolParams::for_network_default_expansion(&net, delta, 0.1);
+        let placement = Placement::random_budget(n, delta, n as u64 ^ 0xAB);
+        let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
+        let adversary = ColorInflationAdversary::new(knowledge, InjectionTiming::Legal);
+        let outcome = run_counting_with(&net, &params, placement.mask(), adversary, n as u64 ^ 0xCD);
+        let eval = outcome.evaluate();
+        println!(
+            "{:>6} {:>6} {:>9.1}% {:>10} {:>14.1} {:>10.2}",
+            n,
+            placement.count(),
+            100.0 * eval.good_fraction_of_honest,
+            eval.rounds,
+            outcome.metrics.avg_messages_per_node_round(n),
+            eval.mean_estimate / (n as f64).log2(),
+        );
+    }
+}

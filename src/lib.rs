@@ -1,0 +1,65 @@
+//! # byzcount — Byzantine network size estimation in small-world networks
+//!
+//! Facade crate re-exporting the public API of the workspace, which
+//! reproduces *"Network Size Estimation in Small-World Networks under
+//! Byzantine Faults"* (Chatterjee, Pandurangan, Robinson):
+//!
+//! * [`graph`] — the `H(n,d)` random regular graph, the small-world overlay
+//!   `G = H ∪ L`, and the graph analytics used in the paper's analysis;
+//! * [`runtime`] — a synchronous round-based message-passing simulator with
+//!   full-information Byzantine adversaries;
+//! * [`protocol`] — the counting protocols themselves (Algorithm 1 and the
+//!   Byzantine-tolerant Algorithm 2);
+//! * [`adversary`] — concrete Byzantine strategies (color inflation,
+//!   suppression, fake-chain topology lies, …);
+//! * [`baselines`] — non-Byzantine-tolerant estimators the paper compares
+//!   against conceptually (support estimation, converge-cast, flooding);
+//! * [`analysis`] — the experiment harness, statistics and table rendering
+//!   used to regenerate every quantitative claim.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use byzcount::prelude::*;
+//!
+//! // A 512-node small-world expander with the paper's n^{1-δ} Byzantine budget.
+//! let net = SmallWorldNetwork::generate_seeded(512, 8, 42).unwrap();
+//! let params = ProtocolParams::for_network_default_expansion(&net, 0.6, 0.1);
+//! let placement = Placement::random_budget(net.len(), 0.6, 7);
+//!
+//! // Full-information adversary that injects maximal colors every subphase.
+//! let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
+//! let adversary = ColorInflationAdversary::new(knowledge, InjectionTiming::Legal);
+//!
+//! // Run Algorithm 2 and check Theorem 1's guarantee.
+//! let outcome = run_counting_with(&net, &params, placement.mask(), adversary, 99);
+//! let eval = outcome.evaluate();
+//! assert!(eval.good_fraction_of_honest > 0.8);
+//! ```
+
+pub use byzcount_adversary as adversary;
+pub use byzcount_analysis as analysis;
+pub use byzcount_baselines as baselines;
+pub use byzcount_core as protocol;
+pub use netsim_graph as graph;
+pub use netsim_runtime as runtime;
+
+/// Most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use byzcount_adversary::{
+        AdversaryKnowledge, ColorInflationAdversary, CombinedAdversary, CountingAdversary,
+        FakeChainAdversary, HonestBehavingAdversary, InjectionTiming, Placement, SilentAdversary,
+        SuppressionAdversary,
+    };
+    pub use byzcount_analysis::prelude::*;
+    pub use byzcount_baselines::{
+        run_exponential_support, run_flood_diameter, run_geometric_support,
+        run_spanning_tree_count, BaselineAttack,
+    };
+    pub use byzcount_core::{
+        run_basic_counting, run_basic_counting_with, run_counting_with, CountingNode,
+        CountingOutcome, Decision, EstimateEvaluation, ProtocolParams, Schedule,
+    };
+    pub use netsim_graph::prelude::*;
+    pub use netsim_runtime::prelude::*;
+}

@@ -1,0 +1,97 @@
+//! Property-based tests (proptest) on the core data structures and
+//! protocol invariants, spanning netsim-graph and byzcount-core.
+
+use byzcount::prelude::*;
+use byzcount_core::color;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// H(n, d) is always d-regular with nd/2 edges, for any admissible (n, d).
+    #[test]
+    fn hgraph_is_always_regular(n in 8usize..400, half_d in 2usize..5, seed in any::<u64>()) {
+        let d = half_d * 2;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let h = netsim_graph::HGraph::generate(n, d, &mut rng).unwrap();
+        prop_assert!(h.is_regular());
+        prop_assert_eq!(h.csr().num_undirected_edges(), n * d / 2);
+        prop_assert!(h.csr().is_symmetric());
+    }
+
+    /// The small-world overlay always contains H and respects the ball bound.
+    #[test]
+    fn small_world_overlay_contains_h(n in 20usize..200, seed in any::<u64>()) {
+        let net = SmallWorldNetwork::generate_seeded(n, 6, seed).unwrap();
+        let bound = (net.d() - 1).pow(net.k() as u32 + 1);
+        for v in net.node_ids().take(20) {
+            prop_assert!(net.g_neighbors(v).len() < bound);
+            for &u in net.h_neighbors(v) {
+                if u as usize != v.index() {
+                    prop_assert!(net.is_g_edge(v, NodeId(u)));
+                }
+            }
+        }
+    }
+
+    /// Geometric colors are ≥ 1 and their distribution facts are consistent.
+    #[test]
+    fn color_distribution_identities(r in 1u32..20, n_prime in 1usize..10_000) {
+        prop_assert!((color::pr_color_ge(r) - (color::pr_color_eq(r) + color::pr_color_ge(r + 1))).abs() < 1e-12);
+        let p_lt = color::pr_max_lt(r, n_prime);
+        let p_ge = color::pr_max_ge(r, n_prime);
+        prop_assert!((p_lt + p_ge - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p_lt));
+    }
+
+    /// The schedule locator is a bijection between rounds and positions.
+    #[test]
+    fn schedule_locate_is_consistent(round in 2u64..3000, eps_milli in 10u64..500) {
+        let schedule = Schedule::new(8, eps_milli as f64 / 1000.0);
+        if let byzcount_core::Position::InPhase(pos) = schedule.locate(round) {
+            prop_assert!(pos.phase >= 1);
+            prop_assert!(pos.subphase >= 1 && pos.subphase <= schedule.subphases_in_phase(pos.phase));
+            prop_assert!(pos.step <= pos.phase);
+            // Re-derive the round from the position.
+            let mut r = byzcount_core::DISCOVERY_ROUNDS;
+            for p in 1..pos.phase {
+                r += schedule.rounds_in_phase(p);
+            }
+            r += (pos.subphase - 1) * schedule.rounds_in_subphase(pos.phase) + pos.step;
+            prop_assert_eq!(r, round);
+        } else {
+            prop_assert!(round < 2);
+        }
+    }
+
+    /// Placements never exceed their budget and masks match node lists.
+    #[test]
+    fn placement_mask_consistency(n in 1usize..500, count in 0usize..600, seed in any::<u64>()) {
+        let p = Placement::random(n, count, seed);
+        prop_assert_eq!(p.count(), count.min(n));
+        prop_assert_eq!(p.nodes().len(), p.count());
+        prop_assert_eq!(p.mask().iter().filter(|&&b| b).count(), p.count());
+    }
+
+    /// Evaluation never counts more good nodes than honest nodes, and the
+    /// good fraction is a probability.
+    #[test]
+    fn evaluation_bounds(estimates in proptest::collection::vec(proptest::option::of(1u64..40), 1..80)) {
+        let n = estimates.len();
+        let outcome = CountingOutcome {
+            n,
+            estimates,
+            decided_round: vec![None; n],
+            crashed: vec![false; n],
+            byzantine: vec![false; n],
+            params: ProtocolParams::new(8, 3, 0.6, 0.1, 1.0),
+            metrics: Default::default(),
+            completed: true,
+        };
+        let eval = outcome.evaluate();
+        prop_assert!(eval.honest_good <= eval.honest_total);
+        prop_assert!((0.0..=1.0).contains(&eval.good_fraction_of_honest));
+        prop_assert!(eval.honest_decided <= eval.honest_total);
+    }
+}

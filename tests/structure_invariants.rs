@@ -1,0 +1,48 @@
+//! Cross-crate structural invariants: the generated topology satisfies the
+//! properties the protocol's analysis relies on.
+
+use byzcount::prelude::*;
+
+#[test]
+fn generated_network_satisfies_analysis_preconditions() {
+    let n = 2048;
+    let net = SmallWorldNetwork::generate_seeded(n, 8, 77).unwrap();
+
+    // H is d-regular and connected with logarithmic diameter.
+    assert!(net.h().is_regular());
+    let diam = diameter_estimate(net.h().csr(), 0);
+    assert!(diam.connected);
+    assert!((diam.lower_bound as f64) < 3.0 * (n as f64).log2());
+
+    // G has markedly higher clustering than H (the small-world property).
+    let cc_h = average_clustering(net.h().csr());
+    let cc_g = average_clustering(net.g());
+    assert!(cc_g > 5.0 * cc_h, "small-world clustering boost missing: H {cc_h}, G {cc_g}");
+    assert!(cc_g > 0.15, "G clustering too small: {cc_g}");
+
+    // H is an expander: positive spectral gap.
+    let gap = netsim_graph::expansion::spectral_gap(net.h().csr(), 200, 1).gap;
+    assert!(gap > 0.2, "spectral gap {gap}");
+
+    // Lemma 2-style accounting with the paper's Byzantine budget.
+    let placement = Placement::random_budget(n, 0.6, 3);
+    let cats = NodeCategories::compute(&net, placement.mask(), 0.6);
+    let counts = cats.counts();
+    assert!(counts.is_consistent());
+    assert!(counts.byzantine_safe as f64 > 0.8 * n as f64);
+}
+
+#[test]
+fn protocol_parameters_derived_from_the_network_are_admissible() {
+    let net = SmallWorldNetwork::generate_seeded(512, 8, 9).unwrap();
+    let params = ProtocolParams::for_network(&net, 0.6, 0.1);
+    assert!(params.delta_is_admissible());
+    assert!(params.a() < params.b());
+    assert!(params.approximation_factor() > 1.0);
+    let schedule = Schedule::new(params.d, params.epsilon);
+    // O(log^3 n) with explicit constants: the round cap for n = 512 must be
+    // well below, say, 100 * log2(n)^3.
+    let cap = byzcount_core::round_cap(&params, 512);
+    assert!((cap as f64) < 100.0 * (512f64).log2().powi(3));
+    assert!(schedule.rounds_through_phase(3) > 0);
+}
