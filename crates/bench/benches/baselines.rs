@@ -1,20 +1,41 @@
-//! E4 cost: the naive estimators vs the Byzantine-tolerant protocol.
-use byzcount_baselines::{run_geometric_support, run_spanning_tree_count, BaselineAttack};
+//! E4 cost: the naive estimators vs the Byzantine-tolerant protocol, run
+//! through the unified `Simulation` builder.
+use byzcount_analysis::RunSimulation;
+use byzcount_core::sim::{AttackSpec, Simulation, TopologySpec, WorkloadSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use netsim_graph::SmallWorldNetwork;
+
+fn baseline_sim(n: usize, workload: WorkloadSpec) -> Simulation {
+    Simulation::builder()
+        .topology(TopologySpec::SmallWorldH { n, d: 8 })
+        .workload(workload)
+        .seed(3)
+        .build()
+        .expect("baseline spec")
+}
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
     group.sample_size(10);
     for &n in &[1024usize, 4096] {
-        let net = SmallWorldNetwork::generate_seeded(n, 8, 7).unwrap();
-        let byz = vec![false; n];
-        let ttl = (3.0 * (n as f64).log2()).ceil() as u64 + 5;
+        let geometric = baseline_sim(
+            n,
+            WorkloadSpec::GeometricSupport {
+                ttl: None,
+                attack: AttackSpec::None,
+            },
+        );
         group.bench_with_input(BenchmarkId::new("geometric_support", n), &n, |b, _| {
-            b.iter(|| run_geometric_support(net.h().csr(), &byz, BaselineAttack::None, ttl, 3))
+            b.iter(|| geometric.run().expect("geometric run"))
         });
+        let spanning = baseline_sim(
+            n,
+            WorkloadSpec::SpanningTree {
+                max_rounds: None,
+                attack: AttackSpec::None,
+            },
+        );
         group.bench_with_input(BenchmarkId::new("spanning_tree_count", n), &n, |b, _| {
-            b.iter(|| run_spanning_tree_count(net.h().csr(), &byz, BaselineAttack::None, 4 * ttl, 3))
+            b.iter(|| spanning.run().expect("spanning-tree run"))
         });
     }
     group.finish();

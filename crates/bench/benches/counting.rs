@@ -1,14 +1,19 @@
-//! E1 cost: full Algorithm-2 runs under the combined adversary.
-use bench::run_combined;
+//! E1 cost: full Algorithm-2 runs under the combined adversary, through the
+//! unified `Simulation` builder.
+use bench::combined_attack_sim;
+use byzcount_analysis::RunSimulation;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("byzantine_counting");
     group.sample_size(10);
     for &n in &[256usize, 512, 1024] {
-        group.bench_with_input(BenchmarkId::new("algorithm2_combined_adv", n), &n, |b, &n| {
-            b.iter(|| run_combined(n, 6, 42))
-        });
+        let sim = combined_attack_sim(n, 6, 42);
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2_combined_adv", n),
+            &n,
+            |b, _| b.iter(|| sim.run().expect("combined-attack run")),
+        );
     }
     group.finish();
 }

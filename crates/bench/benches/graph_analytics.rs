@@ -10,9 +10,11 @@ fn bench_analytics(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[2_000usize, 10_000] {
         let net = SmallWorldNetwork::generate_seeded(n, 6, 3).unwrap();
-        group.bench_with_input(BenchmarkId::new("tree_like_classification", n), &net, |b, net| {
-            b.iter(|| classify_all(net.h(), Some(1)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tree_like_classification", n),
+            &net,
+            |b, net| b.iter(|| classify_all(net.h(), Some(1))),
+        );
         group.bench_with_input(BenchmarkId::new("clustering_G", n), &net, |b, net| {
             b.iter(|| average_clustering(net.g()))
         });

@@ -1,5 +1,14 @@
 //! E12 (part 2): what Byzantine tolerance costs — Algorithm 1 vs Algorithm 2
-//! on the same fault-free network.
+//! on the same fault-free network — and what the unified `Simulation`
+//! builder costs compared to driving the engine directly.
+//!
+//! The builder-vs-direct pair runs the *identical* pipeline (topology
+//! generation + protocol execution) so the difference isolates the API
+//! layer: spec validation, seed-stream derivation, placement
+//! materialization and report assembly.  It should be lost in the noise of
+//! the protocol run itself.
+use byzcount_analysis::RunSimulation;
+use byzcount_core::sim::{Simulation, TopologySpec, WorkloadSpec};
 use byzcount_core::{run_basic_counting, run_counting_with, ProtocolParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim_graph::SmallWorldNetwork;
@@ -17,6 +26,32 @@ fn bench_overhead(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("algorithm2", n), &n, |b, _| {
             b.iter(|| run_counting_with(&net, &params, &byz, NullAdversary, 13))
+        });
+    }
+    group.finish();
+
+    // Builder vs direct: same end-to-end pipeline, measured both ways.
+    let mut group = c.benchmark_group("builder_vs_direct");
+    group.sample_size(10);
+    for &n in &[512usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("direct_pipeline", n), &n, |b, &n| {
+            b.iter(|| {
+                // Mirror exactly what the builder does: generate the
+                // topology, derive parameters, run Algorithm 2.
+                let net = SmallWorldNetwork::generate_seeded(n, 6, 13).unwrap();
+                let params = ProtocolParams::for_network_default_expansion(&net, 0.6, 0.1);
+                let byz = vec![false; n];
+                run_counting_with(&net, &params, &byz, NullAdversary, 13)
+            })
+        });
+        let sim = Simulation::builder()
+            .topology(TopologySpec::SmallWorld { n, d: 6 })
+            .workload(WorkloadSpec::Byzantine)
+            .seed(13)
+            .build()
+            .expect("builder spec");
+        group.bench_with_input(BenchmarkId::new("builder_pipeline", n), &n, |b, _| {
+            b.iter(|| sim.run().expect("builder run"))
         });
     }
     group.finish();

@@ -1,0 +1,136 @@
+//! Spec-driven adversary construction for the unified simulation API.
+//!
+//! [`SpecAdversaryFactory`] interprets an
+//! [`AdversarySpec`](byzcount_core::sim::AdversarySpec) into a concrete
+//! adversary for each run.  The knowledge-based strategies (inflation,
+//! suppression, fake chains, combined) gather
+//! [`AdversaryKnowledge`](crate::AdversaryKnowledge) from the topology and
+//! therefore require a small-world network; the oblivious ones (null,
+//! honest-behaving, silent) work over any topology.
+
+use crate::knowledge::AdversaryKnowledge;
+use crate::strategies::{
+    ColorInflationAdversary, CombinedAdversary, FakeChainAdversary, HonestBehavingAdversary,
+    InjectionTiming, SilentAdversary, SuppressionAdversary,
+};
+use byzcount_core::sim::{AdversaryFactory, AdversarySpec, SimContext, SimError, TimingSpec};
+use byzcount_core::{CountingNode, ProtocolParams};
+use netsim_runtime::{Adversary, NullAdversary};
+
+/// Map the spec-layer timing to the strategy crate's enum.
+pub fn timing_from_spec(spec: TimingSpec) -> InjectionTiming {
+    match spec {
+        TimingSpec::Legal => InjectionTiming::Legal,
+        TimingSpec::LastStep => InjectionTiming::LastStep,
+    }
+}
+
+/// Builds the adversary named by an [`AdversarySpec`], gathering fresh
+/// knowledge per run.
+#[derive(Clone, Copy, Debug)]
+pub struct SpecAdversaryFactory {
+    /// The adversary to build.
+    pub spec: AdversarySpec,
+}
+
+impl SpecAdversaryFactory {
+    /// Factory for a spec.
+    pub fn new(spec: AdversarySpec) -> Self {
+        SpecAdversaryFactory { spec }
+    }
+}
+
+impl AdversaryFactory for SpecAdversaryFactory {
+    fn build(
+        &self,
+        ctx: &SimContext<'_>,
+        params: &ProtocolParams,
+    ) -> Result<Box<dyn Adversary<CountingNode>>, SimError> {
+        let knowledge = || -> Result<AdversaryKnowledge, SimError> {
+            let net = ctx.topology.small_world().ok_or_else(|| {
+                SimError::Unsupported(format!(
+                    "adversary `{}` gathers small-world topology knowledge and \
+                     cannot run on this topology; use Null/HonestBehaving/Silent instead",
+                    self.spec.name()
+                ))
+            })?;
+            Ok(AdversaryKnowledge::gather(net, params, ctx.byzantine))
+        };
+        Ok(match self.spec {
+            AdversarySpec::Null => Box::new(NullAdversary),
+            AdversarySpec::HonestBehaving => Box::new(HonestBehavingAdversary),
+            AdversarySpec::Silent => Box::new(SilentAdversary),
+            AdversarySpec::ColorInflation { timing } => Box::new(ColorInflationAdversary::new(
+                knowledge()?,
+                timing_from_spec(timing),
+            )),
+            AdversarySpec::Suppression => Box::new(SuppressionAdversary::new(knowledge()?)),
+            AdversarySpec::FakeChain => Box::new(FakeChainAdversary::new(knowledge()?)),
+            AdversarySpec::Combined => Box::new(CombinedAdversary::new(knowledge()?)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzcount_core::sim::TopologySpec;
+
+    #[test]
+    fn oblivious_adversaries_build_on_any_topology() {
+        let topo = TopologySpec::BalancedTree { n: 40, arity: 3 }
+            .build(1)
+            .unwrap();
+        let byz = vec![false; 40];
+        let params = ProtocolParams::for_degree(4, 0.6, 0.1);
+        let ctx = SimContext {
+            topology: &topo,
+            byzantine: &byz,
+            seed: 0,
+            max_rounds: None,
+        };
+        for spec in [
+            AdversarySpec::Null,
+            AdversarySpec::HonestBehaving,
+            AdversarySpec::Silent,
+        ] {
+            assert!(
+                SpecAdversaryFactory::new(spec).build(&ctx, &params).is_ok(),
+                "{spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn knowledge_adversaries_need_a_small_world_network() {
+        let tree = TopologySpec::BalancedTree { n: 40, arity: 3 }
+            .build(1)
+            .unwrap();
+        let byz = vec![false; 40];
+        let params = ProtocolParams::for_degree(4, 0.6, 0.1);
+        let ctx = SimContext {
+            topology: &tree,
+            byzantine: &byz,
+            seed: 0,
+            max_rounds: None,
+        };
+        match SpecAdversaryFactory::new(AdversarySpec::Combined).build(&ctx, &params) {
+            Err(SimError::Unsupported(_)) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+            Ok(_) => panic!("knowledge adversary must be rejected on a tree"),
+        }
+
+        let sw = TopologySpec::SmallWorld { n: 64, d: 6 }.build(1).unwrap();
+        let byz = vec![false; 64];
+        let params = ProtocolParams::for_degree(6, 0.6, 0.1);
+        let ctx = SimContext {
+            topology: &sw,
+            byzantine: &byz,
+            seed: 0,
+            max_rounds: None,
+        };
+        assert!(SpecAdversaryFactory::new(AdversarySpec::Combined)
+            .build(&ctx, &params)
+            .is_ok());
+    }
+}

@@ -29,10 +29,12 @@
 //! [`Placement`] chooses which nodes are Byzantine (random, as the paper
 //! assumes, or adversarially clustered for the open-problem ablation).
 
+pub mod factory;
 pub mod knowledge;
 pub mod placement;
 pub mod strategies;
 
+pub use factory::{timing_from_spec, SpecAdversaryFactory};
 pub use knowledge::AdversaryKnowledge;
 pub use placement::Placement;
 pub use strategies::{

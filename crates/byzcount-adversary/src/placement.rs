@@ -5,8 +5,11 @@
 //! [`Placement`] supports both (random for the main experiments, clustered
 //! for the E11 ablation), plus targeted placement for unit tests.
 
+use byzcount_core::sim::PlacementSpec;
 use netsim_graph::{bfs, NodeId, SmallWorldNetwork};
+use netsim_runtime::Topology;
 use rand::seq::SliceRandom;
+use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -21,7 +24,10 @@ pub struct Placement {
 impl Placement {
     /// No Byzantine nodes at all.
     pub fn none(n: usize) -> Self {
-        Placement { mask: vec![false; n], count: 0 }
+        Placement {
+            mask: vec![false; n],
+            count: 0,
+        }
     }
 
     /// `count` Byzantine nodes chosen uniformly at random (the paper's
@@ -51,7 +57,13 @@ impl Placement {
         let n = net.len();
         let count = count.min(n);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let center = NodeId::from_index((0..n).collect::<Vec<_>>().choose(&mut rng).copied().unwrap_or(0));
+        let center = NodeId::from_index(
+            (0..n)
+                .collect::<Vec<_>>()
+                .choose(&mut rng)
+                .copied()
+                .unwrap_or(0),
+        );
         let dist = bfs::bfs_distances(net.h().csr(), center, usize::MAX);
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| dist[i]);
@@ -60,6 +72,45 @@ impl Placement {
             mask[i] = true;
         }
         Placement { mask, count }
+    }
+
+    /// `count` Byzantine nodes clustered around a random centre on *any*
+    /// topology (BFS over the communication graph instead of `H`).
+    pub fn clustered_on<T: Topology>(topo: &T, count: usize, seed: u64) -> Self {
+        let n = topo.len();
+        let count = count.min(n);
+        let mut mask = vec![false; n];
+        if count > 0 && n > 0 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let center = rng.gen_range(0..n);
+            let mut dist = vec![u32::MAX; n];
+            dist[center] = 0;
+            let mut queue = std::collections::VecDeque::from([center as u32]);
+            while let Some(v) = queue.pop_front() {
+                let dv = dist[v as usize];
+                for &u in topo.neighbors(NodeId(v)) {
+                    if (u as usize) < n && dist[u as usize] == u32::MAX {
+                        dist[u as usize] = dv + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| dist[i]);
+            for &i in order.iter().take(count) {
+                mask[i] = true;
+            }
+        }
+        Placement { mask, count }
+    }
+
+    /// The equivalent [`PlacementSpec`]: an exact node list, so a concrete
+    /// placement can be embedded in a serializable
+    /// [`RunSpec`](byzcount_core::sim::RunSpec) and reproduced verbatim.
+    pub fn to_spec(&self) -> PlacementSpec {
+        PlacementSpec::Exact {
+            nodes: self.nodes().iter().map(|v| v.0).collect(),
+        }
     }
 
     /// Exactly these nodes are Byzantine (for tests).
@@ -111,9 +162,40 @@ impl Placement {
     }
 }
 
+/// A concrete placement embeds into specs as its exact node list.
+impl From<&Placement> for PlacementSpec {
+    fn from(placement: &Placement) -> Self {
+        placement.to_spec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_conversion_preserves_the_mask() {
+        let p = Placement::random(50, 9, 4);
+        let spec = p.to_spec();
+        match &spec {
+            PlacementSpec::Exact { nodes } => assert_eq!(nodes.len(), 9),
+            other => panic!("expected exact placement, got {other:?}"),
+        }
+        let spec2: PlacementSpec = (&p).into();
+        assert_eq!(spec, spec2);
+    }
+
+    #[test]
+    fn clustered_on_matches_any_topology() {
+        let net = SmallWorldNetwork::generate_seeded(200, 6, 3).unwrap();
+        let p = Placement::clustered_on(&net, 15, 9);
+        assert_eq!(p.count(), 15);
+        // The chosen nodes form a tight ball in G.
+        let nodes = p.nodes();
+        let dist = bfs::bfs_distances(net.g(), nodes[0], usize::MAX);
+        let max_d = nodes.iter().map(|v| dist[v.index()]).max().unwrap();
+        assert!(max_d <= 4, "clustered nodes too spread out: {max_d}");
+    }
 
     #[test]
     fn none_has_no_byzantine_nodes() {

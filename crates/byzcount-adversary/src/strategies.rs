@@ -68,7 +68,11 @@ pub struct ColorInflationAdversary {
 impl ColorInflationAdversary {
     /// Create the inflation adversary with the default (maximal) fake color.
     pub fn new(knowledge: AdversaryKnowledge, timing: InjectionTiming) -> Self {
-        ColorInflationAdversary { knowledge, timing, color: MAX_COLOR }
+        ColorInflationAdversary {
+            knowledge,
+            timing,
+            color: MAX_COLOR,
+        }
     }
 
     /// Override the fake color value.
@@ -84,7 +88,11 @@ impl ColorInflationAdversary {
             let path: Vec<u32> = if fabricate_path {
                 // Claim the color travelled through our first k−1 G-neighbours;
                 // those are honest nodes whose audit logs will refute us.
-                info.g_neighbors.iter().copied().take(k.saturating_sub(1)).collect()
+                info.g_neighbors
+                    .iter()
+                    .copied()
+                    .take(k.saturating_sub(1))
+                    .collect()
             } else {
                 Vec::new()
             };
@@ -92,7 +100,10 @@ impl ColorInflationAdversary {
                 msgs.push(Envelope::new(
                     info.node,
                     netsim_graph::NodeId(h),
-                    CountingMessage::Flood { color: self.color, path: path.clone() },
+                    CountingMessage::Flood {
+                        color: self.color,
+                        path: path.clone(),
+                    },
                 ));
             }
             // Announce the fake color as an audit too, so that colluding
@@ -197,7 +208,9 @@ impl FakeChainAdversary {
                 msgs.push(Envelope::new(
                     info.node,
                     netsim_graph::NodeId(g),
-                    CountingMessage::Adjacency { neighbors: claimed.clone() },
+                    CountingMessage::Adjacency {
+                        neighbors: claimed.clone(),
+                    },
                 ));
             }
         }
@@ -262,9 +275,7 @@ impl Adversary<CountingNode> for CombinedAdversary {
 mod tests {
     use super::*;
     use crate::placement::Placement;
-    use byzcount_core::{
-        run_basic_counting_with, run_counting_with, ProtocolParams,
-    };
+    use byzcount_core::{run_basic_counting_with, run_counting_with, ProtocolParams};
     use netsim_graph::SmallWorldNetwork;
 
     /// Test networks use d = 6 (G-degree ≈ 36) so that a Byzantine node's
@@ -276,7 +287,12 @@ mod tests {
         d: usize,
         byz_count: usize,
         seed: u64,
-    ) -> (SmallWorldNetwork, ProtocolParams, Placement, AdversaryKnowledge) {
+    ) -> (
+        SmallWorldNetwork,
+        ProtocolParams,
+        Placement,
+        AdversaryKnowledge,
+    ) {
         let net = SmallWorldNetwork::generate_seeded(n, d, seed).unwrap();
         let params = ProtocolParams::for_network_default_expansion(&net, 0.6, 0.1);
         let placement = Placement::random(n, byz_count, seed ^ 0xABCD);
@@ -300,7 +316,10 @@ mod tests {
         let (net, params, placement, knowledge) = setup(256, 8, 8, 2);
         let adversary = ColorInflationAdversary::new(knowledge, InjectionTiming::Legal);
         let outcome = run_counting_with(&net, &params, placement.mask(), adversary, 13);
-        assert!(outcome.completed, "inflated colors must not prevent termination");
+        assert!(
+            outcome.completed,
+            "inflated colors must not prevent termination"
+        );
         let eval = outcome.evaluate();
         assert!(
             eval.good_fraction_of_honest > 0.8,
@@ -352,7 +371,10 @@ mod tests {
         let eval = outcome.evaluate();
         // Some nodes crash (the liars' audit neighbourhoods), but only a
         // bounded fraction — and nobody accepts the fabricated topology.
-        assert!(eval.honest_crashed > 0, "the lie must be detected by someone");
+        assert!(
+            eval.honest_crashed > 0,
+            "the lie must be detected by someone"
+        );
         assert!(
             (eval.honest_crashed as f64) < 0.35 * net.len() as f64,
             "crashes must stay local: {}",

@@ -11,16 +11,19 @@
 //! println!("{}", table.to_markdown());
 //! ```
 
+pub mod campaign;
 pub mod experiments;
 pub mod stats;
 pub mod table;
 
+pub use campaign::{execute, execute_batch, FullRegistry, RunSimulation};
 pub use experiments::{run_all, ExperimentConfig};
 pub use stats::{percentile, summarize, Summary};
 pub use table::{fmt_f, Table};
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::campaign::{execute, execute_batch, FullRegistry, RunSimulation};
     pub use crate::experiments::{
         exp_approx_factor, exp_baselines, exp_core, exp_discovery, exp_expander, exp_fakechain,
         exp_phases, exp_placement, exp_rounds, exp_structure, exp_theorem1, run_all,

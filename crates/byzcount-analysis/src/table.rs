@@ -34,7 +34,11 @@ impl Table {
     /// # Panics
     /// Panics if the row width does not match the header width.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(cells);
     }
 

@@ -26,8 +26,11 @@ pub enum BaselineAttack {
 
 impl BaselineAttack {
     /// All attack modes, in presentation order for tables.
-    pub const ALL: [BaselineAttack; 3] =
-        [BaselineAttack::None, BaselineAttack::Inflate, BaselineAttack::Suppress];
+    pub const ALL: [BaselineAttack; 3] = [
+        BaselineAttack::None,
+        BaselineAttack::Inflate,
+        BaselineAttack::Suppress,
+    ];
 
     /// Short label for tables.
     pub fn label(&self) -> &'static str {

@@ -38,7 +38,11 @@ pub struct ExponentialSupportEstimator {
 impl ExponentialSupportEstimator {
     /// An honest node.
     pub fn honest(ttl: u64) -> Self {
-        ExponentialSupportEstimator { ttl, byz: None, mins: vec![f64::INFINITY; REPETITIONS] }
+        ExponentialSupportEstimator {
+            ttl,
+            byz: None,
+            mins: vec![f64::INFINITY; REPETITIONS],
+        }
     }
 
     /// A Byzantine node with the given behaviour.
@@ -140,7 +144,10 @@ pub fn run_exponential_support<T: Topology>(
             }
         })
         .collect();
-    let config = EngineConfig { max_rounds: ttl + 4, stop_when_all_decided: true };
+    let config = EngineConfig {
+        max_rounds: ttl + 4,
+        stop_when_all_decided: true,
+    };
     SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
 }
 
@@ -203,6 +210,8 @@ mod tests {
         let est = node.estimate();
         assert!((est - (REPETITIONS as f64 - 1.0) / (0.001 * REPETITIONS as f64)).abs() < 1e-9);
         let empty = ExponentialSupportEstimator::honest(1);
-        assert!(empty.estimate().is_infinite() || empty.estimate().is_nan() || empty.estimate() > 0.0);
+        assert!(
+            empty.estimate().is_infinite() || empty.estimate().is_nan() || empty.estimate() > 0.0
+        );
     }
 }

@@ -37,7 +37,12 @@ pub struct FloodDiameterEstimator {
 impl FloodDiameterEstimator {
     /// Construct a node; exactly one honest node should be the leader.
     pub fn new(is_leader: bool, byz: Option<BaselineAttack>, ttl: u64) -> Self {
-        FloodDiameterEstimator { is_leader, byz, ttl, first_seen: None }
+        FloodDiameterEstimator {
+            is_leader,
+            byz,
+            ttl,
+            first_seen: None,
+        }
     }
 }
 
@@ -92,7 +97,10 @@ pub fn run_flood_diameter<T: Topology>(
             FloodDiameterEstimator::new(i == 0, if byzantine[i] { Some(attack) } else { None }, ttl)
         })
         .collect();
-    let config = EngineConfig { max_rounds: ttl + 4, stop_when_all_decided: true };
+    let config = EngineConfig {
+        max_rounds: ttl + 4,
+        stop_when_all_decided: true,
+    };
     SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
 }
 
@@ -114,7 +122,10 @@ mod tests {
         let diam = diameter_estimate(net.h().csr(), 0).lower_bound as u64;
         // The farthest node hears the token after ecc(leader) rounds, which
         // is between diam/2 and diam.
-        assert!(max_round <= diam + 1, "max arrival {max_round} vs diameter {diam}");
+        assert!(
+            max_round <= diam + 1,
+            "max arrival {max_round} vs diameter {diam}"
+        );
         assert!(max_round as f64 >= (n as f64).log2() / (8f64).log2() - 1.0);
     }
 
@@ -128,7 +139,8 @@ mod tests {
             byz[i] = true;
         }
         let ttl = (3.0 * (n as f64).log2()).ceil() as u64;
-        let honest = run_flood_diameter(net.h().csr(), &vec![false; n], BaselineAttack::None, ttl, 4);
+        let honest =
+            run_flood_diameter(net.h().csr(), &vec![false; n], BaselineAttack::None, ttl, 4);
         let attacked = run_flood_diameter(net.h().csr(), &byz, BaselineAttack::Inflate, ttl, 4);
         let sum = |r: &RunResult<u64>, mask: &[bool]| -> f64 {
             let vals: Vec<u64> = r

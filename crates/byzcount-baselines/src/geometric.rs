@@ -10,8 +10,8 @@
 use crate::attack::BaselineAttack;
 use byzcount_core::color::{sample_color, Color};
 use netsim_runtime::{
-    Action, Envelope, MessageSize, NodeContext, NullAdversary, Outbox, Protocol, RunResult,
-    SizedMessage, SyncEngine, EngineConfig, Topology,
+    Action, EngineConfig, Envelope, MessageSize, NodeContext, NullAdversary, Outbox, Protocol,
+    RunResult, SizedMessage, SyncEngine, Topology,
 };
 use rand_chacha::ChaCha8Rng;
 
@@ -41,12 +41,20 @@ pub struct GeometricSupportEstimator {
 impl GeometricSupportEstimator {
     /// An honest node.
     pub fn honest(ttl: u64) -> Self {
-        GeometricSupportEstimator { ttl, byz: None, best: 0 }
+        GeometricSupportEstimator {
+            ttl,
+            byz: None,
+            best: 0,
+        }
     }
 
     /// A Byzantine node with the given behaviour.
     pub fn byzantine(ttl: u64, attack: BaselineAttack) -> Self {
-        GeometricSupportEstimator { ttl, byz: Some(attack), best: 0 }
+        GeometricSupportEstimator {
+            ttl,
+            byz: Some(attack),
+            best: 0,
+        }
     }
 }
 
@@ -114,7 +122,10 @@ pub fn run_geometric_support<T: Topology>(
             }
         })
         .collect();
-    let config = EngineConfig { max_rounds: ttl + 4, stop_when_all_decided: true };
+    let config = EngineConfig {
+        max_rounds: ttl + 4,
+        stop_when_all_decided: true,
+    };
     SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
 }
 
@@ -151,7 +162,10 @@ mod tests {
         assert!(estimates.iter().all(|&e| e == estimates[0]));
         // … and it is a constant-factor estimate of log2(n) = 10.
         let est = estimates[0] as f64;
-        assert!((5.0..=25.0).contains(&est), "estimate {est} not within [0.5, 2.5]·log n");
+        assert!(
+            (5.0..=25.0).contains(&est),
+            "estimate {est} not within [0.5, 2.5]·log n"
+        );
     }
 
     #[test]
@@ -159,8 +173,13 @@ mod tests {
         let net = SmallWorldNetwork::generate_seeded(1024, 8, 2).unwrap();
         let mut byz = vec![false; 1024];
         byz[17] = true;
-        let result =
-            run_geometric_support(net.h().csr(), &byz, BaselineAttack::Inflate, ttl_for(1024), 4);
+        let result = run_geometric_support(
+            net.h().csr(),
+            &byz,
+            BaselineAttack::Inflate,
+            ttl_for(1024),
+            4,
+        );
         let estimates = honest_estimates(&result, &byz);
         // Every honest node now believes the network has ~2^60 nodes.
         assert!(estimates.iter().all(|&e| e == INFLATED_COLOR));
@@ -178,8 +197,7 @@ mod tests {
         let path = Csr::from_undirected_edges(n, &edges).unwrap();
         let mut byz = vec![false; n];
         byz[1] = true;
-        let result =
-            run_geometric_support(&path, &byz, BaselineAttack::Suppress, 2 * n as u64, 11);
+        let result = run_geometric_support(&path, &byz, BaselineAttack::Suppress, 2 * n as u64, 11);
         let isolated = result.outputs[0].unwrap();
         let far_side_max = (2..n).map(|i| result.outputs[i].unwrap()).max().unwrap();
         assert!(

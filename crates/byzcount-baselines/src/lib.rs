@@ -28,9 +28,14 @@ pub mod exponential;
 pub mod flood_diameter;
 pub mod geometric;
 pub mod spanning_tree;
+pub mod workloads;
 
 pub use attack::BaselineAttack;
 pub use exponential::{run_exponential_support, ExponentialSupportEstimator};
 pub use flood_diameter::{run_flood_diameter, FloodDiameterEstimator};
 pub use geometric::{run_geometric_support, GeometricSupportEstimator};
 pub use spanning_tree::{run_spanning_tree_count, SpanningTreeCounter};
+pub use workloads::{
+    attack_from_spec, ExponentialSupportWorkload, FloodDiameterWorkload, GeometricSupportWorkload,
+    SpanningTreeWorkload,
+};

@@ -9,11 +9,11 @@
 //! respond, dead-locking the converge-cast (suppress).
 
 use crate::attack::BaselineAttack;
+use netsim_graph::NodeId;
 use netsim_runtime::{
     Action, EngineConfig, Envelope, MessageSize, NodeContext, NullAdversary, Outbox, Protocol,
     RunResult, SizedMessage, SyncEngine, Topology,
 };
-use netsim_graph::NodeId;
 use rand_chacha::ChaCha8Rng;
 
 /// Spanning-tree protocol messages.
@@ -181,11 +181,12 @@ pub fn run_spanning_tree_count<T: Topology>(
     seed: u64,
 ) -> RunResult<u64> {
     let nodes: Vec<SpanningTreeCounter> = (0..topo.len())
-        .map(|i| {
-            SpanningTreeCounter::new(i == 0, if byzantine[i] { Some(attack) } else { None })
-        })
+        .map(|i| SpanningTreeCounter::new(i == 0, if byzantine[i] { Some(attack) } else { None }))
         .collect();
-    let config = EngineConfig { max_rounds, stop_when_all_decided: true };
+    let config = EngineConfig {
+        max_rounds,
+        stop_when_all_decided: true,
+    };
     SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
 }
 
@@ -199,8 +200,7 @@ mod tests {
         let n = 500usize;
         let net = SmallWorldNetwork::generate_seeded(n, 8, 1).unwrap();
         let byz = vec![false; n];
-        let result =
-            run_spanning_tree_count(net.h().csr(), &byz, BaselineAttack::None, 400, 2);
+        let result = run_spanning_tree_count(net.h().csr(), &byz, BaselineAttack::None, 400, 2);
         assert!(result.completed);
         assert!(result.outputs.iter().all(|o| *o == Some(n as u64)));
     }
@@ -211,8 +211,7 @@ mod tests {
         let net = SmallWorldNetwork::generate_seeded(n, 8, 3).unwrap();
         let mut byz = vec![false; n];
         byz[50] = true;
-        let result =
-            run_spanning_tree_count(net.h().csr(), &byz, BaselineAttack::Inflate, 400, 4);
+        let result = run_spanning_tree_count(net.h().csr(), &byz, BaselineAttack::Inflate, 400, 4);
         let root_count = result.outputs[0];
         assert!(
             root_count.unwrap_or(0) >= INFLATED_COUNT,
@@ -226,8 +225,7 @@ mod tests {
         let net = SmallWorldNetwork::generate_seeded(n, 8, 5).unwrap();
         let mut byz = vec![false; n];
         byz[50] = true;
-        let result =
-            run_spanning_tree_count(net.h().csr(), &byz, BaselineAttack::Suppress, 200, 6);
+        let result = run_spanning_tree_count(net.h().csr(), &byz, BaselineAttack::Suppress, 200, 6);
         // The root never hears from the silent child's subtree, so the
         // protocol cannot complete.
         assert!(!result.completed);

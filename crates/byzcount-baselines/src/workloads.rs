@@ -1,0 +1,274 @@
+//! The baseline estimators behind the unified [`Estimator`] interface.
+//!
+//! Each wrapper adapts one `run_*` baseline to
+//! [`byzcount_core::sim::Estimator`], so baselines run through the same
+//! [`SimulationBuilder`](byzcount_core::sim::SimulationBuilder), produce the
+//! same [`RunReport`](byzcount_core::sim::RunReport)s and batch the same way
+//! as the real protocols.
+
+use crate::attack::BaselineAttack;
+use crate::{
+    run_exponential_support, run_flood_diameter, run_geometric_support, run_spanning_tree_count,
+};
+use byzcount_core::sim::{AttackSpec, Estimand, Estimator, SimContext, SimError, WorkloadRun};
+use netsim_graph::log2n;
+use netsim_runtime::RunResult;
+
+/// Map the spec-layer attack to the baseline crate's enum.
+pub fn attack_from_spec(spec: AttackSpec) -> BaselineAttack {
+    match spec {
+        AttackSpec::None => BaselineAttack::None,
+        AttackSpec::Inflate => BaselineAttack::Inflate,
+        AttackSpec::Suppress => BaselineAttack::Suppress,
+    }
+}
+
+/// Default flooding horizon: comfortably above expander diameters.
+fn default_ttl(n: usize) -> u64 {
+    (3.0 * log2n(n)).ceil() as u64 + 5
+}
+
+/// TTL precedence: explicit workload field, then the spec's round cap, then
+/// the derived default.
+fn resolve_ttl(explicit: Option<u64>, ctx: &SimContext<'_>, derived: u64) -> u64 {
+    explicit
+        .or(ctx.max_rounds.map(|m| m.saturating_sub(4).max(1)))
+        .unwrap_or(derived)
+}
+
+fn workload_run<O: Copy>(
+    estimand: Estimand,
+    result: RunResult<O>,
+    to_f64: impl Fn(O) -> f64,
+) -> WorkloadRun {
+    WorkloadRun {
+        estimand,
+        per_node: result.outputs.iter().map(|o| o.map(&to_f64)).collect(),
+        crashed: result.crashed,
+        metrics: result.metrics,
+        completed: result.completed,
+        counting: None,
+    }
+}
+
+/// Geometric support estimation (estimates `log₂ n`).
+#[derive(Clone, Copy, Debug)]
+pub struct GeometricSupportWorkload {
+    /// Flooding horizon (`None` = derive from `n`).
+    pub ttl: Option<u64>,
+    /// Byzantine behaviour.
+    pub attack: AttackSpec,
+}
+
+impl Estimator for GeometricSupportWorkload {
+    fn name(&self) -> &'static str {
+        "geometric-support"
+    }
+
+    fn estimand(&self) -> Estimand {
+        Estimand::LogN
+    }
+
+    fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
+        let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
+        let result = run_geometric_support(
+            ctx.topology,
+            ctx.byzantine,
+            attack_from_spec(self.attack),
+            ttl,
+            ctx.seed,
+        );
+        Ok(workload_run(Estimand::LogN, result, |v| v as f64))
+    }
+}
+
+/// Exponential support estimation (estimates `n`).
+#[derive(Clone, Copy, Debug)]
+pub struct ExponentialSupportWorkload {
+    /// Flooding horizon (`None` = derive from `n`).
+    pub ttl: Option<u64>,
+    /// Byzantine behaviour.
+    pub attack: AttackSpec,
+}
+
+impl Estimator for ExponentialSupportWorkload {
+    fn name(&self) -> &'static str {
+        "exponential-support"
+    }
+
+    fn estimand(&self) -> Estimand {
+        Estimand::N
+    }
+
+    fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
+        let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
+        let result = run_exponential_support(
+            ctx.topology,
+            ctx.byzantine,
+            attack_from_spec(self.attack),
+            ttl,
+            ctx.seed,
+        );
+        Ok(workload_run(Estimand::N, result, |v| v))
+    }
+}
+
+/// BFS spanning tree + converge-cast (estimates `n` exactly when honest).
+#[derive(Clone, Copy, Debug)]
+pub struct SpanningTreeWorkload {
+    /// Round cap (`None` = derive from `n`).
+    pub max_rounds: Option<u64>,
+    /// Byzantine behaviour.
+    pub attack: AttackSpec,
+}
+
+impl Estimator for SpanningTreeWorkload {
+    fn name(&self) -> &'static str {
+        "spanning-tree"
+    }
+
+    fn estimand(&self) -> Estimand {
+        Estimand::N
+    }
+
+    fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
+        let n = ctx.topology.len();
+        // Converge-cast needs roughly two traversals plus slack; trees and
+        // other high-diameter graphs get a cap linear in n.
+        let derived = (4 * default_ttl(n)).max(2 * n as u64 + 8);
+        let max_rounds = self.max_rounds.or(ctx.max_rounds).unwrap_or(derived);
+        let result = run_spanning_tree_count(
+            ctx.topology,
+            ctx.byzantine,
+            attack_from_spec(self.attack),
+            max_rounds,
+            ctx.seed,
+        );
+        Ok(workload_run(Estimand::N, result, |v| v as f64))
+    }
+}
+
+/// Leader flood; first-arrival rounds proxy the diameter.
+#[derive(Clone, Copy, Debug)]
+pub struct FloodDiameterWorkload {
+    /// Flooding horizon (`None` = derive from `n`).
+    pub ttl: Option<u64>,
+    /// Byzantine behaviour.
+    pub attack: AttackSpec,
+}
+
+impl Estimator for FloodDiameterWorkload {
+    fn name(&self) -> &'static str {
+        "flood-diameter"
+    }
+
+    fn estimand(&self) -> Estimand {
+        Estimand::Diameter
+    }
+
+    fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
+        let n = ctx.topology.len();
+        let ttl = resolve_ttl(self.ttl, ctx, default_ttl(n).max(n as u64));
+        let result = run_flood_diameter(
+            ctx.topology,
+            ctx.byzantine,
+            attack_from_spec(self.attack),
+            ttl,
+            ctx.seed,
+        );
+        Ok(workload_run(Estimand::Diameter, result, |v| v as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzcount_core::sim::TopologySpec;
+
+    fn ctx_over<'a>(
+        topo: &'a byzcount_core::sim::BuiltTopology,
+        byz: &'a [bool],
+    ) -> SimContext<'a> {
+        SimContext {
+            topology: topo,
+            byzantine: byz,
+            seed: 5,
+            max_rounds: None,
+        }
+    }
+
+    #[test]
+    fn all_four_baselines_run_via_the_estimator_trait() {
+        let topo = TopologySpec::SmallWorldH { n: 200, d: 6 }.build(2).unwrap();
+        let byz = vec![false; 200];
+        let ctx = ctx_over(&topo, &byz);
+        let estimators: Vec<Box<dyn Estimator>> = vec![
+            Box::new(GeometricSupportWorkload {
+                ttl: None,
+                attack: AttackSpec::None,
+            }),
+            Box::new(ExponentialSupportWorkload {
+                ttl: None,
+                attack: AttackSpec::None,
+            }),
+            Box::new(SpanningTreeWorkload {
+                max_rounds: None,
+                attack: AttackSpec::None,
+            }),
+            Box::new(FloodDiameterWorkload {
+                ttl: None,
+                attack: AttackSpec::None,
+            }),
+        ];
+        for est in estimators {
+            let run = est
+                .run(&ctx)
+                .unwrap_or_else(|e| panic!("{}: {e}", est.name()));
+            assert!(run.completed, "{} did not complete", est.name());
+            assert_eq!(run.per_node.len(), 200, "{}", est.name());
+            assert!(run.counting.is_none());
+        }
+    }
+
+    #[test]
+    fn spanning_tree_counts_exactly_when_honest() {
+        let topo = TopologySpec::SmallWorldH { n: 300, d: 6 }.build(4).unwrap();
+        let byz = vec![false; 300];
+        let ctx = ctx_over(&topo, &byz);
+        let run = SpanningTreeWorkload {
+            max_rounds: None,
+            attack: AttackSpec::None,
+        }
+        .run(&ctx)
+        .unwrap();
+        // The root (node 0) learns the exact count.
+        assert_eq!(run.per_node[0], Some(300.0));
+    }
+
+    #[test]
+    fn inflation_attack_shows_up_in_the_estimates() {
+        let topo = TopologySpec::SmallWorldH { n: 200, d: 6 }.build(2).unwrap();
+        let mut byz = vec![false; 200];
+        byz[100] = true;
+        let ctx = ctx_over(&topo, &byz);
+        let clean = GeometricSupportWorkload {
+            ttl: None,
+            attack: AttackSpec::None,
+        }
+        .run(&ctx_over(&topo, &[false; 200]))
+        .unwrap();
+        let attacked = GeometricSupportWorkload {
+            ttl: None,
+            attack: AttackSpec::Inflate,
+        }
+        .run(&ctx)
+        .unwrap();
+        let max = |run: &WorkloadRun| {
+            run.per_node
+                .iter()
+                .flatten()
+                .fold(f64::MIN, |a, &b| a.max(b))
+        };
+        assert!(max(&attacked) > max(&clean), "inflated color must dominate");
+    }
+}

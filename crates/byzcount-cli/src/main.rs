@@ -1,7 +1,10 @@
-//! Command-line driver for the Byzantine counting experiments.
+//! Command-line driver for the Byzantine counting experiments and for
+//! executing serialized run specifications.
 //!
 //! ```text
-//! byzcount-cli <experiment> [options]
+//! byzcount-cli <experiment> [options]     # regenerate paper tables
+//! byzcount-cli run <spec.json|->          # execute a RunSpec/BatchSpec
+//! byzcount-cli template [run|batch]       # print an example spec
 //!
 //! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 all
 //!
@@ -15,20 +18,96 @@
 //!   --trials <int>     trials per configuration
 //!   --seed <int>       master seed
 //!   --json             emit JSON instead of Markdown tables
+//!
+//! `run` reads a JSON `RunSpec` (or `BatchSpec` — autodetected by its
+//! `seeds` field) from the given file or stdin (`-`), executes it with the
+//! full scenario registry, and prints the `RunReport` / `BatchReport` JSON
+//! to stdout.  The same spec and seed always produce byte-identical output.
 //! ```
 
 use byzcount_analysis::experiments::{self, ExperimentConfig};
-use byzcount_analysis::Table;
+use byzcount_analysis::{campaign, Table};
+use byzcount_core::sim::{
+    AdversarySpec, BatchSpec, ParamsSpec, PlacementSpec, RunSpec, SeedPolicy, TopologySpec,
+    WorkloadSpec, SPEC_VERSION,
+};
 use std::env;
+use std::io::Read;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: byzcount-cli <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|all> \
          [--quick|--standard] [--n 512,1024] [--d 6] [--delta 0.6] \
-         [--epsilon 0.1] [--trials 3] [--seed 42] [--json]"
+         [--epsilon 0.1] [--trials 3] [--seed 42] [--json]\n\
+         \x20      byzcount-cli run <spec.json|->\n\
+         \x20      byzcount-cli template [run|batch]"
     );
     ExitCode::from(2)
+}
+
+/// An example spec users can start from (also exercised by the test suite).
+fn template_run_spec() -> RunSpec {
+    RunSpec {
+        version: SPEC_VERSION,
+        topology: TopologySpec::SmallWorld { n: 1024, d: 6 },
+        workload: WorkloadSpec::Byzantine,
+        placement: PlacementSpec::RandomBudget { delta: 0.6 },
+        adversary: AdversarySpec::Combined,
+        params: ParamsSpec::Derived {
+            delta: 0.6,
+            epsilon: 0.1,
+        },
+        seed: 42,
+        max_rounds: None,
+    }
+}
+
+fn template_batch_spec() -> BatchSpec {
+    BatchSpec {
+        version: SPEC_VERSION,
+        run: template_run_spec(),
+        seeds: SeedPolicy::Sequence { base: 42, count: 8 },
+        sizes: Some(vec![512, 1024, 2048]),
+    }
+}
+
+fn cmd_run(path: &str) -> ExitCode {
+    let mut text = String::new();
+    let read_result = if path == "-" {
+        std::io::stdin().read_to_string(&mut text).map(|_| ())
+    } else {
+        std::fs::read_to_string(path).map(|s| {
+            text = s;
+        })
+    };
+    if let Err(err) = read_result {
+        eprintln!("byzcount-cli: cannot read {path}: {err}");
+        return ExitCode::from(2);
+    }
+    // A BatchSpec is distinguished by its `seeds` field.
+    let is_batch = serde_json::parse_value_complete(&text)
+        .map(|v| v.field("seeds") != &serde_json::Value::Null)
+        .unwrap_or(false);
+    let outcome = if is_batch {
+        BatchSpec::from_json(&text)
+            .and_then(|spec| campaign::execute_batch(&spec))
+            .map(|report| report.to_json())
+    } else {
+        RunSpec::from_json(&text)
+            .and_then(|spec| campaign::execute(&spec))
+            .map(|report| report.to_json())
+    };
+    match outcome {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("byzcount-cli: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -37,6 +116,20 @@ fn main() -> ExitCode {
         return usage();
     }
     let experiment = args[0].to_lowercase();
+    if experiment == "run" {
+        let Some(path) = args.get(1) else {
+            return usage();
+        };
+        return cmd_run(path);
+    }
+    if experiment == "template" {
+        match args.get(1).map(String::as_str) {
+            None | Some("run") => println!("{}", template_run_spec().to_json()),
+            Some("batch") => println!("{}", template_batch_spec().to_json()),
+            Some(_) => return usage(),
+        }
+        return ExitCode::SUCCESS;
+    }
     let mut cfg = ExperimentConfig::quick();
     let mut json = false;
     let mut i = 1;

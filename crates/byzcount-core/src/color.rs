@@ -131,9 +131,15 @@ mod tests {
     fn lemma4_and_lemma5_bounds_hold() {
         for &n in &[64usize, 256, 1024, 16384] {
             let (actual, bound) = lemma4_bound(n);
-            assert!(actual <= bound + 1e-12, "Lemma 4 violated at n = {n}: {actual} > {bound}");
+            assert!(
+                actual <= bound + 1e-12,
+                "Lemma 4 violated at n = {n}: {actual} > {bound}"
+            );
             let (actual, bound) = lemma5_bound(n);
-            assert!(actual <= bound + 1e-12, "Lemma 5 violated at n = {n}: {actual} > {bound}");
+            assert!(
+                actual <= bound + 1e-12,
+                "Lemma 5 violated at n = {n}: {actual} > {bound}"
+            );
         }
     }
 

@@ -15,9 +15,34 @@
 //! * [`color`] — geometric colors and their distribution facts;
 //! * [`discovery`] — neighbourhood reconstruction (Lemma 3) and the
 //!   crash-on-conflict rule (Algorithm 2 line 2);
-//! * [`runner`] — one-call execution over a [`netsim_graph::SmallWorldNetwork`]
+//! * [`runner`] — one-call execution over any [`netsim_runtime::Topology`]
 //!   with any [`netsim_runtime::Adversary`];
-//! * [`outcome`] — the Definition-1 evaluation of a run.
+//! * [`outcome`] — the Definition-1 evaluation of a run;
+//! * [`sim`] — the unified simulation API: versioned, serializable
+//!   [`RunSpec`](sim::RunSpec)s, the [`Simulation`] builder, the common
+//!   [`Estimator`](sim::Estimator) interface, and parallel multi-seed /
+//!   multi-size batches with aggregated statistics.
+//!
+//! The builder is the preferred entry point (`.run_core()` covers the
+//! counting workloads in this crate; the `byzcount` facade's `.run()` adds
+//! the baselines and every adversary):
+//!
+//! ```
+//! use byzcount_core::sim::{Simulation, TopologySpec, WorkloadSpec};
+//!
+//! let report = Simulation::builder()
+//!     .topology(TopologySpec::SmallWorld { n: 256, d: 8 })
+//!     .workload(WorkloadSpec::Basic)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap()
+//!     .run_core()
+//!     .unwrap();
+//! assert!(report.good_fraction().unwrap() > 0.9);
+//! assert!(report.completed);
+//! ```
+//!
+//! The direct runners remain for protocol-level work:
 //!
 //! ```
 //! use byzcount_core::{run_basic_counting, ProtocolParams};
@@ -38,6 +63,7 @@ pub mod outcome;
 pub mod params;
 pub mod runner;
 pub mod schedule;
+pub mod sim;
 
 pub use color::{sample_color, Color, MAX_COLOR};
 pub use discovery::{DiscoveryOutcome, ReconstructionAccuracy};
@@ -46,6 +72,8 @@ pub use node::{CountingNode, Decision};
 pub use outcome::{CountingOutcome, EstimateEvaluation};
 pub use params::ProtocolParams;
 pub use runner::{
-    round_cap, run_basic_counting, run_basic_counting_with, run_counting_with,
+    round_cap, run_basic_counting, run_basic_counting_on, run_basic_counting_on_with,
+    run_basic_counting_with, run_counting_custom, run_counting_on, run_counting_with,
 };
 pub use schedule::{PhasePosition, Position, Schedule, DISCOVERY_ROUNDS};
+pub use sim::{Simulation, SimulationBuilder};

@@ -60,9 +60,14 @@ mod tests {
 
     #[test]
     fn sizes_follow_the_small_message_model() {
-        let adj = CountingMessage::Adjacency { neighbors: vec![1, 2, 3] };
+        let adj = CountingMessage::Adjacency {
+            neighbors: vec![1, 2, 3],
+        };
         assert_eq!(adj.message_size(), SizedMessage::new(3, 0));
-        let flood = CountingMessage::Flood { color: 7, path: vec![4, 5] };
+        let flood = CountingMessage::Flood {
+            color: 7,
+            path: vec![4, 5],
+        };
         assert_eq!(flood.message_size(), SizedMessage::new(2, 32));
         let audit = CountingMessage::Audit { color: 7 };
         assert_eq!(audit.message_size(), SizedMessage::new(0, 32));
@@ -73,7 +78,10 @@ mod tests {
         // The protocol never builds paths longer than k−1; for the paper's
         // default d = 8 that is 2 IDs — a constant independent of n.
         let k = 3usize;
-        let flood = CountingMessage::Flood { color: 3, path: vec![0; k - 1] };
+        let flood = CountingMessage::Flood {
+            color: 3,
+            path: vec![0; k - 1],
+        };
         assert!(flood.message_size().ids <= (k - 1) as u32);
     }
 }

@@ -138,7 +138,9 @@ impl CountingNode {
         ctx: &NodeContext<'_>,
         outbox: &mut Outbox<CountingMessage>,
     ) -> Action<Decision> {
-        let report = CountingMessage::Adjacency { neighbors: ctx.neighbors.to_vec() };
+        let report = CountingMessage::Adjacency {
+            neighbors: ctx.neighbors.to_vec(),
+        };
         outbox.broadcast(ctx.neighbors.iter(), report);
         Action::Continue
     }
@@ -212,13 +214,7 @@ impl CountingNode {
     /// Provenance verification (Algorithm 2 line 15 realised as
     /// path-attestation; see Lemma 16).  `step` is the flooding step at
     /// which the color arrived.
-    fn verify_color(
-        &self,
-        ctx: &NodeContext<'_>,
-        color: Color,
-        path: &[u32],
-        step: u64,
-    ) -> bool {
+    fn verify_color(&self, ctx: &NodeContext<'_>, color: Color, path: &[u32], step: u64) -> bool {
         let k = self.params.k as u64;
         // Colors arriving within the first k−1 steps may have originated
         // anywhere in the sender's (k−1)-ball; Lemma 16 shows this is the
@@ -358,7 +354,12 @@ mod tests {
     }
 
     fn ctx<'a>(neighbors: &'a [u32], round: u64) -> NodeContext<'a> {
-        NodeContext { id: NodeId(0), round, neighbors, decided: false }
+        NodeContext {
+            id: NodeId(0),
+            round,
+            neighbors,
+            decided: false,
+        }
     }
 
     #[test]
@@ -413,7 +414,10 @@ mod tests {
         assert!(node.verify_color(&c, 50, &[], 2));
         // Step 3 requires a path of length k−1 = 2 with matching audits.
         assert!(!node.verify_color(&c, 50, &[], 3));
-        assert!(!node.verify_color(&c, 50, &[3, 4], 3), "no audits logged yet");
+        assert!(
+            !node.verify_color(&c, 50, &[3, 4], 3),
+            "no audits logged yet"
+        );
         // Log audits that corroborate the path: relay 3 sent at step 1,
         // relay 4 (the origin) at step 0.
         node.audit_log.insert((3, 1), 50);
@@ -432,7 +436,11 @@ mod tests {
         let neighbors = [1u32, 2, 3, 4, 5];
         let mut outbox = Outbox::new();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let pos = PhasePosition { phase: 2, subphase: 1, step: 0 };
+        let pos = PhasePosition {
+            phase: 2,
+            subphase: 1,
+            step: 0,
+        };
         let action = node.generation_step(&ctx(&neighbors, 2), pos, &mut outbox, &mut rng);
         assert_eq!(action, Action::Continue);
         // 2 floods (H-neighbours) + 5 audits (all G-neighbours).
@@ -446,10 +454,28 @@ mod tests {
         node.h_neighbors = vec![1];
         let neighbors = [1u32, 2];
         let mut outbox = Outbox::new();
-        let pos = PhasePosition { phase: 3, subphase: 1, step: 1 };
+        let pos = PhasePosition {
+            phase: 3,
+            subphase: 1,
+            step: 1,
+        };
         let inbox = vec![
-            Envelope::new(NodeId(2), NodeId(0), CountingMessage::Flood { color: 40, path: vec![] }),
-            Envelope::new(NodeId(1), NodeId(0), CountingMessage::Flood { color: 5, path: vec![] }),
+            Envelope::new(
+                NodeId(2),
+                NodeId(0),
+                CountingMessage::Flood {
+                    color: 40,
+                    path: vec![],
+                },
+            ),
+            Envelope::new(
+                NodeId(1),
+                NodeId(0),
+                CountingMessage::Flood {
+                    color: 5,
+                    path: vec![],
+                },
+            ),
         ];
         node.flooding_step(&ctx(&neighbors, 3), pos, &inbox, &mut outbox);
         // The color 40 came over an L-edge and must be ignored; 5 is
@@ -467,7 +493,11 @@ mod tests {
         // Jump straight to the last step of the last subphase of phase 1
         // with an empty inbox: no continue signal → decide phase 1.
         let last_subphase = schedule.subphases_in_phase(1);
-        let pos = PhasePosition { phase: 1, subphase: last_subphase, step: 1 };
+        let pos = PhasePosition {
+            phase: 1,
+            subphase: last_subphase,
+            step: 1,
+        };
         let mut outbox = Outbox::new();
         let action = node.flooding_step(&ctx(&neighbors, 99), pos, &[], &mut outbox);
         assert_eq!(action, Action::Decide(Decision { phase: 1 }));
@@ -482,11 +512,18 @@ mod tests {
         node.h_neighbors = vec![1];
         let neighbors = [1u32];
         let last_subphase = schedule.subphases_in_phase(1);
-        let pos = PhasePosition { phase: 1, subphase: last_subphase, step: 1 };
+        let pos = PhasePosition {
+            phase: 1,
+            subphase: last_subphase,
+            step: 1,
+        };
         let inbox = vec![Envelope::new(
             NodeId(1),
             NodeId(0),
-            CountingMessage::Flood { color: 10, path: vec![] },
+            CountingMessage::Flood {
+                color: 10,
+                path: vec![],
+            },
         )];
         let mut outbox = Outbox::new();
         let action = node.flooding_step(&ctx(&neighbors, 99), pos, &inbox, &mut outbox);

@@ -96,7 +96,9 @@ impl CountingOutcome {
                 eval.honest_crashed += 1;
                 continue;
             }
-            let Some(est) = self.estimates[i] else { continue };
+            let Some(est) = self.estimates[i] else {
+                continue;
+            };
             eval.honest_decided += 1;
             sum += est as f64;
             eval.min_estimate = eval.min_estimate.min(est);
@@ -110,8 +112,11 @@ impl CountingOutcome {
         if eval.honest_decided == 0 {
             eval.min_estimate = 0;
         }
-        eval.mean_estimate =
-            if eval.honest_decided > 0 { sum / eval.honest_decided as f64 } else { 0.0 };
+        eval.mean_estimate = if eval.honest_decided > 0 {
+            sum / eval.honest_decided as f64
+        } else {
+            0.0
+        };
         eval.good_fraction_of_honest = if eval.honest_total > 0 {
             eval.honest_good as f64 / eval.honest_total as f64
         } else {
@@ -145,7 +150,9 @@ impl CountingOutcome {
 
     /// Number of crashed honest nodes.
     pub fn crashed_honest(&self) -> usize {
-        (0..self.crashed.len()).filter(|&i| self.crashed[i] && !self.byzantine[i]).count()
+        (0..self.crashed.len())
+            .filter(|&i| self.crashed[i] && !self.byzantine[i])
+            .count()
     }
 
     /// Number of Byzantine nodes in this run.
@@ -158,7 +165,11 @@ impl CountingOutcome {
 mod tests {
     use super::*;
 
-    fn make_outcome(estimates: Vec<Option<u64>>, crashed: Vec<bool>, byz: Vec<bool>) -> CountingOutcome {
+    fn make_outcome(
+        estimates: Vec<Option<u64>>,
+        crashed: Vec<bool>,
+        byz: Vec<bool>,
+    ) -> CountingOutcome {
         let n = estimates.len();
         CountingOutcome {
             n,
@@ -175,7 +186,16 @@ mod tests {
     #[test]
     fn evaluation_counts_good_estimates() {
         // n = 1024 → reference phase ≈ 1 + (10−3)/log2(7) ≈ 3.49.
-        let estimates = vec![Some(3), Some(4), Some(30), None, Some(3), Some(3), Some(4), Some(3)];
+        let estimates = vec![
+            Some(3),
+            Some(4),
+            Some(30),
+            None,
+            Some(3),
+            Some(3),
+            Some(4),
+            Some(3),
+        ];
         let crashed = vec![false, false, false, true, false, false, false, false];
         let byz = vec![false; 8];
         let mut outcome = make_outcome(estimates, crashed, byz);

@@ -46,20 +46,46 @@ impl ProtocolParams {
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
         assert!(delta > 0.0 && delta <= 1.0, "delta must lie in (0, 1]");
         assert!(edge_expansion > 0.0, "edge expansion must be positive");
-        ProtocolParams { d, k, delta, epsilon, edge_expansion }
+        ProtocolParams {
+            d,
+            k,
+            delta,
+            epsilon,
+            edge_expansion,
+        }
     }
 
     /// Derive parameters from a generated network, estimating the edge
     /// expansion of `H` spectrally.
     pub fn for_network(net: &SmallWorldNetwork, delta: f64, epsilon: f64) -> Self {
         let est = edge_expansion(net.h().csr(), net.d(), 200, 0xB1A5);
-        Self::new(net.d(), net.k(), delta, epsilon, est.working_value().max(0.05))
+        Self::new(
+            net.d(),
+            net.k(),
+            delta,
+            epsilon,
+            est.working_value().max(0.05),
+        )
     }
 
     /// Derive parameters from a network without running the spectral
     /// estimator (uses `h = 1`, a typical value for `H(n, 8)`).
-    pub fn for_network_default_expansion(net: &SmallWorldNetwork, delta: f64, epsilon: f64) -> Self {
+    pub fn for_network_default_expansion(
+        net: &SmallWorldNetwork,
+        delta: f64,
+        epsilon: f64,
+    ) -> Self {
         Self::new(net.d(), net.k(), delta, epsilon, 1.0)
+    }
+
+    /// Derive parameters for an arbitrary topology from a nominal degree
+    /// alone, with the paper's default radius `k = ⌈d/3⌉` and unit edge
+    /// expansion.  This is what the simulation API uses for topologies that
+    /// are not small-world networks (Watts–Strogatz, trees, raw CSR), where
+    /// the analytic constants are heuristics rather than guarantees.
+    pub fn for_degree(d: usize, delta: f64, epsilon: f64) -> Self {
+        let d = d.max(4);
+        Self::new(d, d.div_ceil(3).max(1), delta, epsilon, 1.0)
     }
 
     /// Whether `δ` satisfies the paper's admissibility condition `δ > 3/d`

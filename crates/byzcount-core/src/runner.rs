@@ -6,7 +6,7 @@ use crate::outcome::CountingOutcome;
 use crate::params::ProtocolParams;
 use crate::schedule::Schedule;
 use netsim_graph::SmallWorldNetwork;
-use netsim_runtime::{Adversary, EngineConfig, NullAdversary, SyncEngine};
+use netsim_runtime::{Adversary, EngineConfig, NullAdversary, SyncEngine, Topology};
 
 /// How many phases past the reference decision phase the engine allows
 /// before giving up (safety cap; honest runs finish well before it).
@@ -21,6 +21,49 @@ pub fn round_cap(params: &ProtocolParams, n: usize) -> u64 {
     schedule.rounds_through_phase(max_phase)
 }
 
+/// Run the *Byzantine* counting protocol (Algorithm 2) over any topology
+/// with an arbitrary adversary.
+pub fn run_counting_on<T, A>(
+    net: &T,
+    params: &ProtocolParams,
+    byzantine: &[bool],
+    adversary: A,
+    seed: u64,
+) -> CountingOutcome
+where
+    T: Topology,
+    A: Adversary<CountingNode>,
+{
+    run_variant(net, params, byzantine, adversary, true, seed)
+}
+
+/// Run the *basic* counting protocol (Algorithm 1) over any topology without
+/// Byzantine nodes.
+pub fn run_basic_counting_on<T: Topology>(
+    net: &T,
+    params: &ProtocolParams,
+    seed: u64,
+) -> CountingOutcome {
+    let byzantine = vec![false; net.len()];
+    run_variant(net, params, &byzantine, NullAdversary, false, seed)
+}
+
+/// Run the basic protocol (no verification) over any topology but *with*
+/// Byzantine nodes and an adversary.
+pub fn run_basic_counting_on_with<T, A>(
+    net: &T,
+    params: &ProtocolParams,
+    byzantine: &[bool],
+    adversary: A,
+    seed: u64,
+) -> CountingOutcome
+where
+    T: Topology,
+    A: Adversary<CountingNode>,
+{
+    run_variant(net, params, byzantine, adversary, false, seed)
+}
+
 /// Run the *Byzantine* counting protocol (Algorithm 2) with an arbitrary
 /// adversary.
 pub fn run_counting_with<A>(
@@ -33,7 +76,7 @@ pub fn run_counting_with<A>(
 where
     A: Adversary<CountingNode>,
 {
-    run_variant(net, params, byzantine, adversary, true, seed)
+    run_counting_on(net, params, byzantine, adversary, seed)
 }
 
 /// Run the *basic* counting protocol (Algorithm 1) without Byzantine nodes.
@@ -42,8 +85,7 @@ pub fn run_basic_counting(
     params: &ProtocolParams,
     seed: u64,
 ) -> CountingOutcome {
-    let byzantine = vec![false; net.len()];
-    run_variant(net, params, &byzantine, NullAdversary, false, seed)
+    run_basic_counting_on(net, params, seed)
 }
 
 /// Run the basic protocol (no verification) but *with* Byzantine nodes and an
@@ -59,11 +101,11 @@ pub fn run_basic_counting_with<A>(
 where
     A: Adversary<CountingNode>,
 {
-    run_variant(net, params, byzantine, adversary, false, seed)
+    run_basic_counting_on_with(net, params, byzantine, adversary, seed)
 }
 
-fn run_variant<A>(
-    net: &SmallWorldNetwork,
+fn run_variant<T, A>(
+    net: &T,
     params: &ProtocolParams,
     byzantine: &[bool],
     adversary: A,
@@ -71,6 +113,27 @@ fn run_variant<A>(
     seed: u64,
 ) -> CountingOutcome
 where
+    T: Topology,
+    A: Adversary<CountingNode>,
+{
+    run_counting_custom(net, params, byzantine, adversary, verify, seed, None)
+}
+
+/// Run either counting variant with full control: `verify` selects
+/// Algorithm 2 over Algorithm 1, and `max_rounds` overrides the
+/// schedule-derived round cap (the simulation API uses this for workloads
+/// on non-expander topologies, where the analytic cap may not apply).
+pub fn run_counting_custom<T, A>(
+    net: &T,
+    params: &ProtocolParams,
+    byzantine: &[bool],
+    adversary: A,
+    verify: bool,
+    seed: u64,
+    max_rounds: Option<u64>,
+) -> CountingOutcome
+where
+    T: Topology,
     A: Adversary<CountingNode>,
 {
     let n = net.len();
@@ -84,7 +147,10 @@ where
             }
         })
         .collect();
-    let config = EngineConfig { max_rounds: round_cap(params, n), stop_when_all_decided: true };
+    let config = EngineConfig {
+        max_rounds: max_rounds.unwrap_or_else(|| round_cap(params, n)),
+        stop_when_all_decided: true,
+    };
     let engine = SyncEngine::new(net, nodes, byzantine.to_vec(), adversary, config, seed);
     let result = engine.run();
     CountingOutcome {
@@ -119,7 +185,10 @@ mod tests {
         let net = SmallWorldNetwork::generate_seeded(256, 8, 1).unwrap();
         let params = ProtocolParams::for_network_default_expansion(&net, 0.6, 0.1);
         let outcome = run_basic_counting(&net, &params, 7);
-        assert!(outcome.completed, "all nodes must decide within the round cap");
+        assert!(
+            outcome.completed,
+            "all nodes must decide within the round cap"
+        );
         let eval = outcome.evaluate();
         assert_eq!(eval.honest_total, 256);
         assert_eq!(eval.honest_crashed, 0);
@@ -141,7 +210,10 @@ mod tests {
         let outcome = run_counting_with(&net, &params, &byz, NullAdversary, 3);
         assert!(outcome.completed);
         let eval = outcome.evaluate();
-        assert_eq!(eval.honest_crashed, 0, "honest reports never trigger the crash rule");
+        assert_eq!(
+            eval.honest_crashed, 0,
+            "honest reports never trigger the crash rule"
+        );
         assert!(eval.good_fraction_of_honest > 0.9, "{eval:?}");
     }
 

@@ -136,7 +136,11 @@ impl Schedule {
                 let sub_len = self.rounds_in_subphase(phase);
                 let subphase = offset / sub_len + 1;
                 let step = offset % sub_len;
-                return Position::InPhase(PhasePosition { phase, subphase, step });
+                return Position::InPhase(PhasePosition {
+                    phase,
+                    subphase,
+                    step,
+                });
             }
             offset -= phase_rounds;
             phase += 1;
@@ -232,7 +236,10 @@ mod tests {
         let r10 = s.rounds_through_phase(10) as f64;
         let r20 = s.rounds_through_phase(20) as f64;
         let ratio = r20 / r10;
-        assert!(ratio > 5.0 && ratio < 16.0, "growth ratio {ratio} not ~cubic");
+        assert!(
+            ratio > 5.0 && ratio < 16.0,
+            "growth ratio {ratio} not ~cubic"
+        );
     }
 
     #[test]
@@ -240,9 +247,17 @@ mod tests {
         let s = sched();
         let phase = 2;
         let last = s.subphases_in_phase(phase);
-        let pos = PhasePosition { phase, subphase: last, step: 0 };
+        let pos = PhasePosition {
+            phase,
+            subphase: last,
+            step: 0,
+        };
         assert!(pos.is_last_subphase(&s));
-        let pos = PhasePosition { phase, subphase: last - 1, step: 0 };
+        let pos = PhasePosition {
+            phase,
+            subphase: last - 1,
+            step: 0,
+        };
         assert!(!pos.is_last_subphase(&s));
     }
 

@@ -1,0 +1,385 @@
+//! The unified simulation entry point.
+//!
+//! ```
+//! use byzcount_core::sim::{
+//!     PlacementSpec, SeedPolicy, Simulation, TopologySpec, WorkloadSpec,
+//! };
+//!
+//! let report = Simulation::builder()
+//!     .topology(TopologySpec::SmallWorld { n: 256, d: 6 })
+//!     .workload(WorkloadSpec::Basic)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap()
+//!     .run_core()
+//!     .unwrap();
+//! assert!(report.completed);
+//! ```
+//!
+//! The builder assembles a serializable [`RunSpec`] (or, with a multi-seed
+//! [`SeedPolicy`] / size sweep, a [`BatchSpec`]) and executes it through a
+//! [`ScenarioRegistry`] — the component that turns spec variants into
+//! concrete estimators and adversaries.  The [`CoreRegistry`] in this crate
+//! understands the two counting protocols with the null adversary; the full
+//! registry (baselines + knowledge-based adversaries) lives in
+//! `byzcount-analysis::campaign` and is re-exported through the `byzcount`
+//! facade, where `.run()` / `.run_batch()` become available on every
+//! [`Simulation`].
+
+use crate::sim::error::SimError;
+use crate::sim::estimator::{CountingEstimator, Estimator, NullAdversaryFactory, SimContext};
+use crate::sim::report::{BatchReport, RunReport};
+use crate::sim::spec::{
+    derive_seed, seed_stream, AdversarySpec, BatchSpec, ParamsSpec, PlacementSpec, RunSpec,
+    SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
+};
+use crate::ProtocolParams;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Turns spec variants into executable estimators.
+///
+/// Implementations receive the validated [`RunSpec`] and the resolved
+/// [`ProtocolParams`] and return the estimator that will run the workload;
+/// the estimator's adversary factory is expected to honour
+/// `spec.adversary`.
+pub trait ScenarioRegistry: Sync {
+    /// Resolve the estimator for a run.
+    fn estimator(
+        &self,
+        spec: &RunSpec,
+        params: &ProtocolParams,
+    ) -> Result<Arc<dyn Estimator>, SimError>;
+}
+
+/// The registry built into `byzcount-core`: both counting protocols, null
+/// adversary only.  Baseline workloads and the knowledge-based adversaries
+/// need the full registry from `byzcount-analysis` (re-exported by the
+/// `byzcount` facade).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreRegistry;
+
+impl ScenarioRegistry for CoreRegistry {
+    fn estimator(
+        &self,
+        spec: &RunSpec,
+        params: &ProtocolParams,
+    ) -> Result<Arc<dyn Estimator>, SimError> {
+        if spec.adversary != AdversarySpec::Null {
+            return Err(SimError::Unsupported(format!(
+                "adversary `{}` needs the full scenario registry \
+                 (use byzcount::prelude::* / byzcount-analysis::campaign)",
+                spec.adversary.name()
+            )));
+        }
+        match spec.workload {
+            WorkloadSpec::Basic => Ok(Arc::new(CountingEstimator::basic(
+                *params,
+                Arc::new(NullAdversaryFactory),
+            ))),
+            WorkloadSpec::Byzantine => Ok(Arc::new(CountingEstimator::byzantine(
+                *params,
+                Arc::new(NullAdversaryFactory),
+            ))),
+            _ => Err(SimError::Unsupported(format!(
+                "workload `{}` needs the full scenario registry \
+                 (use byzcount::prelude::* / byzcount-analysis::campaign)",
+                spec.workload.name()
+            ))),
+        }
+    }
+}
+
+/// Execute one validated [`RunSpec`] through a registry.
+pub fn execute_spec(
+    spec: &RunSpec,
+    registry: &dyn ScenarioRegistry,
+) -> Result<RunReport, SimError> {
+    spec.validate()?;
+    let topology = spec
+        .topology
+        .build(derive_seed(spec.seed, seed_stream::TOPOLOGY))?;
+    let params = spec.params.resolve(&spec.topology, &topology);
+    let byzantine = spec
+        .placement
+        .materialize(&topology, derive_seed(spec.seed, seed_stream::PLACEMENT))?;
+    let estimator = registry.estimator(spec, &params)?;
+    let ctx = SimContext {
+        topology: &topology,
+        byzantine: &byzantine,
+        seed: derive_seed(spec.seed, seed_stream::RUN),
+        max_rounds: spec.max_rounds,
+    };
+    let run = estimator.run(&ctx)?;
+    Ok(RunReport::from_run(spec.clone(), &byzantine, &run))
+}
+
+/// Execute a whole [`BatchSpec`] through a registry, runs in parallel.
+pub fn execute_batch(
+    spec: &BatchSpec,
+    registry: &dyn ScenarioRegistry,
+) -> Result<BatchReport, SimError> {
+    spec.validate()?;
+    let runs: Result<Vec<RunReport>, SimError> = spec
+        .expand()
+        .into_par_iter()
+        .map(|run_spec| execute_spec(&run_spec, registry))
+        .collect::<Vec<Result<RunReport, SimError>>>()
+        .into_iter()
+        .collect();
+    Ok(BatchReport::from_runs(spec.clone(), runs?))
+}
+
+/// Builder for [`Simulation`]s; see the module docs.
+#[derive(Clone, Debug)]
+pub struct SimulationBuilder {
+    topology: Option<TopologySpec>,
+    workload: WorkloadSpec,
+    placement: PlacementSpec,
+    adversary: AdversarySpec,
+    params: ParamsSpec,
+    seeds: SeedPolicy,
+    sizes: Option<Vec<usize>>,
+    max_rounds: Option<u64>,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder {
+            topology: None,
+            workload: WorkloadSpec::Byzantine,
+            placement: PlacementSpec::None,
+            adversary: AdversarySpec::Null,
+            params: ParamsSpec::default(),
+            seeds: SeedPolicy::Fixed(0),
+            sizes: None,
+            max_rounds: None,
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// The communication topology (required).
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The workload to execute (default: Algorithm 2).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Byzantine placement (default: none).
+    pub fn placement(mut self, placement: PlacementSpec) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Adversary for counting workloads (default: null).
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Protocol parameters (default: derived with `δ = 0.6`, `ε = 0.1`).
+    pub fn params(mut self, params: ParamsSpec) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Derived parameters with explicit `δ` and `ε`.
+    pub fn derived_params(mut self, delta: f64, epsilon: f64) -> Self {
+        self.params = ParamsSpec::Derived { delta, epsilon };
+        self
+    }
+
+    /// One run with this seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seeds = SeedPolicy::Fixed(seed);
+        self
+    }
+
+    /// Multi-seed policy for batches.
+    pub fn seeds(mut self, seeds: SeedPolicy) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Network sizes to sweep in a batch (default: the topology's size).
+    pub fn sizes(mut self, sizes: &[usize]) -> Self {
+        self.sizes = Some(sizes.to_vec());
+        self
+    }
+
+    /// Override the engine round cap.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Validate and freeze into a [`Simulation`].
+    pub fn build(self) -> Result<Simulation, SimError> {
+        let topology = self.topology.ok_or(SimError::Incomplete("a topology"))?;
+        if self.seeds.seeds().is_empty() {
+            return Err(SimError::Spec(
+                "seed policy must produce at least one seed".into(),
+            ));
+        }
+        let sim = Simulation {
+            run: RunSpec {
+                version: SPEC_VERSION,
+                topology,
+                workload: self.workload,
+                placement: self.placement,
+                adversary: self.adversary,
+                params: self.params,
+                seed: self.seeds.primary(),
+                max_rounds: self.max_rounds,
+            },
+            seeds: self.seeds,
+            sizes: self.sizes,
+        };
+        sim.run.validate()?;
+        Ok(sim)
+    }
+}
+
+/// A validated, executable simulation (single run or batch).
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    run: RunSpec,
+    seeds: SeedPolicy,
+    sizes: Option<Vec<usize>>,
+}
+
+impl Simulation {
+    /// Start building a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
+    /// The single-run spec (the seed policy's primary seed).
+    pub fn spec(&self) -> &RunSpec {
+        &self.run
+    }
+
+    /// The campaign spec (all seeds and sizes).
+    pub fn batch_spec(&self) -> BatchSpec {
+        BatchSpec {
+            version: SPEC_VERSION,
+            run: self.run.clone(),
+            seeds: self.seeds.clone(),
+            sizes: self.sizes.clone(),
+        }
+    }
+
+    /// Execute a single run through an explicit registry.
+    pub fn run_with(&self, registry: &dyn ScenarioRegistry) -> Result<RunReport, SimError> {
+        execute_spec(&self.run, registry)
+    }
+
+    /// Execute the batch through an explicit registry (parallel over runs).
+    pub fn run_batch_with(&self, registry: &dyn ScenarioRegistry) -> Result<BatchReport, SimError> {
+        execute_batch(&self.batch_spec(), registry)
+    }
+
+    /// Execute a single run with the core-only registry (counting workloads,
+    /// null adversary).  Use the facade's `.run()` for the full registry.
+    pub fn run_core(&self) -> Result<RunReport, SimError> {
+        self.run_with(&CoreRegistry)
+    }
+
+    /// Execute the batch with the core-only registry.
+    pub fn run_batch_core(&self) -> Result<BatchReport, SimError> {
+        self.run_batch_with(&CoreRegistry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_a_topology() {
+        assert!(matches!(
+            Simulation::builder().build(),
+            Err(SimError::Incomplete("a topology"))
+        ));
+    }
+
+    #[test]
+    fn single_run_through_core_registry() {
+        let report = Simulation::builder()
+            .topology(TopologySpec::SmallWorld { n: 128, d: 6 })
+            .workload(WorkloadSpec::Basic)
+            .seed(7)
+            .build()
+            .unwrap()
+            .run_core()
+            .unwrap();
+        assert_eq!(report.n, 128);
+        assert!(report.completed);
+        assert!(report.estimate.decided > 100);
+        assert!(report.counting.is_some());
+    }
+
+    #[test]
+    fn identical_specs_give_identical_reports() {
+        let build = || {
+            Simulation::builder()
+                .topology(TopologySpec::SmallWorld { n: 128, d: 6 })
+                .workload(WorkloadSpec::Byzantine)
+                .seed(21)
+                .build()
+                .unwrap()
+        };
+        let a = build().run_core().unwrap();
+        let b = build().run_core().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn batches_aggregate_per_size() {
+        let report = Simulation::builder()
+            .topology(TopologySpec::SmallWorld { n: 64, d: 6 })
+            .workload(WorkloadSpec::Basic)
+            .seeds(SeedPolicy::Sequence { base: 3, count: 4 })
+            .sizes(&[64, 128])
+            .build()
+            .unwrap()
+            .run_batch_core()
+            .unwrap();
+        assert_eq!(report.runs.len(), 8);
+        assert_eq!(report.aggregates.len(), 2);
+        let small = report.aggregate_for(64).unwrap();
+        assert_eq!(small.runs, 4);
+        assert!(small.good_fraction.is_some());
+    }
+
+    #[test]
+    fn core_registry_rejects_baselines_and_adversaries() {
+        let err = Simulation::builder()
+            .topology(TopologySpec::SmallWorld { n: 64, d: 6 })
+            .workload(WorkloadSpec::GeometricSupport {
+                ttl: None,
+                attack: crate::sim::AttackSpec::None,
+            })
+            .build()
+            .unwrap()
+            .run_core()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)));
+        let err = Simulation::builder()
+            .topology(TopologySpec::SmallWorld { n: 64, d: 6 })
+            .adversary(AdversarySpec::Combined)
+            .placement(PlacementSpec::RandomBudget { delta: 0.6 })
+            .build()
+            .unwrap()
+            .run_core()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)));
+    }
+}

@@ -1,0 +1,38 @@
+//! Simulation API errors.
+
+use netsim_graph::GraphError;
+use std::fmt;
+
+/// Errors raised while building or executing a simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The specification is malformed or uses an unsupported version.
+    Spec(String),
+    /// Topology generation failed.
+    Graph(GraphError),
+    /// The active [`ScenarioRegistry`](crate::sim::ScenarioRegistry) cannot
+    /// interpret a workload/adversary combination (e.g. baseline workloads
+    /// through the core-only registry).
+    Unsupported(String),
+    /// The builder is missing a required component.
+    Incomplete(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Spec(msg) => write!(f, "invalid run spec: {msg}"),
+            SimError::Graph(err) => write!(f, "topology generation failed: {err}"),
+            SimError::Unsupported(msg) => write!(f, "unsupported scenario: {msg}"),
+            SimError::Incomplete(what) => write!(f, "simulation builder is missing {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<GraphError> for SimError {
+    fn from(err: GraphError) -> Self {
+        SimError::Graph(err)
+    }
+}

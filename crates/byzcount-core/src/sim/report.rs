@@ -1,0 +1,377 @@
+//! Serializable run and batch reports.
+//!
+//! A [`RunReport`] is a compact, deterministic summary of one execution:
+//! it echoes the full [`RunSpec`] (so a report is self-describing and
+//! reproducible), carries the engine metrics, the estimate statistics over
+//! honest nodes and — for counting workloads — the Definition-1 evaluation
+//! at acceptance factors 2 and 3.  Reports contain no wall-clock data by
+//! design: the same spec and seed produce byte-identical JSON.
+//!
+//! A [`BatchReport`] collects the per-run reports of a campaign plus
+//! per-size aggregate statistics (mean / stddev / quantiles of the good
+//! fraction, rounds and message counts).
+
+use crate::outcome::EstimateEvaluation;
+use crate::sim::error::SimError;
+use crate::sim::estimator::{Estimand, WorkloadRun};
+use crate::sim::spec::{BatchSpec, RunSpec, SPEC_VERSION};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of the honest nodes' estimates in one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EstimateStats {
+    /// Honest nodes that produced an estimate.
+    pub decided: usize,
+    /// Mean estimate over honest deciders.
+    pub mean: f64,
+    /// Smallest honest estimate.
+    pub min: f64,
+    /// Largest honest estimate.
+    pub max: f64,
+}
+
+/// Counting-specific evaluation attached to protocol workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CountingSummary {
+    /// Definition-1 evaluation with acceptance factor 2.
+    pub eval_factor2: EstimateEvaluation,
+    /// Definition-1 evaluation with acceptance factor 3.
+    pub eval_factor3: EstimateEvaluation,
+    /// Whether the run satisfies Definition 1 at factor 3.
+    pub definition1_factor3: bool,
+}
+
+/// The summary of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema version ([`SPEC_VERSION`]).
+    pub spec_version: u32,
+    /// The spec that produced this report (self-describing reports).
+    pub spec: RunSpec,
+    /// Network size.
+    pub n: usize,
+    /// The master seed of the run.
+    pub seed: u64,
+    /// Workload name.
+    pub workload: String,
+    /// What the estimates measure.
+    pub estimand: Estimand,
+    /// Ground truth for the estimand, when defined.
+    pub truth: Option<f64>,
+    /// Number of Byzantine nodes.
+    pub byzantine_count: usize,
+    /// Number of honest nodes.
+    pub honest_total: usize,
+    /// Honest nodes that decided.
+    pub honest_decided: usize,
+    /// Honest nodes that crashed.
+    pub honest_crashed: usize,
+    /// Whether every honest node decided or crashed before the round cap.
+    pub completed: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped by validation.
+    pub messages_dropped: u64,
+    /// Largest message, in IDs.
+    pub max_message_ids: u32,
+    /// Largest message, in extra bits.
+    pub max_message_bits: u32,
+    /// Estimate statistics over honest deciders.
+    pub estimate: EstimateStats,
+    /// Counting-protocol evaluation (absent for baselines).
+    pub counting: Option<CountingSummary>,
+}
+
+impl RunReport {
+    /// Assemble a report from a workload execution.
+    pub fn from_run(spec: RunSpec, byzantine: &[bool], run: &WorkloadRun) -> Self {
+        let n = byzantine.len();
+        let byzantine_count = byzantine.iter().filter(|&&b| b).count();
+        let honest_total = n - byzantine_count;
+        let mut honest_crashed = 0usize;
+        let mut stats = EstimateStats {
+            decided: 0,
+            mean: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        let mut sum = 0.0;
+        for (i, &is_byzantine) in byzantine.iter().enumerate() {
+            if is_byzantine {
+                continue;
+            }
+            if run.crashed.get(i).copied().unwrap_or(false) {
+                honest_crashed += 1;
+                continue;
+            }
+            if let Some(est) = run.per_node.get(i).copied().flatten() {
+                stats.decided += 1;
+                sum += est;
+                stats.min = stats.min.min(est);
+                stats.max = stats.max.max(est);
+            }
+        }
+        if stats.decided > 0 {
+            stats.mean = sum / stats.decided as f64;
+        } else {
+            stats.min = 0.0;
+            stats.max = 0.0;
+        }
+        let counting = run.counting.as_ref().map(|outcome| CountingSummary {
+            eval_factor2: outcome.evaluate_with_factor(2.0),
+            eval_factor3: outcome.evaluate_with_factor(3.0),
+            definition1_factor3: outcome.satisfies_definition1(3.0),
+        });
+        RunReport {
+            spec_version: SPEC_VERSION,
+            n,
+            seed: spec.seed,
+            workload: spec.workload.name().to_string(),
+            estimand: run.estimand,
+            truth: run.estimand.truth(n),
+            byzantine_count,
+            honest_total,
+            honest_decided: stats.decided,
+            honest_crashed,
+            completed: run.completed,
+            rounds: run.metrics.rounds,
+            messages_delivered: run.metrics.messages_delivered,
+            messages_dropped: run.metrics.messages_dropped,
+            max_message_ids: run.metrics.max_message.ids,
+            max_message_bits: run.metrics.max_message.bits,
+            estimate: stats,
+            counting,
+            spec,
+        }
+    }
+
+    /// Fraction of honest nodes holding a good estimate (factor 2), for
+    /// counting workloads.
+    pub fn good_fraction(&self) -> Option<f64> {
+        self.counting
+            .map(|c| c.eval_factor2.good_fraction_of_honest)
+    }
+
+    /// Mean relative error of the honest estimates against the estimand's
+    /// ground truth, when both exist.
+    pub fn relative_error(&self) -> Option<f64> {
+        let truth = self.truth?;
+        if self.estimate.decided == 0 || truth == 0.0 {
+            return None;
+        }
+        Some((self.estimate.mean - truth).abs() / truth)
+    }
+
+    /// Serialize to pretty JSON (canonical: equal reports give equal bytes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunReport serialization cannot fail")
+    }
+
+    /// Parse from JSON, rejecting reports from a newer schema.
+    pub fn from_json(text: &str) -> Result<Self, SimError> {
+        let report: RunReport =
+            serde_json::from_str(text).map_err(|e| SimError::Spec(e.to_string()))?;
+        if report.spec_version > SPEC_VERSION {
+            return Err(SimError::Spec(format!(
+                "report version {} is newer than supported version {SPEC_VERSION}",
+                report.spec_version
+            )));
+        }
+        Ok(report)
+    }
+}
+
+/// Aggregate statistics of one metric across runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Sample count.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+impl Aggregate {
+    /// Aggregate a sample (empty samples give all-zero statistics).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Aggregate::default();
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| -> f64 {
+            if sorted.len() == 1 {
+                return sorted[0];
+            }
+            let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        Aggregate {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: pct(50.0),
+            p10: pct(10.0),
+            p90: pct(90.0),
+        }
+    }
+}
+
+/// Aggregates for all runs of one network size in a batch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SizeAggregate {
+    /// Network size.
+    pub n: usize,
+    /// Runs at this size.
+    pub runs: usize,
+    /// Runs that completed.
+    pub completed_runs: usize,
+    /// Good-fraction statistics (counting workloads only).
+    pub good_fraction: Option<Aggregate>,
+    /// Honest-crash-fraction statistics.
+    pub crashed_fraction: Aggregate,
+    /// Round-count statistics.
+    pub rounds: Aggregate,
+    /// Delivered-message statistics.
+    pub messages: Aggregate,
+    /// Mean-estimate statistics.
+    pub mean_estimate: Aggregate,
+}
+
+impl SizeAggregate {
+    /// Aggregate the reports of one size bucket.
+    pub fn of(n: usize, reports: &[&RunReport]) -> Self {
+        let good: Vec<f64> = reports.iter().filter_map(|r| r.good_fraction()).collect();
+        SizeAggregate {
+            n,
+            runs: reports.len(),
+            completed_runs: reports.iter().filter(|r| r.completed).count(),
+            good_fraction: if good.is_empty() {
+                None
+            } else {
+                Some(Aggregate::of(&good))
+            },
+            crashed_fraction: Aggregate::of(
+                &reports
+                    .iter()
+                    .map(|r| r.honest_crashed as f64 / r.honest_total.max(1) as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            rounds: Aggregate::of(&reports.iter().map(|r| r.rounds as f64).collect::<Vec<_>>()),
+            messages: Aggregate::of(
+                &reports
+                    .iter()
+                    .map(|r| r.messages_delivered as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            mean_estimate: Aggregate::of(
+                &reports.iter().map(|r| r.estimate.mean).collect::<Vec<_>>(),
+            ),
+        }
+    }
+}
+
+/// The result of a batched campaign.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Schema version ([`SPEC_VERSION`]).
+    pub spec_version: u32,
+    /// The campaign spec.
+    pub spec: BatchSpec,
+    /// Every per-run report, in `expand()` order (size-major, seed-minor).
+    pub runs: Vec<RunReport>,
+    /// Per-size aggregates, in ascending size order of appearance.
+    pub aggregates: Vec<SizeAggregate>,
+}
+
+impl BatchReport {
+    /// Assemble a batch report, aggregating per network size.
+    pub fn from_runs(spec: BatchSpec, runs: Vec<RunReport>) -> Self {
+        let mut sizes: Vec<usize> = Vec::new();
+        for report in &runs {
+            if !sizes.contains(&report.n) {
+                sizes.push(report.n);
+            }
+        }
+        let aggregates = sizes
+            .iter()
+            .map(|&n| {
+                let bucket: Vec<&RunReport> = runs.iter().filter(|r| r.n == n).collect();
+                SizeAggregate::of(n, &bucket)
+            })
+            .collect();
+        BatchReport {
+            spec_version: SPEC_VERSION,
+            spec,
+            runs,
+            aggregates,
+        }
+    }
+
+    /// The aggregate for a given size.
+    pub fn aggregate_for(&self, n: usize) -> Option<&SizeAggregate> {
+        self.aggregates.iter().find(|a| a.n == n)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("BatchReport serialization cannot fail")
+    }
+
+    /// Parse from JSON, rejecting reports from a newer schema.
+    pub fn from_json(text: &str) -> Result<Self, SimError> {
+        let report: BatchReport =
+            serde_json::from_str(text).map_err(|e| SimError::Spec(e.to_string()))?;
+        if report.spec_version > SPEC_VERSION {
+            return Err(SimError::Spec(format!(
+                "report version {} is newer than supported version {SPEC_VERSION}",
+                report.spec_version
+            )));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_of_known_sample() {
+        let agg = Aggregate::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(agg.count, 5);
+        assert!((agg.mean - 3.0).abs() < 1e-12);
+        assert!((agg.median - 3.0).abs() < 1e-12);
+        assert!((agg.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 5.0);
+        assert!((agg.p10 - 1.4).abs() < 1e-12);
+        assert!((agg.p90 - 4.6).abs() < 1e-12);
+        assert_eq!(Aggregate::of(&[]), Aggregate::default());
+    }
+}

@@ -1,0 +1,753 @@
+//! Serializable run specifications.
+//!
+//! A [`RunSpec`] is the complete, versioned description of one simulation:
+//! topology, workload, Byzantine placement, adversary, protocol parameters
+//! and the master seed.  A [`BatchSpec`] lifts a `RunSpec` into a
+//! multi-seed / multi-size campaign.  Both round-trip losslessly through
+//! JSON (`to_json` / `from_json`), which makes campaigns reproducible and
+//! diffable across runs and machines.
+//!
+//! The spec layer is deliberately plain data: adversary and baseline
+//! workload variants are *named* here but interpreted by a
+//! [`ScenarioRegistry`](crate::sim::ScenarioRegistry) (the full registry
+//! lives downstream, where the concrete adversaries and estimators are in
+//! scope).
+
+use crate::params::ProtocolParams;
+use crate::sim::error::SimError;
+use netsim_graph::{balanced_tree, random_tree, Csr, NodeId, SmallWorldNetwork, WattsStrogatz};
+use netsim_runtime::Topology;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Version of the specification schema.  Bump on breaking changes; readers
+/// reject specs with a newer version than they understand.
+pub const SPEC_VERSION: u32 = 1;
+
+/// Derive an independent seed stream from a master seed (SplitMix64).
+pub(crate) fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut state = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    rand::splitmix64(&mut state)
+}
+
+/// Seed sub-streams of a [`RunSpec`] master seed.
+pub(crate) mod seed_stream {
+    /// Topology generation.
+    pub const TOPOLOGY: u64 = 1;
+    /// Byzantine placement.
+    pub const PLACEMENT: u64 = 2;
+    /// Protocol execution.
+    pub const RUN: u64 = 3;
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+/// Which communication graph to generate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// The paper's small-world overlay `G = H(n, d) ∪ L`.
+    SmallWorld {
+        /// Number of nodes.
+        n: usize,
+        /// Degree of the base expander (even, ≥ 4).
+        d: usize,
+    },
+    /// Only the base expander `H(n, d)` (what the baselines usually run on).
+    SmallWorldH {
+        /// Number of nodes.
+        n: usize,
+        /// Degree of the expander.
+        d: usize,
+    },
+    /// A Watts–Strogatz rewired ring lattice.
+    WattsStrogatz {
+        /// Number of nodes.
+        n: usize,
+        /// Half-degree of the ring lattice (each node links to `k_half`
+        /// neighbours on each side).
+        k_half: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// A complete `arity`-ary tree.
+    BalancedTree {
+        /// Number of nodes.
+        n: usize,
+        /// Children per internal node.
+        arity: usize,
+    },
+    /// A uniformly random labelled tree (optionally degree-capped).
+    RandomTree {
+        /// Number of nodes.
+        n: usize,
+        /// Maximum degree, `None` for unbounded.
+        max_degree: Option<usize>,
+    },
+}
+
+impl TopologySpec {
+    /// Number of nodes the spec will generate.
+    pub fn n(&self) -> usize {
+        match *self {
+            TopologySpec::SmallWorld { n, .. }
+            | TopologySpec::SmallWorldH { n, .. }
+            | TopologySpec::WattsStrogatz { n, .. }
+            | TopologySpec::BalancedTree { n, .. }
+            | TopologySpec::RandomTree { n, .. } => n,
+        }
+    }
+
+    /// The same topology family at a different size (for size sweeps).
+    pub fn with_n(&self, n: usize) -> Self {
+        let mut spec = self.clone();
+        match &mut spec {
+            TopologySpec::SmallWorld { n: slot, .. }
+            | TopologySpec::SmallWorldH { n: slot, .. }
+            | TopologySpec::WattsStrogatz { n: slot, .. }
+            | TopologySpec::BalancedTree { n: slot, .. }
+            | TopologySpec::RandomTree { n: slot, .. } => *slot = n,
+        }
+        spec
+    }
+
+    /// Nominal degree, used to derive protocol parameters for non-small-world
+    /// topologies.
+    pub fn nominal_degree(&self) -> usize {
+        match *self {
+            TopologySpec::SmallWorld { d, .. } | TopologySpec::SmallWorldH { d, .. } => d,
+            TopologySpec::WattsStrogatz { k_half, .. } => 2 * k_half,
+            TopologySpec::BalancedTree { arity, .. } => arity + 1,
+            TopologySpec::RandomTree { max_degree, .. } => max_degree.unwrap_or(4),
+        }
+    }
+
+    /// Generate the topology (deterministic in `seed`).
+    pub fn build(&self, seed: u64) -> Result<BuiltTopology, SimError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Ok(match *self {
+            TopologySpec::SmallWorld { n, d } => {
+                BuiltTopology::SmallWorld(SmallWorldNetwork::generate_seeded(n, d, seed)?)
+            }
+            TopologySpec::SmallWorldH { n, d } => {
+                // Build only H — the k-ball overlay expansion that dominates
+                // full small-world generation is never needed here.  The RNG
+                // seeding matches `generate_seeded`, so H is the same graph
+                // the SmallWorld variant would contain.
+                let h = netsim_graph::HGraph::generate(n, d, &mut rng)?;
+                BuiltTopology::Graph(h.csr().clone())
+            }
+            TopologySpec::WattsStrogatz { n, k_half, beta } => {
+                BuiltTopology::WattsStrogatz(WattsStrogatz::generate(n, k_half, beta, &mut rng)?)
+            }
+            TopologySpec::BalancedTree { n, arity } => {
+                BuiltTopology::Graph(balanced_tree(n, arity)?)
+            }
+            TopologySpec::RandomTree { n, max_degree } => {
+                BuiltTopology::Graph(random_tree(n, max_degree, &mut rng)?)
+            }
+        })
+    }
+}
+
+/// A materialized topology, kept concrete so knowledge-based adversaries can
+/// recover the small-world structure when it exists.
+#[derive(Clone, Debug)]
+pub enum BuiltTopology {
+    /// The full small-world overlay.
+    SmallWorld(SmallWorldNetwork),
+    /// A plain CSR graph (expander-only, trees, custom graphs).
+    Graph(Csr),
+    /// A Watts–Strogatz graph.
+    WattsStrogatz(WattsStrogatz),
+}
+
+impl BuiltTopology {
+    /// The underlying small-world network, when this topology has one.
+    pub fn small_world(&self) -> Option<&SmallWorldNetwork> {
+        match self {
+            BuiltTopology::SmallWorld(net) => Some(net),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        match self {
+            BuiltTopology::SmallWorld(net) => net.len(),
+            BuiltTopology::Graph(g) => g.len(),
+            BuiltTopology::WattsStrogatz(ws) => ws.len(),
+        }
+    }
+
+    /// True when the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Topology for BuiltTopology {
+    fn len(&self) -> usize {
+        BuiltTopology::len(self)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[u32] {
+        match self {
+            BuiltTopology::SmallWorld(net) => net.g_neighbors(v),
+            BuiltTopology::Graph(g) => g.neighbors(v),
+            BuiltTopology::WattsStrogatz(ws) => ws.csr().neighbors(v),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload / placement / adversary / params
+// ---------------------------------------------------------------------------
+
+/// Byzantine behaviour against a *baseline* estimator (mirrors
+/// `byzcount_baselines::BaselineAttack`, kept here so the spec layer stays
+/// dependency-free).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackSpec {
+    /// Byzantine nodes follow the baseline protocol.
+    #[default]
+    None,
+    /// Byzantine nodes push an extreme value.
+    Inflate,
+    /// Byzantine nodes swallow messages they should forward.
+    Suppress,
+}
+
+/// What to execute over the topology.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Algorithm 1 (counting without verification).
+    Basic,
+    /// Algorithm 2 (Byzantine-tolerant counting).
+    Byzantine,
+    /// Geometric support estimation baseline (estimates `log₂ n`).
+    GeometricSupport {
+        /// Flooding horizon; `None` derives `3·log₂ n + 5`.
+        ttl: Option<u64>,
+        /// Byzantine behaviour.
+        attack: AttackSpec,
+    },
+    /// Exponential support estimation baseline (estimates `n`).
+    ExponentialSupport {
+        /// Flooding horizon; `None` derives `3·log₂ n + 5`.
+        ttl: Option<u64>,
+        /// Byzantine behaviour.
+        attack: AttackSpec,
+    },
+    /// BFS spanning-tree + converge-cast exact count (estimates `n`).
+    SpanningTree {
+        /// Round cap; `None` derives `12·log₂ n + 20`.
+        max_rounds: Option<u64>,
+        /// Byzantine behaviour.
+        attack: AttackSpec,
+    },
+    /// Leader flood, first-arrival round as a diameter proxy.
+    FloodDiameter {
+        /// Flooding horizon; `None` derives `3·log₂ n + 5`.
+        ttl: Option<u64>,
+        /// Byzantine behaviour.
+        attack: AttackSpec,
+    },
+}
+
+impl WorkloadSpec {
+    /// Short stable name (used in reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Basic => "basic-counting",
+            WorkloadSpec::Byzantine => "byzantine-counting",
+            WorkloadSpec::GeometricSupport { .. } => "geometric-support",
+            WorkloadSpec::ExponentialSupport { .. } => "exponential-support",
+            WorkloadSpec::SpanningTree { .. } => "spanning-tree",
+            WorkloadSpec::FloodDiameter { .. } => "flood-diameter",
+        }
+    }
+
+    /// Whether this is one of the two counting protocols (as opposed to a
+    /// baseline estimator).
+    pub fn is_counting(&self) -> bool {
+        matches!(self, WorkloadSpec::Basic | WorkloadSpec::Byzantine)
+    }
+}
+
+/// How Byzantine nodes are placed.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum PlacementSpec {
+    /// No Byzantine nodes.
+    #[default]
+    None,
+    /// `count` nodes chosen uniformly at random.
+    Random {
+        /// Number of Byzantine nodes.
+        count: usize,
+    },
+    /// The paper's budget `⌊n^{1−δ}⌋`, chosen uniformly at random.
+    RandomBudget {
+        /// Fault exponent.
+        delta: f64,
+    },
+    /// `count` nodes clustered around a random centre (BFS ball).
+    Clustered {
+        /// Number of Byzantine nodes.
+        count: usize,
+    },
+    /// Exactly these node indices.
+    Exact {
+        /// Byzantine node indices.
+        nodes: Vec<u32>,
+    },
+}
+
+impl PlacementSpec {
+    /// Materialize the Byzantine mask over a topology (deterministic in
+    /// `seed`).
+    pub fn materialize(&self, topo: &BuiltTopology, seed: u64) -> Result<Vec<bool>, SimError> {
+        use rand::seq::SliceRandom;
+        use rand::Rng;
+        let n = topo.len();
+        let mut mask = vec![false; n];
+        match self {
+            PlacementSpec::None => {}
+            PlacementSpec::Random { .. } | PlacementSpec::RandomBudget { .. } => {
+                let count = match self {
+                    PlacementSpec::Random { count } => (*count).min(n),
+                    PlacementSpec::RandomBudget { delta } => {
+                        ((n as f64).powf(1.0 - delta).floor() as usize).min(n)
+                    }
+                    _ => unreachable!(),
+                };
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(&mut rng);
+                for &i in idx.iter().take(count) {
+                    mask[i] = true;
+                }
+            }
+            PlacementSpec::Clustered { count } => {
+                let count = (*count).min(n);
+                if count > 0 && n > 0 {
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                    let center = rng.gen_range(0..n);
+                    let dist = bfs_over_topology(topo, center);
+                    let mut order: Vec<usize> = (0..n).collect();
+                    order.sort_by_key(|&i| dist[i]);
+                    for &i in order.iter().take(count) {
+                        mask[i] = true;
+                    }
+                }
+            }
+            PlacementSpec::Exact { nodes } => {
+                for &v in nodes {
+                    let i = v as usize;
+                    if i >= n {
+                        return Err(SimError::Spec(format!(
+                            "placement node {i} out of range for n = {n}"
+                        )));
+                    }
+                    mask[i] = true;
+                }
+            }
+        }
+        Ok(mask)
+    }
+}
+
+/// BFS distances over any [`Topology`] (used for clustered placement on
+/// graphs that are not small-world networks).
+fn bfs_over_topology(topo: &BuiltTopology, source: usize) -> Vec<u32> {
+    let n = topo.len();
+    let mut dist = vec![u32::MAX; n];
+    if source >= n {
+        return dist;
+    }
+    dist[source] = 0;
+    let mut queue = std::collections::VecDeque::from([source as u32]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in Topology::neighbors(topo, NodeId(v)) {
+            if (u as usize) < n && dist[u as usize] == u32::MAX {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// When the color-inflation adversary injects (mirrors
+/// `byzcount_adversary::InjectionTiming`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimingSpec {
+    /// At the generation step (legal-looking injection).
+    Legal,
+    /// In the step the continuation criterion inspects.
+    LastStep,
+}
+
+/// Which full-information adversary drives the Byzantine nodes of a
+/// *counting* workload (baseline workloads embed their attack in the
+/// workload spec instead).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdversarySpec {
+    /// Byzantine nodes follow the protocol.
+    #[default]
+    Null,
+    /// Byzantine nodes behave honestly (control condition).
+    HonestBehaving,
+    /// Byzantine nodes never send anything.
+    Silent,
+    /// Maximal-color injection.
+    ColorInflation {
+        /// Injection timing.
+        timing: TimingSpec,
+    },
+    /// Swallow the true maximum instead of forwarding it.
+    Suppression,
+    /// Fabricated topology chains (Figure 1).
+    FakeChain,
+    /// The kitchen sink: inflation + suppression + fake chains.
+    Combined,
+}
+
+impl AdversarySpec {
+    /// Short stable name (used in reports and tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversarySpec::Null => "null",
+            AdversarySpec::HonestBehaving => "honest",
+            AdversarySpec::Silent => "silent",
+            AdversarySpec::ColorInflation {
+                timing: TimingSpec::Legal,
+            } => "inflate-legal",
+            AdversarySpec::ColorInflation {
+                timing: TimingSpec::LastStep,
+            } => "inflate-last",
+            AdversarySpec::Suppression => "suppress",
+            AdversarySpec::FakeChain => "fake-chain",
+            AdversarySpec::Combined => "combined",
+        }
+    }
+}
+
+/// How protocol parameters are obtained.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ParamsSpec {
+    /// Derive from the topology: `for_network_default_expansion` on
+    /// small-world networks, [`ProtocolParams::for_degree`] elsewhere.
+    Derived {
+        /// Fault exponent `δ`.
+        delta: f64,
+        /// Error parameter `ε`.
+        epsilon: f64,
+    },
+    /// Use these exact parameters.
+    Explicit(ProtocolParams),
+}
+
+impl Default for ParamsSpec {
+    fn default() -> Self {
+        ParamsSpec::Derived {
+            delta: 0.6,
+            epsilon: 0.1,
+        }
+    }
+}
+
+impl ParamsSpec {
+    /// Resolve against a materialized topology.
+    pub fn resolve(&self, spec: &TopologySpec, topo: &BuiltTopology) -> ProtocolParams {
+        match self {
+            ParamsSpec::Explicit(params) => *params,
+            ParamsSpec::Derived { delta, epsilon } => match topo.small_world() {
+                Some(net) => ProtocolParams::for_network_default_expansion(net, *delta, *epsilon),
+                None => ProtocolParams::for_degree(spec.nominal_degree(), *delta, *epsilon),
+            },
+        }
+    }
+}
+
+/// How many runs a batch performs, and with which seeds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SeedPolicy {
+    /// One run with this exact seed.
+    Fixed(u64),
+    /// `count` runs with seeds derived from `base` (SplitMix64 stream, so
+    /// the seeds are decorrelated but fully reproducible).
+    Sequence {
+        /// Base seed.
+        base: u64,
+        /// Number of derived seeds.
+        count: u32,
+    },
+    /// Exactly these seeds.
+    Explicit(Vec<u64>),
+}
+
+impl SeedPolicy {
+    /// The concrete seed list.
+    pub fn seeds(&self) -> Vec<u64> {
+        match self {
+            SeedPolicy::Fixed(seed) => vec![*seed],
+            SeedPolicy::Sequence { base, count } => (0..*count as u64)
+                .map(|i| derive_seed(*base, i.wrapping_add(0xA11CE)))
+                .collect(),
+            SeedPolicy::Explicit(seeds) => seeds.clone(),
+        }
+    }
+
+    /// The first seed (what a single run uses).
+    pub fn primary(&self) -> u64 {
+        self.seeds().first().copied().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunSpec / BatchSpec
+// ---------------------------------------------------------------------------
+
+/// The complete, versioned description of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Schema version ([`SPEC_VERSION`]).
+    pub version: u32,
+    /// Communication graph.
+    pub topology: TopologySpec,
+    /// What to execute.
+    pub workload: WorkloadSpec,
+    /// Byzantine placement.
+    pub placement: PlacementSpec,
+    /// Adversary for counting workloads.
+    pub adversary: AdversarySpec,
+    /// Protocol parameters.
+    pub params: ParamsSpec,
+    /// Master seed; topology, placement and execution use independent
+    /// sub-streams derived from it.
+    pub seed: u64,
+    /// Engine round-cap override (`None` = derive from the schedule).
+    pub max_rounds: Option<u64>,
+}
+
+impl RunSpec {
+    /// Check the spec is self-consistent and its version is understood.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.version > SPEC_VERSION {
+            return Err(SimError::Spec(format!(
+                "spec version {} is newer than supported version {SPEC_VERSION}",
+                self.version
+            )));
+        }
+        if self.topology.n() == 0 {
+            return Err(SimError::Spec(
+                "topology must have at least one node".into(),
+            ));
+        }
+        if !self.workload.is_counting() && self.adversary != AdversarySpec::Null {
+            return Err(SimError::Spec(format!(
+                "baseline workload `{}` embeds its attack in the workload; \
+                 set adversary to Null (got `{}`)",
+                self.workload.name(),
+                self.adversary.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunSpec serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Self, SimError> {
+        let spec: RunSpec =
+            serde_json::from_str(text).map_err(|e| SimError::Spec(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// A multi-seed / multi-size campaign over one base [`RunSpec`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchSpec {
+    /// Schema version ([`SPEC_VERSION`]).
+    pub version: u32,
+    /// The base run; its `seed` is ignored in favour of `seeds`.
+    pub run: RunSpec,
+    /// Seeds to sweep.
+    pub seeds: SeedPolicy,
+    /// Network sizes to sweep (`None` = just the base topology's size).
+    pub sizes: Option<Vec<usize>>,
+}
+
+impl BatchSpec {
+    /// Expand into the concrete per-run specs (size-major, seed-minor).
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let sizes = match &self.sizes {
+            Some(sizes) if !sizes.is_empty() => sizes.clone(),
+            _ => vec![self.run.topology.n()],
+        };
+        let seeds = self.seeds.seeds();
+        let mut specs = Vec::with_capacity(sizes.len() * seeds.len());
+        for &n in &sizes {
+            for &seed in &seeds {
+                let mut spec = self.run.clone();
+                spec.topology = spec.topology.with_n(n);
+                spec.seed = seed;
+                specs.push(spec);
+            }
+        }
+        specs
+    }
+
+    /// Check the batch and its base run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.version > SPEC_VERSION {
+            return Err(SimError::Spec(format!(
+                "spec version {} is newer than supported version {SPEC_VERSION}",
+                self.version
+            )));
+        }
+        if self.seeds.seeds().is_empty() {
+            return Err(SimError::Spec("batch needs at least one seed".into()));
+        }
+        self.run.validate()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("BatchSpec serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Self, SimError> {
+        let spec: BatchSpec =
+            serde_json::from_str(text).map_err(|e| SimError::Spec(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> RunSpec {
+        RunSpec {
+            version: SPEC_VERSION,
+            topology: TopologySpec::SmallWorld { n: 128, d: 6 },
+            workload: WorkloadSpec::Byzantine,
+            placement: PlacementSpec::RandomBudget { delta: 0.6 },
+            adversary: AdversarySpec::Combined,
+            params: ParamsSpec::default(),
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+            max_rounds: None,
+        }
+    }
+
+    #[test]
+    fn run_spec_round_trips_losslessly() {
+        let spec = demo_spec();
+        let json = spec.to_json();
+        let back = RunSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn newer_versions_are_rejected() {
+        let mut spec = demo_spec();
+        spec.version = SPEC_VERSION + 1;
+        assert!(matches!(spec.validate(), Err(SimError::Spec(_))));
+    }
+
+    #[test]
+    fn baseline_workloads_reject_counting_adversaries() {
+        let mut spec = demo_spec();
+        spec.workload = WorkloadSpec::GeometricSupport {
+            ttl: None,
+            attack: AttackSpec::Inflate,
+        };
+        assert!(spec.validate().is_err());
+        spec.adversary = AdversarySpec::Null;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn batch_expansion_is_size_major() {
+        let batch = BatchSpec {
+            version: SPEC_VERSION,
+            run: demo_spec(),
+            seeds: SeedPolicy::Sequence { base: 9, count: 3 },
+            sizes: Some(vec![64, 128]),
+        };
+        let specs = batch.expand();
+        assert_eq!(specs.len(), 6);
+        assert_eq!(specs[0].topology.n(), 64);
+        assert_eq!(specs[3].topology.n(), 128);
+        let seeds: std::collections::HashSet<u64> = specs.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 3, "derived seeds must be distinct");
+    }
+
+    #[test]
+    fn placements_are_deterministic_and_sized() {
+        let topo = TopologySpec::SmallWorld { n: 200, d: 6 }.build(11).unwrap();
+        let a = PlacementSpec::Random { count: 17 }
+            .materialize(&topo, 5)
+            .unwrap();
+        let b = PlacementSpec::Random { count: 17 }
+            .materialize(&topo, 5)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|&&x| x).count(), 17);
+        let budget = PlacementSpec::RandomBudget { delta: 0.6 }
+            .materialize(&topo, 5)
+            .unwrap();
+        assert_eq!(
+            budget.iter().filter(|&&x| x).count(),
+            (200f64).powf(0.4).floor() as usize
+        );
+        let clustered = PlacementSpec::Clustered { count: 12 }
+            .materialize(&topo, 7)
+            .unwrap();
+        assert_eq!(clustered.iter().filter(|&&x| x).count(), 12);
+        let exact = PlacementSpec::Exact {
+            nodes: vec![1, 5, 5],
+        }
+        .materialize(&topo, 0)
+        .unwrap();
+        assert_eq!(exact.iter().filter(|&&x| x).count(), 2);
+        assert!(PlacementSpec::Exact { nodes: vec![900] }
+            .materialize(&topo, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn every_topology_family_builds() {
+        for spec in [
+            TopologySpec::SmallWorld { n: 64, d: 6 },
+            TopologySpec::SmallWorldH { n: 64, d: 6 },
+            TopologySpec::WattsStrogatz {
+                n: 64,
+                k_half: 3,
+                beta: 0.1,
+            },
+            TopologySpec::BalancedTree { n: 64, arity: 3 },
+            TopologySpec::RandomTree {
+                n: 64,
+                max_degree: Some(5),
+            },
+        ] {
+            let topo = spec.build(3).expect("build");
+            assert_eq!(topo.len(), 64, "{spec:?}");
+            assert_eq!(spec.with_n(32).n(), 32);
+            assert!(spec.nominal_degree() >= 2);
+        }
+    }
+}

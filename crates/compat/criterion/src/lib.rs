@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`, [`black_box`]) with a simple but
+//! honest measurement loop: warm-up, then timed batches until a target
+//! measurement time, reporting mean / min per-iteration wall time.
+//!
+//! It is *not* criterion — no outlier analysis, no HTML reports — but it
+//! runs the same bench sources unmodified and prints comparable numbers,
+//! which is what the offline container can support.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, like criterion's `BenchmarkId::new`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration.
+    mean_ns: f64,
+    /// Fastest observed iteration.
+    min_ns: f64,
+    /// Iterations actually run.
+    iterations: u64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measure a closure: warm-up, then timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost probe.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let probe = warmup_start.elapsed().as_nanos().max(1) as u64;
+
+        // Choose a batch size targeting ~10ms per batch.
+        let batch = (10_000_000u64 / probe).clamp(1, 1_000_000);
+        let deadline = Instant::now() + self.measurement_time;
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        let mut min_batch_ns = u128::MAX;
+        while Instant::now() < deadline || total_iters == 0 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            total_ns += elapsed;
+            total_iters += batch;
+            min_batch_ns = min_batch_ns.min(elapsed / batch as u128);
+            if total_iters >= 100_000_000 {
+                break;
+            }
+        }
+        self.mean_ns = total_ns as f64 / total_iters as f64;
+        self.min_ns = min_batch_ns as f64;
+        self.iterations = total_iters;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim sizes batches by time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let mut bencher = Bencher {
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iterations: 0,
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut bencher, input);
+        println!(
+            "{full:<55} time: [{} mean, {} min, {} iters]",
+            format_ns(bencher.mean_ns),
+            format_ns(bencher.min_ns),
+            bencher.iterations
+        );
+        self
+    }
+
+    /// Run one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), move |b, _| f(b))
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short but stable: the offline harness favours quick feedback.
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("run", &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Define a group-running function, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from one or more groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim-test");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, &x| {
+            ran = true;
+            b.iter(|| x + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 128).name, "f/128");
+        assert_eq!(BenchmarkId::from_parameter("p").name, "p");
+    }
+}

@@ -1,0 +1,342 @@
+//! Offline subset of the `proptest` property-testing API.
+//!
+//! Supports the pieces the workspace's tests use: the [`proptest!`] macro
+//! with an inline `#![proptest_config(...)]`, range / `any::<T>()` /
+//! `collection::vec` / `option::of` strategies, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs but is not
+//!   minimised;
+//! * **fixed RNG seed** — cases are deterministic across runs (the seed
+//!   incorporates the test name so distinct tests explore distinct inputs).
+
+use std::ops::Range;
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The shim's internal RNG (SplitMix64: tiny and statistically fine for
+/// test-case generation).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Deterministic RNG for a named property.
+    pub fn for_test(name: &str) -> Self {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for b in name.bytes() {
+            state = state.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+        }
+        TestRng { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `span` (> 0).
+    pub fn below(&mut self, span: u64) -> u64 {
+        self.next_u64() % span
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+/// Types with a natural "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Sample an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with random length and elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element_strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.start
+                + rng.below((self.size.end - self.size.start).max(1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for optional values (≈50% `None`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` user needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert inside a property (reports instead of panicking mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "property assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a != __b {
+            return ::std::result::Result::Err(format!(
+                "property assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return ::std::result::Result::Err(format!(
+                "property assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a
+            ));
+        }
+    }};
+}
+
+/// Define property tests (see module docs for supported syntax).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!("case {}: ", $(stringify!($arg), " = {:?}, ",)* ""),
+                    __case $(, &$arg)*
+                );
+                let __result: ::std::result::Result<(), String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = __result {
+                    panic!("{msg}\n  inputs: {__inputs}");
+                }
+            }
+        }
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 1u64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..5).contains(&y));
+        }
+
+        /// Vec strategy respects its length range.
+        #[test]
+        fn vec_lengths(v in proptest::collection::vec(0u32..9, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 9));
+        }
+
+        /// Option strategy produces both variants over enough cases.
+        #[test]
+        fn option_of(o in proptest::option::of(0u8..3)) {
+            if let Some(x) = o {
+                prop_assert!(x < 3);
+            }
+        }
+    }
+
+    // `proptest` inside this crate's own tests refers to the crate root.
+    use crate as proptest;
+
+    #[test]
+    #[should_panic(expected = "property assertion failed")]
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn always_fails(_x in 0u32..2) {
+                prop_assert!(false);
+            }
+        }
+        always_fails();
+    }
+}

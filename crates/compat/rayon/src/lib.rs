@@ -1,0 +1,612 @@
+//! Offline subset of the `rayon` parallel-iterator API.
+//!
+//! The workspace builds without crates.io access, so this shim provides the
+//! slice of rayon it actually uses: `into_par_iter()` on ranges and vectors,
+//! `par_iter()` / `par_iter_mut()` on slices, the adapter chain
+//! (`map`/`filter`/`enumerate`/`zip`) and the usual consumers
+//! (`collect`/`sum`/`count`/`max`/`min`/`for_each`), plus [`join`].
+//!
+//! # Execution model
+//!
+//! Parallelism is implemented with `std::thread::scope`: an iterator chain
+//! is recursively split in half and the halves run on scoped threads, with
+//! results concatenated **in order** — so any `collect()` is byte-identical
+//! to the sequential result and determinism is preserved no matter how the
+//! OS schedules threads.
+//!
+//! Splitting is *coarse-grained by design*: owned sources (ranges, vectors)
+//! split down to [`MIN_SPLIT`] items, which parallelises the workspace's
+//! outer trial/batch loops where each item is an entire simulation run.
+//! Borrowed slice sources (`par_iter_mut`, used inside the engine's
+//! per-round node loop) intentionally do **not** split: the per-item work
+//! there is microseconds, and spawning scoped threads every round costs more
+//! than it buys without a persistent work-stealing pool.  The rayon API
+//! shape is kept so the code reads identically and a real rayon can be
+//! swapped back in when the registry is reachable.
+
+use std::sync::Arc;
+
+/// Smallest number of items worth moving to another thread.
+pub const MIN_SPLIT: usize = 2;
+
+/// Number of worker threads to fan out to.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon-shim worker panicked"), rb)
+    })
+}
+
+/// A parallel iterator: a splittable, sequentially-evaluable pipeline.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type.
+    type Item: Send;
+
+    /// Exact number of items this pipeline will yield (upper bound for
+    /// filtered pipelines, which refuse to split).
+    fn bound(&self) -> usize;
+
+    /// Try to split into a prefix of `at` items and the remainder.
+    /// `Err(self)` when this pipeline cannot split (filtered or borrowed).
+    fn try_split(self, at: usize) -> Result<(Self, Self), Self>;
+
+    /// Evaluate sequentially, preserving order.
+    fn seq(self) -> Vec<Self::Item>;
+
+    /// Transform every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Keep items satisfying the predicate (disables further splitting).
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Attach indices `0..len`.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Pair items positionally with another parallel iterator.
+    fn zip<J>(self, other: J) -> Zip<Self, J>
+    where
+        J: ParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Evaluate (in parallel where the pipeline allows) and collect.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_vec(drive(self))
+    }
+
+    /// Evaluate and discard results.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = drive(self.map(f));
+    }
+
+    /// Number of items produced.
+    fn count(self) -> usize {
+        drive(self).len()
+    }
+
+    /// Sum of all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        drive(self).into_iter().sum()
+    }
+
+    /// Maximum item.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self).into_iter().max()
+    }
+
+    /// Minimum item.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self).into_iter().min()
+    }
+
+    /// Left-to-right fold into an accumulator (sequential semantics).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(self).into_iter().fold(identity(), op)
+    }
+}
+
+/// Evaluate a pipeline, splitting across scoped threads where profitable.
+fn drive<I: ParallelIterator>(iter: I) -> Vec<I::Item> {
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return iter.seq();
+    }
+    // Enough binary splits to occupy every thread.
+    let depth = (usize::BITS - (threads - 1).leading_zeros()) as usize;
+    drive_rec(iter, depth + 1)
+}
+
+fn drive_rec<I: ParallelIterator>(iter: I, splits_left: usize) -> Vec<I::Item> {
+    let n = iter.bound();
+    if splits_left == 0 || n < MIN_SPLIT.max(2) {
+        return iter.seq();
+    }
+    match iter.try_split(n / 2) {
+        Err(whole) => whole.seq(),
+        Ok((left, right)) => {
+            let (mut lv, rv) = join(
+                move || drive_rec(left, splits_left - 1),
+                move || drive_rec(right, splits_left - 1),
+            );
+            lv.extend(rv);
+            lv
+        }
+    }
+}
+
+/// Conversion from an evaluated parallel pipeline.
+pub trait FromParallelIterator<T> {
+    /// Build the collection from items in pipeline order.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an owned vector (splittable).
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn bound(&self) -> usize {
+        self.items.len()
+    }
+    fn try_split(mut self, at: usize) -> Result<(Self, Self), Self> {
+        if at == 0 || at >= self.items.len() {
+            return Err(self);
+        }
+        let tail = self.items.split_off(at);
+        Ok((self, VecParIter { items: tail }))
+    }
+    fn seq(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel iterator over an integer range (splittable).
+pub struct RangeParIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+            fn bound(&self) -> usize {
+                (self.end.saturating_sub(self.start)) as usize
+            }
+            fn try_split(self, at: usize) -> Result<(Self, Self), Self> {
+                let len = self.bound();
+                if at == 0 || at >= len {
+                    return Err(self);
+                }
+                let mid = self.start + at as $t;
+                Ok((
+                    RangeParIter { start: self.start, end: mid },
+                    RangeParIter { start: mid, end: self.end },
+                ))
+            }
+            fn seq(self) -> Vec<$t> {
+                (self.start..self.end).collect()
+            }
+        }
+
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeParIter { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator over a shared slice (borrowed: evaluates sequentially).
+pub struct SliceParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn bound(&self) -> usize {
+        self.slice.len()
+    }
+    fn try_split(self, at: usize) -> Result<(Self, Self), Self> {
+        if at == 0 || at >= self.slice.len() {
+            return Err(self);
+        }
+        let (a, b) = self.slice.split_at(at);
+        Ok((SliceParIter { slice: a }, SliceParIter { slice: b }))
+    }
+    fn seq(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// Parallel iterator over an exclusive slice (borrowed: evaluates
+/// sequentially — see the module docs for why).
+pub struct SliceMutParIter<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceMutParIter<'a, T> {
+    type Item = &'a mut T;
+    fn bound(&self) -> usize {
+        self.slice.len()
+    }
+    fn try_split(self, _at: usize) -> Result<(Self, Self), Self> {
+        // Engine-internal loops are deliberately kept on one thread.
+        Err(self)
+    }
+    fn seq(self) -> Vec<&'a mut T> {
+        self.slice.iter_mut().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Mapped pipeline.
+pub struct Map<I, F: ?Sized> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send + ?Sized,
+    R: Send,
+{
+    type Item = R;
+    fn bound(&self) -> usize {
+        self.base.bound()
+    }
+    fn try_split(self, at: usize) -> Result<(Self, Self), Self> {
+        match self.base.try_split(at) {
+            Ok((a, b)) => Ok((
+                Map {
+                    base: a,
+                    f: Arc::clone(&self.f),
+                },
+                Map { base: b, f: self.f },
+            )),
+            Err(base) => Err(Map { base, f: self.f }),
+        }
+    }
+    fn seq(self) -> Vec<R> {
+        let f = self.f;
+        self.base.seq().into_iter().map(|x| f(x)).collect()
+    }
+}
+
+/// Filtered pipeline (never splits, keeping indices/lengths honest).
+pub struct Filter<I, F: ?Sized> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Sync + Send + ?Sized,
+{
+    type Item = I::Item;
+    fn bound(&self) -> usize {
+        self.base.bound()
+    }
+    fn try_split(self, _at: usize) -> Result<(Self, Self), Self> {
+        Err(self)
+    }
+    fn seq(self) -> Vec<I::Item> {
+        let f = self.f;
+        self.base.seq().into_iter().filter(|x| f(x)).collect()
+    }
+}
+
+/// Enumerated pipeline.
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: ParallelIterator,
+{
+    type Item = (usize, I::Item);
+    fn bound(&self) -> usize {
+        self.base.bound()
+    }
+    fn try_split(self, at: usize) -> Result<(Self, Self), Self> {
+        let offset = self.offset;
+        match self.base.try_split(at) {
+            Ok((a, b)) => Ok((
+                Enumerate { base: a, offset },
+                Enumerate {
+                    base: b,
+                    offset: offset + at,
+                },
+            )),
+            Err(base) => Err(Enumerate { base, offset }),
+        }
+    }
+    fn seq(self) -> Vec<(usize, I::Item)> {
+        let offset = self.offset;
+        self.base
+            .seq()
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (offset + i, x))
+            .collect()
+    }
+}
+
+/// Positionally zipped pipelines (truncates to the shorter side).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn bound(&self) -> usize {
+        self.a.bound().min(self.b.bound())
+    }
+    fn try_split(self, at: usize) -> Result<(Self, Self), Self> {
+        if at == 0 || at >= self.bound() {
+            return Err(self);
+        }
+        match self.a.try_split(at) {
+            Ok((a1, a2)) => match self.b.try_split(at) {
+                Ok((b1, b2)) => Ok((Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })),
+                Err(_) => unreachable!("zip halves must split identically"),
+            },
+            Err(a) => Err(Zip { a, b: self.b }),
+        }
+    }
+    fn seq(self) -> Vec<(A::Item, B::Item)> {
+        let b = self.b.seq();
+        self.a.seq().into_iter().zip(b).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// Owned conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter { items: self }
+    }
+}
+
+/// `par_iter()` on shared collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut()` on exclusive collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = SliceMutParIter<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceMutParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = SliceMutParIter<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceMutParIter { slice: self }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+pub mod iter {
+    //! Namespace parity with rayon.
+    pub use crate::{
+        Enumerate, Filter, FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, Map, ParallelIterator, Zip,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_matches_sequential() {
+        let par: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let seq: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn order_is_preserved_under_heavy_split() {
+        let v: Vec<usize> = (0..10_000usize).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x + 1).collect();
+        assert!(out.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn zip_enumerate_chain() {
+        let mut a = vec![10u32, 20, 30];
+        let mut b = vec![1u32, 2, 3];
+        let out: Vec<(usize, u32)> = a
+            .par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .map(|(i, (x, y))| (i, *x + *y))
+            .collect();
+        assert_eq!(out, vec![(0, 11), (1, 22), (2, 33)]);
+    }
+
+    #[test]
+    fn filter_sum_count() {
+        let sum: u64 = (0u64..100).into_par_iter().filter(|x| x % 2 == 0).sum();
+        assert_eq!(sum, (0..100).filter(|x| x % 2 == 0).sum::<u64>());
+        let cnt = (0usize..57).into_par_iter().count();
+        assert_eq!(cnt, 57);
+        assert_eq!((0u32..9).into_par_iter().max(), Some(8));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_errors() {
+        let ok: Result<Vec<u32>, String> = (0u32..10).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<u32>, String> = (0u32..10)
+            .into_par_iter()
+            .map(|x| {
+                if x == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,575 @@
+//! Offline, dependency-free stand-in for `serde` + `serde_derive`.
+//!
+//! The workspace builds in a container without crates.io access, so this
+//! crate supplies the subset of serde the workspace uses, re-shaped around a
+//! simple self-describing [`Value`] tree (the same data model JSON has):
+//!
+//! * [`Serialize`] — convert `&self` into a [`Value`];
+//! * [`Deserialize`] — reconstruct `Self` from a [`&Value`](Value);
+//! * `#[derive(Serialize, Deserialize)]` — provided by the sibling
+//!   `serde_derive` proc-macro for named/tuple structs and enums with unit,
+//!   newtype and struct variants (externally tagged, like real serde).
+//!
+//! Numbers are kept lossless: integers round-trip through [`Number::U`] /
+//! [`Number::I`] exactly (the full `u64` seed space matters for
+//! reproducible simulation specs), floats through Rust's shortest-repr
+//! formatting, which `f64` round-trips bit-exactly.
+//!
+//! Objects use a `BTreeMap`, so serialization output is canonical: two
+//! equal values always produce identical JSON — which the repository's
+//! reproducibility tests ("same spec + same seed ⇒ identical report")
+//! rely on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Object representation: key-ordered for canonical output.
+pub type Map = BTreeMap<String, Value>;
+
+/// A lossless numeric value.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// The value as `u64` if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `i64` if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::I(a), Number::I(b)) => a == b,
+            (Number::F(a), Number::F(b)) => a == b || (a.is_nan() && b.is_nan()),
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// A self-describing value (the JSON data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(Map),
+}
+
+impl Value {
+    /// Borrow as object.
+    pub fn as_obj(&self) -> Option<&Map> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Fetch an object field, with `Null` standing in for absent keys.
+    pub fn field<'a>(&'a self, key: &str) -> &'a Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Obj(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// A (de)serialization error with a breadcrumb path.
+#[derive(Clone, Debug)]
+pub struct Error {
+    path: Vec<String>,
+    message: String,
+}
+
+impl Error {
+    /// A fresh error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error {
+            path: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// Error for a kind mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::msg(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Push a field/element breadcrumb (innermost first).
+    pub fn in_field(mut self, field: impl Into<String>) -> Self {
+        self.path.push(field.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            let mut path: Vec<&str> = self.path.iter().map(String::as_str).collect();
+            path.reverse();
+            write!(f, "at {}: {}", path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Helper used by the derive: fetch + deserialize one struct field.
+pub fn from_value_field<T: Deserialize>(obj: &Map, key: &str) -> Result<T, Error> {
+    static NULL: Value = Value::Null;
+    T::from_value(obj.get(key).unwrap_or(&NULL)).map_err(|e| e.in_field(key))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::msg(concat!("number out of range for ", stringify!($t)))),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::Num(Number::U(v as u64)) } else { Value::Num(Number::I(v)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::msg(concat!("number out of range for ", stringify!($t)))),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            // JSON has no NaN/Infinity literals; they serialize as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::expected("single-character string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_arr().ok_or_else(|| Error::expected("array", v))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, x)| T::from_value(x).map_err(|e| e.in_field(format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_arr().ok_or_else(|| Error::expected("array (tuple)", v))?;
+                let expected = [$($idx,)+].len();
+                if arr.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected {expected}-tuple, got array of {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])
+                    .map_err(|e| e.in_field(format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+/// Types usable as object keys (serialized as strings).
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Num(Number::U(u)) => Ok(u.to_string()),
+        Value::Num(Number::I(i)) => Ok(i.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::msg(format!(
+            "map key must be scalar, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn key_from_string(s: &str) -> Value {
+    if let Ok(u) = s.parse::<u64>() {
+        return Value::Num(Number::U(u));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Num(Number::I(i));
+    }
+    match s {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Str(s.to_owned()),
+    }
+}
+
+macro_rules! impl_serde_map {
+    ($($map:ident),*) => {$(
+        impl<K: Serialize + Ord + std::hash::Hash, V: Serialize> Serialize for $map<K, V> {
+            fn to_value(&self) -> Value {
+                let mut out = Map::new();
+                for (k, v) in self {
+                    // Keys are stringified; BTreeMap output stays canonical.
+                    let key = key_to_string(&k.to_value())
+                        .expect("unsupported map key type");
+                    out.insert(key, v.to_value());
+                }
+                Value::Obj(out)
+            }
+        }
+        impl<K, V> Deserialize for $map<K, V>
+        where
+            K: Deserialize + Ord + std::hash::Hash + Eq,
+            V: Deserialize,
+        {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let obj = v.as_obj().ok_or_else(|| Error::expected("object", v))?;
+                let mut out = $map::new();
+                for (ks, vv) in obj {
+                    let key = K::from_value(&key_from_string(ks))
+                        .map_err(|e| e.in_field(ks.clone()))?;
+                    out.insert(key, V::from_value(vv).map_err(|e| e.in_field(ks.clone()))?);
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+impl_serde_map!(BTreeMap, HashMap);
+
+macro_rules! impl_serde_set {
+    ($($set:ident),*) => {$(
+        impl<T: Serialize + Ord + std::hash::Hash> Serialize for $set<T> {
+            fn to_value(&self) -> Value {
+                Value::Arr(self.iter().map(Serialize::to_value).collect())
+            }
+        }
+        impl<T: Deserialize + Ord + std::hash::Hash + Eq> Deserialize for $set<T> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_arr().ok_or_else(|| Error::expected("array", v))?;
+                arr.iter().map(T::from_value).collect()
+            }
+        }
+    )*};
+}
+impl_serde_set!(BTreeSet, HashSet);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_fold_through_null() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u64).to_value(), Value::Num(Number::U(3)));
+    }
+
+    #[test]
+    fn numbers_are_lossless() {
+        let big = u64::MAX - 3;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+        let neg = (-42i64).to_value();
+        assert_eq!(i64::from_value(&neg).unwrap(), -42);
+        assert!(u64::from_value(&neg).is_err());
+    }
+
+    #[test]
+    fn map_keys_roundtrip_through_strings() {
+        let mut m: HashMap<u64, String> = HashMap::new();
+        m.insert(17, "x".into());
+        let v = m.to_value();
+        let back: HashMap<u64, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn errors_carry_paths() {
+        let v = Value::Obj(Map::new());
+        let err = from_value_field::<u32>(v.as_obj().unwrap(), "missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+}

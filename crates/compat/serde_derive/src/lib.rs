@@ -1,0 +1,538 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! since the build container has no registry access).  Supported shapes —
+//! which cover every derive in this workspace:
+//!
+//! * structs with named fields (including private fields and simple type
+//!   generics like `Envelope<M>`),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, newtype and struct variants, externally tagged
+//!   exactly like real serde: `"Variant"`, `{"Variant": value}` and
+//!   `{"Variant": {..fields..}}`.
+//!
+//! Not supported (reject loudly rather than miscompile): unions, lifetime
+//! or const generics, `where` clauses and `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Parsed {
+    name: String,
+    /// Plain type-parameter names (`M` in `Envelope<M>`).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive generated invalid code: {e}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    if keyword == "union" {
+        return Err("serde_derive shim does not support unions".into());
+    }
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!("expected struct/enum, found `{keyword}`"));
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    // Optional generics.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expecting_param = true;
+            let mut in_bounds = false;
+            while depth > 0 {
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            expecting_param = true;
+                            in_bounds = false;
+                        }
+                        ':' if depth == 1 => in_bounds = true,
+                        '\'' => {
+                            return Err(
+                                "serde_derive shim does not support lifetime generics".into()
+                            )
+                        }
+                        _ => {}
+                    },
+                    Some(TokenTree::Ident(id)) => {
+                        let id = id.to_string();
+                        if id == "const" {
+                            return Err("serde_derive shim does not support const generics".into());
+                        }
+                        if depth == 1 && expecting_param && !in_bounds {
+                            generics.push(id);
+                            expecting_param = false;
+                        }
+                    }
+                    Some(_) => {}
+                    None => return Err("unbalanced generics".into()),
+                }
+            }
+        }
+    }
+
+    // Body.
+    let kind = if keyword == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                return Err("serde_derive shim does not support where clauses".into())
+            }
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+
+    Ok(Parsed {
+        name,
+        generics,
+        kind,
+    })
+}
+
+/// Extract field names from `a: T, pub b: U, ...`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Skip the type: until a comma at angle-bracket depth 0.
+        let mut depth = 0usize;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth = depth.saturating_sub(1);
+                    } else if c == ',' && depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for token in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (e.g. #[default]).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(count)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0usize;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth = depth.saturating_sub(1);
+                    } else if c == ',' && depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generics_for(parsed: &Parsed, bound: &str) -> (String, String) {
+    if parsed.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let with_bounds: Vec<String> = parsed
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", with_bounds.join(", ")),
+            format!("<{}>", parsed.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let (impl_generics, ty_generics) = generics_for(parsed, "::serde::Serialize");
+    let body = match &parsed.kind {
+        Kind::NamedStruct(fields) => {
+            let mut code = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                code.push_str(&format!(
+                    "__m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            code.push_str("::serde::Value::Obj(__m)");
+            code
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let mut __m = ::serde::Map::new();\n\
+                         __m.insert({vname:?}.to_string(), ::serde::Serialize::to_value(__f0));\n\
+                         ::serde::Value::Obj(__m)\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert({vname:?}.to_string(), ::serde::Value::Arr(vec![{}]));\n\
+                             ::serde::Value::Obj(__m)\n}}\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert({f:?}.to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => {{\n{inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert({vname:?}.to_string(), ::serde::Value::Obj(__inner));\n\
+                             ::serde::Value::Obj(__m)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl {impl_generics} ::serde::Serialize for {name} {ty_generics} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let (impl_generics, ty_generics) = generics_for(parsed, "::serde::Deserialize");
+    let body = match &parsed.kind {
+        Kind::NamedStruct(fields) => {
+            let mut init = String::new();
+            for f in fields {
+                init.push_str(&format!("{f}: ::serde::from_value_field(__m, {f:?})?,\n"));
+            }
+            format!(
+                "let __m = __v.as_obj().ok_or_else(|| ::serde::Error::expected(\"object\", __v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{init}}})"
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_arr().ok_or_else(|| ::serde::Error::expected(\"array\", __v))?;\n\
+                 if __a.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\"wrong tuple arity\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match __v {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(::serde::Error::expected(\"null\", __other)),\n}}"
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __a = __inner.as_arr().ok_or_else(|| ::serde::Error::expected(\"array\", __inner))?;\n\
+                             if __a.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\"wrong variant arity\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut init = String::new();
+                        for f in fields {
+                            init.push_str(&format!(
+                                "{f}: ::serde::from_value_field(__mm, {f:?})?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __mm = __inner.as_obj().ok_or_else(|| ::serde::Error::expected(\"object\", __inner))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{init}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Obj(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = __m.iter().next().unwrap();\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"externally tagged enum\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl {impl_generics} ::serde::Deserialize for {name} {ty_generics} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,495 @@
+//! JSON encoding/decoding for the offline serde shim.
+//!
+//! Mirrors the `serde_json` entry points the workspace uses
+//! ([`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`from_value`], [`Value`]) on top of the [`serde`] shim's value model.
+//!
+//! Guarantees relied on elsewhere in the repository:
+//!
+//! * **Canonical output** — objects print in key order (the shim's object
+//!   is a `BTreeMap`), so equal values produce byte-identical JSON.
+//! * **Lossless round-trips** — integers keep full `u64`/`i64` precision;
+//!   floats print with Rust's shortest round-trip representation.  Special
+//!   floats (`NaN`, `±∞`) have no JSON literal and encode as `null`, which
+//!   decodes back to `NaN`.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstruct a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Parse JSON text into a typed value.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_complete(text)?;
+    T::from_value(&value)
+}
+
+/// Parse JSON text into a [`Value`] tree, requiring full input consumption.
+pub fn parse_value_complete(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(out, n),
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, vv)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, vv, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::U(v) => out.push_str(&v.to_string()),
+        Number::I(v) => out.push_str(&v.to_string()),
+        Number::F(v) => {
+            if v.is_finite() {
+                // Shortest representation that round-trips; force a decimal
+                // point so the value re-parses as a float.
+                let s = format!("{v}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    out.push_str(&s);
+                } else {
+                    out.push_str(&s);
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON cannot express NaN/Infinity.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), Error> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::msg(format!(
+            "expected `{}` at byte {}",
+            byte as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error::msg(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        let mut code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pair.
+                        if (0xD800..0xDC00).contains(&code)
+                            && bytes.get(*pos + 1) == Some(&b'\\')
+                            && bytes.get(*pos + 2) == Some(&b'u')
+                        {
+                            let lo_hex = bytes
+                                .get(*pos + 3..*pos + 7)
+                                .ok_or_else(|| Error::msg("truncated surrogate"))?;
+                            let lo_hex = std::str::from_utf8(lo_hex)
+                                .map_err(|_| Error::msg("invalid surrogate"))?;
+                            let lo = u32::from_str_radix(lo_hex, 16)
+                                .map_err(|_| Error::msg("invalid surrogate"))?;
+                            if (0xDC00..0xE000).contains(&lo) {
+                                code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                *pos += 6;
+                            }
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::msg("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::msg("invalid escape sequence")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::msg("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::msg(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Num(Number::U(u)));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Num(Number::I(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Num(Number::F(f)))
+        .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        label: String,
+        weight: f64,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        id: u64,
+        name: String,
+        flags: Vec<bool>,
+        nested: Option<Nested>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Empty,
+        Wrapped(u32),
+        Pair(u32, u32),
+        Shaped { x: i64, y: String },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u64);
+
+    #[test]
+    fn struct_roundtrip() {
+        let demo = Demo {
+            id: u64::MAX - 1,
+            name: "hello \"world\"\n".into(),
+            flags: vec![true, false],
+            nested: Some(Nested {
+                label: "x".into(),
+                weight: 0.1,
+            }),
+        };
+        let json = to_string(&demo).unwrap();
+        let back: Demo = from_str(&json).unwrap();
+        assert_eq!(back, demo);
+        // Canonical: serializing again gives identical bytes.
+        assert_eq!(to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn enum_all_variant_shapes_roundtrip() {
+        for kind in [
+            Kind::Empty,
+            Kind::Wrapped(7),
+            Kind::Pair(1, 2),
+            Kind::Shaped {
+                x: -9,
+                y: "z".into(),
+            },
+        ] {
+            let json = to_string(&kind).unwrap();
+            let back: Kind = from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+        assert_eq!(to_string(&Kind::Empty).unwrap(), "\"Empty\"");
+        assert_eq!(to_string(&Kind::Wrapped(7)).unwrap(), "{\"Wrapped\":7}");
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_string(&Newtype(12)).unwrap(), "12");
+        let back: Newtype = from_str("12").unwrap();
+        assert_eq!(back, Newtype(12));
+    }
+
+    #[test]
+    fn option_none_roundtrips() {
+        let demo = Demo {
+            id: 0,
+            name: String::new(),
+            flags: vec![],
+            nested: None,
+        };
+        let json = to_string(&demo).unwrap();
+        assert!(json.contains("\"nested\":null"));
+        let back: Demo = from_str(&json).unwrap();
+        assert_eq!(back, demo);
+        // A missing key also decodes as None.
+        let sparse: Demo = from_str("{\"id\":0,\"name\":\"\",\"flags\":[]}").unwrap();
+        assert_eq!(sparse, demo);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 6.02214076e23, -0.0, 12345.0] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{json}");
+        }
+        let nan_json = to_string(&f64::NAN).unwrap();
+        assert_eq!(nan_json, "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let demo = Demo {
+            id: 3,
+            name: "p".into(),
+            flags: vec![true],
+            nested: Some(Nested {
+                label: "l".into(),
+                weight: 2.5,
+            }),
+        };
+        let pretty = to_string_pretty(&demo).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Demo = from_str(&pretty).unwrap();
+        assert_eq!(back, demo);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<u64>("[").is_err());
+        assert!(from_str::<Demo>("{\"id\": \"nope\"}").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s: String = from_str("\"a\\u00e9\\ud83d\\ude00b\"").unwrap();
+        assert_eq!(s, "aé😀b");
+        let round = to_string(&"tab\there").unwrap();
+        assert_eq!(round, "\"tab\\there\"");
+    }
+}

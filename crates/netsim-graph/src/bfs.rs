@@ -128,7 +128,7 @@ pub fn distance_to_set(g: &Csr, u: NodeId, targets: &[NodeId]) -> u32 {
 /// Returns `None` when some node is unreachable from `v`.
 pub fn eccentricity(g: &Csr, v: NodeId) -> Option<u32> {
     let dist = bfs_distances(g, v, usize::MAX);
-    if dist.iter().any(|&d| d == UNREACHABLE) {
+    if dist.contains(&UNREACHABLE) {
         None
     } else {
         dist.into_iter().max()
@@ -236,7 +236,10 @@ mod tests {
     #[test]
     fn ball_and_boundary_match_definitions() {
         let g = path5();
-        assert_eq!(ball(&g, NodeId(2), 1), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            ball(&g, NodeId(2), 1),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
         assert_eq!(boundary(&g, NodeId(2), 2), vec![NodeId(0), NodeId(4)]);
         // Convention: dist(v, v) = 0 so v is in its own ball of any radius.
         assert_eq!(ball(&g, NodeId(0), 0), vec![NodeId(0)]);
@@ -295,10 +298,10 @@ mod tests {
         let core = largest_component_induced(&g, &keep);
         assert_eq!(core.len(), 2);
         // Remove nothing: whole path.
-        let core = largest_component_induced(&g, &vec![true; 5]);
+        let core = largest_component_induced(&g, &[true; 5]);
         assert_eq!(core.len(), 5);
         // Remove everything: empty.
-        let core = largest_component_induced(&g, &vec![false; 5]);
+        let core = largest_component_induced(&g, &[false; 5]);
         assert!(core.is_empty());
     }
 

@@ -168,7 +168,12 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn net_and_byz(n: usize, d: usize, num_byz: usize, seed: u64) -> (SmallWorldNetwork, Vec<bool>) {
+    fn net_and_byz(
+        n: usize,
+        d: usize,
+        num_byz: usize,
+        seed: u64,
+    ) -> (SmallWorldNetwork, Vec<bool>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let net = SmallWorldNetwork::generate(SmallWorldConfig::new(n, d), &mut rng).unwrap();
         let mut idx: Vec<usize> = (0..n).collect();
@@ -202,8 +207,7 @@ mod tests {
         for v in net.node_ids() {
             if cats.is_byzantine_safe(v) {
                 assert!(
-                    dist[v.index()] == UNREACHABLE
-                        || dist[v.index()] as usize > cats.safety_radius,
+                    dist[v.index()] == UNREACHABLE || dist[v.index()] as usize > cats.safety_radius,
                     "Byzantine-safe node {v} is within the safety radius of a Byzantine node"
                 );
             }
@@ -242,7 +246,11 @@ mod tests {
         let (net, byz) = net_and_byz(n, 8, num_byz, 5);
         let cats = NodeCategories::compute(&net, &byz, 0.6);
         let counts = cats.counts();
-        assert!(counts.safe as f64 >= 0.8 * n as f64, "safe = {}", counts.safe);
+        assert!(
+            counts.safe as f64 >= 0.8 * n as f64,
+            "safe = {}",
+            counts.safe
+        );
         assert!(
             counts.byzantine_safe as f64 >= 0.6 * n as f64,
             "byz-safe = {}",

@@ -31,10 +31,16 @@ impl Csr {
     pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
         for &(u, v) in edges {
             if u as usize >= n {
-                return Err(GraphError::NodeOutOfRange { index: u as usize, n });
+                return Err(GraphError::NodeOutOfRange {
+                    index: u as usize,
+                    n,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::NodeOutOfRange { index: v as usize, n });
+                return Err(GraphError::NodeOutOfRange {
+                    index: v as usize,
+                    n,
+                });
             }
         }
         let mut degree = vec![0u32; n];
@@ -76,7 +82,10 @@ impl Csr {
         for (u, list) in lists.iter().enumerate() {
             for &v in list {
                 if v as usize >= n {
-                    return Err(GraphError::NodeOutOfRange { index: v as usize, n });
+                    return Err(GraphError::NodeOutOfRange {
+                        index: v as usize,
+                        n,
+                    });
                 }
                 targets.push(v);
             }
@@ -146,12 +155,18 @@ impl Csr {
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        (0..self.len()).map(|i| self.degree(NodeId::from_index(i))).max().unwrap_or(0)
+        (0..self.len())
+            .map(|i| self.degree(NodeId::from_index(i)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all nodes.
     pub fn min_degree(&self) -> usize {
-        (0..self.len()).map(|i| self.degree(NodeId::from_index(i))).min().unwrap_or(0)
+        (0..self.len())
+            .map(|i| self.degree(NodeId::from_index(i)))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Check adjacency symmetry: `v ∈ N(u)` with multiplicity `m` iff

@@ -12,7 +12,11 @@ pub enum GraphError {
     /// even degree of at least 4).
     InvalidDegree { d: usize, reason: &'static str },
     /// A parameter was outside its admissible range.
-    InvalidParameter { name: &'static str, value: f64, reason: &'static str },
+    InvalidParameter {
+        name: &'static str,
+        value: f64,
+        reason: &'static str,
+    },
     /// An edge list referenced a node index `>= n`.
     NodeOutOfRange { index: usize, n: usize },
 }
@@ -26,7 +30,11 @@ impl fmt::Display for GraphError {
             GraphError::InvalidDegree { d, reason } => {
                 write!(f, "invalid degree d = {d}: {reason}")
             }
-            GraphError::InvalidParameter { name, value, reason } => {
+            GraphError::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => {
                 write!(f, "invalid parameter {name} = {value}: {reason}")
             }
             GraphError::NodeOutOfRange { index, n } => {
@@ -46,9 +54,16 @@ mod tests {
     fn display_is_informative() {
         let e = GraphError::TooFewNodes { n: 2, minimum: 3 };
         assert!(e.to_string().contains("too few nodes"));
-        let e = GraphError::InvalidDegree { d: 5, reason: "must be even" };
+        let e = GraphError::InvalidDegree {
+            d: 5,
+            reason: "must be even",
+        };
         assert!(e.to_string().contains("must be even"));
-        let e = GraphError::InvalidParameter { name: "delta", value: 2.0, reason: "must be <= 1" };
+        let e = GraphError::InvalidParameter {
+            name: "delta",
+            value: 2.0,
+            reason: "must be <= 1",
+        };
         assert!(e.to_string().contains("delta"));
         let e = GraphError::NodeOutOfRange { index: 9, n: 4 };
         assert!(e.to_string().contains("out of range"));

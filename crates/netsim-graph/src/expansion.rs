@@ -58,7 +58,11 @@ impl ExpansionEstimate {
 pub fn spectral_gap(g: &Csr, max_iterations: usize, seed: u64) -> SpectralEstimate {
     let n = g.len();
     if n < 2 {
-        return SpectralEstimate { lambda2: 0.0, gap: 1.0, iterations: 0 };
+        return SpectralEstimate {
+            lambda2: 0.0,
+            gap: 1.0,
+            iterations: 0,
+        };
     }
     // Deterministic pseudo-random starting vector (SplitMix64) so the
     // estimate is reproducible without threading an RNG through.
@@ -70,11 +74,15 @@ pub fn spectral_gap(g: &Csr, max_iterations: usize, seed: u64) -> SpectralEstima
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
     };
-    let mut x: Vec<f64> = (0..n).map(|_| (next() as f64 / u64::MAX as f64) - 0.5).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| (next() as f64 / u64::MAX as f64) - 0.5)
+        .collect();
     orthogonalize_against_ones(&mut x);
     normalize(&mut x);
 
-    let degrees: Vec<f64> = (0..n).map(|i| g.degree(NodeId::from_index(i)).max(1) as f64).collect();
+    let degrees: Vec<f64> = (0..n)
+        .map(|i| g.degree(NodeId::from_index(i)).max(1) as f64)
+        .collect();
     let mut lambda_lazy = 0.0f64;
     let mut iterations = 0usize;
     let mut y = vec![0.0f64; n];
@@ -104,7 +112,11 @@ pub fn spectral_gap(g: &Csr, max_iterations: usize, seed: u64) -> SpectralEstima
     // negative λ₂ means the non-trivial spectrum is entirely negative, i.e.
     // the gap is as large as it gets).
     let lambda2 = (2.0 * lambda_lazy - 1.0).clamp(0.0, 1.0);
-    SpectralEstimate { lambda2, gap: 1.0 - lambda2, iterations }
+    SpectralEstimate {
+        lambda2,
+        gap: 1.0 - lambda2,
+        iterations,
+    }
 }
 
 /// Estimate the edge expansion of a (nominally `d`-regular) graph.
@@ -124,7 +136,11 @@ pub fn edge_expansion(g: &Csr, d: usize, max_iterations: usize, seed: u64) -> Ex
     // Cheeger sweep: sort vertices by the eigenvector, consider every prefix
     // S, and compute |∂S| / |S| incrementally.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| fiedler[a].partial_cmp(&fiedler[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        fiedler[a]
+            .partial_cmp(&fiedler[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut in_s = vec![false; n];
     let mut boundary = 0isize;
     let mut best = f64::INFINITY;
@@ -151,7 +167,11 @@ pub fn edge_expansion(g: &Csr, d: usize, max_iterations: usize, seed: u64) -> Ex
         best = d as f64;
     }
     let spectral_lower_bound = d as f64 * spectral.gap / 2.0;
-    ExpansionEstimate { sweep_upper_bound: best, spectral_lower_bound, spectral }
+    ExpansionEstimate {
+        sweep_upper_bound: best,
+        spectral_lower_bound,
+        spectral,
+    }
 }
 
 fn approximate_second_eigenvector(g: &Csr, iters: usize, seed: u64) -> Vec<f64> {
@@ -164,10 +184,14 @@ fn approximate_second_eigenvector(g: &Csr, iters: usize, seed: u64) -> Vec<f64> 
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
     };
-    let mut x: Vec<f64> = (0..n).map(|_| (next() as f64 / u64::MAX as f64) - 0.5).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| (next() as f64 / u64::MAX as f64) - 0.5)
+        .collect();
     orthogonalize_against_ones(&mut x);
     normalize(&mut x);
-    let degrees: Vec<f64> = (0..n).map(|i| g.degree(NodeId::from_index(i)).max(1) as f64).collect();
+    let degrees: Vec<f64> = (0..n)
+        .map(|i| g.degree(NodeId::from_index(i)).max(1) as f64)
+        .collect();
     let mut y = vec![0.0f64; n];
     for _ in 0..iters {
         lazy_walk_step(g, &degrees, &x, &mut y);
@@ -238,8 +262,7 @@ mod tests {
     }
 
     fn cycle(n: usize) -> Csr {
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         Csr::from_undirected_edges(n, &edges).unwrap()
     }
 
@@ -278,7 +301,11 @@ mod tests {
         assert!(est.sweep_upper_bound > 0.0);
         // The sweep bound can occasionally dip below the spectral bound due
         // to approximation error, but for an expander both should be Θ(1).
-        assert!(est.working_value() > 0.1, "working value = {}", est.working_value());
+        assert!(
+            est.working_value() > 0.1,
+            "working value = {}",
+            est.working_value()
+        );
         assert!(est.sweep_upper_bound <= 8.0 + 1e-9);
     }
 

@@ -40,11 +40,17 @@ impl HGraph {
         if n < 3 {
             return Err(GraphError::TooFewNodes { n, minimum: 3 });
         }
-        if d % 2 != 0 {
-            return Err(GraphError::InvalidDegree { d, reason: "degree must be even" });
+        if !d.is_multiple_of(2) {
+            return Err(GraphError::InvalidDegree {
+                d,
+                reason: "degree must be even",
+            });
         }
         if d < Self::MIN_DEGREE {
-            return Err(GraphError::InvalidDegree { d, reason: "degree must be at least 4" });
+            return Err(GraphError::InvalidDegree {
+                d,
+                reason: "degree must be at least 4",
+            });
         }
         let cycles = d / 2;
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(cycles * n);
@@ -59,7 +65,12 @@ impl HGraph {
         }
         let csr = Csr::from_undirected_edges(n, &edges)?;
         let parallel_edges = csr.parallel_edge_entries();
-        Ok(HGraph { n, d, csr, parallel_edges })
+        Ok(HGraph {
+            n,
+            d,
+            csr,
+            parallel_edges,
+        })
     }
 
     /// Build an `HGraph` wrapper around an arbitrary regular CSR.
@@ -71,7 +82,12 @@ impl HGraph {
     pub fn from_csr(csr: Csr, d: usize) -> Self {
         let n = csr.len();
         let parallel_edges = csr.parallel_edge_entries();
-        HGraph { n, d, csr, parallel_edges }
+        HGraph {
+            n,
+            d,
+            csr,
+            parallel_edges,
+        }
     }
 
     /// Number of nodes.
@@ -180,7 +196,11 @@ mod tests {
         let h = HGraph::generate(2000, 8, &mut rng).unwrap();
         // Expected number of coinciding edges across cycles is O(d^2) = O(1)
         // relative to n; allow a generous constant.
-        assert!(h.parallel_edges() < 64, "parallel edges: {}", h.parallel_edges());
+        assert!(
+            h.parallel_edges() < 64,
+            "parallel edges: {}",
+            h.parallel_edges()
+        );
     }
 
     #[test]
@@ -213,6 +233,9 @@ mod tests {
         let h = HGraph::generate(n, 8, &mut rng).unwrap();
         let dist = bfs_distances(h.csr(), NodeId(0), usize::MAX);
         let ecc = dist.iter().copied().max().unwrap();
-        assert!(ecc as f64 <= 4.0 * (n as f64).log2(), "eccentricity {ecc} too large");
+        assert!(
+            ecc as f64 <= 4.0 * (n as f64).log2(),
+            "eccentricity {ecc} too large"
+        );
     }
 }

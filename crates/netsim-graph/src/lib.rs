@@ -41,6 +41,7 @@ pub mod ids;
 pub mod metrics;
 pub mod smallworld;
 pub mod treelike;
+pub mod trees;
 pub mod watts_strogatz;
 
 pub use categories::{CategoryCounts, NodeCategories};
@@ -51,11 +52,12 @@ pub use hgraph::HGraph;
 pub use ids::{NodeId, NodeLabel};
 pub use smallworld::{SmallWorldConfig, SmallWorldNetwork};
 pub use treelike::TreeLikeReport;
+pub use trees::{balanced_tree, random_tree};
 pub use watts_strogatz::WattsStrogatz;
 
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
-    pub use crate::bfs::{ball, boundary, bfs_distances, multi_source_distances};
+    pub use crate::bfs::{ball, bfs_distances, boundary, multi_source_distances};
     pub use crate::categories::{CategoryCounts, NodeCategories};
     pub use crate::csr::Csr;
     pub use crate::error::GraphError;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use crate::metrics::{average_clustering, diameter_estimate, local_clustering};
     pub use crate::smallworld::{SmallWorldConfig, SmallWorldNetwork};
     pub use crate::treelike::{locally_tree_like_radius, TreeLikeReport};
+    pub use crate::trees::{balanced_tree, random_tree};
     pub use crate::watts_strogatz::WattsStrogatz;
 }
 

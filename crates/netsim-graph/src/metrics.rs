@@ -64,7 +64,11 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &Csr) -> DegreeStats {
     let n = g.len();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
     }
     let mut min = usize::MAX;
     let mut max = 0usize;
@@ -75,7 +79,11 @@ pub fn degree_stats(g: &Csr) -> DegreeStats {
         max = max.max(d);
         sum += d;
     }
-    DegreeStats { min, max, mean: sum as f64 / n as f64 }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / n as f64,
+    }
 }
 
 /// Result of a diameter estimate.
@@ -99,7 +107,11 @@ pub struct DiameterEstimate {
 pub fn diameter_estimate(g: &Csr, exact_threshold: usize) -> DiameterEstimate {
     let n = g.len();
     if n == 0 {
-        return DiameterEstimate { lower_bound: 0, exact: true, connected: true };
+        return DiameterEstimate {
+            lower_bound: 0,
+            exact: true,
+            connected: true,
+        };
     }
     let first = bfs_distances(g, NodeId(0), usize::MAX);
     let connected = first.iter().all(|&d| d != UNREACHABLE);
@@ -110,7 +122,11 @@ pub fn diameter_estimate(g: &Csr, exact_threshold: usize) -> DiameterEstimate {
             .copied()
             .max()
             .unwrap_or(0);
-        return DiameterEstimate { lower_bound: far, exact: false, connected: false };
+        return DiameterEstimate {
+            lower_bound: far,
+            exact: false,
+            connected: false,
+        };
     }
     if n <= exact_threshold {
         let diameter = (0..n)
@@ -118,7 +134,11 @@ pub fn diameter_estimate(g: &Csr, exact_threshold: usize) -> DiameterEstimate {
             .map(|i| eccentricity(g, NodeId::from_index(i)).unwrap_or(0))
             .max()
             .unwrap_or(0);
-        return DiameterEstimate { lower_bound: diameter, exact: true, connected: true };
+        return DiameterEstimate {
+            lower_bound: diameter,
+            exact: true,
+            connected: true,
+        };
     }
     // Multi-sweep: start from node 0, repeatedly jump to the farthest node.
     let mut best = 0u32;
@@ -137,7 +157,11 @@ pub fn diameter_estimate(g: &Csr, exact_threshold: usize) -> DiameterEstimate {
         best = far_d;
         current = NodeId::from_index(far_idx);
     }
-    DiameterEstimate { lower_bound: best, exact: false, connected: true }
+    DiameterEstimate {
+        lower_bound: best,
+        exact: false,
+        connected: true,
+    }
 }
 
 #[cfg(test)]
@@ -213,15 +237,17 @@ mod tests {
         // Section 2.1: adding the L edges increases the clustering
         // coefficient compared to the random regular graph H.
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let net =
-            SmallWorldNetwork::generate(SmallWorldConfig::new(600, 8), &mut rng).unwrap();
+        let net = SmallWorldNetwork::generate(SmallWorldConfig::new(600, 8), &mut rng).unwrap();
         let cc_h = average_clustering(net.h().csr());
         let cc_g = average_clustering(net.g());
         assert!(
             cc_g > 3.0 * cc_h.max(1e-3),
             "G must have markedly higher clustering: H = {cc_h}, G = {cc_g}"
         );
-        assert!(cc_g > 0.3, "small-world clustering should be large, got {cc_g}");
+        assert!(
+            cc_g > 0.3,
+            "small-world clustering should be large, got {cc_g}"
+        );
     }
 
     #[test]

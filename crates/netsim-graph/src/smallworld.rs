@@ -14,8 +14,8 @@ use crate::error::GraphError;
 use crate::hgraph::HGraph;
 use crate::ids::{random_labels, NodeId, NodeLabel};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -127,7 +127,14 @@ impl SmallWorldNetwork {
             .enumerate()
             .map(|(i, &l)| (l, NodeId::from_index(i)))
             .collect();
-        Ok(SmallWorldNetwork { h, g, g_edge_dist, k, labels, label_index })
+        Ok(SmallWorldNetwork {
+            h,
+            g,
+            g_edge_dist,
+            k,
+            labels,
+            label_index,
+        })
     }
 
     /// Number of nodes.
@@ -272,7 +279,11 @@ mod tests {
                 .filter(|&u| u != v)
                 .map(|u| u.0)
                 .collect();
-            assert_eq!(net.g_neighbors(v), &ball[..], "G-neighbourhood must equal B_H(v,k)\\{{v}}");
+            assert_eq!(
+                net.g_neighbors(v),
+                &ball[..],
+                "G-neighbourhood must equal B_H(v,k)\\{{v}}"
+            );
         }
     }
 
@@ -332,7 +343,10 @@ mod tests {
     fn l_edges_exist_for_k_ge_2() {
         let net = small_net(256, 8, 7);
         assert!(net.k() >= 2);
-        assert!(net.num_l_edges() > 0, "with k >= 2 there must be pure L-edges");
+        assert!(
+            net.num_l_edges() > 0,
+            "with k >= 2 there must be pure L-edges"
+        );
     }
 
     #[test]

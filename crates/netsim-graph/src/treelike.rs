@@ -135,7 +135,11 @@ pub fn classify_all(h: &HGraph, radius: Option<usize>) -> TreeLikeReport {
         .map(|i| is_locally_tree_like(h.csr(), d, NodeId::from_index(i), r))
         .collect();
     let count = tree_like.iter().filter(|&&t| t).count();
-    TreeLikeReport { radius: r, tree_like, count }
+    TreeLikeReport {
+        radius: r,
+        tree_like,
+        count,
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +236,11 @@ mod tests {
 
     #[test]
     fn report_fraction_of_empty_graph_is_one() {
-        let report = TreeLikeReport { radius: 1, tree_like: vec![], count: 0 };
+        let report = TreeLikeReport {
+            radius: 1,
+            tree_like: vec![],
+            count: 0,
+        };
         assert_eq!(report.fraction(), 1.0);
     }
 }

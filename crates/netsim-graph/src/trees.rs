@@ -1,0 +1,164 @@
+//! Tree topologies.
+//!
+//! The paper's protocols are designed for small-world expanders, but the
+//! simulation API runs them over arbitrary [`Csr`] topologies; trees are the
+//! natural stress test (diameter `Θ(log n)` for balanced trees, up to
+//! `Θ(n)` for degenerate random ones, and zero edge-expansion slack —
+//! everything an expander is not).
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use rand::Rng;
+
+/// A complete `arity`-ary tree on `n` nodes, nodes numbered in BFS order
+/// (node 0 is the root, the children of `v` are `arity·v + 1 ..`).
+///
+/// # Errors
+/// Fails when `n == 0` or `arity == 0`.
+pub fn balanced_tree(n: usize, arity: usize) -> Result<Csr, GraphError> {
+    if n == 0 {
+        return Err(GraphError::TooFewNodes { n, minimum: 1 });
+    }
+    if arity == 0 {
+        return Err(GraphError::InvalidDegree {
+            d: arity,
+            reason: "tree arity must be positive",
+        });
+    }
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for child in 1..n {
+        let parent = (child - 1) / arity;
+        edges.push((parent as u32, child as u32));
+    }
+    Csr::from_undirected_edges(n, &edges)
+}
+
+/// A uniformly random labelled tree on `n` nodes (random Prüfer sequence),
+/// optionally rejecting attachments that would exceed `max_degree`.
+///
+/// With `max_degree = None` this is the uniform distribution over all
+/// `n^{n-2}` labelled trees; with a bound it greedily redirects edges to the
+/// lowest-degree admissible node, keeping the result a tree.
+///
+/// # Errors
+/// Fails when `n == 0` or `max_degree < 2` makes a spanning tree impossible
+/// for `n > 2`.
+pub fn random_tree<R: Rng + ?Sized>(
+    n: usize,
+    max_degree: Option<usize>,
+    rng: &mut R,
+) -> Result<Csr, GraphError> {
+    if n == 0 {
+        return Err(GraphError::TooFewNodes { n, minimum: 1 });
+    }
+    if let Some(cap) = max_degree {
+        if cap < 2 && n > 2 {
+            return Err(GraphError::InvalidDegree {
+                d: cap,
+                reason: "max_degree < 2 cannot span more than two nodes",
+            });
+        }
+    }
+    if n == 1 {
+        return Csr::from_undirected_edges(1, &[]);
+    }
+    if n == 2 {
+        return Csr::from_undirected_edges(2, &[(0, 1)]);
+    }
+    // Prüfer decoding with an optional degree cap.
+    let mut degree = vec![1u32; n];
+    let prufer: Vec<usize> = (0..n - 2)
+        .map(|_| {
+            let v = rng.gen_range(0..n);
+            degree[v] += 1;
+            v
+        })
+        .collect();
+    let cap = max_degree.unwrap_or(usize::MAX) as u32;
+    // Redistribute over-cap occurrences to low-degree nodes.
+    let mut prufer = prufer;
+    for slot in prufer.iter_mut() {
+        if degree[*slot] > cap {
+            degree[*slot] -= 1;
+            let replacement = (0..n).min_by_key(|&u| degree[u]).expect("n > 0");
+            degree[replacement] += 1;
+            *slot = replacement;
+        }
+    }
+    let mut remaining: Vec<u32> = degree.clone();
+    let mut edges = Vec::with_capacity(n - 1);
+    // Leaf list: nodes with remaining degree 1, smallest first.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| remaining[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &p in &prufer {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("tree decoding invariant");
+        edges.push((leaf as u32, p as u32));
+        remaining[leaf] -= 1;
+        remaining[p] -= 1;
+        if remaining[p] == 1 {
+            heap.push(std::cmp::Reverse(p));
+        }
+    }
+    let std::cmp::Reverse(a) = heap.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = heap.pop().expect("two leaves remain");
+    edges.push((a as u32, b as u32));
+    Csr::from_undirected_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::ids::NodeId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn is_connected_tree(g: &Csr) -> bool {
+        let n = g.len();
+        if g.num_undirected_edges() != n - 1 {
+            return false;
+        }
+        let dist = bfs::bfs_distances(g, NodeId(0), usize::MAX);
+        dist.iter().all(|&d| d != u32::MAX)
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let t = balanced_tree(15, 2).unwrap();
+        assert!(is_connected_tree(&t));
+        assert_eq!(t.degree(NodeId(0)), 2);
+        assert_eq!(t.degree(NodeId(1)), 3); // parent + two children
+        assert_eq!(t.degree(NodeId(14)), 1); // a leaf
+        assert!(balanced_tree(0, 2).is_err());
+        assert!(balanced_tree(5, 0).is_err());
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for n in [1usize, 2, 3, 10, 257] {
+            let t = random_tree(n, None, &mut rng).unwrap();
+            assert_eq!(t.len(), n);
+            if n > 1 {
+                assert!(is_connected_tree(&t), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_respects_degree_cap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let t = random_tree(300, Some(4), &mut rng).unwrap();
+        assert!(is_connected_tree(&t));
+        assert!(t.max_degree() <= 4, "max degree {}", t.max_degree());
+    }
+
+    #[test]
+    fn random_tree_is_seed_deterministic() {
+        let a = random_tree(64, Some(6), &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+        let b = random_tree(64, Some(6), &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b);
+    }
+}

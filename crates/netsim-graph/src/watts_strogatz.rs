@@ -46,7 +46,10 @@ impl WattsStrogatz {
             });
         }
         if n <= 2 * k_half {
-            return Err(GraphError::TooFewNodes { n, minimum: 2 * k_half + 1 });
+            return Err(GraphError::TooFewNodes {
+                n,
+                minimum: 2 * k_half + 1,
+            });
         }
         if !(0.0..=1.0).contains(&beta) {
             return Err(GraphError::InvalidParameter {
@@ -98,7 +101,13 @@ impl WattsStrogatz {
         }
         let edge_list: Vec<(u32, u32)> = edges.into_iter().collect();
         let csr = Csr::from_undirected_edges(n, &edge_list)?;
-        Ok(WattsStrogatz { n, k_half, beta, csr, rewired_edges: rewired })
+        Ok(WattsStrogatz {
+            n,
+            k_half,
+            beta,
+            csr,
+            rewired_edges: rewired,
+        })
     }
 
     /// Number of nodes.

@@ -57,6 +57,19 @@ pub trait Adversary<P: Protocol>: Send {
     ) -> AdversaryDecision<P::Message>;
 }
 
+/// Boxed adversaries forward to their contents, so heterogeneous adversary
+/// sets (e.g. chosen from a serialized run specification) can drive the
+/// engine through `Box<dyn Adversary<P>>`.
+impl<P: Protocol> Adversary<P> for Box<dyn Adversary<P>> {
+    fn act(
+        &mut self,
+        view: &AdversaryView<'_, P>,
+        rng: &mut ChaCha8Rng,
+    ) -> AdversaryDecision<P::Message> {
+        (**self).act(view, rng)
+    }
+}
+
 /// The trivial adversary: Byzantine nodes behave exactly like honest nodes.
 ///
 /// Useful as a control in experiments and whenever a protocol is run without

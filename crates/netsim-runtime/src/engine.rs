@@ -37,7 +37,10 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { max_rounds: 100_000, stop_when_all_decided: true }
+        EngineConfig {
+            max_rounds: 100_000,
+            stop_when_all_decided: true,
+        }
     }
 }
 
@@ -69,6 +72,12 @@ impl<O> RunResult<O> {
             .count()
     }
 }
+
+/// Per-node result of one protocol step: queued envelopes plus the action.
+type StepResult<P> = (
+    Vec<Envelope<<P as Protocol>::Message>>,
+    Action<<P as Protocol>::Output>,
+);
 
 /// The synchronous engine; see the module documentation.
 pub struct SyncEngine<'a, T, P, A>
@@ -135,6 +144,23 @@ where
         }
     }
 
+    /// Mark nodes as crashed before the first round (fail-stop fault
+    /// injection).  Crashed nodes never step and their messages are dropped,
+    /// Byzantine ones included.
+    pub fn with_initial_crashes(mut self, crashed: &[bool]) -> Self {
+        assert_eq!(
+            crashed.len(),
+            self.statuses.len(),
+            "crash mask must cover every node"
+        );
+        for (status, &is_crashed) in self.statuses.iter_mut().zip(crashed) {
+            if is_crashed {
+                *status = NodeStatus::Crashed;
+            }
+        }
+        self
+    }
+
     /// The current round number (number of rounds fully executed).
     pub fn round(&self) -> u64 {
         self.round
@@ -181,7 +207,7 @@ where
         let topology = self.topology;
         let statuses = &self.statuses;
         let outputs = &self.outputs;
-        let step_results: Vec<(Vec<Envelope<P::Message>>, Action<P::Output>)> = self
+        let step_results: Vec<StepResult<P>> = self
             .states
             .par_iter_mut()
             .zip(self.rngs.par_iter_mut())
@@ -214,8 +240,11 @@ where
                 honest_messages.extend(msgs.iter().cloned());
             }
         }
-        let crashed_mask: Vec<bool> =
-            self.statuses.iter().map(|s| *s == NodeStatus::Crashed).collect();
+        let crashed_mask: Vec<bool> = self
+            .statuses
+            .iter()
+            .map(|s| *s == NodeStatus::Crashed)
+            .collect();
         let decision = {
             let view = AdversaryView {
                 round,
@@ -227,9 +256,12 @@ where
             };
             self.adversary.act(&view, &mut self.adversary_rng)
         };
-        let byz_messages = match decision {
-            AdversaryDecision::FollowProtocol => byz_default,
-            AdversaryDecision::Replace(msgs) => msgs,
+        // `FollowProtocol` messages carry engine-stamped sender ids;
+        // `Replace` messages are adversary-authored and their claimed sender
+        // must be validated against the Byzantine mask below.
+        let (byz_messages, adversary_authored) = match decision {
+            AdversaryDecision::FollowProtocol => (byz_default, false),
+            AdversaryDecision::Replace(msgs) => (msgs, true),
         };
 
         // Phase 3: apply actions (honest nodes only; Byzantine nodes are
@@ -254,11 +286,23 @@ where
         }
 
         // Phase 4: validate, account and deliver messages for the next round.
-        for env in honest_messages.into_iter().chain(byz_messages.into_iter()) {
+        let tagged = honest_messages
+            .into_iter()
+            .zip(std::iter::repeat(false))
+            .chain(
+                byz_messages
+                    .into_iter()
+                    .zip(std::iter::repeat(adversary_authored)),
+            );
+        for (env, authored_by_adversary) in tagged {
+            // A sender must exist and must not have crashed — a crashed node
+            // stays silent forever, even a Byzantine one.  Adversary-authored
+            // envelopes must additionally claim a Byzantine sender (identity
+            // non-forgeability: the adversary may only speak through the
+            // nodes it controls).
             let from_ok = env.from.index() < n
                 && self.statuses[env.from.index()] != NodeStatus::Crashed
-                // The adversary may only speak through Byzantine nodes.
-                || (env.from.index() < n && self.byzantine[env.from.index()]);
+                && (!authored_by_adversary || self.byzantine[env.from.index()]);
             let edge_ok = env.to.index() < n && self.topology.can_send(env.from, env.to);
             let to_ok = env.to.index() < n && self.statuses[env.to.index()] != NodeStatus::Crashed;
             if from_ok && edge_ok && to_ok {
@@ -289,7 +333,11 @@ where
             .enumerate()
             .filter(|(i, _)| !self.byzantine[*i])
             .all(|(_, s)| *s != NodeStatus::Active);
-        let crashed = self.statuses.iter().map(|s| *s == NodeStatus::Crashed).collect();
+        let crashed = self
+            .statuses
+            .iter()
+            .map(|s| *s == NodeStatus::Crashed)
+            .collect();
         RunResult {
             outputs: self.outputs,
             decided_round: self.decided_round,
@@ -303,8 +351,7 @@ where
 
 /// SplitMix64-style seed derivation so per-node RNG streams are independent.
 fn splitmix(seed: u64, index: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
@@ -380,7 +427,14 @@ mod tests {
     }
 
     fn flood_states(n: usize, ttl: u64) -> Vec<MaxFlood> {
-        (0..n).map(|_| MaxFlood { value: 0, best: 0, ttl, started: false }).collect()
+        (0..n)
+            .map(|_| MaxFlood {
+                value: 0,
+                best: 0,
+                ttl,
+                started: false,
+            })
+            .collect()
     }
 
     #[test]
@@ -423,14 +477,20 @@ mod tests {
         let c = run(8);
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.metrics, b.metrics);
-        assert_ne!(a.outputs, c.outputs, "different seeds should give different values");
+        assert_ne!(
+            a.outputs, c.outputs,
+            "different seeds should give different values"
+        );
     }
 
     #[test]
     fn max_rounds_caps_execution() {
         let n = 8;
         let g = line_graph(n);
-        let cfg = EngineConfig { max_rounds: 3, stop_when_all_decided: true };
+        let cfg = EngineConfig {
+            max_rounds: 3,
+            stop_when_all_decided: true,
+        };
         let result = SyncEngine::new(
             &g,
             flood_states(n, 1000),
@@ -498,6 +558,69 @@ mod tests {
         assert!(result.honest_decided(&byz) == n - 1);
     }
 
+    #[test]
+    fn crashed_byzantine_sender_messages_are_dropped() {
+        // Regression test for the `from_ok` operator-precedence hazard: the
+        // old `a && b || (a && c)` validation let messages whose claimed
+        // sender was a *crashed* Byzantine node through.  A crashed node must
+        // stay silent forever, no matter who authors envelopes in its name.
+        let n = 8;
+        let g = line_graph(n);
+        let mut byz = vec![false; n];
+        byz[1] = true;
+        let mut crashed = vec![false; n];
+        crashed[1] = true; // the Byzantine node fail-stops before round 0
+        let engine = SyncEngine::new(
+            &g,
+            flood_states(n, 20),
+            byz.clone(),
+            Shouter, // keeps authoring envelopes claiming node 1 as sender
+            EngineConfig::default(),
+            3,
+        )
+        .with_initial_crashes(&crashed);
+        let result = engine.run();
+        // Node 0 must NOT be poisoned by u64::MAX from its crashed neighbour.
+        assert_ne!(result.outputs[0], Some(u64::MAX));
+        assert!(result.metrics.messages_dropped > 0);
+    }
+
+    #[test]
+    fn adversary_cannot_forge_honest_sender_ids() {
+        // Identity non-forgeability: adversary-authored envelopes claiming an
+        // honest sender are dropped even when the edge exists.
+        struct ForgeHonest;
+        impl Adversary<MaxFlood> for ForgeHonest {
+            fn act(
+                &mut self,
+                _view: &AdversaryView<'_, MaxFlood>,
+                _rng: &mut ChaCha8Rng,
+            ) -> AdversaryDecision<Val> {
+                // Claim honest node 1 (a neighbour of node 0) as the sender.
+                AdversaryDecision::Replace(vec![Envelope::new(NodeId(1), NodeId(0), Val(u64::MAX))])
+            }
+        }
+        let n = 8;
+        let g = line_graph(n);
+        let mut byz = vec![false; n];
+        byz[4] = true; // the adversary controls node 4, not node 1
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 20),
+            byz,
+            ForgeHonest,
+            EngineConfig::default(),
+            5,
+        )
+        .run();
+        assert_ne!(
+            result.outputs[0],
+            Some(u64::MAX),
+            "forged envelope must be dropped"
+        );
+        assert!(result.metrics.messages_dropped > 0);
+    }
+
     /// Protocol that crashes immediately; used to test crash bookkeeping.
     #[derive(Clone)]
     struct CrashImmediately;
@@ -519,7 +642,10 @@ mod tests {
     fn crashed_nodes_stop_participating() {
         let n = 4;
         let g = line_graph(n);
-        let cfg = EngineConfig { max_rounds: 5, stop_when_all_decided: true };
+        let cfg = EngineConfig {
+            max_rounds: 5,
+            stop_when_all_decided: true,
+        };
         let result = SyncEngine::new(
             &g,
             vec![CrashImmediately; n],
@@ -530,7 +656,10 @@ mod tests {
         )
         .run();
         assert!(result.crashed.iter().all(|&c| c));
-        assert!(result.completed, "all honest nodes crashed counts as completed");
+        assert!(
+            result.completed,
+            "all honest nodes crashed counts as completed"
+        );
         assert_eq!(result.metrics.rounds, 1);
         assert!(result.outputs.iter().all(|o| o.is_none()));
     }

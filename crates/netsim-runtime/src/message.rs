@@ -25,7 +25,10 @@ impl SizedMessage {
 
     /// Combined size of two accounted parts.
     pub fn plus(self, other: SizedMessage) -> SizedMessage {
-        SizedMessage { ids: self.ids + other.ids, bits: self.bits + other.bits }
+        SizedMessage {
+            ids: self.ids + other.ids,
+            bits: self.bits + other.bits,
+        }
     }
 }
 

@@ -58,7 +58,9 @@ pub struct Outbox<M> {
 impl<M> Outbox<M> {
     /// Create an empty outbox.
     pub fn new() -> Self {
-        Outbox { messages: Vec::new() }
+        Outbox {
+            messages: Vec::new(),
+        }
     }
 
     /// Queue a message to a single recipient.

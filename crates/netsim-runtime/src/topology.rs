@@ -4,7 +4,7 @@
 //! structure (which edges belong to `H` vs `L`, node labels, …) lives in
 //! `netsim-graph` and is made available to protocols at construction time.
 
-use netsim_graph::{Csr, NodeId, SmallWorldNetwork};
+use netsim_graph::{Csr, NodeId, SmallWorldNetwork, WattsStrogatz};
 
 /// Communication topology: the set of edges messages may traverse.
 pub trait Topology: Sync {
@@ -29,6 +29,23 @@ pub trait Topology: Sync {
     }
 }
 
+/// References delegate, so `&dyn Topology` (and `&T`) satisfy the engine's
+/// `T: Topology` bound — the basis for spec-driven (dynamically chosen)
+/// topologies.
+impl<T: Topology + ?Sized> Topology for &T {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[u32] {
+        (**self).neighbors(v)
+    }
+
+    fn can_send(&self, from: NodeId, to: NodeId) -> bool {
+        (**self).can_send(from, to)
+    }
+}
+
 impl Topology for Csr {
     fn len(&self) -> usize {
         Csr::len(self)
@@ -47,6 +64,17 @@ impl Topology for SmallWorldNetwork {
 
     fn neighbors(&self, v: NodeId) -> &[u32] {
         self.g_neighbors(v)
+    }
+}
+
+/// A Watts–Strogatz graph communicates over its rewired ring lattice.
+impl Topology for WattsStrogatz {
+    fn len(&self) -> usize {
+        WattsStrogatz::len(self)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[u32] {
+        self.csr().neighbors(v)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Run every implemented adversary strategy against Algorithm 2 on the same
-//! network and compare the damage each one manages to do.
+//! network and compare the damage each one manages to do — each scenario is
+//! the same builder call with a different `AdversarySpec`.
 //!
 //! Run with: `cargo run --release --example adversary_showdown`
 
@@ -8,81 +9,52 @@ use byzcount::prelude::*;
 fn main() {
     let n = 1024;
     let delta = 0.6;
-    let net = SmallWorldNetwork::generate_seeded(n, 6, 23).expect("network");
-    let params = ProtocolParams::for_network_default_expansion(&net, delta, 0.1);
-    let placement = Placement::random_budget(n, delta, 17);
-    let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
 
-    println!("n = {n}, Byzantine nodes = {}, d = {}, k = {}\n", placement.count(), params.d, params.k);
-    println!("{:<22} {:>10} {:>10} {:>10}", "adversary", "good %", "crashed", "rounds");
+    let adversaries: [(&str, AdversarySpec); 7] = [
+        ("honest-behaving", AdversarySpec::HonestBehaving),
+        ("silent", AdversarySpec::Silent),
+        (
+            "inflation (legal)",
+            AdversarySpec::ColorInflation {
+                timing: TimingSpec::Legal,
+            },
+        ),
+        (
+            "inflation (last step)",
+            AdversarySpec::ColorInflation {
+                timing: TimingSpec::LastStep,
+            },
+        ),
+        ("suppression", AdversarySpec::Suppression),
+        ("fake chain (Fig. 1)", AdversarySpec::FakeChain),
+        ("combined", AdversarySpec::Combined),
+    ];
 
-    let report = |name: &str, outcome: CountingOutcome| {
-        let eval = outcome.evaluate();
+    println!("n = {n}, Byzantine budget n^{{1-δ}} with δ = {delta}\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "adversary", "good %", "crashed", "rounds"
+    );
+
+    for (name, adversary) in adversaries {
+        let report = Simulation::builder()
+            .topology(TopologySpec::SmallWorld { n, d: 6 })
+            .workload(WorkloadSpec::Byzantine)
+            .placement(PlacementSpec::RandomBudget { delta })
+            .adversary(adversary)
+            .derived_params(delta, 0.1)
+            .seed(23)
+            .build()
+            .expect("spec")
+            .run()
+            .expect("run");
+        let eval = report.counting.expect("counting workload").eval_factor2;
         println!(
             "{:<22} {:>9.1}% {:>10} {:>10}",
             name,
             100.0 * eval.good_fraction_of_honest,
             eval.honest_crashed,
-            eval.rounds
+            report.rounds
         );
-    };
-
-    report(
-        "honest-behaving",
-        run_counting_with(&net, &params, placement.mask(), HonestBehavingAdversary, 1),
-    );
-    report(
-        "silent",
-        run_counting_with(&net, &params, placement.mask(), SilentAdversary, 2),
-    );
-    report(
-        "inflation (legal)",
-        run_counting_with(
-            &net,
-            &params,
-            placement.mask(),
-            ColorInflationAdversary::new(knowledge.clone(), InjectionTiming::Legal),
-            3,
-        ),
-    );
-    report(
-        "inflation (last step)",
-        run_counting_with(
-            &net,
-            &params,
-            placement.mask(),
-            ColorInflationAdversary::new(knowledge.clone(), InjectionTiming::LastStep),
-            4,
-        ),
-    );
-    report(
-        "suppression",
-        run_counting_with(
-            &net,
-            &params,
-            placement.mask(),
-            SuppressionAdversary::new(knowledge.clone()),
-            5,
-        ),
-    );
-    report(
-        "fake chain (Fig. 1)",
-        run_counting_with(
-            &net,
-            &params,
-            placement.mask(),
-            FakeChainAdversary::new(knowledge.clone()),
-            6,
-        ),
-    );
-    report(
-        "combined",
-        run_counting_with(
-            &net,
-            &params,
-            placement.mask(),
-            CombinedAdversary::new(knowledge),
-            7,
-        ),
-    );
+    }
 }

@@ -1,40 +1,63 @@
 //! The paper's motivation (Section 1.2): the naive support-estimation
 //! baselines are accurate without faults and collapse under a single
 //! Byzantine node, while Algorithm 2 keeps working at the full budget.
+//! Every scenario — baseline or protocol — is the same builder call with a
+//! different workload.
 //!
 //! Run with: `cargo run --release --example baseline_comparison`
 
 use byzcount::prelude::*;
 
+fn baseline(n: usize, count: usize, attack: AttackSpec) -> RunReport {
+    Simulation::builder()
+        .topology(TopologySpec::SmallWorldH { n, d: 6 })
+        .workload(WorkloadSpec::GeometricSupport { ttl: None, attack })
+        .placement(PlacementSpec::Random { count })
+        .seed(11)
+        .build()
+        .expect("spec")
+        .run()
+        .expect("run")
+}
+
 fn main() {
     let n = 2048;
-    let net = SmallWorldNetwork::generate_seeded(n, 6, 11).expect("network");
-    let ttl = (3.0 * (n as f64).log2()).ceil() as u64 + 5;
 
     // 1. Geometric support estimation, fault-free.
-    let honest = vec![false; n];
-    let run = run_geometric_support(net.h().csr(), &honest, BaselineAttack::None, ttl, 1);
-    let clean_estimate = run.outputs[0].unwrap();
-    println!("geometric baseline, no faults   : estimate of log2 n = {clean_estimate} (truth {:.1})", (n as f64).log2());
+    let clean = baseline(n, 0, AttackSpec::None);
+    println!(
+        "geometric baseline, no faults   : estimate of log2 n = {:.1} (truth {:.1})",
+        clean.estimate.mean,
+        clean.truth.unwrap()
+    );
 
     // 2. Same baseline, ONE Byzantine node faking a huge color.
-    let mut one_byz = vec![false; n];
-    one_byz[n / 2] = true;
-    let run = run_geometric_support(net.h().csr(), &one_byz, BaselineAttack::Inflate, ttl, 1);
-    let attacked_estimate = run.outputs[0].unwrap();
-    println!("geometric baseline, 1 Byzantine : estimate of log2 n = {attacked_estimate}  ← destroyed");
+    let attacked = baseline(n, 1, AttackSpec::Inflate);
+    println!(
+        "geometric baseline, 1 Byzantine : estimate of log2 n = {:.1}  ← destroyed",
+        attacked.estimate.mean
+    );
 
     // 3. Algorithm 2 at the full Byzantine budget with the same attack idea.
     let delta = 0.6;
-    let params = ProtocolParams::for_network_default_expansion(&net, delta, 0.1);
-    let placement = Placement::random_budget(n, delta, 3);
-    let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
-    let adversary = ColorInflationAdversary::new(knowledge, InjectionTiming::LastStep);
-    let outcome = run_counting_with(&net, &params, placement.mask(), adversary, 5);
-    let eval = outcome.evaluate();
+    let report = Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n, d: 6 })
+        .workload(WorkloadSpec::Byzantine)
+        .placement(PlacementSpec::RandomBudget { delta })
+        .adversary(AdversarySpec::ColorInflation {
+            timing: TimingSpec::LastStep,
+        })
+        .derived_params(delta, 0.1)
+        .seed(5)
+        .build()
+        .expect("spec")
+        .run()
+        .expect("run");
+    let eval = report.counting.expect("counting workload").eval_factor2;
     println!(
-        "Algorithm 2, {} Byzantine nodes : {:.1}% of honest nodes hold a constant-factor estimate (mean phase {:.1}, reference {:.1})",
-        placement.count(),
+        "Algorithm 2, {} Byzantine nodes : {:.1}% of honest nodes hold a constant-factor \
+         estimate (mean phase {:.1}, reference {:.1})",
+        report.byzantine_count,
         100.0 * eval.good_fraction_of_honest,
         eval.mean_estimate,
         eval.reference_phase,

@@ -6,7 +6,7 @@
 //! under attack, (b) derives the protocol parameters that downstream
 //! Byzantine-agreement machinery would need (sample sizes, committee sizes),
 //! and (c) shows how far off they would be if the naive estimator had been
-//! trusted instead.
+//! trusted instead.  Both measurements go through the `Simulation` builder.
 //!
 //! Run with: `cargo run --release --example p2p_overlay`
 
@@ -15,19 +15,30 @@ use byzcount::prelude::*;
 fn main() {
     let n = 4096; // the overlay's true (unknown to peers) size
     let delta = 0.6;
-    let net = SmallWorldNetwork::generate_seeded(n, 6, 101).expect("overlay");
-    let params = ProtocolParams::for_network_default_expansion(&net, delta, 0.1);
-    let placement = Placement::random_budget(n, delta, 13);
-    let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
-
-    println!("P2P overlay with {} peers, {} of them Byzantine", n, placement.count());
 
     // Step 1: Byzantine counting as preprocessing.
-    let adversary = CombinedAdversary::new(knowledge);
-    let outcome = run_counting_with(&net, &params, placement.mask(), adversary, 31);
-    let eval = outcome.evaluate();
+    let report = Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n, d: 6 })
+        .workload(WorkloadSpec::Byzantine)
+        .placement(PlacementSpec::RandomBudget { delta })
+        .adversary(AdversarySpec::Combined)
+        .derived_params(delta, 0.1)
+        .seed(31)
+        .build()
+        .expect("spec")
+        .run()
+        .expect("run");
+    println!(
+        "P2P overlay with {} peers, {} of them Byzantine",
+        n, report.byzantine_count
+    );
+
+    let eval = report.counting.expect("counting workload").eval_factor2;
     let log_estimate = eval.mean_estimate; // decided phase ≈ c · log n
-    let n_estimate = outcome.size_estimate(log_estimate.round() as u64);
+                                           // Derived absolute size: the size of a tree-like ball of that radius
+                                           // (d·(d−1)^{L−1}, what the decided phase "means" in node counts).
+    let d = 6f64;
+    let n_estimate = d * (d - 1f64).powf(log_estimate.round() - 1.0);
     println!(
         "Algorithm 2: {:.1}% honest peers agree on phase ≈ {:.1} → n̂ ≈ {:.0} (truth {})",
         100.0 * eval.good_fraction_of_honest,
@@ -45,14 +56,22 @@ fn main() {
     println!("  → Brahms-style sample list Θ(n^(1/3)): {sample_list}");
 
     // Step 3: what the naive estimator would have told us under one attacker.
-    let mut one_byz = vec![false; n];
-    one_byz[7] = true;
-    let ttl = (3.0 * (n as f64).log2()).ceil() as u64 + 5;
-    let naive = run_geometric_support(net.h().csr(), &one_byz, BaselineAttack::Inflate, ttl, 3);
-    let naive_log = naive.outputs[0].unwrap() as f64;
+    let naive = Simulation::builder()
+        .topology(TopologySpec::SmallWorldH { n, d: 6 })
+        .workload(WorkloadSpec::GeometricSupport {
+            ttl: None,
+            attack: AttackSpec::Inflate,
+        })
+        .placement(PlacementSpec::Random { count: 1 })
+        .seed(3)
+        .build()
+        .expect("spec")
+        .run()
+        .expect("run");
+    let naive_log = naive.estimate.mean;
     let naive_n = 2f64.powf(naive_log);
     println!(
-        "naive baseline under 1 attacker: log2 n̂ = {naive_log} → n̂ ≈ {naive_n:.2e} \
+        "naive baseline under 1 attacker: log2 n̂ = {naive_log:.1} → n̂ ≈ {naive_n:.2e} \
          → committee/sample sizes would be absurd"
     );
 }

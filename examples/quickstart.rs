@@ -1,6 +1,7 @@
-//! Quickstart: build a small-world network, corrupt the paper's Byzantine
-//! budget of nodes, run the Byzantine counting protocol (Algorithm 2) and
-//! report how many honest nodes obtained a constant-factor estimate of log n.
+//! Quickstart: one `Simulation` builder call runs the Byzantine counting
+//! protocol (Algorithm 2) on a small-world network with the paper's
+//! Byzantine budget under the combined attack, and reports how many honest
+//! nodes obtained a constant-factor estimate of log n.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -11,33 +12,50 @@ fn main() {
     let d = 6;
     let delta = 0.6;
 
-    println!("generating G = H({n},{d}) ∪ L …");
-    let net = SmallWorldNetwork::generate_seeded(n, d, 42).expect("network generation");
-    let params = ProtocolParams::for_network(&net, delta, 0.1);
+    println!("running Algorithm 2 on G = H({n},{d}) ∪ L under the combined attack …");
+    let report = Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n, d })
+        .workload(WorkloadSpec::Byzantine)
+        .placement(PlacementSpec::RandomBudget { delta })
+        .adversary(AdversarySpec::Combined)
+        .derived_params(delta, 0.1)
+        .seed(42)
+        .build()
+        .expect("spec")
+        .run()
+        .expect("run");
+
+    let counting = report.counting.expect("counting workload");
+    let eval = counting.eval_factor2;
     println!(
-        "  k = {}, a = {:.4}, b = {:.2}, analytic approximation factor b/a = {:.1}",
-        params.k,
-        params.a(),
-        params.b(),
-        params.approximation_factor()
+        "Byzantine nodes       : {} (n^{{1-δ}} with δ = {delta})",
+        report.byzantine_count
+    );
+    println!("rounds executed       : {}", report.rounds);
+    println!("messages delivered    : {}", report.messages_delivered);
+    println!(
+        "largest message       : {} IDs + {} bits",
+        report.max_message_ids, report.max_message_bits
+    );
+    println!(
+        "reference phase       : {:.2} (≈ where l_i reaches log2 n = {:.1})",
+        eval.reference_phase,
+        (n as f64).log2()
+    );
+    println!("mean decided phase    : {:.2}", eval.mean_estimate);
+    println!(
+        "honest nodes w/ good estimate : {:.1}%",
+        100.0 * eval.good_fraction_of_honest
+    );
+    println!("honest nodes crashed  : {}", eval.honest_crashed);
+    println!(
+        "Definition 1 satisfied (factor 3): {}",
+        counting.definition1_factor3
     );
 
-    let placement = Placement::random_budget(n, delta, 7);
-    println!("corrupting {} nodes (n^{{1-δ}} with δ = {delta})", placement.count());
-
-    let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
-    let adversary = CombinedAdversary::new(knowledge);
-
-    println!("running Algorithm 2 …");
-    let outcome = run_counting_with(&net, &params, placement.mask(), adversary, 99);
-    let eval = outcome.evaluate();
-
-    println!("rounds executed       : {}", eval.rounds);
-    println!("messages delivered    : {}", outcome.metrics.messages_delivered);
-    println!("largest message       : {} IDs + {} bits", outcome.metrics.max_message.ids, outcome.metrics.max_message.bits);
-    println!("reference phase       : {:.2} (≈ where l_i reaches log2 n = {:.1})", eval.reference_phase, (n as f64).log2());
-    println!("mean decided phase    : {:.2}", eval.mean_estimate);
-    println!("honest nodes w/ good estimate : {:.1}%", 100.0 * eval.good_fraction_of_honest);
-    println!("honest nodes crashed  : {}", eval.honest_crashed);
-    println!("Definition 1 satisfied: {}", outcome.satisfies_definition1(2.0));
+    // The exact run is reproducible from its serialized spec alone.
+    println!(
+        "\nreproduce with: byzcount-cli run <<'EOF'\n{}\nEOF",
+        report.spec.to_json()
+    );
 }

@@ -1,32 +1,53 @@
 //! A miniature scaling study: how accuracy, round count and message volume
-//! evolve with n.  (The full sweep lives in `byzcount-cli e1/e2`.)
+//! evolve with n.  One multi-size, multi-seed batch replaces the hand-rolled
+//! loop.  (The full sweep lives in `byzcount-cli e1/e2`.)
 //!
 //! Run with: `cargo run --release --example scaling_study`
 
 use byzcount::prelude::*;
 
 fn main() {
+    let sizes = [512usize, 1024, 2048, 4096];
+    let delta = 0.6;
+    let batch = Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n: sizes[0], d: 6 })
+        .workload(WorkloadSpec::Byzantine)
+        .placement(PlacementSpec::RandomBudget { delta })
+        .adversary(AdversarySpec::ColorInflation {
+            timing: TimingSpec::Legal,
+        })
+        .derived_params(delta, 0.1)
+        .seeds(SeedPolicy::Sequence {
+            base: 0xAB,
+            count: 3,
+        })
+        .sizes(&sizes)
+        .build()
+        .expect("spec")
+        .run_batch()
+        .expect("batch");
+
     println!(
         "{:>6} {:>6} {:>10} {:>10} {:>14} {:>10}",
         "n", "byz", "good %", "rounds", "msgs/node/rnd", "est/log2n"
     );
-    for &n in &[512usize, 1024, 2048, 4096] {
-        let delta = 0.6;
-        let net = SmallWorldNetwork::generate_seeded(n, 6, n as u64).expect("network");
-        let params = ProtocolParams::for_network_default_expansion(&net, delta, 0.1);
-        let placement = Placement::random_budget(n, delta, n as u64 ^ 0xAB);
-        let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
-        let adversary = ColorInflationAdversary::new(knowledge, InjectionTiming::Legal);
-        let outcome = run_counting_with(&net, &params, placement.mask(), adversary, n as u64 ^ 0xCD);
-        let eval = outcome.evaluate();
+    for &n in &sizes {
+        let agg = batch.aggregate_for(n).expect("aggregate");
+        let byz = batch
+            .runs
+            .iter()
+            .find(|r| r.n == n)
+            .map(|r| r.byzantine_count)
+            .unwrap_or(0);
+        let msgs_per_node_round = agg.messages.mean / (agg.rounds.mean.max(1.0) * n as f64);
         println!(
-            "{:>6} {:>6} {:>9.1}% {:>10} {:>14.1} {:>10.2}",
+            "{:>6} {:>6} {:>9.1}% {:>10.0} {:>14.1} {:>10.2}",
             n,
-            placement.count(),
-            100.0 * eval.good_fraction_of_honest,
-            eval.rounds,
-            outcome.metrics.avg_messages_per_node_round(n),
-            eval.mean_estimate / (n as f64).log2(),
+            byz,
+            100.0 * agg.good_fraction.map(|g| g.mean).unwrap_or(0.0),
+            agg.rounds.mean,
+            msgs_per_node_round,
+            agg.mean_estimate.mean / (n as f64).log2(),
         );
     }
 }

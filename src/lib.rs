@@ -5,37 +5,76 @@
 //! Byzantine Faults"* (Chatterjee, Pandurangan, Robinson):
 //!
 //! * [`graph`] — the `H(n,d)` random regular graph, the small-world overlay
-//!   `G = H ∪ L`, and the graph analytics used in the paper's analysis;
+//!   `G = H ∪ L`, Watts–Strogatz and tree topologies, and the graph
+//!   analytics used in the paper's analysis;
 //! * [`runtime`] — a synchronous round-based message-passing simulator with
 //!   full-information Byzantine adversaries;
-//! * [`protocol`] — the counting protocols themselves (Algorithm 1 and the
-//!   Byzantine-tolerant Algorithm 2);
+//! * [`protocol`] — the counting protocols (Algorithm 1 and the
+//!   Byzantine-tolerant Algorithm 2) and the unified
+//!   [`sim`](byzcount_core::sim) API;
 //! * [`adversary`] — concrete Byzantine strategies (color inflation,
 //!   suppression, fake-chain topology lies, …);
 //! * [`baselines`] — non-Byzantine-tolerant estimators the paper compares
 //!   against conceptually (support estimation, converge-cast, flooding);
-//! * [`analysis`] — the experiment harness, statistics and table rendering
-//!   used to regenerate every quantitative claim.
+//! * [`analysis`] — campaign execution, the experiment harness, statistics
+//!   and table rendering used to regenerate every quantitative claim.
 //!
 //! ## Quickstart
+//!
+//! Every scenario goes through one typed entry point: the
+//! [`Simulation`](prelude::Simulation) builder.  Compose a topology, a
+//! workload, a Byzantine placement, an adversary and a seed policy; get
+//! back a serializable [`RunReport`](prelude::RunReport) (or a batched
+//! [`BatchReport`](prelude::BatchReport) with aggregate statistics).
 //!
 //! ```
 //! use byzcount::prelude::*;
 //!
-//! // A 512-node small-world expander with the paper's n^{1-δ} Byzantine budget.
-//! let net = SmallWorldNetwork::generate_seeded(512, 8, 42).unwrap();
-//! let params = ProtocolParams::for_network_default_expansion(&net, 0.6, 0.1);
-//! let placement = Placement::random_budget(net.len(), 0.6, 7);
+//! // Algorithm 2 on a 512-node small-world network, the paper's n^{1-δ}
+//! // Byzantine budget, and a full-information color-inflation adversary.
+//! let report = Simulation::builder()
+//!     .topology(TopologySpec::SmallWorld { n: 512, d: 8 })
+//!     .workload(WorkloadSpec::Byzantine)
+//!     .placement(PlacementSpec::RandomBudget { delta: 0.6 })
+//!     .adversary(AdversarySpec::ColorInflation { timing: TimingSpec::Legal })
+//!     .seed(42)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //!
-//! // Full-information adversary that injects maximal colors every subphase.
-//! let knowledge = AdversaryKnowledge::gather(&net, &params, placement.mask());
-//! let adversary = ColorInflationAdversary::new(knowledge, InjectionTiming::Legal);
+//! // Theorem 1's guarantee: most honest nodes estimate log n well.
+//! assert!(report.good_fraction().unwrap() > 0.8);
 //!
-//! // Run Algorithm 2 and check Theorem 1's guarantee.
-//! let outcome = run_counting_with(&net, &params, placement.mask(), adversary, 99);
-//! let eval = outcome.evaluate();
-//! assert!(eval.good_fraction_of_honest > 0.8);
+//! // Reports and specs round-trip losslessly through JSON.
+//! let reparsed = RunReport::from_json(&report.to_json()).unwrap();
+//! assert_eq!(reparsed, report);
 //! ```
+//!
+//! Multi-seed / multi-size campaigns run in parallel and aggregate:
+//!
+//! ```
+//! use byzcount::prelude::*;
+//!
+//! let batch = Simulation::builder()
+//!     .topology(TopologySpec::SmallWorld { n: 128, d: 6 })
+//!     .workload(WorkloadSpec::Basic)
+//!     .seeds(SeedPolicy::Sequence { base: 7, count: 8 })
+//!     .sizes(&[128, 256])
+//!     .build()
+//!     .unwrap()
+//!     .run_batch()
+//!     .unwrap();
+//! assert_eq!(batch.runs.len(), 16);
+//! assert!(batch.aggregate_for(256).unwrap().good_fraction.unwrap().mean > 0.8);
+//! ```
+//!
+//! The lower-level pieces remain available for protocol work: generate a
+//! network with [`SmallWorldNetwork::generate_seeded`](prelude::SmallWorldNetwork),
+//! drive the engine directly with
+//! [`run_counting_with`](prelude::run_counting_with), or implement
+//! [`Estimator`](byzcount_core::sim::Estimator) for a custom workload and
+//! plug it into the same machinery.
 
 pub use byzcount_adversary as adversary;
 pub use byzcount_analysis as analysis;
@@ -44,21 +83,35 @@ pub use byzcount_core as protocol;
 pub use netsim_graph as graph;
 pub use netsim_runtime as runtime;
 
+/// The unified simulation API, re-exported from `byzcount_core::sim` with
+/// the full scenario registry from `byzcount_analysis::campaign`.
+pub mod sim {
+    pub use byzcount_analysis::campaign::{execute, execute_batch, FullRegistry, RunSimulation};
+    pub use byzcount_core::sim::*;
+}
+
 /// Most commonly used items, re-exported flat.
 pub mod prelude {
     pub use byzcount_adversary::{
         AdversaryKnowledge, ColorInflationAdversary, CombinedAdversary, CountingAdversary,
         FakeChainAdversary, HonestBehavingAdversary, InjectionTiming, Placement, SilentAdversary,
-        SuppressionAdversary,
+        SpecAdversaryFactory, SuppressionAdversary,
     };
     pub use byzcount_analysis::prelude::*;
     pub use byzcount_baselines::{
         run_exponential_support, run_flood_diameter, run_geometric_support,
-        run_spanning_tree_count, BaselineAttack,
+        run_spanning_tree_count, BaselineAttack, ExponentialSupportWorkload, FloodDiameterWorkload,
+        GeometricSupportWorkload, SpanningTreeWorkload,
+    };
+    pub use byzcount_core::sim::{
+        AdversarySpec, AttackSpec, BatchReport, BatchSpec, Estimand, Estimator, ParamsSpec,
+        PlacementSpec, RunReport, RunSpec, SeedPolicy, SimContext, SimError, Simulation,
+        SimulationBuilder, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
     };
     pub use byzcount_core::{
-        run_basic_counting, run_basic_counting_with, run_counting_with, CountingNode,
-        CountingOutcome, Decision, EstimateEvaluation, ProtocolParams, Schedule,
+        run_basic_counting, run_basic_counting_on, run_basic_counting_with, run_counting_on,
+        run_counting_with, CountingNode, CountingOutcome, Decision, EstimateEvaluation,
+        ProtocolParams, Schedule,
     };
     pub use netsim_graph::prelude::*;
     pub use netsim_runtime::prelude::*;

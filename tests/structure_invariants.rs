@@ -17,7 +17,10 @@ fn generated_network_satisfies_analysis_preconditions() {
     // G has markedly higher clustering than H (the small-world property).
     let cc_h = average_clustering(net.h().csr());
     let cc_g = average_clustering(net.g());
-    assert!(cc_g > 5.0 * cc_h, "small-world clustering boost missing: H {cc_h}, G {cc_g}");
+    assert!(
+        cc_g > 5.0 * cc_h,
+        "small-world clustering boost missing: H {cc_h}, G {cc_g}"
+    );
     assert!(cc_g > 0.15, "G clustering too small: {cc_g}");
 
     // H is an expander: positive spectral gap.
