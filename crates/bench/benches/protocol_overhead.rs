@@ -8,11 +8,11 @@
 //! materialization and report assembly.  It should be lost in the noise of
 //! the protocol run itself.
 use byzcount_analysis::RunSimulation;
-use byzcount_core::sim::{Simulation, TopologySpec, WorkloadSpec};
-use byzcount_core::{run_basic_counting, run_counting_with, ProtocolParams};
+use byzcount_core::sim::{FaultSpec, Simulation, TopologySpec, WorkloadSpec};
+use byzcount_core::{run_basic_counting, run_counting_faulty, run_counting_with, ProtocolParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim_graph::SmallWorldNetwork;
-use netsim_runtime::NullAdversary;
+use netsim_runtime::{NoFaults, NullAdversary};
 
 fn bench_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol_overhead");
@@ -52,6 +52,47 @@ fn bench_overhead(c: &mut Criterion) {
             .expect("builder spec");
         group.bench_with_input(BenchmarkId::new("builder_pipeline", n), &n, |b, _| {
             b.iter(|| sim.run().expect("builder run"))
+        });
+    }
+    group.finish();
+
+    // The fault subsystem must cost nothing when disabled.  Three rungs of
+    // the same engine round loop:
+    //   no_fault_layer  — no plan installed (the pre-fault-layer path);
+    //   spec_fault_none — `FaultSpec::None` through the spec layer, which
+    //                     resolves to "no plan installed";
+    //   noop_plan       — a do-nothing plan *installed*, pricing the
+    //                     per-envelope dynamic dispatch the spec layer
+    //                     avoids for `FaultSpec::None`.
+    let mut group = c.benchmark_group("fault_layer_overhead");
+    group.sample_size(10);
+    for &n in &[512usize, 1024] {
+        let net = SmallWorldNetwork::generate_seeded(n, 6, 9).unwrap();
+        let params = ProtocolParams::for_network_default_expansion(&net, 0.6, 0.1);
+        let byz = vec![false; n];
+        group.bench_with_input(BenchmarkId::new("no_fault_layer", n), &n, |b, _| {
+            b.iter(|| run_counting_with(&net, &params, &byz, NullAdversary, 13))
+        });
+        let honest = vec![true; n];
+        group.bench_with_input(BenchmarkId::new("spec_fault_none", n), &n, |b, _| {
+            b.iter(|| {
+                assert!(FaultSpec::None.build_plan(n, &honest, 13).is_none());
+                run_counting_faulty(&net, &params, &byz, NullAdversary, true, 13, None, None)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("noop_plan", n), &n, |b, _| {
+            b.iter(|| {
+                run_counting_faulty(
+                    &net,
+                    &params,
+                    &byz,
+                    NullAdversary,
+                    true,
+                    13,
+                    None,
+                    Some(Box::new(NoFaults)),
+                )
+            })
         });
     }
     group.finish();

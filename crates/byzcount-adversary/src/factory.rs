@@ -88,6 +88,8 @@ mod tests {
             byzantine: &byz,
             seed: 0,
             max_rounds: None,
+            fault: &byzcount_core::sim::FaultSpec::None,
+            fault_seed: 0,
         };
         for spec in [
             AdversarySpec::Null,
@@ -113,6 +115,8 @@ mod tests {
             byzantine: &byz,
             seed: 0,
             max_rounds: None,
+            fault: &byzcount_core::sim::FaultSpec::None,
+            fault_seed: 0,
         };
         match SpecAdversaryFactory::new(AdversarySpec::Combined).build(&ctx, &params) {
             Err(SimError::Unsupported(_)) => {}
@@ -128,6 +132,8 @@ mod tests {
             byzantine: &byz,
             seed: 0,
             max_rounds: None,
+            fault: &byzcount_core::sim::FaultSpec::None,
+            fault_seed: 0,
         };
         assert!(SpecAdversaryFactory::new(AdversarySpec::Combined)
             .build(&ctx, &params)

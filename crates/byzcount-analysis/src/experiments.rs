@@ -16,8 +16,8 @@ use byzcount_adversary::{
     HonestBehavingAdversary, InjectionTiming, Placement, SilentAdversary, SuppressionAdversary,
 };
 use byzcount_core::sim::{
-    AdversarySpec, AttackSpec, BatchReport, PlacementSpec, RunReport, SeedPolicy, Simulation,
-    TimingSpec, TopologySpec, WorkloadSpec,
+    AdversarySpec, AttackSpec, BatchReport, FaultSpec, PlacementSpec, RunReport, SeedPolicy,
+    Simulation, TimingSpec, TopologySpec, WorkloadSpec,
 };
 use byzcount_core::{run_basic_counting_with, run_counting_with, CountingOutcome, ProtocolParams};
 use netsim_graph::expansion::spectral_gap;
@@ -786,6 +786,147 @@ pub fn exp_placement(cfg: &ExperimentConfig, n: usize) -> Table {
     table
 }
 
+/// The fault sweep E12 applies to every workload, mildest first (rows are
+/// labelled with [`FaultSpec::describe`]).
+pub fn degradation_fault_levels() -> Vec<FaultSpec> {
+    vec![
+        FaultSpec::None,
+        FaultSpec::Loss { rate: 0.10 },
+        FaultSpec::Loss { rate: 0.30 },
+        FaultSpec::Delay {
+            max_delay: 3,
+            rate: 0.5,
+        },
+        FaultSpec::Churn {
+            rate: 0.02,
+            downtime: 5,
+        },
+        FaultSpec::Compose(vec![
+            FaultSpec::Loss { rate: 0.20 },
+            FaultSpec::Churn {
+                rate: 0.01,
+                downtime: 5,
+            },
+        ]),
+    ]
+}
+
+/// E12 — graceful degradation under imperfect networks: Byzantine counting
+/// (Algorithm 2) versus all four baselines as the fault layer sweeps
+/// through message loss, bounded delay and node churn, across `n`.
+///
+/// No Byzantine nodes are placed: the sweep isolates what an unreliable
+/// *network* does to each estimator, the dimension the paper's clean
+/// synchronous model cannot express.
+pub fn exp_degradation(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E12",
+        "Degradation under network faults (loss / delay / churn), no Byzantine nodes",
+        &[
+            "n",
+            "fault",
+            "workload",
+            "good frac",
+            "rel err",
+            "rounds",
+            "lost",
+            "undecided frac",
+        ],
+    );
+    let workloads: Vec<(WorkloadSpec, bool)> = vec![
+        (WorkloadSpec::Byzantine, true),
+        (
+            WorkloadSpec::GeometricSupport {
+                ttl: None,
+                attack: AttackSpec::None,
+            },
+            false,
+        ),
+        (
+            WorkloadSpec::ExponentialSupport {
+                ttl: None,
+                attack: AttackSpec::None,
+            },
+            false,
+        ),
+        (
+            WorkloadSpec::SpanningTree {
+                max_rounds: None,
+                attack: AttackSpec::None,
+            },
+            false,
+        ),
+        (
+            WorkloadSpec::FloodDiameter {
+                ttl: None,
+                attack: AttackSpec::None,
+            },
+            false,
+        ),
+    ];
+    for &n in &cfg.n_values {
+        for fault in degradation_fault_levels() {
+            let label = fault.describe();
+            for (workload, is_counting) in &workloads {
+                // Counting runs on the full small-world overlay G; the
+                // baselines run on the expander H, as everywhere else.
+                let topology = if *is_counting {
+                    TopologySpec::SmallWorld { n, d: cfg.d }
+                } else {
+                    TopologySpec::SmallWorldH { n, d: cfg.d }
+                };
+                let batch = Simulation::builder()
+                    .topology(topology)
+                    .workload(workload.clone())
+                    .fault(fault.clone())
+                    .derived_params(cfg.delta, cfg.epsilon)
+                    .seeds(SeedPolicy::Sequence {
+                        base: cfg.seed ^ 0xE12,
+                        count: cfg.trials.max(1) as u32,
+                    })
+                    .build()
+                    .expect("degradation spec")
+                    .run_batch()
+                    .expect("degradation batch");
+                let agg = batch.aggregate_for(n).expect("aggregate");
+                let good = agg.good_fraction.map(|g| g.mean);
+                let rel_err = summarize(
+                    &batch
+                        .runs
+                        .iter()
+                        .filter_map(RunReport::relative_error)
+                        .collect::<Vec<_>>(),
+                );
+                let undecided = summarize(
+                    &batch
+                        .runs
+                        .iter()
+                        .map(|r| {
+                            1.0 - (r.honest_decided + r.honest_crashed) as f64
+                                / r.honest_total.max(1) as f64
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                table.push_row(vec![
+                    n.to_string(),
+                    label.clone(),
+                    workload.name().into(),
+                    good.map(fmt_f).unwrap_or_else(|| "-".into()),
+                    if rel_err.count > 0 {
+                        fmt_f(rel_err.mean)
+                    } else {
+                        "-".into()
+                    },
+                    fmt_f(agg.rounds.mean),
+                    fmt_f(agg.messages_lost.mean),
+                    fmt_f(undecided.mean),
+                ]);
+            }
+        }
+    }
+    table
+}
+
 /// Every experiment with its default workload, in DESIGN.md order.
 pub fn run_all(cfg: &ExperimentConfig) -> Vec<Table> {
     let n_mid = cfg.n_values.last().copied().unwrap_or(1024);
@@ -805,6 +946,10 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<Table> {
         exp_core(cfg, n_mid.min(2048)),
         exp_phases(cfg, n_mid.min(2048)),
         exp_placement(cfg, n_mid.min(2048)),
+        exp_degradation(&ExperimentConfig {
+            n_values: vec![n_mid.min(1024)],
+            ..cfg.clone()
+        }),
     ]
 }
 
@@ -857,6 +1002,32 @@ mod tests {
             inflated_err > honest_err,
             "inflation must worsen the estimate"
         );
+    }
+
+    #[test]
+    fn degradation_curve_is_monotone_under_loss_for_spanning_tree() {
+        let table = exp_degradation(&tiny());
+        // 6 fault levels × 5 workloads at one size.
+        assert_eq!(table.rows.len(), 30);
+        let rel_err = |fault: &str, workload: &str| -> f64 {
+            let row = table
+                .rows
+                .iter()
+                .find(|r| r[1] == fault && r[2] == workload)
+                .unwrap_or_else(|| panic!("missing row {fault}/{workload}"));
+            row[4].parse().unwrap_or(f64::INFINITY)
+        };
+        // The acceptance curve: spanning-tree converge-cast relies on every
+        // single hop, so its error must not improve as loss rises — and
+        // must be strictly worse at 30% loss than on the perfect network.
+        let clean = rel_err("none", "spanning-tree");
+        let light = rel_err("loss 0.10", "spanning-tree");
+        let heavy = rel_err("loss 0.30", "spanning-tree");
+        assert!(clean <= light + 1e-9, "{clean} vs {light}");
+        assert!(light <= heavy + 1e-9, "{light} vs {heavy}");
+        assert!(heavy > clean, "loss must visibly degrade the count");
+        // The fault-free row must match the paper's model: near-exact.
+        assert!(clean < 0.05, "clean spanning tree is exact, got {clean}");
     }
 
     #[test]

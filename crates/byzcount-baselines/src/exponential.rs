@@ -8,8 +8,8 @@
 
 use crate::attack::BaselineAttack;
 use netsim_runtime::{
-    Action, EngineConfig, Envelope, MessageSize, NodeContext, NullAdversary, Outbox, Protocol,
-    RunResult, SizedMessage, SyncEngine, Topology,
+    Action, EngineConfig, Envelope, FaultPlan, MessageSize, NodeContext, NullAdversary, Outbox,
+    Protocol, RunResult, SizedMessage, SyncEngine, Topology,
 };
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -135,6 +135,19 @@ pub fn run_exponential_support<T: Topology>(
     ttl: u64,
     seed: u64,
 ) -> RunResult<f64> {
+    run_exponential_support_faulty(topo, byzantine, attack, ttl, seed, None)
+}
+
+/// [`run_exponential_support`] with an optional network [`FaultPlan`]
+/// installed on the engine.
+pub fn run_exponential_support_faulty<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+) -> RunResult<f64> {
     let nodes: Vec<ExponentialSupportEstimator> = (0..topo.len())
         .map(|i| {
             if byzantine[i] {
@@ -148,7 +161,9 @@ pub fn run_exponential_support<T: Topology>(
         max_rounds: ttl + 4,
         stop_when_all_decided: true,
     };
-    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
+    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed)
+        .with_fault_plan_opt(fault_plan)
+        .run()
 }
 
 #[cfg(test)]

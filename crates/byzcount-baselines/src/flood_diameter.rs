@@ -10,8 +10,8 @@
 
 use crate::attack::BaselineAttack;
 use netsim_runtime::{
-    Action, EngineConfig, Envelope, MessageSize, NodeContext, NullAdversary, Outbox, Protocol,
-    RunResult, SizedMessage, SyncEngine, Topology,
+    Action, EngineConfig, Envelope, FaultPlan, MessageSize, NodeContext, NullAdversary, Outbox,
+    Protocol, RunResult, SizedMessage, SyncEngine, Topology,
 };
 use rand_chacha::ChaCha8Rng;
 
@@ -92,6 +92,19 @@ pub fn run_flood_diameter<T: Topology>(
     ttl: u64,
     seed: u64,
 ) -> RunResult<u64> {
+    run_flood_diameter_faulty(topo, byzantine, attack, ttl, seed, None)
+}
+
+/// [`run_flood_diameter`] with an optional network [`FaultPlan`] installed
+/// on the engine.
+pub fn run_flood_diameter_faulty<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+) -> RunResult<u64> {
     let nodes: Vec<FloodDiameterEstimator> = (0..topo.len())
         .map(|i| {
             FloodDiameterEstimator::new(i == 0, if byzantine[i] { Some(attack) } else { None }, ttl)
@@ -101,7 +114,9 @@ pub fn run_flood_diameter<T: Topology>(
         max_rounds: ttl + 4,
         stop_when_all_decided: true,
     };
-    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
+    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed)
+        .with_fault_plan_opt(fault_plan)
+        .run()
 }
 
 #[cfg(test)]

@@ -10,8 +10,8 @@
 use crate::attack::BaselineAttack;
 use byzcount_core::color::{sample_color, Color};
 use netsim_runtime::{
-    Action, EngineConfig, Envelope, MessageSize, NodeContext, NullAdversary, Outbox, Protocol,
-    RunResult, SizedMessage, SyncEngine, Topology,
+    Action, EngineConfig, Envelope, FaultPlan, MessageSize, NodeContext, NullAdversary, Outbox,
+    Protocol, RunResult, SizedMessage, SyncEngine, Topology,
 };
 use rand_chacha::ChaCha8Rng;
 
@@ -113,6 +113,19 @@ pub fn run_geometric_support<T: Topology>(
     ttl: u64,
     seed: u64,
 ) -> RunResult<u32> {
+    run_geometric_support_faulty(topo, byzantine, attack, ttl, seed, None)
+}
+
+/// [`run_geometric_support`] with an optional network [`FaultPlan`]
+/// installed on the engine.
+pub fn run_geometric_support_faulty<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+) -> RunResult<u32> {
     let nodes: Vec<GeometricSupportEstimator> = (0..topo.len())
         .map(|i| {
             if byzantine[i] {
@@ -126,7 +139,9 @@ pub fn run_geometric_support<T: Topology>(
         max_rounds: ttl + 4,
         stop_when_all_decided: true,
     };
-    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
+    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed)
+        .with_fault_plan_opt(fault_plan)
+        .run()
 }
 
 /// Honest nodes' decided estimates.

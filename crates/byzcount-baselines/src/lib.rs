@@ -31,10 +31,16 @@ pub mod spanning_tree;
 pub mod workloads;
 
 pub use attack::BaselineAttack;
-pub use exponential::{run_exponential_support, ExponentialSupportEstimator};
-pub use flood_diameter::{run_flood_diameter, FloodDiameterEstimator};
-pub use geometric::{run_geometric_support, GeometricSupportEstimator};
-pub use spanning_tree::{run_spanning_tree_count, SpanningTreeCounter};
+pub use exponential::{
+    run_exponential_support, run_exponential_support_faulty, ExponentialSupportEstimator,
+};
+pub use flood_diameter::{run_flood_diameter, run_flood_diameter_faulty, FloodDiameterEstimator};
+pub use geometric::{
+    run_geometric_support, run_geometric_support_faulty, GeometricSupportEstimator,
+};
+pub use spanning_tree::{
+    run_spanning_tree_count, run_spanning_tree_count_faulty, SpanningTreeCounter,
+};
 pub use workloads::{
     attack_from_spec, ExponentialSupportWorkload, FloodDiameterWorkload, GeometricSupportWorkload,
     SpanningTreeWorkload,

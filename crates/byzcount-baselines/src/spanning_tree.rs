@@ -11,8 +11,8 @@
 use crate::attack::BaselineAttack;
 use netsim_graph::NodeId;
 use netsim_runtime::{
-    Action, EngineConfig, Envelope, MessageSize, NodeContext, NullAdversary, Outbox, Protocol,
-    RunResult, SizedMessage, SyncEngine, Topology,
+    Action, EngineConfig, Envelope, FaultPlan, MessageSize, NodeContext, NullAdversary, Outbox,
+    Protocol, RunResult, SizedMessage, SyncEngine, Topology,
 };
 use rand_chacha::ChaCha8Rng;
 
@@ -180,6 +180,19 @@ pub fn run_spanning_tree_count<T: Topology>(
     max_rounds: u64,
     seed: u64,
 ) -> RunResult<u64> {
+    run_spanning_tree_count_faulty(topo, byzantine, attack, max_rounds, seed, None)
+}
+
+/// [`run_spanning_tree_count`] with an optional network [`FaultPlan`]
+/// installed on the engine.
+pub fn run_spanning_tree_count_faulty<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    max_rounds: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+) -> RunResult<u64> {
     let nodes: Vec<SpanningTreeCounter> = (0..topo.len())
         .map(|i| SpanningTreeCounter::new(i == 0, if byzantine[i] { Some(attack) } else { None }))
         .collect();
@@ -187,7 +200,9 @@ pub fn run_spanning_tree_count<T: Topology>(
         max_rounds,
         stop_when_all_decided: true,
     };
-    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed).run()
+    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed)
+        .with_fault_plan_opt(fault_plan)
+        .run()
 }
 
 #[cfg(test)]

@@ -4,9 +4,9 @@
 //! ```text
 //! byzcount-cli <experiment> [options]     # regenerate paper tables
 //! byzcount-cli run <spec.json|->          # execute a RunSpec/BatchSpec
-//! byzcount-cli template [run|batch]       # print an example spec
+//! byzcount-cli template [run|batch|faulty] # print an example spec
 //!
-//! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 all
+//! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 all
 //!
 //! Options:
 //!   --quick            small workload (default)
@@ -28,8 +28,8 @@
 use byzcount_analysis::experiments::{self, ExperimentConfig};
 use byzcount_analysis::{campaign, Table};
 use byzcount_core::sim::{
-    AdversarySpec, BatchSpec, ParamsSpec, PlacementSpec, RunSpec, SeedPolicy, TopologySpec,
-    WorkloadSpec, SPEC_VERSION,
+    AdversarySpec, BatchSpec, FaultSpec, ParamsSpec, PlacementSpec, RunSpec, SeedPolicy,
+    TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
 use std::env;
 use std::io::Read;
@@ -37,11 +37,11 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: byzcount-cli <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|all> \
+        "usage: byzcount-cli <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|all> \
          [--quick|--standard] [--n 512,1024] [--d 6] [--delta 0.6] \
          [--epsilon 0.1] [--trials 3] [--seed 42] [--json]\n\
          \x20      byzcount-cli run <spec.json|->\n\
-         \x20      byzcount-cli template [run|batch]"
+         \x20      byzcount-cli template [run|batch|faulty]"
     );
     ExitCode::from(2)
 }
@@ -54,12 +54,32 @@ fn template_run_spec() -> RunSpec {
         workload: WorkloadSpec::Byzantine,
         placement: PlacementSpec::RandomBudget { delta: 0.6 },
         adversary: AdversarySpec::Combined,
+        fault: FaultSpec::None,
         params: ParamsSpec::Derived {
             delta: 0.6,
             epsilon: 0.1,
         },
         seed: 42,
         max_rounds: None,
+    }
+}
+
+/// A template showing the fault layer: Byzantine counting on a network
+/// that also loses, delays and churns.
+fn template_faulty_spec() -> RunSpec {
+    RunSpec {
+        fault: FaultSpec::Compose(vec![
+            FaultSpec::Loss { rate: 0.05 },
+            FaultSpec::Delay {
+                max_delay: 2,
+                rate: 0.2,
+            },
+            FaultSpec::Churn {
+                rate: 0.002,
+                downtime: 10,
+            },
+        ]),
+        ..template_run_spec()
     }
 }
 
@@ -126,6 +146,7 @@ fn main() -> ExitCode {
         match args.get(1).map(String::as_str) {
             None | Some("run") => println!("{}", template_run_spec().to_json()),
             Some("batch") => println!("{}", template_batch_spec().to_json()),
+            Some("faulty") => println!("{}", template_faulty_spec().to_json()),
             Some(_) => return usage(),
         }
         return ExitCode::SUCCESS;
@@ -182,6 +203,7 @@ fn main() -> ExitCode {
         "e9" => vec![experiments::exp_core(&cfg, n_big.min(2048))],
         "e10" => vec![experiments::exp_phases(&cfg, n_big.min(2048))],
         "e11" => vec![experiments::exp_placement(&cfg, n_big.min(2048))],
+        "e12" => vec![experiments::exp_degradation(&cfg)],
         "all" => experiments::run_all(&cfg),
         _ => return usage(),
     };

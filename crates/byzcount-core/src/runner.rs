@@ -5,6 +5,7 @@ use crate::node::{CountingNode, Decision};
 use crate::outcome::CountingOutcome;
 use crate::params::ProtocolParams;
 use crate::schedule::Schedule;
+use netsim_faults::FaultPlan;
 use netsim_graph::SmallWorldNetwork;
 use netsim_runtime::{Adversary, EngineConfig, NullAdversary, SyncEngine, Topology};
 
@@ -136,6 +137,29 @@ where
     T: Topology,
     A: Adversary<CountingNode>,
 {
+    run_counting_faulty(
+        net, params, byzantine, adversary, verify, seed, max_rounds, None,
+    )
+}
+
+/// [`run_counting_custom`] with an optional network [`FaultPlan`] installed
+/// on the engine: honest traffic may be lost, delayed or deferred, and
+/// honest nodes may churn in and out.
+#[allow(clippy::too_many_arguments)]
+pub fn run_counting_faulty<T, A>(
+    net: &T,
+    params: &ProtocolParams,
+    byzantine: &[bool],
+    adversary: A,
+    verify: bool,
+    seed: u64,
+    max_rounds: Option<u64>,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+) -> CountingOutcome
+where
+    T: Topology,
+    A: Adversary<CountingNode>,
+{
     let n = net.len();
     assert_eq!(byzantine.len(), n, "byzantine mask must cover every node");
     let nodes: Vec<CountingNode> = (0..n)
@@ -151,7 +175,8 @@ where
         max_rounds: max_rounds.unwrap_or_else(|| round_cap(params, n)),
         stop_when_all_decided: true,
     };
-    let engine = SyncEngine::new(net, nodes, byzantine.to_vec(), adversary, config, seed);
+    let engine = SyncEngine::new(net, nodes, byzantine.to_vec(), adversary, config, seed)
+        .with_fault_plan_opt(fault_plan);
     let result = engine.run();
     CountingOutcome {
         n,

@@ -34,6 +34,7 @@ use crate::sim::spec::{
     SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
 use crate::ProtocolParams;
+use netsim_faults::FaultSpec;
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -96,6 +97,10 @@ pub fn execute_spec(
     registry: &dyn ScenarioRegistry,
 ) -> Result<RunReport, SimError> {
     spec.validate()?;
+    // Execute (and report) the migrated spec, so a v1 spec and its v2
+    // equivalent produce byte-identical reports.
+    let mut spec = spec.clone();
+    spec.migrate();
     let topology = spec
         .topology
         .build(derive_seed(spec.seed, seed_stream::TOPOLOGY))?;
@@ -103,15 +108,17 @@ pub fn execute_spec(
     let byzantine = spec
         .placement
         .materialize(&topology, derive_seed(spec.seed, seed_stream::PLACEMENT))?;
-    let estimator = registry.estimator(spec, &params)?;
+    let estimator = registry.estimator(&spec, &params)?;
     let ctx = SimContext {
         topology: &topology,
         byzantine: &byzantine,
         seed: derive_seed(spec.seed, seed_stream::RUN),
         max_rounds: spec.max_rounds,
+        fault: &spec.fault,
+        fault_seed: derive_seed(spec.seed, seed_stream::FAULTS),
     };
     let run = estimator.run(&ctx)?;
-    Ok(RunReport::from_run(spec.clone(), &byzantine, &run))
+    Ok(RunReport::from_run(spec, &byzantine, &run))
 }
 
 /// Execute a whole [`BatchSpec`] through a registry, runs in parallel.
@@ -120,6 +127,8 @@ pub fn execute_batch(
     registry: &dyn ScenarioRegistry,
 ) -> Result<BatchReport, SimError> {
     spec.validate()?;
+    let mut spec = spec.clone();
+    spec.migrate();
     let runs: Result<Vec<RunReport>, SimError> = spec
         .expand()
         .into_par_iter()
@@ -127,7 +136,7 @@ pub fn execute_batch(
         .collect::<Vec<Result<RunReport, SimError>>>()
         .into_iter()
         .collect();
-    Ok(BatchReport::from_runs(spec.clone(), runs?))
+    Ok(BatchReport::from_runs(spec, runs?))
 }
 
 /// Builder for [`Simulation`]s; see the module docs.
@@ -137,6 +146,7 @@ pub struct SimulationBuilder {
     workload: WorkloadSpec,
     placement: PlacementSpec,
     adversary: AdversarySpec,
+    fault: FaultSpec,
     params: ParamsSpec,
     seeds: SeedPolicy,
     sizes: Option<Vec<usize>>,
@@ -150,6 +160,7 @@ impl Default for SimulationBuilder {
             workload: WorkloadSpec::Byzantine,
             placement: PlacementSpec::None,
             adversary: AdversarySpec::Null,
+            fault: FaultSpec::None,
             params: ParamsSpec::default(),
             seeds: SeedPolicy::Fixed(0),
             sizes: None,
@@ -180,6 +191,13 @@ impl SimulationBuilder {
     /// Adversary for counting workloads (default: null).
     pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
         self.adversary = adversary;
+        self
+    }
+
+    /// Network fault injection — loss, delay, churn, partitions (default:
+    /// none, the paper's perfect synchronous network).
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -234,6 +252,7 @@ impl SimulationBuilder {
                 workload: self.workload,
                 placement: self.placement,
                 adversary: self.adversary,
+                fault: self.fault,
                 params: self.params,
                 seed: self.seeds.primary(),
                 max_rounds: self.max_rounds,

@@ -13,6 +13,7 @@ use crate::params::ProtocolParams;
 use crate::runner;
 use crate::sim::error::SimError;
 use crate::sim::spec::BuiltTopology;
+use netsim_faults::{FaultPlan, FaultSpec};
 use netsim_runtime::{Adversary, NullAdversary, RunMetrics};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -50,6 +51,24 @@ pub struct SimContext<'a> {
     pub seed: u64,
     /// Engine round-cap override.
     pub max_rounds: Option<u64>,
+    /// Network fault injection to apply to honest traffic.
+    pub fault: &'a FaultSpec,
+    /// Fault-stream seed (an independent sub-stream of the spec seed).
+    pub fault_seed: u64,
+}
+
+impl SimContext<'_> {
+    /// Materialize the context's [`FaultSpec`] into an engine-ready plan
+    /// (`None` when the spec is fault-free).  Churn eligibility is the
+    /// honest complement of the Byzantine mask.
+    pub fn build_fault_plan(&self) -> Option<Box<dyn FaultPlan>> {
+        if self.fault.is_none() {
+            return None;
+        }
+        let honest: Vec<bool> = self.byzantine.iter().map(|b| !b).collect();
+        self.fault
+            .build_plan(self.topology.len(), &honest, self.fault_seed)
+    }
 }
 
 /// The raw result of one workload execution.
@@ -170,7 +189,7 @@ impl Estimator for CountingEstimator {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let adversary = self.adversary.build(ctx, &self.params)?;
-        let outcome = runner::run_counting_custom(
+        let outcome = runner::run_counting_faulty(
             ctx.topology,
             &self.params,
             ctx.byzantine,
@@ -178,6 +197,7 @@ impl Estimator for CountingEstimator {
             self.verify,
             ctx.seed,
             ctx.max_rounds,
+            ctx.build_fault_plan(),
         );
         Ok(WorkloadRun {
             estimand: Estimand::LogN,
@@ -217,6 +237,8 @@ mod tests {
             byzantine: &byz,
             seed: 1,
             max_rounds: None,
+            fault: &FaultSpec::None,
+            fault_seed: 0,
         };
         let run = est.run(&ctx).unwrap();
         assert!(run.completed);

@@ -46,3 +46,7 @@ pub use spec::{
     AdversarySpec, AttackSpec, BatchSpec, BuiltTopology, ParamsSpec, PlacementSpec, RunSpec,
     SeedPolicy, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
+
+/// The fault layer's serializable description, embedded in every
+/// [`RunSpec`] (re-exported from [`netsim_faults`]).
+pub use netsim_faults::FaultSpec;

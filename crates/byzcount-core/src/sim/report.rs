@@ -74,6 +74,17 @@ pub struct RunReport {
     pub messages_delivered: u64,
     /// Messages dropped by validation.
     pub messages_dropped: u64,
+    /// Messages destroyed by the fault layer (loss / partitions).
+    pub messages_lost: u64,
+    /// Messages deferred by the fault layer's delay injection.
+    pub messages_delayed: u64,
+    /// Deferred messages that never arrived (recipient crashed or the run
+    /// ended first).
+    pub messages_expired: u64,
+    /// Fail-stop crashes injected by churn.
+    pub churn_crashes: u64,
+    /// Churned nodes that rejoined with a reset state.
+    pub churn_recoveries: u64,
     /// Largest message, in IDs.
     pub max_message_ids: u32,
     /// Largest message, in extra bits.
@@ -139,6 +150,11 @@ impl RunReport {
             rounds: run.metrics.rounds,
             messages_delivered: run.metrics.messages_delivered,
             messages_dropped: run.metrics.messages_dropped,
+            messages_lost: run.metrics.messages_lost,
+            messages_delayed: run.metrics.messages_delayed,
+            messages_expired: run.metrics.messages_expired,
+            churn_crashes: run.metrics.churn_crashes,
+            churn_recoveries: run.metrics.churn_recoveries,
             max_message_ids: run.metrics.max_message.ids,
             max_message_bits: run.metrics.max_message.bits,
             estimate: stats,
@@ -259,6 +275,8 @@ pub struct SizeAggregate {
     pub rounds: Aggregate,
     /// Delivered-message statistics.
     pub messages: Aggregate,
+    /// Fault-lost-message statistics (loss / partitions).
+    pub messages_lost: Aggregate,
     /// Mean-estimate statistics.
     pub mean_estimate: Aggregate,
 }
@@ -287,6 +305,12 @@ impl SizeAggregate {
                 &reports
                     .iter()
                     .map(|r| r.messages_delivered as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            messages_lost: Aggregate::of(
+                &reports
+                    .iter()
+                    .map(|r| r.messages_lost as f64)
                     .collect::<Vec<_>>(),
             ),
             mean_estimate: Aggregate::of(

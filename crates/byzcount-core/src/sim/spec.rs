@@ -15,6 +15,7 @@
 
 use crate::params::ProtocolParams;
 use crate::sim::error::SimError;
+use netsim_faults::FaultSpec;
 use netsim_graph::{balanced_tree, random_tree, Csr, NodeId, SmallWorldNetwork, WattsStrogatz};
 use netsim_runtime::Topology;
 use rand::SeedableRng;
@@ -23,7 +24,15 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the specification schema.  Bump on breaking changes; readers
 /// reject specs with a newer version than they understand.
-pub const SPEC_VERSION: u32 = 1;
+///
+/// History:
+/// * **1** — the original schema (no fault layer).
+/// * **2** — adds the `fault` field ([`FaultSpec`]).  Version-1 specs are
+///   still accepted: a missing `fault` reads as [`FaultSpec::None`] and
+///   parsing upgrades the spec in place ([`RunSpec::migrate`]), so a v1
+///   spec and its v2 `fault: "None"` equivalent are indistinguishable — and
+///   produce byte-identical reports.
+pub const SPEC_VERSION: u32 = 2;
 
 /// Derive an independent seed stream from a master seed (SplitMix64).
 pub(crate) fn derive_seed(seed: u64, stream: u64) -> u64 {
@@ -39,6 +48,8 @@ pub(crate) mod seed_stream {
     pub const PLACEMENT: u64 = 2;
     /// Protocol execution.
     pub const RUN: u64 = 3;
+    /// Fault injection (loss/delay/churn/partition streams).
+    pub const FAULTS: u64 = 4;
 }
 
 // ---------------------------------------------------------------------------
@@ -525,6 +536,9 @@ pub struct RunSpec {
     pub placement: PlacementSpec,
     /// Adversary for counting workloads.
     pub adversary: AdversarySpec,
+    /// Network fault injection (loss, delay, churn, partitions); absent in
+    /// version-1 specs and defaults to [`FaultSpec::None`].
+    pub fault: FaultSpec,
     /// Protocol parameters.
     pub params: ParamsSpec,
     /// Master seed; topology, placement and execution use independent
@@ -556,7 +570,20 @@ impl RunSpec {
                 self.adversary.name()
             )));
         }
+        self.fault.validate().map_err(SimError::Spec)?;
         Ok(())
+    }
+
+    /// Upgrade an older (but accepted) spec to the current schema version.
+    /// Versions 1 and 2 only differ in the `fault` field, which older specs
+    /// lack and deserialization already defaulted to [`FaultSpec::None`] —
+    /// so the upgrade is just the version stamp.  Reports embed the
+    /// migrated spec, which is what makes a v1 spec and its v2 equivalent
+    /// produce byte-identical reports.
+    pub fn migrate(&mut self) {
+        if self.version < SPEC_VERSION {
+            self.version = SPEC_VERSION;
+        }
     }
 
     /// Serialize to pretty JSON.
@@ -564,11 +591,13 @@ impl RunSpec {
         serde_json::to_string_pretty(self).expect("RunSpec serialization cannot fail")
     }
 
-    /// Parse from JSON.
+    /// Parse from JSON (accepting any schema version up to
+    /// [`SPEC_VERSION`]) and migrate to the current version.
     pub fn from_json(text: &str) -> Result<Self, SimError> {
-        let spec: RunSpec =
+        let mut spec: RunSpec =
             serde_json::from_str(text).map_err(|e| SimError::Spec(e.to_string()))?;
         spec.validate()?;
+        spec.migrate();
         Ok(spec)
     }
 }
@@ -620,16 +649,26 @@ impl BatchSpec {
         self.run.validate()
     }
 
+    /// Upgrade an older batch (and its base run) to the current version.
+    pub fn migrate(&mut self) {
+        if self.version < SPEC_VERSION {
+            self.version = SPEC_VERSION;
+        }
+        self.run.migrate();
+    }
+
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("BatchSpec serialization cannot fail")
     }
 
-    /// Parse from JSON.
+    /// Parse from JSON (accepting any schema version up to
+    /// [`SPEC_VERSION`]) and migrate to the current version.
     pub fn from_json(text: &str) -> Result<Self, SimError> {
-        let spec: BatchSpec =
+        let mut spec: BatchSpec =
             serde_json::from_str(text).map_err(|e| SimError::Spec(e.to_string()))?;
         spec.validate()?;
+        spec.migrate();
         Ok(spec)
     }
 }
@@ -645,10 +684,54 @@ mod tests {
             workload: WorkloadSpec::Byzantine,
             placement: PlacementSpec::RandomBudget { delta: 0.6 },
             adversary: AdversarySpec::Combined,
+            fault: FaultSpec::None,
             params: ParamsSpec::default(),
             seed: 0xDEAD_BEEF_CAFE_F00D,
             max_rounds: None,
         }
+    }
+
+    #[test]
+    fn v1_specs_without_a_fault_field_still_parse() {
+        // A verbatim version-1 spec: no `fault` key anywhere.
+        let v1 = r#"{
+            "version": 1,
+            "topology": {"SmallWorld": {"d": 6, "n": 128}},
+            "workload": "Byzantine",
+            "placement": {"RandomBudget": {"delta": 0.6}},
+            "adversary": "Combined",
+            "params": {"Derived": {"delta": 0.6, "epsilon": 0.1}},
+            "seed": 7,
+            "max_rounds": null
+        }"#;
+        let parsed = RunSpec::from_json(v1).expect("v1 spec must parse");
+        assert_eq!(parsed.fault, FaultSpec::None);
+        assert_eq!(parsed.version, SPEC_VERSION, "parsing migrates to latest");
+        // The v2 equivalent spells the fault out; both normalize to the
+        // same spec and hence the same JSON bytes.
+        let v2 = v1.replace(
+            "\"version\": 1,",
+            "\"version\": 2,\n            \"fault\": \"None\",",
+        );
+        let parsed_v2 = RunSpec::from_json(&v2).expect("v2 spec must parse");
+        assert_eq!(parsed, parsed_v2);
+        assert_eq!(parsed.to_json(), parsed_v2.to_json());
+    }
+
+    #[test]
+    fn faulty_specs_round_trip_and_validate() {
+        let mut spec = demo_spec();
+        spec.fault = FaultSpec::Compose(vec![
+            FaultSpec::Loss { rate: 0.1 },
+            FaultSpec::Churn {
+                rate: 0.01,
+                downtime: 4,
+            },
+        ]);
+        let back = RunSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        spec.fault = FaultSpec::Loss { rate: 7.0 };
+        assert!(matches!(spec.validate(), Err(SimError::Spec(_))));
     }
 
     #[test]

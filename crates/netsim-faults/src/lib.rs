@@ -1,0 +1,56 @@
+//! # netsim-faults
+//!
+//! Composable, deterministic fault injection for the synchronous engine:
+//! the network itself misbehaves, instead of (or in addition to) the nodes.
+//!
+//! The paper's model is a clean synchronous network — every message sent in
+//! round `r` arrives by the end of round `r`, and only *nodes* are faulty.
+//! Real deployments are not so kind: packets drop, links stall, peers churn
+//! in and out, and whole segments partition.  This crate models those
+//! imperfections as a [`FaultPlan`]: a deterministic, seed-derived stream of
+//! per-round fault decisions that the engine consults between outbox
+//! collection and inbox delivery.
+//!
+//! Four composable primitives cover the classic imperfect-network axes:
+//!
+//! * [`IidLoss`] — every honest envelope is dropped independently with a
+//!   fixed probability (per-edge i.i.d. message loss);
+//! * [`RandomDelay`] — envelopes are delivered up to `Δ` rounds late,
+//!   relaxing synchrony into `Δ`-bounded asynchrony;
+//! * [`NodeChurn`] — honest nodes fail-stop at random and rejoin after a
+//!   fixed downtime with their protocol state reset (a fresh peer);
+//! * [`BisectionPartition`] — for a window of rounds the network splits
+//!   into two seed-derived halves that cannot hear each other.
+//!
+//! [`ComposedFaults`] stacks any number of plans; [`FaultSpec`] is the
+//! JSON-serializable description that the spec layer embeds in run specs
+//! and turns into a plan with [`FaultSpec::build_plan`].
+//!
+//! Two invariants the engine relies on:
+//!
+//! * **Determinism** — every plan draws from its own ChaCha8 stream derived
+//!   from the master seed, and plans are only consulted from the engine's
+//!   sequential delivery phase, so a faulty run is still a pure function of
+//!   `(topology, protocol, adversary, fault spec, seed)`.
+//! * **Honest traffic only** — faults model an unreliable *network*, not
+//!   extra adversarial power; the engine never routes Byzantine envelopes
+//!   through a plan (the adversary already controls those), and churn never
+//!   touches Byzantine nodes.
+
+mod plan;
+mod plans;
+mod spec;
+
+pub use plan::{ChurnEvent, EnvelopeFate, FaultPlan, NoFaults};
+pub use plans::{BisectionPartition, ComposedFaults, IidLoss, NodeChurn, RandomDelay};
+pub use spec::FaultSpec;
+
+/// SplitMix64 seed derivation, so each fault component gets an independent
+/// RNG stream from one master seed (same scheme as the engine's per-node
+/// streams).
+pub(crate) fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}

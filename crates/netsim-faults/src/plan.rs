@@ -1,0 +1,73 @@
+//! The [`FaultPlan`] trait: what the engine asks, and what a plan answers.
+
+use netsim_graph::NodeId;
+
+/// What happens to one honest envelope in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnvelopeFate {
+    /// Delivered normally (this round, for consumption next round).
+    Deliver,
+    /// Silently lost.
+    Drop,
+    /// Delivered `rounds` rounds late (`Delay(0)` is equivalent to
+    /// [`EnvelopeFate::Deliver`]).
+    Delay(u64),
+}
+
+/// A churn transition requested at a round boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The node fail-stops: it neither sends nor receives until recovered.
+    Crash(NodeId),
+    /// The node rejoins with a fresh protocol state (state reset).
+    Recover(NodeId),
+}
+
+/// A deterministic stream of fault decisions for one execution.
+///
+/// The engine calls [`begin_round`](FaultPlan::begin_round) once per round
+/// (before any node steps) and [`envelope_fate`](FaultPlan::envelope_fate)
+/// once per *validated honest* envelope during delivery.  Both are called
+/// from sequential engine code in a canonical order, so a plan may keep its
+/// own RNG and remain reproducible.
+///
+/// Plans never see Byzantine traffic: the adversary path bypasses the fault
+/// layer entirely, and the engine ignores churn events that name Byzantine
+/// nodes.
+pub trait FaultPlan: Send {
+    /// Churn transitions to apply at the boundary into `round`.
+    fn begin_round(&mut self, round: u64) -> Vec<ChurnEvent> {
+        let _ = round;
+        Vec::new()
+    }
+
+    /// The fate of one honest envelope queued in `round`.
+    fn envelope_fate(&mut self, round: u64, from: NodeId, to: NodeId) -> EnvelopeFate {
+        let _ = (round, from, to);
+        EnvelopeFate::Deliver
+    }
+}
+
+/// The do-nothing plan: every envelope is delivered, nobody churns.
+///
+/// Installing `NoFaults` exercises the fault layer's dispatch without
+/// changing behaviour — the benchmarks use it to price the indirection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultPlan for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let mut plan = NoFaults;
+        assert!(plan.begin_round(0).is_empty());
+        assert_eq!(
+            plan.envelope_fate(3, NodeId(1), NodeId(2)),
+            EnvelopeFate::Deliver
+        );
+    }
+}

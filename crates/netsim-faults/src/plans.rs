@@ -1,0 +1,325 @@
+//! The concrete fault plans: loss, delay, churn, partition, composition.
+
+use crate::plan::{ChurnEvent, EnvelopeFate, FaultPlan};
+use netsim_graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-envelope i.i.d. message loss: every honest envelope is dropped
+/// independently with probability `rate`.
+#[derive(Clone, Debug)]
+pub struct IidLoss {
+    rate: f64,
+    rng: ChaCha8Rng,
+}
+
+impl IidLoss {
+    /// Loss with probability `rate` (clamped to `[0, 1]`), drawing from a
+    /// stream derived from `seed`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        IidLoss {
+            rate: rate.clamp(0.0, 1.0),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FaultPlan for IidLoss {
+    fn envelope_fate(&mut self, _round: u64, _from: NodeId, _to: NodeId) -> EnvelopeFate {
+        if self.rng.gen_bool(self.rate) {
+            EnvelopeFate::Drop
+        } else {
+            EnvelopeFate::Deliver
+        }
+    }
+}
+
+/// Bounded random delay: with probability `rate` an envelope arrives
+/// uniformly `1..=max_delay` rounds late.  This relaxes the synchronous
+/// model into `Δ`-bounded asynchrony while keeping runs deterministic.
+#[derive(Clone, Debug)]
+pub struct RandomDelay {
+    max_delay: u64,
+    rate: f64,
+    rng: ChaCha8Rng,
+}
+
+impl RandomDelay {
+    /// Delay up to `max_delay` rounds (at least 1) with probability `rate`.
+    pub fn new(max_delay: u64, rate: f64, seed: u64) -> Self {
+        RandomDelay {
+            max_delay: max_delay.max(1),
+            rate: rate.clamp(0.0, 1.0),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FaultPlan for RandomDelay {
+    fn envelope_fate(&mut self, _round: u64, _from: NodeId, _to: NodeId) -> EnvelopeFate {
+        if self.rng.gen_bool(self.rate) {
+            EnvelopeFate::Delay(self.rng.gen_range(1..=self.max_delay))
+        } else {
+            EnvelopeFate::Deliver
+        }
+    }
+}
+
+/// Node churn: at every round boundary each *up*, honest node fail-stops
+/// with probability `rate`; a churned node stays down for `downtime` rounds
+/// and then rejoins with a fresh protocol state.
+#[derive(Clone, Debug)]
+pub struct NodeChurn {
+    rate: f64,
+    downtime: u64,
+    /// Nodes the plan is allowed to churn (honest nodes).
+    eligible: Vec<bool>,
+    /// `Some(round)` = down until the boundary into `round`.
+    down_until: Vec<Option<u64>>,
+    rng: ChaCha8Rng,
+}
+
+impl NodeChurn {
+    /// Churn over `eligible` nodes (pass the honest mask) with per-round
+    /// crash probability `rate` and a fixed `downtime` (at least 1 round).
+    pub fn new(rate: f64, downtime: u64, eligible: &[bool], seed: u64) -> Self {
+        NodeChurn {
+            rate: rate.clamp(0.0, 1.0),
+            downtime: downtime.max(1),
+            eligible: eligible.to_vec(),
+            down_until: vec![None; eligible.len()],
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FaultPlan for NodeChurn {
+    fn begin_round(&mut self, round: u64) -> Vec<ChurnEvent> {
+        let mut events = Vec::new();
+        for i in 0..self.eligible.len() {
+            match self.down_until[i] {
+                Some(until) if round >= until => {
+                    self.down_until[i] = None;
+                    events.push(ChurnEvent::Recover(NodeId::from_index(i)));
+                }
+                Some(_) => {}
+                None => {
+                    if self.eligible[i] && self.rng.gen_bool(self.rate) {
+                        self.down_until[i] = Some(round + self.downtime);
+                        events.push(ChurnEvent::Crash(NodeId::from_index(i)));
+                    }
+                }
+            }
+        }
+        events
+    }
+}
+
+/// A round-windowed bisection: during rounds `start..start + duration` the
+/// node set is split into two seed-derived halves and every envelope that
+/// crosses the cut is dropped.
+#[derive(Clone, Debug)]
+pub struct BisectionPartition {
+    side_a: Vec<bool>,
+    start: u64,
+    end: u64,
+}
+
+impl BisectionPartition {
+    /// Partition `n` nodes into two random halves (derived from `seed`) for
+    /// the window `start..start + duration`.
+    pub fn new(n: usize, start: u64, duration: u64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut side_a = vec![false; n];
+        for &i in order.iter().take(n / 2) {
+            side_a[i] = true;
+        }
+        BisectionPartition {
+            side_a,
+            start,
+            end: start.saturating_add(duration),
+        }
+    }
+
+    /// Which side each node is on (true = side A).
+    pub fn side_a(&self) -> &[bool] {
+        &self.side_a
+    }
+}
+
+impl FaultPlan for BisectionPartition {
+    fn envelope_fate(&mut self, round: u64, from: NodeId, to: NodeId) -> EnvelopeFate {
+        let active = round >= self.start && round < self.end;
+        if active && self.side_a[from.index()] != self.side_a[to.index()] {
+            EnvelopeFate::Drop
+        } else {
+            EnvelopeFate::Deliver
+        }
+    }
+}
+
+/// A stack of plans applied together.
+///
+/// Every constituent plan is consulted for every decision — even after an
+/// earlier plan already dropped the envelope — so each plan's RNG stream
+/// advances identically regardless of the others' verdicts (composition
+/// stays deterministic and order-insensitive for loss).  `Drop` dominates;
+/// otherwise delays add up.
+pub struct ComposedFaults {
+    plans: Vec<Box<dyn FaultPlan>>,
+}
+
+impl ComposedFaults {
+    /// Compose `plans` (applied in order).
+    pub fn new(plans: Vec<Box<dyn FaultPlan>>) -> Self {
+        ComposedFaults { plans }
+    }
+}
+
+impl FaultPlan for ComposedFaults {
+    fn begin_round(&mut self, round: u64) -> Vec<ChurnEvent> {
+        let mut events = Vec::new();
+        for plan in &mut self.plans {
+            events.extend(plan.begin_round(round));
+        }
+        events
+    }
+
+    fn envelope_fate(&mut self, round: u64, from: NodeId, to: NodeId) -> EnvelopeFate {
+        let mut dropped = false;
+        let mut delay = 0u64;
+        for plan in &mut self.plans {
+            match plan.envelope_fate(round, from, to) {
+                EnvelopeFate::Deliver => {}
+                EnvelopeFate::Drop => dropped = true,
+                EnvelopeFate::Delay(d) => delay = delay.saturating_add(d),
+            }
+        }
+        if dropped {
+            EnvelopeFate::Drop
+        } else if delay > 0 {
+            EnvelopeFate::Delay(delay)
+        } else {
+            EnvelopeFate::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fates(plan: &mut dyn FaultPlan, count: usize) -> Vec<EnvelopeFate> {
+        (0..count)
+            .map(|i| plan.envelope_fate(i as u64, NodeId(0), NodeId(1)))
+            .collect()
+    }
+
+    #[test]
+    fn loss_rate_zero_and_one_are_exact() {
+        let mut never = IidLoss::new(0.0, 1);
+        assert!(fates(&mut never, 200)
+            .iter()
+            .all(|f| *f == EnvelopeFate::Deliver));
+        let mut always = IidLoss::new(1.0, 1);
+        assert!(fates(&mut always, 200)
+            .iter()
+            .all(|f| *f == EnvelopeFate::Drop));
+    }
+
+    #[test]
+    fn loss_is_deterministic_in_the_seed() {
+        let mut a = IidLoss::new(0.3, 42);
+        let mut b = IidLoss::new(0.3, 42);
+        let mut c = IidLoss::new(0.3, 43);
+        let fa = fates(&mut a, 500);
+        assert_eq!(fa, fates(&mut b, 500));
+        assert_ne!(fa, fates(&mut c, 500), "different seeds, different stream");
+        let dropped = fa.iter().filter(|f| **f == EnvelopeFate::Drop).count();
+        assert!((100..200).contains(&dropped), "~30% of 500, got {dropped}");
+    }
+
+    #[test]
+    fn delay_stays_within_bounds() {
+        let mut plan = RandomDelay::new(4, 1.0, 7);
+        for fate in fates(&mut plan, 300) {
+            match fate {
+                EnvelopeFate::Delay(d) => assert!((1..=4).contains(&d)),
+                other => panic!("rate 1.0 must always delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_crashes_then_recovers_after_downtime() {
+        let eligible = vec![true; 8];
+        let mut plan = NodeChurn::new(1.0, 3, &eligible, 5);
+        let crashed = plan.begin_round(0);
+        assert_eq!(crashed.len(), 8, "rate 1.0 crashes everyone");
+        assert!(matches!(crashed[0], ChurnEvent::Crash(_)));
+        assert!(plan.begin_round(1).is_empty(), "still down");
+        assert!(plan.begin_round(2).is_empty(), "still down");
+        let recovered = plan.begin_round(3);
+        assert_eq!(recovered.len(), 8, "downtime over, everyone rejoins");
+        assert!(matches!(recovered[0], ChurnEvent::Recover(_)));
+    }
+
+    #[test]
+    fn churn_skips_ineligible_nodes() {
+        let mut eligible = vec![true; 6];
+        eligible[2] = false;
+        let mut plan = NodeChurn::new(1.0, 2, &eligible, 1);
+        let crashed = plan.begin_round(0);
+        assert_eq!(crashed.len(), 5);
+        assert!(!crashed.contains(&ChurnEvent::Crash(NodeId(2))));
+    }
+
+    #[test]
+    fn partition_drops_exactly_the_cut_within_the_window() {
+        let plan = BisectionPartition::new(10, 2, 3, 9);
+        let side = plan.side_a().to_vec();
+        assert_eq!(side.iter().filter(|&&s| s).count(), 5, "a bisection");
+        let mut plan = plan;
+        let (a, b) = {
+            let a = side.iter().position(|&s| s).unwrap();
+            let b = side.iter().position(|&s| !s).unwrap();
+            (NodeId::from_index(a), NodeId::from_index(b))
+        };
+        // Outside the window: everything flows.
+        assert_eq!(plan.envelope_fate(1, a, b), EnvelopeFate::Deliver);
+        assert_eq!(plan.envelope_fate(5, a, b), EnvelopeFate::Deliver);
+        // Inside: the cut drops, same-side traffic flows.
+        assert_eq!(plan.envelope_fate(2, a, b), EnvelopeFate::Drop);
+        assert_eq!(plan.envelope_fate(4, b, a), EnvelopeFate::Drop);
+        assert_eq!(plan.envelope_fate(3, a, a), EnvelopeFate::Deliver);
+    }
+
+    #[test]
+    fn composition_drop_dominates_and_delays_add() {
+        struct Fixed(EnvelopeFate);
+        impl FaultPlan for Fixed {
+            fn envelope_fate(&mut self, _: u64, _: NodeId, _: NodeId) -> EnvelopeFate {
+                self.0
+            }
+        }
+        let mut both_delay = ComposedFaults::new(vec![
+            Box::new(Fixed(EnvelopeFate::Delay(2))),
+            Box::new(Fixed(EnvelopeFate::Delay(3))),
+        ]);
+        assert_eq!(
+            both_delay.envelope_fate(0, NodeId(0), NodeId(1)),
+            EnvelopeFate::Delay(5)
+        );
+        let mut drop_wins = ComposedFaults::new(vec![
+            Box::new(Fixed(EnvelopeFate::Delay(2))),
+            Box::new(Fixed(EnvelopeFate::Drop)),
+        ]);
+        assert_eq!(
+            drop_wins.envelope_fate(0, NodeId(0), NodeId(1)),
+            EnvelopeFate::Drop
+        );
+    }
+}

@@ -1,0 +1,405 @@
+//! [`FaultSpec`]: the JSON-serializable description of a fault plan.
+//!
+//! A spec is plain data; [`FaultSpec::build_plan`] turns it into the
+//! executable [`FaultPlan`], deriving one independent RNG stream per
+//! component from a single fault seed.  Version-1 run specs predate the
+//! fault layer entirely, so deserialization treats a missing/`null` value
+//! as [`FaultSpec::None`] — old specs keep parsing and mean "perfect
+//! network", exactly as they always did.
+
+use crate::derive_seed;
+use crate::plan::FaultPlan;
+use crate::plans::{BisectionPartition, ComposedFaults, IidLoss, NodeChurn, RandomDelay};
+use serde::{Deserialize, Error, Map, Number, Serialize, Value};
+
+/// What the network does to honest traffic (nothing, by default).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum FaultSpec {
+    /// Perfect synchronous delivery (the paper's model).
+    #[default]
+    None,
+    /// Per-envelope i.i.d. loss with probability `rate`.
+    Loss {
+        /// Drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Bounded random delay: with probability `rate` an envelope arrives
+    /// uniformly `1..=max_delay` rounds late.
+    Delay {
+        /// Maximum delay `Δ` in rounds (≥ 1).
+        max_delay: u64,
+        /// Probability a given envelope is delayed.
+        rate: f64,
+    },
+    /// Node churn: honest nodes fail-stop with per-round probability `rate`
+    /// and rejoin after `downtime` rounds with a fresh state.
+    Churn {
+        /// Per-node per-round crash probability.
+        rate: f64,
+        /// Rounds a churned node stays down (≥ 1).
+        downtime: u64,
+    },
+    /// A bisection partition active during rounds
+    /// `start..start + duration`.
+    Partition {
+        /// First partitioned round.
+        start: u64,
+        /// Window length in rounds.
+        duration: u64,
+    },
+    /// All of the listed faults at once.
+    Compose(Vec<FaultSpec>),
+}
+
+impl FaultSpec {
+    /// True when the spec injects nothing at all (structurally — a `Loss`
+    /// with rate 0.0 still installs a plan, it just never fires).
+    pub fn is_none(&self) -> bool {
+        match self {
+            FaultSpec::None => true,
+            FaultSpec::Compose(parts) => parts.iter().all(FaultSpec::is_none),
+            _ => false,
+        }
+    }
+
+    /// Check ranges: probabilities in `[0, 1]`, delays/downtimes ≥ 1.
+    pub fn validate(&self) -> Result<(), String> {
+        let probability = |what: &str, p: f64| -> Result<(), String> {
+            if p.is_finite() && (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("{what} must be a probability in [0, 1], got {p}"))
+            }
+        };
+        match self {
+            FaultSpec::None => Ok(()),
+            FaultSpec::Loss { rate } => probability("loss rate", *rate),
+            FaultSpec::Delay { max_delay, rate } => {
+                probability("delay rate", *rate)?;
+                if *max_delay == 0 {
+                    return Err("delay max_delay must be at least 1 round".into());
+                }
+                Ok(())
+            }
+            FaultSpec::Churn { rate, downtime } => {
+                probability("churn rate", *rate)?;
+                if *downtime == 0 {
+                    return Err("churn downtime must be at least 1 round".into());
+                }
+                Ok(())
+            }
+            FaultSpec::Partition { duration, .. } => {
+                if *duration == 0 {
+                    return Err("partition duration must be at least 1 round".into());
+                }
+                Ok(())
+            }
+            FaultSpec::Compose(parts) => parts.iter().try_for_each(FaultSpec::validate),
+        }
+    }
+
+    /// Short human-readable label (used by experiment tables).
+    pub fn describe(&self) -> String {
+        match self {
+            FaultSpec::None => "none".into(),
+            FaultSpec::Loss { rate } => format!("loss {rate:.2}"),
+            FaultSpec::Delay { max_delay, rate } => format!("delay<={max_delay} @{rate:.2}"),
+            FaultSpec::Churn { rate, downtime } => format!("churn {rate:.3} dt={downtime}"),
+            FaultSpec::Partition { start, duration } => {
+                format!("partition r{start}+{duration}")
+            }
+            FaultSpec::Compose(parts) => parts
+                .iter()
+                .map(FaultSpec::describe)
+                .collect::<Vec<_>>()
+                .join(" + "),
+        }
+    }
+
+    /// Materialize the plan for a network of `n` nodes.
+    ///
+    /// `honest[i]` marks the nodes faults may touch (churn never crashes a
+    /// Byzantine node — the adversary owns those).  Every component draws
+    /// from an independent sub-stream of `seed`, in declaration order, so
+    /// the same spec and seed always produce the same fault stream.
+    /// Returns `None` when the spec is structurally fault-free.
+    pub fn build_plan(&self, n: usize, honest: &[bool], seed: u64) -> Option<Box<dyn FaultPlan>> {
+        let mut plans: Vec<Box<dyn FaultPlan>> = Vec::new();
+        let mut stream = 0u64;
+        self.collect_plans(n, honest, seed, &mut stream, &mut plans);
+        match plans.len() {
+            0 => None,
+            1 => plans.pop(),
+            _ => Some(Box::new(ComposedFaults::new(plans))),
+        }
+    }
+
+    fn collect_plans(
+        &self,
+        n: usize,
+        honest: &[bool],
+        seed: u64,
+        stream: &mut u64,
+        out: &mut Vec<Box<dyn FaultPlan>>,
+    ) {
+        fn sub_seed(seed: u64, stream: &mut u64) -> u64 {
+            let s = derive_seed(seed, *stream);
+            *stream += 1;
+            s
+        }
+        match self {
+            FaultSpec::None => {}
+            FaultSpec::Loss { rate } => {
+                out.push(Box::new(IidLoss::new(*rate, sub_seed(seed, stream))))
+            }
+            FaultSpec::Delay { max_delay, rate } => out.push(Box::new(RandomDelay::new(
+                *max_delay,
+                *rate,
+                sub_seed(seed, stream),
+            ))),
+            FaultSpec::Churn { rate, downtime } => out.push(Box::new(NodeChurn::new(
+                *rate,
+                *downtime,
+                honest,
+                sub_seed(seed, stream),
+            ))),
+            FaultSpec::Partition { start, duration } => out.push(Box::new(
+                BisectionPartition::new(n, *start, *duration, sub_seed(seed, stream)),
+            )),
+            FaultSpec::Compose(parts) => {
+                for part in parts {
+                    part.collect_plans(n, honest, seed, stream, out);
+                }
+            }
+        }
+    }
+}
+
+// The serde impls are written by hand (rather than derived) for one
+// backwards-compatibility reason: a missing or `null` value must read as
+// `FaultSpec::None`, so version-1 specs — which have no `fault` field at
+// all — keep deserializing.  The wire shapes otherwise match what the
+// derive would produce (externally tagged variants).
+
+impl Serialize for FaultSpec {
+    fn to_value(&self) -> Value {
+        fn tagged(tag: &str, inner: Value) -> Value {
+            let mut m = Map::new();
+            m.insert(tag.to_string(), inner);
+            Value::Obj(m)
+        }
+        fn num_f(v: f64) -> Value {
+            Value::Num(Number::F(v))
+        }
+        fn num_u(v: u64) -> Value {
+            Value::Num(Number::U(v))
+        }
+        match self {
+            FaultSpec::None => Value::Str("None".into()),
+            FaultSpec::Loss { rate } => {
+                let mut m = Map::new();
+                m.insert("rate".into(), num_f(*rate));
+                tagged("Loss", Value::Obj(m))
+            }
+            FaultSpec::Delay { max_delay, rate } => {
+                let mut m = Map::new();
+                m.insert("max_delay".into(), num_u(*max_delay));
+                m.insert("rate".into(), num_f(*rate));
+                tagged("Delay", Value::Obj(m))
+            }
+            FaultSpec::Churn { rate, downtime } => {
+                let mut m = Map::new();
+                m.insert("downtime".into(), num_u(*downtime));
+                m.insert("rate".into(), num_f(*rate));
+                tagged("Churn", Value::Obj(m))
+            }
+            FaultSpec::Partition { start, duration } => {
+                let mut m = Map::new();
+                m.insert("duration".into(), num_u(*duration));
+                m.insert("start".into(), num_u(*start));
+                tagged("Partition", Value::Obj(m))
+            }
+            FaultSpec::Compose(parts) => tagged(
+                "Compose",
+                Value::Arr(parts.iter().map(Serialize::to_value).collect()),
+            ),
+        }
+    }
+}
+
+impl Deserialize for FaultSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        fn field_f64(m: &Map, key: &str) -> Result<f64, Error> {
+            serde::from_value_field(m, key)
+        }
+        fn field_u64(m: &Map, key: &str) -> Result<u64, Error> {
+            serde::from_value_field(m, key)
+        }
+        match v {
+            // v1 specs have no fault field: absent/null means "no faults".
+            Value::Null => Ok(FaultSpec::None),
+            Value::Str(s) if s == "None" || s == "none" => Ok(FaultSpec::None),
+            Value::Str(other) => Err(Error::msg(format!(
+                "unknown unit variant `{other}` of FaultSpec"
+            ))),
+            Value::Obj(m) if m.len() == 1 => {
+                let (tag, inner) = m.iter().next().expect("len checked");
+                match tag.as_str() {
+                    "Loss" => {
+                        let mm = inner
+                            .as_obj()
+                            .ok_or_else(|| Error::expected("object", inner))?;
+                        Ok(FaultSpec::Loss {
+                            rate: field_f64(mm, "rate")?,
+                        })
+                    }
+                    "Delay" => {
+                        let mm = inner
+                            .as_obj()
+                            .ok_or_else(|| Error::expected("object", inner))?;
+                        Ok(FaultSpec::Delay {
+                            max_delay: field_u64(mm, "max_delay")?,
+                            rate: field_f64(mm, "rate")?,
+                        })
+                    }
+                    "Churn" => {
+                        let mm = inner
+                            .as_obj()
+                            .ok_or_else(|| Error::expected("object", inner))?;
+                        Ok(FaultSpec::Churn {
+                            rate: field_f64(mm, "rate")?,
+                            downtime: field_u64(mm, "downtime")?,
+                        })
+                    }
+                    "Partition" => {
+                        let mm = inner
+                            .as_obj()
+                            .ok_or_else(|| Error::expected("object", inner))?;
+                        Ok(FaultSpec::Partition {
+                            start: field_u64(mm, "start")?,
+                            duration: field_u64(mm, "duration")?,
+                        })
+                    }
+                    "Compose" => Ok(FaultSpec::Compose(Deserialize::from_value(inner)?)),
+                    other => Err(Error::msg(format!(
+                        "unknown variant `{other}` of FaultSpec"
+                    ))),
+                }
+            }
+            other => Err(Error::expected(
+                "FaultSpec (string or tagged object)",
+                other,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::EnvelopeFate;
+    use netsim_graph::NodeId;
+
+    fn round_trip(spec: &FaultSpec) -> FaultSpec {
+        FaultSpec::from_value(&spec.to_value()).expect("round trip")
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for spec in [
+            FaultSpec::None,
+            FaultSpec::Loss { rate: 0.25 },
+            FaultSpec::Delay {
+                max_delay: 3,
+                rate: 0.5,
+            },
+            FaultSpec::Churn {
+                rate: 0.01,
+                downtime: 6,
+            },
+            FaultSpec::Partition {
+                start: 4,
+                duration: 10,
+            },
+            FaultSpec::Compose(vec![
+                FaultSpec::Loss { rate: 0.1 },
+                FaultSpec::Churn {
+                    rate: 0.02,
+                    downtime: 2,
+                },
+            ]),
+        ] {
+            assert_eq!(round_trip(&spec), spec);
+        }
+    }
+
+    #[test]
+    fn null_and_missing_read_as_none() {
+        assert_eq!(
+            FaultSpec::from_value(&Value::Null).unwrap(),
+            FaultSpec::None
+        );
+        assert_eq!(
+            FaultSpec::from_value(&Value::Str("none".into())).unwrap(),
+            FaultSpec::None
+        );
+        assert!(FaultSpec::from_value(&Value::Str("garbage".into())).is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        assert!(FaultSpec::Loss { rate: 1.5 }.validate().is_err());
+        assert!(FaultSpec::Loss { rate: -0.1 }.validate().is_err());
+        assert!(FaultSpec::Loss { rate: f64::NAN }.validate().is_err());
+        assert!(FaultSpec::Delay {
+            max_delay: 0,
+            rate: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSpec::Churn {
+            rate: 0.1,
+            downtime: 0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSpec::Compose(vec![FaultSpec::Loss { rate: 2.0 }])
+            .validate()
+            .is_err());
+        assert!(FaultSpec::Compose(vec![FaultSpec::Loss { rate: 0.2 }])
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn none_and_empty_compositions_build_no_plan() {
+        let honest = vec![true; 10];
+        assert!(FaultSpec::None.build_plan(10, &honest, 1).is_none());
+        assert!(FaultSpec::Compose(vec![FaultSpec::None, FaultSpec::None])
+            .build_plan(10, &honest, 1)
+            .is_none());
+        assert!(FaultSpec::None.is_none());
+        assert!(FaultSpec::Compose(vec![]).is_none());
+        assert!(!FaultSpec::Loss { rate: 0.0 }.is_none());
+    }
+
+    #[test]
+    fn built_plans_are_seed_deterministic() {
+        let honest = vec![true; 16];
+        let spec = FaultSpec::Compose(vec![
+            FaultSpec::Loss { rate: 0.4 },
+            FaultSpec::Delay {
+                max_delay: 2,
+                rate: 0.3,
+            },
+        ]);
+        let sample = |seed: u64| -> Vec<EnvelopeFate> {
+            let mut plan = spec.build_plan(16, &honest, seed).expect("plan");
+            (0..200)
+                .map(|i| plan.envelope_fate(i, NodeId(0), NodeId(1)))
+                .collect()
+        };
+        assert_eq!(sample(9), sample(9));
+        assert_ne!(sample(9), sample(10));
+    }
+}

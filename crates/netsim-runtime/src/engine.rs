@@ -14,16 +14,36 @@
 //!
 //! The engine stops when every honest node has decided (or crashed), or when
 //! `max_rounds` is reached.
+//!
+//! ## Fault injection
+//!
+//! An optional [`FaultPlan`] (see [`netsim_faults`]) makes the *network*
+//! imperfect.  It hooks into the loop at two points:
+//!
+//! * at every round boundary the plan may churn honest nodes — fail-stop
+//!   them and later bring them back with a freshly reset protocol state;
+//! * between outbox collection and inbox delivery, every validated honest
+//!   envelope is given a fate: delivered, silently lost, or deferred up to
+//!   `Δ` rounds (bounded-delay asynchrony).
+//!
+//! Byzantine envelopes never pass through the plan — the adversary already
+//! controls that traffic, and fault injection models an unreliable network,
+//! not extra adversarial power.  Lost and still-deferred envelopes are
+//! never counted as delivered; see [`RunMetrics`] for the dedicated
+//! counters.  With no plan installed the loop is exactly the classic
+//! synchronous engine (a `None` check per round and per envelope).
 
 use crate::adversary::{Adversary, AdversaryDecision, AdversaryView};
 use crate::message::{Envelope, MessageSize};
 use crate::metrics::RunMetrics;
 use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
 use crate::topology::Topology;
+use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan};
 use netsim_graph::NodeId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use std::collections::BTreeMap;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,6 +119,17 @@ where
     decided_round: Vec<Option<u64>>,
     metrics: RunMetrics,
     round: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    /// Deferred envelopes keyed by the round in which they are delivered
+    /// (i.e. pushed into an inbox for consumption one round later).
+    deferred: BTreeMap<u64, Vec<Envelope<P::Message>>>,
+    /// Produces a pristine protocol state for node `i`; installed together
+    /// with a fault plan so churned nodes can rejoin reset.
+    reset_state: Option<Box<dyn Fn(usize) -> P + Send>>,
+    /// Nodes whose *current* crash was injected by churn.  A `Recover`
+    /// event only revives these: nodes that fail-stopped any other way
+    /// (initial crashes, protocol self-crash) stay down forever.
+    churned_down: Vec<bool>,
 }
 
 impl<'a, T, P, A> SyncEngine<'a, T, P, A>
@@ -141,6 +172,38 @@ where
             decided_round: vec![None; n],
             metrics: RunMetrics::default(),
             round: 0,
+            fault_plan: None,
+            deferred: BTreeMap::new(),
+            reset_state: None,
+            churned_down: vec![false; n],
+        }
+    }
+
+    /// Install a [`FaultPlan`]: the network may now lose, delay and defer
+    /// honest traffic and churn honest nodes.
+    ///
+    /// Requires `P: Clone` because churned nodes rejoin with a *fresh*
+    /// protocol state: the engine snapshots the initial states here and
+    /// restores a node's snapshot when the plan recovers it.
+    pub fn with_fault_plan(mut self, plan: Box<dyn FaultPlan>) -> Self
+    where
+        P: Clone + Send + 'static,
+    {
+        let pristine: Vec<P> = self.states.clone();
+        self.reset_state = Some(Box::new(move |i| pristine[i].clone()));
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// [`with_fault_plan`](Self::with_fault_plan) that is a no-op for
+    /// `None` — the shape every spec-driven runner needs.
+    pub fn with_fault_plan_opt(self, plan: Option<Box<dyn FaultPlan>>) -> Self
+    where
+        P: Clone + Send + 'static,
+    {
+        match plan {
+            Some(plan) => self.with_fault_plan(plan),
+            None => self,
         }
     }
 
@@ -201,6 +264,44 @@ where
         let n = self.topology.len();
         self.metrics.begin_round();
         let round = self.round;
+
+        // Phase 0: churn transitions requested by the fault plan.  Only
+        // honest nodes are touched; a recovered node rejoins with a fresh
+        // protocol state and no memory of its previous incarnation.
+        if let Some(plan) = self.fault_plan.as_mut() {
+            for event in plan.begin_round(round) {
+                match event {
+                    ChurnEvent::Crash(v) => {
+                        let i = v.index();
+                        if i < n && !self.byzantine[i] && self.statuses[i] != NodeStatus::Crashed {
+                            self.statuses[i] = NodeStatus::Crashed;
+                            self.churned_down[i] = true;
+                            self.metrics.record_churn_crash();
+                        }
+                    }
+                    ChurnEvent::Recover(v) => {
+                        let i = v.index();
+                        // Only crashes the fault layer itself injected are
+                        // recoverable: a node that fail-stopped any other
+                        // way (initial crashes, protocol self-crash) must
+                        // stay silent forever, even if a plan unknowingly
+                        // names it.
+                        if i < n && self.churned_down[i] && self.statuses[i] == NodeStatus::Crashed
+                        {
+                            if let Some(reset) = self.reset_state.as_ref() {
+                                self.states[i] = reset(i);
+                                self.outputs[i] = None;
+                                self.decided_round[i] = None;
+                                self.statuses[i] = NodeStatus::Active;
+                                self.churned_down[i] = false;
+                                self.inboxes[i].clear();
+                                self.metrics.record_churn_recovery();
+                            }
+                        }
+                    }
+                }
+            }
+        }
 
         // Phase 1: run every non-crashed node against its inbox.
         let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
@@ -305,11 +406,46 @@ where
                 && (!authored_by_adversary || self.byzantine[env.from.index()]);
             let edge_ok = env.to.index() < n && self.topology.can_send(env.from, env.to);
             let to_ok = env.to.index() < n && self.statuses[env.to.index()] != NodeStatus::Crashed;
-            if from_ok && edge_ok && to_ok {
-                self.metrics.record_delivery(env.payload.message_size());
-                self.inboxes[env.to.index()].push(env);
-            } else {
+            if !(from_ok && edge_ok && to_ok) {
                 self.metrics.record_drop();
+                continue;
+            }
+            // The fault layer only touches honest traffic: Byzantine
+            // envelopes (protocol-following or adversary-authored) already
+            // went through the adversary path and are delivered as-is.
+            let fate = match self.fault_plan.as_mut() {
+                Some(plan) if !self.byzantine[env.from.index()] => {
+                    plan.envelope_fate(round, env.from, env.to)
+                }
+                _ => EnvelopeFate::Deliver,
+            };
+            match fate {
+                EnvelopeFate::Deliver | EnvelopeFate::Delay(0) => {
+                    self.metrics.record_delivery(env.payload.message_size());
+                    self.inboxes[env.to.index()].push(env);
+                }
+                EnvelopeFate::Drop => self.metrics.record_fault_loss(),
+                EnvelopeFate::Delay(delay) => {
+                    self.metrics.record_fault_delay();
+                    self.deferred.entry(round + delay).or_default().push(env);
+                }
+            }
+        }
+
+        // Phase 5: deferred envelopes whose delay elapses this round arrive
+        // now (for consumption next round, like any other delivery).  Their
+        // size is accounted here — a message deferred forever is never
+        // counted as delivered.
+        if !self.deferred.is_empty() {
+            if let Some(due) = self.deferred.remove(&round) {
+                for env in due {
+                    if self.statuses[env.to.index()] == NodeStatus::Crashed {
+                        self.metrics.record_fault_expired(1);
+                    } else {
+                        self.metrics.record_delivery(env.payload.message_size());
+                        self.inboxes[env.to.index()].push(env);
+                    }
+                }
             }
         }
 
@@ -326,7 +462,11 @@ where
     }
 
     /// Consume the engine and produce the result without running further.
-    pub fn into_result(self) -> RunResult<P::Output> {
+    pub fn into_result(mut self) -> RunResult<P::Output> {
+        let in_flight: u64 = self.deferred.values().map(|v| v.len() as u64).sum();
+        if in_flight > 0 {
+            self.metrics.record_fault_expired(in_flight);
+        }
         let completed = self
             .statuses
             .iter()
@@ -636,6 +776,282 @@ mod tests {
         ) -> Action<()> {
             Action::Crash
         }
+    }
+
+    #[test]
+    fn total_loss_silences_honest_traffic_and_its_accounting() {
+        // Regression test for the fault-layer accounting contract: an
+        // envelope destroyed by the plan must never count toward the
+        // delivered-message or byte (IDs/bits) metrics.
+        use netsim_faults::IidLoss;
+        let n = 8;
+        let g = line_graph(n);
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 10),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            11,
+        )
+        .with_fault_plan(Box::new(IidLoss::new(1.0, 5)))
+        .run();
+        assert_eq!(result.metrics.messages_delivered, 0);
+        assert_eq!(result.metrics.total_ids, 0);
+        assert_eq!(result.metrics.total_bits, 0);
+        assert!(result.metrics.messages_lost > 0);
+        // Every node still decides — on its own value, having heard nobody.
+        assert!(result.completed);
+        let distinct: std::collections::HashSet<_> =
+            result.outputs.iter().map(|o| o.unwrap()).collect();
+        assert_eq!(distinct.len(), n, "no value ever propagated");
+    }
+
+    #[test]
+    fn byzantine_envelopes_bypass_the_fault_layer() {
+        // Total loss for honest traffic, yet the adversary's envelopes go
+        // through the adversary path untouched: node 0 is still poisoned by
+        // its Byzantine neighbour.
+        use netsim_faults::IidLoss;
+        let n = 8;
+        let g = line_graph(n);
+        let mut byz = vec![false; n];
+        byz[1] = true;
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 20),
+            byz,
+            Shouter,
+            EngineConfig::default(),
+            3,
+        )
+        .with_fault_plan(Box::new(IidLoss::new(1.0, 5)))
+        .run();
+        assert_eq!(
+            result.outputs[0],
+            Some(u64::MAX),
+            "Byzantine traffic must not be lost"
+        );
+        assert!(result.metrics.messages_lost > 0, "honest traffic was");
+        assert!(
+            result.metrics.messages_delivered > 0,
+            "the Byzantine deliveries are the only ones counted"
+        );
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_and_are_counted_once() {
+        use netsim_faults::RandomDelay;
+        let n = 12;
+        let g = line_graph(n);
+        let run = |plan: Option<Box<dyn FaultPlan>>| {
+            let engine = SyncEngine::new(
+                &g,
+                flood_states(n, 6 * n as u64),
+                vec![false; n],
+                NullAdversary,
+                EngineConfig::default(),
+                21,
+            );
+            match plan {
+                Some(p) => engine.with_fault_plan(p).run(),
+                None => engine.run(),
+            }
+        };
+        let clean = run(None);
+        let delayed = run(Some(Box::new(RandomDelay::new(3, 1.0, 9))));
+        assert!(delayed.completed);
+        assert_eq!(
+            delayed.outputs[0], clean.outputs[0],
+            "delay reorders nothing on a flood of maxima; the value still wins"
+        );
+        assert!(delayed.metrics.messages_delayed > 0);
+        // Conservation: every queued honest envelope is delivered, lost,
+        // expired, or was rejected by validation — delivered ones exactly
+        // once.
+        assert_eq!(
+            delayed.metrics.messages_delayed,
+            delayed.metrics.messages_delivered + delayed.metrics.messages_expired,
+            "all traffic was delayed here, so delivered + expired must add up"
+        );
+    }
+
+    #[test]
+    fn deferred_messages_still_in_flight_expire_at_the_cap() {
+        use netsim_faults::RandomDelay;
+        let n = 8;
+        let g = line_graph(n);
+        let cfg = EngineConfig {
+            max_rounds: 3,
+            stop_when_all_decided: true,
+        };
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 1000),
+            vec![false; n],
+            NullAdversary,
+            cfg,
+            2,
+        )
+        .with_fault_plan(Box::new(RandomDelay::new(50, 1.0, 4)))
+        .run();
+        assert!(result.metrics.messages_expired > 0, "in-flight at the cap");
+        assert_eq!(
+            result.metrics.messages_delayed,
+            result.metrics.messages_delivered + result.metrics.messages_expired
+        );
+    }
+
+    #[test]
+    fn churned_nodes_rejoin_with_reset_state() {
+        use netsim_faults::{ChurnEvent, FaultPlan};
+        // A scripted plan: crash node 2 at round 1, recover it at round 4.
+        struct Script;
+        impl FaultPlan for Script {
+            fn begin_round(&mut self, round: u64) -> Vec<ChurnEvent> {
+                match round {
+                    1 => vec![ChurnEvent::Crash(NodeId(2))],
+                    4 => vec![ChurnEvent::Recover(NodeId(2))],
+                    _ => Vec::new(),
+                }
+            }
+        }
+        let n = 8;
+        let g = line_graph(n);
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 3 * n as u64),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            17,
+        )
+        .with_fault_plan(Box::new(Script))
+        .run();
+        assert_eq!(result.metrics.churn_crashes, 1);
+        assert_eq!(result.metrics.churn_recoveries, 1);
+        assert!(!result.crashed[2], "node 2 rejoined");
+        assert!(result.completed);
+        // The reset node restarted the protocol from scratch and decided
+        // again in its second life.
+        assert!(result.outputs[2].is_some());
+        assert!(result.decided_round[2].unwrap() >= 4, "decided post-rejoin");
+    }
+
+    #[test]
+    fn churn_never_touches_byzantine_nodes() {
+        use netsim_faults::NodeChurn;
+        let n = 8;
+        let g = line_graph(n);
+        let mut byz = vec![false; n];
+        byz[1] = true;
+        let honest: Vec<bool> = byz.iter().map(|b| !b).collect();
+        // Churn everyone eligible, every round — and also hand the plan a
+        // mask that (wrongly) marks the Byzantine node eligible, to check
+        // the engine-side guard.
+        let all = vec![true; n];
+        let _ = honest;
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 10),
+            byz.clone(),
+            Shouter,
+            EngineConfig {
+                max_rounds: 6,
+                stop_when_all_decided: true,
+            },
+            3,
+        )
+        .with_fault_plan(Box::new(NodeChurn::new(1.0, 2, &all, 8)))
+        .run();
+        assert!(
+            !result.crashed[1],
+            "the engine must refuse churn events on Byzantine nodes"
+        );
+        assert!(result.metrics.churn_crashes > 0);
+    }
+
+    #[test]
+    fn churn_cannot_resurrect_nodes_that_crashed_for_other_reasons() {
+        use netsim_faults::{ChurnEvent, FaultPlan};
+        // A plan that (wrongly) claims node 3 as its own: crash at round 1
+        // (ignored — node 3 is already down), recover at round 3.
+        struct Script;
+        impl FaultPlan for Script {
+            fn begin_round(&mut self, round: u64) -> Vec<ChurnEvent> {
+                match round {
+                    1 => vec![ChurnEvent::Crash(NodeId(3))],
+                    3 => vec![ChurnEvent::Recover(NodeId(3))],
+                    _ => Vec::new(),
+                }
+            }
+        }
+        let n = 8;
+        let g = line_graph(n);
+        let mut crashed = vec![false; n];
+        crashed[3] = true; // fail-stopped before round 0, NOT by churn
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 20),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            13,
+        )
+        .with_fault_plan(Box::new(Script))
+        .with_initial_crashes(&crashed)
+        .run();
+        assert!(result.crashed[3], "a fail-stopped node stays down forever");
+        assert_eq!(result.outputs[3], None);
+        assert_eq!(result.metrics.churn_crashes, 0, "no transition happened");
+        assert_eq!(result.metrics.churn_recoveries, 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        use netsim_faults::FaultSpec;
+        let n = 16;
+        let g = line_graph(n);
+        let spec = FaultSpec::Compose(vec![
+            FaultSpec::Loss { rate: 0.2 },
+            FaultSpec::Delay {
+                max_delay: 2,
+                rate: 0.3,
+            },
+            FaultSpec::Churn {
+                rate: 0.05,
+                downtime: 3,
+            },
+            FaultSpec::Partition {
+                start: 2,
+                duration: 4,
+            },
+        ]);
+        let run = |seed: u64| {
+            let plan = spec
+                .build_plan(n, &vec![true; n], seed ^ 0xFA17)
+                .expect("plan");
+            SyncEngine::new(
+                &g,
+                flood_states(n, 60),
+                vec![false; n],
+                NullAdversary,
+                EngineConfig::default(),
+                seed,
+            )
+            .with_fault_plan(plan)
+            .run()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+        assert_ne!(
+            (a.outputs, a.metrics),
+            (c.outputs, c.metrics),
+            "a different seed must change the faulty run"
+        );
     }
 
     #[test]

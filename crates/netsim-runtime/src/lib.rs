@@ -41,6 +41,12 @@ pub use metrics::RunMetrics;
 pub use node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
 pub use topology::Topology;
 
+/// The fault-injection subsystem (re-exported from [`netsim_faults`]): an
+/// optional [`FaultPlan`] installed via [`SyncEngine::with_fault_plan`]
+/// makes the network itself lossy, slow, churning or partitioned.
+pub use netsim_faults as faults;
+pub use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan, FaultSpec, NoFaults};
+
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
     pub use crate::adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
@@ -49,4 +55,5 @@ pub mod prelude {
     pub use crate::metrics::RunMetrics;
     pub use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
     pub use crate::topology::Topology;
+    pub use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan, FaultSpec, NoFaults};
 }

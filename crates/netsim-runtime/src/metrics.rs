@@ -13,6 +13,20 @@ pub struct RunMetrics {
     /// Total number of messages dropped because the sender/receiver pair was
     /// not an edge of the communication graph or the recipient had crashed.
     pub messages_dropped: u64,
+    /// Messages destroyed by the fault layer (i.i.d. loss or an active
+    /// partition).  Lost traffic never counts as delivered.
+    pub messages_lost: u64,
+    /// Messages the fault layer deferred to a later round.  A delayed
+    /// message is only counted as delivered (and its size accounted) in the
+    /// round it actually reaches its recipient.
+    pub messages_delayed: u64,
+    /// Deferred messages that never arrived: their recipient crashed in the
+    /// meantime, or the run ended with them still in flight.
+    pub messages_expired: u64,
+    /// Fail-stop crashes injected by churn.
+    pub churn_crashes: u64,
+    /// Churned nodes that rejoined (with a fresh protocol state).
+    pub churn_recoveries: u64,
     /// Sum over delivered messages of the number of IDs they carry.
     pub total_ids: u64,
     /// Sum over delivered messages of their additional payload bits.
@@ -42,6 +56,31 @@ impl RunMetrics {
     /// Record one dropped message.
     pub fn record_drop(&mut self) {
         self.messages_dropped += 1;
+    }
+
+    /// Record one message destroyed by the fault layer.
+    pub fn record_fault_loss(&mut self) {
+        self.messages_lost += 1;
+    }
+
+    /// Record one message deferred by the fault layer.
+    pub fn record_fault_delay(&mut self) {
+        self.messages_delayed += 1;
+    }
+
+    /// Record `count` deferred messages that will never arrive.
+    pub fn record_fault_expired(&mut self, count: u64) {
+        self.messages_expired += count;
+    }
+
+    /// Record one churn-injected crash.
+    pub fn record_churn_crash(&mut self) {
+        self.churn_crashes += 1;
+    }
+
+    /// Record one churn recovery.
+    pub fn record_churn_recovery(&mut self) {
+        self.churn_recoveries += 1;
     }
 
     /// Open accounting for a new round.
@@ -82,9 +121,19 @@ mod tests {
         m.record_drop();
         m.begin_round();
         m.record_delivery(SizedMessage::new(3, 1));
+        m.record_fault_loss();
+        m.record_fault_delay();
+        m.record_fault_expired(2);
+        m.record_churn_crash();
+        m.record_churn_recovery();
         assert_eq!(m.rounds, 2);
         assert_eq!(m.messages_delivered, 3);
         assert_eq!(m.messages_dropped, 1);
+        assert_eq!(m.messages_lost, 1);
+        assert_eq!(m.messages_delayed, 1);
+        assert_eq!(m.messages_expired, 2);
+        assert_eq!(m.churn_crashes, 1);
+        assert_eq!(m.churn_recoveries, 1);
         assert_eq!(m.total_ids, 6);
         assert_eq!(m.total_bits, 75);
         assert_eq!(m.max_message, SizedMessage::new(3, 1));

@@ -82,6 +82,7 @@ pub use byzcount_baselines as baselines;
 pub use byzcount_core as protocol;
 pub use netsim_graph as graph;
 pub use netsim_runtime as runtime;
+pub use netsim_runtime::faults;
 
 /// The unified simulation API, re-exported from `byzcount_core::sim` with
 /// the full scenario registry from `byzcount_analysis::campaign`.

@@ -1,0 +1,199 @@
+//! End-to-end tests for the `netsim-faults` subsystem through the whole
+//! stack: v1-spec compatibility, zero-rate equivalence, determinism of
+//! faulty runs, and the honest-traffic-only invariant.
+
+use byzcount::prelude::*;
+use proptest::prelude::*;
+use serde_json::Value;
+
+fn demo_sim(seed: u64) -> Simulation {
+    Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n: 160, d: 6 })
+        .workload(WorkloadSpec::Byzantine)
+        .placement(PlacementSpec::RandomBudget { delta: 0.6 })
+        .adversary(AdversarySpec::Combined)
+        .seed(seed)
+        .build()
+        .expect("spec")
+}
+
+/// Rewrite a v2 spec's JSON into its v1 form: stamp `version: 1` and remove
+/// the `fault` key (v1 predates the fault layer).
+fn downgrade_to_v1(json: &str) -> String {
+    let value = serde_json::parse_value_complete(json).expect("valid JSON");
+    let Value::Obj(mut obj) = value else {
+        panic!("spec must be an object")
+    };
+    obj.remove("fault");
+    obj.insert(
+        "version".into(),
+        serde_json::parse_value_complete("1").unwrap(),
+    );
+    serde_json::to_string_pretty(&Value::Obj(obj)).expect("stringify")
+}
+
+#[test]
+fn v1_spec_and_v2_fault_none_produce_byte_identical_reports() {
+    let v2_spec = demo_sim(2024).spec().clone();
+    let v2_json = v2_spec.to_json();
+    assert!(
+        v2_json.contains("\"fault\""),
+        "v2 specs spell the fault out"
+    );
+    assert!(v2_json.contains("\"version\": 2"));
+
+    let v1_json = downgrade_to_v1(&v2_json);
+    assert!(!v1_json.contains("fault"));
+    let v1_spec = RunSpec::from_json(&v1_json).expect("v1 specs must still parse");
+    assert_eq!(v1_spec, v2_spec, "parsing migrates v1 to the v2 equivalent");
+
+    let from_v1 = byzcount::sim::execute(&v1_spec).expect("v1 run");
+    let from_v2 = byzcount::sim::execute(&v2_spec).expect("v2 run");
+    assert_eq!(from_v1, from_v2);
+    assert_eq!(
+        from_v1.to_json(),
+        from_v2.to_json(),
+        "a v1 spec and its v2 `fault: None` equivalent must be byte-identical"
+    );
+}
+
+#[test]
+fn v1_batch_specs_still_deserialize_and_run() {
+    let batch = Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n: 96, d: 6 })
+        .workload(WorkloadSpec::Basic)
+        .seeds(SeedPolicy::Sequence { base: 5, count: 2 })
+        .build()
+        .expect("spec")
+        .batch_spec();
+    let v2_json = batch.to_json();
+    // Downgrade both the batch envelope and the inner run spec.
+    let value = serde_json::parse_value_complete(&v2_json).unwrap();
+    let Value::Obj(mut obj) = value else {
+        panic!("batch must be an object")
+    };
+    obj.insert(
+        "version".into(),
+        serde_json::parse_value_complete("1").unwrap(),
+    );
+    let Some(Value::Obj(mut run)) = obj.remove("run") else {
+        panic!("batch has a run object")
+    };
+    run.remove("fault");
+    run.insert(
+        "version".into(),
+        serde_json::parse_value_complete("1").unwrap(),
+    );
+    obj.insert("run".into(), Value::Obj(run));
+    let v1_json = serde_json::to_string_pretty(&Value::Obj(obj)).unwrap();
+
+    let v1_batch = BatchSpec::from_json(&v1_json).expect("v1 batch must parse");
+    assert_eq!(v1_batch, batch);
+    let a = byzcount::sim::execute_batch(&v1_batch).expect("v1 batch run");
+    let b = byzcount::sim::execute_batch(&batch).expect("v2 batch run");
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn faulty_runs_are_deterministic_and_seed_sensitive() {
+    let build = |seed: u64| {
+        Simulation::builder()
+            .topology(TopologySpec::SmallWorld { n: 160, d: 6 })
+            .workload(WorkloadSpec::Byzantine)
+            .placement(PlacementSpec::RandomBudget { delta: 0.6 })
+            .adversary(AdversarySpec::Combined)
+            .fault(FaultSpec::Compose(vec![
+                FaultSpec::Loss { rate: 0.15 },
+                FaultSpec::Delay {
+                    max_delay: 2,
+                    rate: 0.25,
+                },
+                FaultSpec::Churn {
+                    rate: 0.01,
+                    downtime: 4,
+                },
+                FaultSpec::Partition {
+                    start: 3,
+                    duration: 5,
+                },
+            ]))
+            .seed(seed)
+            .build()
+            .expect("spec")
+    };
+    let a = build(31).run().expect("run");
+    let b = build(31).run().expect("run");
+    assert_eq!(a, b);
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "faulty runs stay byte-reproducible"
+    );
+    let c = build(32).run().expect("run");
+    assert_ne!(a.to_json(), c.to_json());
+    // The faults actually fired.
+    assert!(a.messages_lost > 0);
+    assert!(a.messages_delayed > 0);
+}
+
+#[test]
+fn total_loss_still_delivers_byzantine_traffic_end_to_end() {
+    // Loss rate 1.0 destroys every honest envelope, yet the adversary's
+    // Byzantine traffic keeps flowing — faults weaken the network, never
+    // the adversary.
+    let report = Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n: 128, d: 6 })
+        .workload(WorkloadSpec::Byzantine)
+        .placement(PlacementSpec::RandomBudget { delta: 0.6 })
+        .adversary(AdversarySpec::Combined)
+        .fault(FaultSpec::Loss { rate: 1.0 })
+        .seed(9)
+        .build()
+        .expect("spec")
+        .run()
+        .expect("run");
+    assert!(report.messages_lost > 0, "honest traffic was destroyed");
+    assert!(
+        report.messages_delivered > 0,
+        "Byzantine envelopes must bypass the fault layer"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Zero-rate faults are behaviourally invisible: a spec with loss,
+    /// delay and churn rates of 0.0 produces exactly the run the fault-free
+    /// spec produces (the embedded spec differs, everything else is
+    /// byte-identical).  The fault RNG streams are independent of the
+    /// engine's, which is what makes this hold.
+    #[test]
+    fn zero_rate_faults_change_nothing(seed in any::<u64>()) {
+        let build = |fault: FaultSpec| {
+            Simulation::builder()
+                .topology(TopologySpec::SmallWorld { n: 128, d: 6 })
+                .workload(WorkloadSpec::Byzantine)
+                .placement(PlacementSpec::RandomBudget { delta: 0.6 })
+                .adversary(AdversarySpec::Silent)
+                .fault(fault)
+                .seed(seed)
+                .build()
+                .expect("spec")
+                .run()
+                .expect("run")
+        };
+        let clean = build(FaultSpec::None);
+        let zeroed = build(FaultSpec::Compose(vec![
+            FaultSpec::Loss { rate: 0.0 },
+            FaultSpec::Delay { max_delay: 3, rate: 0.0 },
+            FaultSpec::Churn { rate: 0.0, downtime: 4 },
+        ]));
+        prop_assert_eq!(zeroed.messages_lost, 0);
+        prop_assert_eq!(zeroed.messages_delayed, 0);
+        prop_assert_eq!(zeroed.churn_crashes, 0);
+        // Align the embedded specs, then the whole reports must match.
+        let mut zeroed = zeroed;
+        zeroed.spec = clean.spec.clone();
+        prop_assert_eq!(&zeroed.to_json(), &clean.to_json());
+    }
+}
