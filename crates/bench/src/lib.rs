@@ -1,4 +1,7 @@
-//! Shared helpers for the benchmark targets and experiment binaries.
+//! Shared helpers for the benchmark targets and experiment binaries, plus
+//! the standardized [`suite`] behind `byzcount-cli bench`.
+
+pub mod suite;
 
 use byzcount_adversary::{AdversaryKnowledge, CombinedAdversary, Placement};
 use byzcount_core::sim::{AdversarySpec, PlacementSpec, Simulation, TopologySpec, WorkloadSpec};

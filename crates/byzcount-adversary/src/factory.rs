@@ -1,10 +1,10 @@
 //! Spec-driven adversary construction for the unified simulation API.
 //!
 //! [`SpecAdversaryFactory`] interprets an
-//! [`AdversarySpec`](byzcount_core::sim::AdversarySpec) into a concrete
+//! [`AdversarySpec`] into a concrete
 //! adversary for each run.  The knowledge-based strategies (inflation,
 //! suppression, fake chains, combined) gather
-//! [`AdversaryKnowledge`](crate::AdversaryKnowledge) from the topology and
+//! [`AdversaryKnowledge`] from the topology and
 //! therefore require a small-world network; the oblivious ones (null,
 //! honest-behaving, silent) work over any topology.
 

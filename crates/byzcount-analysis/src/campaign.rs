@@ -2,7 +2,7 @@
 //! `.run()` / `.run_batch()` methods on [`Simulation`].
 //!
 //! The [`FullRegistry`] interprets *every* spec variant: both counting
-//! protocols with any [`AdversarySpec`] (via
+//! protocols with any [`AdversarySpec`](byzcount_core::sim::AdversarySpec) (via
 //! [`byzcount_adversary::SpecAdversaryFactory`]) and all four baseline
 //! workloads (via `byzcount_baselines::workloads`).  [`execute`] /
 //! [`execute_batch`] run serialized specs end-to-end — this is what the

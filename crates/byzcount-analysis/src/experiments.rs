@@ -927,6 +927,67 @@ pub fn exp_degradation(cfg: &ExperimentConfig) -> Table {
     table
 }
 
+/// E13 — scale study: Byzantine counting (Algorithm 2) under the paper's
+/// Byzantine budget with the honest-behaving adversary, on doubling network
+/// sizes up to `n_max` (32 768 in the standard configuration).
+///
+/// This is the empirical check behind the ROADMAP's "as fast as the
+/// hardware allows" goal at production sizes: rounds must grow like
+/// `O(log n · polyloglog n)` — far sublinearly — while the per-node
+/// per-round message rate stays flat (the paper's "small-sized messages"
+/// claim at scale).  The companion wall-clock trajectory lives in
+/// `BENCH_roundloop.json` (`byzcount-cli bench`); this table keeps the
+/// deterministic protocol-level quantities.
+pub fn exp_scale(cfg: &ExperimentConfig, n_max: usize) -> Table {
+    let mut table = Table::new(
+        "E13",
+        "Scale study: rounds and message rates of Algorithm 2 on doubling sizes",
+        &[
+            "n",
+            "byz",
+            "rounds",
+            "messages",
+            "msg/node/round",
+            "good frac",
+            "completed",
+        ],
+    );
+    let mut sizes = Vec::new();
+    let mut n = cfg.n_values.first().copied().unwrap_or(1024).max(64);
+    while n < n_max {
+        sizes.push(n);
+        n *= 2;
+    }
+    sizes.push(n_max);
+    let batch = cfg.counting_batch(
+        WorkloadSpec::Byzantine,
+        AdversarySpec::HonestBehaving,
+        &sizes,
+    );
+    for &n in &sizes {
+        let agg = batch.aggregate_for(n).expect("aggregate");
+        let rows = counting_rows(&batch, n);
+        let byz = rows.first().map(|r| r.byzantine_count).unwrap_or(0);
+        let per_node_round = if n > 0 && agg.rounds.mean > 0.0 {
+            agg.messages.mean / (n as f64 * agg.rounds.mean)
+        } else {
+            0.0
+        };
+        table.push_row(vec![
+            n.to_string(),
+            byz.to_string(),
+            fmt_f(agg.rounds.mean),
+            fmt_f(agg.messages.mean),
+            fmt_f(per_node_round),
+            agg.good_fraction
+                .map(|g| fmt_f(g.mean))
+                .unwrap_or_else(|| "-".into()),
+            format!("{}/{}", agg.completed_runs, agg.runs),
+        ]);
+    }
+    table
+}
+
 /// Every experiment with its default workload, in DESIGN.md order.
 pub fn run_all(cfg: &ExperimentConfig) -> Vec<Table> {
     let n_mid = cfg.n_values.last().copied().unwrap_or(1024);
@@ -950,6 +1011,7 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<Table> {
             n_values: vec![n_mid.min(1024)],
             ..cfg.clone()
         }),
+        exp_scale(cfg, n_mid),
     ]
 }
 
@@ -1028,6 +1090,25 @@ mod tests {
         assert!(heavy > clean, "loss must visibly degrade the count");
         // The fault-free row must match the paper's model: near-exact.
         assert!(clean < 0.05, "clean spanning tree is exact, got {clean}");
+    }
+
+    #[test]
+    fn scale_table_shows_sublinear_rounds_and_flat_message_rate() {
+        let cfg = ExperimentConfig {
+            n_values: vec![128],
+            ..tiny()
+        };
+        let table = exp_scale(&cfg, 512);
+        // Sizes 128, 256, 512.
+        assert_eq!(table.rows.len(), 3);
+        let rounds: Vec<f64> = table.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let rate: Vec<f64> = table.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        // Rounds grow with n but far sublinearly: quadrupling n must not
+        // even double the rounds.
+        assert!(rounds[2] > rounds[0], "{rounds:?}");
+        assert!(rounds[2] < 2.0 * rounds[0], "{rounds:?}");
+        // Per-node per-round traffic stays flat (small-sized messages).
+        assert!(rate[2] < 3.0 * rate[0], "{rate:?}");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod prelude {
     pub use crate::campaign::{execute, execute_batch, FullRegistry, RunSimulation};
     pub use crate::experiments::{
         exp_approx_factor, exp_baselines, exp_core, exp_discovery, exp_expander, exp_fakechain,
-        exp_phases, exp_placement, exp_rounds, exp_structure, exp_theorem1, run_all,
+        exp_phases, exp_placement, exp_rounds, exp_scale, exp_structure, exp_theorem1, run_all,
         ExperimentConfig,
     };
     pub use crate::stats::{percentile, summarize, Summary};

@@ -5,8 +5,9 @@
 //! byzcount-cli <experiment> [options]     # regenerate paper tables
 //! byzcount-cli run <spec.json|->          # execute a RunSpec/BatchSpec
 //! byzcount-cli template [run|batch|faulty] # print an example spec
+//! byzcount-cli bench [--smoke] [--out F]  # standardized perf suite
 //!
-//! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 all
+//! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 all
 //!
 //! Options:
 //!   --quick            small workload (default)
@@ -23,6 +24,14 @@
 //! `seeds` field) from the given file or stdin (`-`), executes it with the
 //! full scenario registry, and prints the `RunReport` / `BatchReport` JSON
 //! to stdout.  The same spec and seed always produce byte-identical output.
+//!
+//! `bench` runs the standardized round-loop performance suite (counting +
+//! all four baselines × {clean, faulty} networks × the configured sizes)
+//! and writes machine-readable JSON — see `bench::suite` and the README's
+//! "Performance" section.  Options: `--smoke` (n = 256, one repeat),
+//! `--sizes 1024,4096`, `--repeats N`, `--seed N`, `--out FILE` (default
+//! `BENCH_roundloop.json`; `-` = stdout only), `--baseline PREV.json`
+//! (join a previous report to compute per-cell speedups).
 //! ```
 
 use byzcount_analysis::experiments::{self, ExperimentConfig};
@@ -37,13 +46,130 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: byzcount-cli <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|all> \
+        "usage: byzcount-cli <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all> \
          [--quick|--standard] [--n 512,1024] [--d 6] [--delta 0.6] \
          [--epsilon 0.1] [--trials 3] [--seed 42] [--json]\n\
          \x20      byzcount-cli run <spec.json|->\n\
-         \x20      byzcount-cli template [run|batch|faulty]"
+         \x20      byzcount-cli template [run|batch|faulty]\n\
+         \x20      byzcount-cli bench [--smoke] [--sizes 1024,4096] \
+         [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json]"
     );
     ExitCode::from(2)
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    // `--smoke` is a preset, applied first regardless of argument order, so
+    // it never silently discards an explicit `--sizes`/`--repeats`/`--seed`
+    // given elsewhere on the command line.
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        bench::suite::BenchConfig::smoke()
+    } else {
+        bench::suite::BenchConfig::standard()
+    };
+    let mut out = "BENCH_roundloop.json".to_string();
+    let mut baseline: Option<(String, bench::suite::BenchReport)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {}
+            "--sizes" | "--repeats" | "--seed" | "--out" | "--baseline" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--sizes" => {
+                        let parsed: Result<Vec<usize>, _> =
+                            value.split(',').map(|s| s.trim().parse()).collect();
+                        match parsed {
+                            Ok(sizes) if !sizes.is_empty() => cfg.sizes = sizes,
+                            _ => {
+                                eprintln!("byzcount-cli: invalid --sizes value `{value}`");
+                                return usage();
+                            }
+                        }
+                    }
+                    "--repeats" => match value.parse::<usize>() {
+                        Ok(repeats) if repeats >= 1 => cfg.repeats = repeats,
+                        _ => {
+                            eprintln!("byzcount-cli: invalid --repeats value `{value}`");
+                            return usage();
+                        }
+                    },
+                    "--seed" => match value.parse() {
+                        Ok(seed) => cfg.seed = seed,
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --seed value `{value}`");
+                            return usage();
+                        }
+                    },
+                    "--out" => out = value.clone(),
+                    "--baseline" => {
+                        let text = match std::fs::read_to_string(value) {
+                            Ok(text) => text,
+                            Err(err) => {
+                                eprintln!("byzcount-cli: cannot read baseline {value}: {err}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        match bench::suite::BenchReport::from_json(&text) {
+                            Ok(report) => baseline = Some((value.clone(), report)),
+                            Err(err) => {
+                                eprintln!("byzcount-cli: bad baseline {value}: {err}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown bench option: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let suite = bench::suite::run_suite(&cfg, |entry| {
+        eprintln!(
+            "bench {:>20} {:>6} n={:<6} {:>10.1} ms  {:>9.1} rounds/s  {:>12.0} msg/s",
+            entry.workload,
+            entry.network,
+            entry.n,
+            entry.wall_ms,
+            entry.rounds_per_s,
+            entry.messages_per_s
+        );
+    });
+    let mut suite = match suite {
+        Ok(suite) => suite,
+        Err(err) => {
+            eprintln!("byzcount-cli: bench failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some((label, base)) = &baseline {
+        suite.apply_baseline(base, label);
+    }
+    let json = suite.to_json();
+    // The suite's own completeness check: every cell present, sane numbers,
+    // and the JSON parses back.  CI's bench smoke step relies on this.
+    if let Err(err) = bench::suite::BenchReport::from_json(&json)
+        .map_err(|e| e.to_string())
+        .and_then(|parsed| parsed.validate_complete())
+    {
+        eprintln!("byzcount-cli: bench report failed validation: {err}");
+        return ExitCode::FAILURE;
+    }
+    if out == "-" {
+        println!("{json}");
+    } else if let Err(err) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("byzcount-cli: cannot write {out}: {err}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("bench report written to {out}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// An example spec users can start from (also exercised by the test suite).
@@ -142,6 +268,9 @@ fn main() -> ExitCode {
         };
         return cmd_run(path);
     }
+    if experiment == "bench" {
+        return cmd_bench(&args[1..]);
+    }
     if experiment == "template" {
         match args.get(1).map(String::as_str) {
             None | Some("run") => println!("{}", template_run_spec().to_json()),
@@ -204,6 +333,12 @@ fn main() -> ExitCode {
         "e10" => vec![experiments::exp_phases(&cfg, n_big.min(2048))],
         "e11" => vec![experiments::exp_placement(&cfg, n_big.min(2048))],
         "e12" => vec![experiments::exp_degradation(&cfg)],
+        // Scale study: quadruple the largest configured size, capped at the
+        // standard study's n = 32768 (use `--n` to go further).
+        "e13" => vec![experiments::exp_scale(
+            &cfg,
+            (n_big * 4).clamp(1024, 32768).max(n_big),
+        )],
         "all" => experiments::run_all(&cfg),
         _ => return usage(),
     };

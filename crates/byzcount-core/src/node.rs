@@ -5,7 +5,7 @@
 //! additionally (a) crashes on conflicting neighbourhood reports during
 //! discovery and (b) verifies the provenance of every color received after
 //! step `k−1` of a subphase (Algorithm 2 line 15 / Lemma 16).  The
-//! [`CountingNode::verify`] flag selects the variant.
+//! `CountingNode::verify` flag selects the variant (see [`CountingNode::is_verifying`]).
 //!
 //! ## Round anatomy
 //!
@@ -35,7 +35,6 @@ use crate::params::ProtocolParams;
 use crate::schedule::{PhasePosition, Position, Schedule};
 use netsim_runtime::{Action, Envelope, NodeContext, Outbox, Protocol};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
 
 /// The estimate a node decides: the phase index it terminated in (a
 /// constant-factor estimate of `log₂ n`), plus diagnostic context.
@@ -66,9 +65,17 @@ pub struct CountingNode {
     /// Whether any subphase of the current phase satisfied the continuation
     /// criterion.
     phase_continue: bool,
-    /// Audit log for the current subphase: `(neighbour, sending step) →`
-    /// highest color that neighbour announced forwarding in that step.
-    audit_log: HashMap<(u32, u64), Color>,
+    /// Audit log for the current subphase, flattened for the hot path:
+    /// slot `neighbour_pos · audit_stride + sending_step` holds the highest
+    /// color the `G`-neighbour at `neighbour_pos` (its index in the sorted
+    /// neighbour list) announced forwarding in that step; `0` = nothing
+    /// announced.  Cleared with its capacity kept at every generation step
+    /// — this replaces a per-subphase `HashMap` whose per-audit hashing
+    /// dominated the verifying variant's message processing.
+    audit_log: Vec<Color>,
+    /// Sending-step slots per neighbour in `audit_log` (steps of the
+    /// current subphase; `0` until the first generation step).
+    audit_stride: usize,
     /// The phase this node decided in (if any).
     decided_phase: Option<u64>,
 }
@@ -94,8 +101,45 @@ impl CountingNode {
             max_sent: 0,
             prefix_max: 0,
             phase_continue: false,
-            audit_log: HashMap::new(),
+            audit_log: Vec::new(),
+            audit_stride: 0,
             decided_phase: None,
+        }
+    }
+
+    /// Lay out the audit log for a subphase of `phase` (sending steps
+    /// `0..=phase − 1` — audits are logged for step `t − 1` at flooding
+    /// step `t ≤ phase`) over `neighbor_count` neighbours, zeroing every
+    /// slot while keeping the allocation.
+    fn reset_audit_log(&mut self, neighbor_count: usize, phase: u64) {
+        self.audit_stride = phase as usize;
+        self.audit_log.clear();
+        self.audit_log.resize(neighbor_count * self.audit_stride, 0);
+    }
+
+    /// Record that `G`-neighbour `from` announced forwarding `color` in
+    /// flooding step `sending_step` (max-merging repeated announcements).
+    fn log_audit(&mut self, neighbors: &[u32], from: u32, sending_step: u64, color: Color) {
+        if (sending_step as usize) < self.audit_stride {
+            if let Ok(pos) = neighbors.binary_search(&from) {
+                let slot = pos * self.audit_stride + sending_step as usize;
+                if let Some(entry) = self.audit_log.get_mut(slot) {
+                    *entry = (*entry).max(color);
+                }
+            }
+        }
+    }
+
+    /// The highest color `relay` (at `relay_pos` in the sorted neighbour
+    /// list) announced for `sending_step`; `0` when nothing was logged.
+    fn audited_color(&self, relay_pos: usize, sending_step: u64) -> Color {
+        if (sending_step as usize) < self.audit_stride {
+            self.audit_log
+                .get(relay_pos * self.audit_stride + sending_step as usize)
+                .copied()
+                .unwrap_or(0)
+        } else {
+            0
         }
     }
 
@@ -150,6 +194,7 @@ impl CountingNode {
         ctx: &NodeContext<'_>,
         inbox: &[Envelope<CountingMessage>],
     ) -> Action<Decision> {
+        use std::collections::HashMap;
         let mut reports: HashMap<u32, Vec<u32>> = HashMap::with_capacity(inbox.len());
         for env in inbox {
             if let CountingMessage::Adjacency { neighbors } = &env.payload {
@@ -197,7 +242,7 @@ impl CountingNode {
         rng: &mut ChaCha8Rng,
     ) -> Action<Decision> {
         // Reset per-subphase state.
-        self.audit_log.clear();
+        self.reset_audit_log(ctx.neighbors.len(), pos.phase);
         self.prefix_max = 0;
         self.max_sent = 0;
         if pos.subphase == 1 {
@@ -239,14 +284,13 @@ impl CountingNode {
                 }
                 continue;
             }
-            if ctx.neighbors.binary_search(&relay).is_err() {
+            let Ok(relay_pos) = ctx.neighbors.binary_search(&relay) else {
                 // A relay within B_H(sender, k−1) is necessarily one of our
                 // G-neighbours; an unknown relay means a fabricated path.
                 return false;
-            }
-            match self.audit_log.get(&(relay, sending_step)) {
-                Some(&announced) if announced >= color => {}
-                _ => return false,
+            };
+            if self.audited_color(relay_pos, sending_step) < color {
+                return false;
             }
         }
         true
@@ -264,8 +308,7 @@ impl CountingNode {
         //    flooding step `step − 1`).
         for env in inbox {
             if let CountingMessage::Audit { color } = env.payload {
-                let entry = self.audit_log.entry((env.from.0, step - 1)).or_insert(0);
-                *entry = (*entry).max(color);
+                self.log_audit(ctx.neighbors, env.from.0, step - 1, color);
             }
         }
         // 2. Process floods arriving over (reconstructed) H-edges.
@@ -420,8 +463,9 @@ mod tests {
         );
         // Log audits that corroborate the path: relay 3 sent at step 1,
         // relay 4 (the origin) at step 0.
-        node.audit_log.insert((3, 1), 50);
-        node.audit_log.insert((4, 0), 50);
+        node.reset_audit_log(neighbors.len(), 3);
+        node.log_audit(&neighbors, 3, 1, 50);
+        node.log_audit(&neighbors, 4, 0, 50);
         assert!(node.verify_color(&c, 50, &[3, 4], 3));
         // A higher color than was attested is rejected.
         assert!(!node.verify_color(&c, 51, &[3, 4], 3));

@@ -91,34 +91,88 @@ impl ScenarioRegistry for CoreRegistry {
     }
 }
 
+/// A [`RunSpec`] with its topology and Byzantine placement already
+/// materialized, ready to execute any number of times.
+///
+/// Splitting preparation from execution serves two callers: batches that
+/// re-run one spec, and the performance harness (`byzcount-cli bench`),
+/// which must time the protocol execution — node construction plus the
+/// round loop — without the (unchanged-by-optimisation) cost of graph
+/// generation polluting the measurement.  [`execute_spec`] is
+/// `PreparedRun::new` + `PreparedRun::execute`, so a prepared run produces
+/// byte-identical reports to the one-shot path.
+pub struct PreparedRun {
+    spec: RunSpec,
+    topology: crate::sim::spec::BuiltTopology,
+    params: ProtocolParams,
+    byzantine: Vec<bool>,
+}
+
+impl PreparedRun {
+    /// Validate and migrate `spec`, then build its topology and placement.
+    pub fn new(spec: &RunSpec) -> Result<Self, SimError> {
+        spec.validate()?;
+        // Execute (and report) the migrated spec, so a v1 spec and its v2
+        // equivalent produce byte-identical reports.
+        let mut spec = spec.clone();
+        spec.migrate();
+        let topology = spec
+            .topology
+            .build(derive_seed(spec.seed, seed_stream::TOPOLOGY))?;
+        let params = spec.params.resolve(&spec.topology, &topology);
+        let byzantine = spec
+            .placement
+            .materialize(&topology, derive_seed(spec.seed, seed_stream::PLACEMENT))?;
+        Ok(PreparedRun {
+            spec,
+            topology,
+            params,
+            byzantine,
+        })
+    }
+
+    /// The migrated spec this run will execute.
+    pub fn spec(&self) -> &RunSpec {
+        &self.spec
+    }
+
+    /// The resolved protocol parameters.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    /// The materialized Byzantine mask.
+    pub fn byzantine(&self) -> &[bool] {
+        &self.byzantine
+    }
+
+    /// Execute the workload (node construction + round loop) and assemble
+    /// the report.  Deterministic: every call returns the same report.
+    pub fn execute(&self, registry: &dyn ScenarioRegistry) -> Result<RunReport, SimError> {
+        let estimator = registry.estimator(&self.spec, &self.params)?;
+        let ctx = SimContext {
+            topology: &self.topology,
+            byzantine: &self.byzantine,
+            seed: derive_seed(self.spec.seed, seed_stream::RUN),
+            max_rounds: self.spec.max_rounds,
+            fault: &self.spec.fault,
+            fault_seed: derive_seed(self.spec.seed, seed_stream::FAULTS),
+        };
+        let run = estimator.run(&ctx)?;
+        Ok(RunReport::from_run(
+            self.spec.clone(),
+            &self.byzantine,
+            &run,
+        ))
+    }
+}
+
 /// Execute one validated [`RunSpec`] through a registry.
 pub fn execute_spec(
     spec: &RunSpec,
     registry: &dyn ScenarioRegistry,
 ) -> Result<RunReport, SimError> {
-    spec.validate()?;
-    // Execute (and report) the migrated spec, so a v1 spec and its v2
-    // equivalent produce byte-identical reports.
-    let mut spec = spec.clone();
-    spec.migrate();
-    let topology = spec
-        .topology
-        .build(derive_seed(spec.seed, seed_stream::TOPOLOGY))?;
-    let params = spec.params.resolve(&spec.topology, &topology);
-    let byzantine = spec
-        .placement
-        .materialize(&topology, derive_seed(spec.seed, seed_stream::PLACEMENT))?;
-    let estimator = registry.estimator(&spec, &params)?;
-    let ctx = SimContext {
-        topology: &topology,
-        byzantine: &byzantine,
-        seed: derive_seed(spec.seed, seed_stream::RUN),
-        max_rounds: spec.max_rounds,
-        fault: &spec.fault,
-        fault_seed: derive_seed(spec.seed, seed_stream::FAULTS),
-    };
-    let run = estimator.run(&ctx)?;
-    Ok(RunReport::from_run(spec, &byzantine, &run))
+    PreparedRun::new(spec)?.execute(registry)
 }
 
 /// Execute a whole [`BatchSpec`] through a registry, runs in parallel.

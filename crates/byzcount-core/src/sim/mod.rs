@@ -32,7 +32,8 @@ mod report;
 mod spec;
 
 pub use builder::{
-    execute_batch, execute_spec, CoreRegistry, ScenarioRegistry, Simulation, SimulationBuilder,
+    execute_batch, execute_spec, CoreRegistry, PreparedRun, ScenarioRegistry, Simulation,
+    SimulationBuilder,
 };
 pub use error::SimError;
 pub use estimator::{

@@ -230,6 +230,18 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a != __b {
+            return ::std::result::Result::Err(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                __a,
+                __b
+            ));
+        }
+    }};
 }
 
 /// Assert inequality inside a property.

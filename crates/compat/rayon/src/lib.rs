@@ -24,13 +24,35 @@
 //! shape is kept so the code reads identically and a real rayon can be
 //! swapped back in when the registry is reachable.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Smallest number of items worth moving to another thread.
 pub const MIN_SPLIT: usize = 2;
 
+/// Programmatic worker-count override (0 = none); see
+/// [`set_num_threads_override`].
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count programmatically (shim extension, not part of
+/// real rayon's API).  `Some(n)` pins it, `None` restores the default
+/// `RAYON_NUM_THREADS` / available-parallelism lookup.
+///
+/// This exists so tests can vary the worker count without
+/// `std::env::set_var`, which races against concurrent `getenv` calls from
+/// other test threads (undefined behaviour on glibc).  The override is
+/// process-global but data-race-free; since determinism never depends on
+/// the worker count, a concurrently running test observing it is harmless.
+pub fn set_num_threads_override(n: Option<usize>) {
+    NUM_THREADS_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
 /// Number of worker threads to fan out to.
 pub fn current_num_threads() -> usize {
+    let overridden = NUM_THREADS_OVERRIDE.load(Ordering::SeqCst);
+    if overridden >= 1 {
+        return overridden;
+    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             if n >= 1 {

@@ -1,0 +1,207 @@
+//! Offline subset of the `smallvec` crate: a vector that stores its first
+//! `N` elements inline and only touches the heap when it grows past them.
+//!
+//! The workspace builds without crates.io access, so this shim provides the
+//! slice of the real crate's API the engine's hot path uses: `push`,
+//! `clear` (which keeps any spilled heap allocation for reuse), `len`,
+//! iteration, and a draining consumer.  Unlike the real crate it avoids
+//! `unsafe` entirely — the inline region is an array of `Option<T>` — which
+//! costs a discriminant per slot but preserves the property that matters
+//! here: the common low-degree case performs **zero heap allocations**, and
+//! a spilled buffer, once allocated, is reused for the rest of the run.
+
+/// A vector with `N` inline slots and a lazily-allocated heap spill.
+///
+/// Invariant: `heap` is `None` while `len <= N` elements have ever been
+/// held since the last spill; once spilled, all elements live in `heap`
+/// (the inline region is empty) and stay there — `clear` empties the heap
+/// but keeps its capacity, exactly what a per-round scratch buffer wants.
+#[derive(Clone, Debug)]
+pub struct SmallVec<T, const N: usize> {
+    inline: [Option<T>; N],
+    inline_len: usize,
+    heap: Option<Vec<T>>,
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            inline: std::array::from_fn(|_| None),
+            inline_len: 0,
+            heap: None,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.heap {
+            Some(heap) => heap.len(),
+            None => self.inline_len,
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once elements have spilled to the heap.
+    pub fn spilled(&self) -> bool {
+        self.heap.is_some()
+    }
+
+    /// The inline capacity `N`.
+    pub const fn inline_capacity() -> usize {
+        N
+    }
+
+    /// Append an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        match &mut self.heap {
+            Some(heap) => heap.push(value),
+            None if self.inline_len < N => {
+                self.inline[self.inline_len] = Some(value);
+                self.inline_len += 1;
+            }
+            None => {
+                let mut heap = Vec::with_capacity(2 * N.max(1));
+                for slot in &mut self.inline {
+                    heap.extend(slot.take());
+                }
+                heap.push(value);
+                self.inline_len = 0;
+                self.heap = Some(heap);
+            }
+        }
+    }
+
+    /// Drop all elements.  A spilled heap keeps its capacity (clear-not-
+    /// drop), so a buffer that grew once never allocates again.
+    pub fn clear(&mut self) {
+        match &mut self.heap {
+            Some(heap) => heap.clear(),
+            None => {
+                for slot in &mut self.inline[..self.inline_len] {
+                    *slot = None;
+                }
+                self.inline_len = 0;
+            }
+        }
+    }
+
+    /// Iterate over the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (inline, heap): (&[Option<T>], &[T]) = match &self.heap {
+            Some(heap) => (&[], heap.as_slice()),
+            None => (&self.inline[..self.inline_len], &[]),
+        };
+        inline
+            .iter()
+            .map(|slot| slot.as_ref().expect("slots below inline_len are filled"))
+            .chain(heap.iter())
+    }
+
+    /// Move every element out, in insertion order, leaving the vector empty
+    /// (spilled capacity kept).  The draining-closure shape sidesteps a
+    /// custom iterator type while letting callers consume without cloning.
+    pub fn drain_into(&mut self, mut consume: impl FnMut(T)) {
+        match &mut self.heap {
+            Some(heap) => {
+                for value in heap.drain(..) {
+                    consume(value);
+                }
+            }
+            None => {
+                for slot in &mut self.inline[..self.inline_len] {
+                    consume(slot.take().expect("slots below inline_len are filled"));
+                }
+                self.inline_len = 0;
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut sv = SmallVec::new();
+        for value in iter {
+            sv.push(value);
+        }
+        sv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_below_capacity() {
+        let mut sv: SmallVec<u32, 4> = SmallVec::new();
+        assert!(sv.is_empty());
+        for i in 0..4 {
+            sv.push(i);
+        }
+        assert_eq!(sv.len(), 4);
+        assert!(!sv.spilled());
+        assert_eq!(sv.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_preserves_order() {
+        let mut sv: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..7 {
+            sv.push(i);
+        }
+        assert!(sv.spilled());
+        assert_eq!(sv.len(), 7);
+        assert_eq!(
+            sv.iter().copied().collect::<Vec<_>>(),
+            (0..7).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn clear_keeps_spilled_capacity() {
+        let mut sv: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..10 {
+            sv.push(i);
+        }
+        sv.clear();
+        assert!(sv.is_empty());
+        assert!(sv.spilled(), "spilled capacity is kept for reuse");
+        sv.push(99);
+        assert_eq!(sv.iter().copied().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn drain_into_moves_everything_out_in_order() {
+        for count in [0usize, 3, 8] {
+            let mut sv: SmallVec<String, 4> = (0..count).map(|i| i.to_string()).collect();
+            let mut out = Vec::new();
+            sv.drain_into(|s| out.push(s));
+            assert!(sv.is_empty());
+            assert_eq!(out, (0..count).map(|i| i.to_string()).collect::<Vec<_>>());
+            // The buffer is immediately reusable.
+            sv.push("again".into());
+            assert_eq!(sv.len(), 1);
+        }
+    }
+
+    #[test]
+    fn inline_clear_drops_values() {
+        let mut sv: SmallVec<std::rc::Rc<u8>, 4> = SmallVec::new();
+        let tracked = std::rc::Rc::new(7u8);
+        sv.push(tracked.clone());
+        assert_eq!(std::rc::Rc::strong_count(&tracked), 2);
+        sv.clear();
+        assert_eq!(std::rc::Rc::strong_count(&tracked), 1);
+    }
+}

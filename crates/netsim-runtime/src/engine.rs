@@ -4,9 +4,10 @@
 //! topology.  Rounds are processed in lock-step:
 //!
 //! 1. every non-crashed node consumes the messages addressed to it in the
-//!    previous round and queues its outgoing messages (all nodes run in
-//!    parallel; determinism is preserved because every node has its own RNG
-//!    stream and results are collected in node order);
+//!    previous round and queues its outgoing messages into an engine-owned,
+//!    reused outbox (sequentially, in node order — batch-level rayon
+//!    parallelism lives in the simulation API one level up; every node
+//!    still has its own RNG stream, so the schedule is deterministic);
 //! 2. the full-information adversary inspects every state and every queued
 //!    message and may replace the Byzantine nodes' outboxes;
 //! 3. messages are validated against the topology (no edge → dropped),
@@ -37,13 +38,12 @@ use crate::adversary::{Adversary, AdversaryDecision, AdversaryView};
 use crate::message::{Envelope, MessageSize};
 use crate::metrics::RunMetrics;
 use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
+use crate::ring::DelayRing;
 use crate::topology::Topology;
 use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan};
 use netsim_graph::NodeId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-use std::collections::BTreeMap;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,13 +93,31 @@ impl<O> RunResult<O> {
     }
 }
 
-/// Per-node result of one protocol step: queued envelopes plus the action.
-type StepResult<P> = (
-    Vec<Envelope<<P as Protocol>::Message>>,
-    Action<<P as Protocol>::Output>,
-);
-
 /// The synchronous engine; see the module documentation.
+///
+/// ## Buffer-reuse invariants (the zero-allocation hot path)
+///
+/// Every per-round buffer is owned by the engine and *cleared, never
+/// dropped* between rounds, so after warm-up a round performs no heap
+/// allocation on the honest path:
+///
+/// * `inboxes` holds the messages consumed this round; `next_inboxes`
+///   receives this round's deliveries.  The two are swapped at the round
+///   boundary and the stale side is cleared with its capacity kept.
+/// * `outboxes` are per-node reused [`Outbox`]es (inline below 16
+///   messages, spilled capacity kept) the engine clears before each
+///   `step`.
+/// * `honest_arena` / `byz_default` are the round-scoped envelope arenas:
+///   outbox messages are *moved* into them (the pre-refactor engine cloned
+///   every envelope every round), the adversary views them by reference,
+///   and delivery drains them in place.
+/// * `deferred` is a [`DelayRing`] of round buckets (replacing a
+///   `BTreeMap`): deferral and due-drain are O(1) and bucket capacity is
+///   reused.
+///
+/// Reports are byte-identical to the pre-refactor engine for equal spec and
+/// seed: node order, RNG streams and the fault plan's consultation order
+/// are unchanged (locked down by `tests/golden_reports.rs`).
 pub struct SyncEngine<'a, T, P, A>
 where
     T: Topology,
@@ -113,16 +131,30 @@ where
     config: EngineConfig,
     rngs: Vec<ChaCha8Rng>,
     adversary_rng: ChaCha8Rng,
+    /// Messages to consume this round (delivered last round).
     inboxes: Vec<Vec<Envelope<P::Message>>>,
+    /// Messages delivered this round, consumed next round.
+    next_inboxes: Vec<Vec<Envelope<P::Message>>>,
+    /// Per-node reusable outgoing buffers.
+    outboxes: Vec<Outbox<P::Message>>,
+    /// Per-node action of the current round.
+    actions: Vec<Action<P::Output>>,
+    /// Round arena for honest envelopes (moved out of outboxes, drained by
+    /// delivery; capacity reused).
+    honest_arena: Vec<Envelope<P::Message>>,
+    /// Round buffer for the Byzantine nodes' protocol-following envelopes.
+    byz_default: Vec<Envelope<P::Message>>,
+    /// Scratch crash mask handed to the adversary view.
+    crashed_scratch: Vec<bool>,
     statuses: Vec<NodeStatus>,
     outputs: Vec<Option<P::Output>>,
     decided_round: Vec<Option<u64>>,
     metrics: RunMetrics,
     round: u64,
     fault_plan: Option<Box<dyn FaultPlan>>,
-    /// Deferred envelopes keyed by the round in which they are delivered
+    /// Deferred envelopes bucketed by the round in which they are delivered
     /// (i.e. pushed into an inbox for consumption one round later).
-    deferred: BTreeMap<u64, Vec<Envelope<P::Message>>>,
+    deferred: DelayRing<Envelope<P::Message>>,
     /// Produces a pristine protocol state for node `i`; installed together
     /// with a fault plan so churned nodes can rejoin reset.
     reset_state: Option<Box<dyn Fn(usize) -> P + Send>>,
@@ -167,13 +199,19 @@ where
             rngs,
             adversary_rng: ChaCha8Rng::seed_from_u64(splitmix(seed, u64::MAX)),
             inboxes: vec![Vec::new(); n],
+            next_inboxes: vec![Vec::new(); n],
+            outboxes: (0..n).map(|_| Outbox::new()).collect(),
+            actions: vec![Action::Continue; n],
+            honest_arena: Vec::new(),
+            byz_default: Vec::new(),
+            crashed_scratch: Vec::with_capacity(n),
             statuses: vec![NodeStatus::Active; n],
             outputs: vec![None; n],
             decided_round: vec![None; n],
             metrics: RunMetrics::default(),
             round: 0,
             fault_plan: None,
-            deferred: BTreeMap::new(),
+            deferred: DelayRing::new(),
             reset_state: None,
             churned_down: vec![false; n],
         }
@@ -303,19 +341,34 @@ where
             }
         }
 
-        // Phase 1: run every non-crashed node against its inbox.
-        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
-        let topology = self.topology;
-        let statuses = &self.statuses;
-        let outputs = &self.outputs;
-        let step_results: Vec<StepResult<P>> = self
-            .states
-            .par_iter_mut()
-            .zip(self.rngs.par_iter_mut())
-            .enumerate()
-            .map(|(i, (state, rng))| {
+        // Phase 1: run every non-crashed node against its inbox, writing
+        // into its engine-owned, reused outbox (cleared, never dropped).
+        //
+        // This loop is sequential by design.  The workspace's rayon shim
+        // intentionally refuses to split borrowed-slice pipelines (per-node
+        // work is microseconds; spawning scoped threads every round costs
+        // more than it buys — see `rayon`'s module docs), so a `par_iter`
+        // chain here would run sequentially *and* materialize a fresh
+        // `Vec<&mut _>` per adapter per round.  Parallelism lives one level
+        // up, across the runs of a batch.  Determinism is unaffected either
+        // way: each node owns its RNG stream and results land in node
+        // order.
+        {
+            let inboxes = &self.inboxes;
+            let topology = self.topology;
+            let statuses = &self.statuses;
+            let outputs = &self.outputs;
+            for (i, ((state, rng), (outbox, action))) in self
+                .states
+                .iter_mut()
+                .zip(self.rngs.iter_mut())
+                .zip(self.outboxes.iter_mut().zip(self.actions.iter_mut()))
+                .enumerate()
+            {
+                outbox.clear();
                 if statuses[i] == NodeStatus::Crashed {
-                    return (Vec::new(), Action::Continue);
+                    *action = Action::Continue;
+                    continue;
                 }
                 let id = NodeId::from_index(i);
                 let ctx = NodeContext {
@@ -324,58 +377,57 @@ where
                     neighbors: topology.neighbors(id),
                     decided: outputs[i].is_some(),
                 };
-                let mut outbox = Outbox::new();
-                let action = state.step(&ctx, &inboxes[i], &mut outbox, rng);
-                (outbox.into_envelopes(id), action)
-            })
-            .collect();
-
-        // Phase 2: split messages into honest vs Byzantine-default and let
-        // the adversary intervene.
-        let mut honest_messages: Vec<Envelope<P::Message>> = Vec::new();
-        let mut byz_default: Vec<Envelope<P::Message>> = Vec::new();
-        for (i, (msgs, _)) in step_results.iter().enumerate() {
-            if self.byzantine[i] {
-                byz_default.extend(msgs.iter().cloned());
-            } else {
-                honest_messages.extend(msgs.iter().cloned());
+                *action = state.step(&ctx, &inboxes[i], outbox, rng);
             }
         }
-        let crashed_mask: Vec<bool> = self
-            .statuses
-            .iter()
-            .map(|s| *s == NodeStatus::Crashed)
-            .collect();
+
+        // Phase 2: move every queued message — no clones — into the round
+        // arena (honest senders, in node order) or the Byzantine-default
+        // buffer, and let the adversary intervene.
+        self.honest_arena.clear();
+        self.byz_default.clear();
+        {
+            let honest_arena = &mut self.honest_arena;
+            let byz_default = &mut self.byz_default;
+            let byzantine = &self.byzantine;
+            for (i, outbox) in self.outboxes.iter_mut().enumerate() {
+                let target: &mut Vec<Envelope<P::Message>> = if byzantine[i] {
+                    byz_default
+                } else {
+                    honest_arena
+                };
+                outbox.drain_envelopes(NodeId::from_index(i), |env| target.push(env));
+            }
+        }
+        self.crashed_scratch.clear();
+        self.crashed_scratch
+            .extend(self.statuses.iter().map(|s| *s == NodeStatus::Crashed));
+        // `FollowProtocol` messages carry engine-stamped sender ids;
+        // `Replace` messages are adversary-authored and their claimed sender
+        // must be validated against the Byzantine mask below.
         let decision = {
             let view = AdversaryView {
                 round,
                 byzantine: &self.byzantine,
-                crashed: &crashed_mask,
+                crashed: &self.crashed_scratch,
                 states: &self.states,
-                honest_messages: &honest_messages,
-                byzantine_default_messages: &byz_default,
+                honest_messages: &self.honest_arena,
+                byzantine_default_messages: &self.byz_default,
             };
             self.adversary.act(&view, &mut self.adversary_rng)
-        };
-        // `FollowProtocol` messages carry engine-stamped sender ids;
-        // `Replace` messages are adversary-authored and their claimed sender
-        // must be validated against the Byzantine mask below.
-        let (byz_messages, adversary_authored) = match decision {
-            AdversaryDecision::FollowProtocol => (byz_default, false),
-            AdversaryDecision::Replace(msgs) => (msgs, true),
         };
 
         // Phase 3: apply actions (honest nodes only; Byzantine nodes are
         // puppets of the adversary and their "decisions" are meaningless).
-        for (i, (_, action)) in step_results.iter().enumerate() {
+        for i in 0..n {
             if self.byzantine[i] || self.statuses[i] == NodeStatus::Crashed {
                 continue;
             }
-            match action {
+            match std::mem::replace(&mut self.actions[i], Action::Continue) {
                 Action::Continue => {}
-                Action::Decide(o) => {
+                Action::Decide(output) => {
                     if self.outputs[i].is_none() {
-                        self.outputs[i] = Some(o.clone());
+                        self.outputs[i] = Some(output);
                         self.decided_round[i] = Some(round);
                         self.statuses[i] = NodeStatus::Decided;
                     }
@@ -386,48 +438,25 @@ where
             }
         }
 
-        // Phase 4: validate, account and deliver messages for the next round.
-        let tagged = honest_messages
-            .into_iter()
-            .zip(std::iter::repeat(false))
-            .chain(
-                byz_messages
-                    .into_iter()
-                    .zip(std::iter::repeat(adversary_authored)),
-            );
-        for (env, authored_by_adversary) in tagged {
-            // A sender must exist and must not have crashed — a crashed node
-            // stays silent forever, even a Byzantine one.  Adversary-authored
-            // envelopes must additionally claim a Byzantine sender (identity
-            // non-forgeability: the adversary may only speak through the
-            // nodes it controls).
-            let from_ok = env.from.index() < n
-                && self.statuses[env.from.index()] != NodeStatus::Crashed
-                && (!authored_by_adversary || self.byzantine[env.from.index()]);
-            let edge_ok = env.to.index() < n && self.topology.can_send(env.from, env.to);
-            let to_ok = env.to.index() < n && self.statuses[env.to.index()] != NodeStatus::Crashed;
-            if !(from_ok && edge_ok && to_ok) {
-                self.metrics.record_drop();
-                continue;
+        // Phase 4: validate, account and deliver messages for the next
+        // round — honest arena first, then the Byzantine path, exactly the
+        // pre-refactor order (the fault plan's RNG stream depends on it).
+        let mut honest = std::mem::take(&mut self.honest_arena);
+        for env in honest.drain(..) {
+            self.deliver(round, env, false);
+        }
+        self.honest_arena = honest;
+        match decision {
+            AdversaryDecision::FollowProtocol => {
+                let mut byz = std::mem::take(&mut self.byz_default);
+                for env in byz.drain(..) {
+                    self.deliver(round, env, false);
+                }
+                self.byz_default = byz;
             }
-            // The fault layer only touches honest traffic: Byzantine
-            // envelopes (protocol-following or adversary-authored) already
-            // went through the adversary path and are delivered as-is.
-            let fate = match self.fault_plan.as_mut() {
-                Some(plan) if !self.byzantine[env.from.index()] => {
-                    plan.envelope_fate(round, env.from, env.to)
-                }
-                _ => EnvelopeFate::Deliver,
-            };
-            match fate {
-                EnvelopeFate::Deliver | EnvelopeFate::Delay(0) => {
-                    self.metrics.record_delivery(env.payload.message_size());
-                    self.inboxes[env.to.index()].push(env);
-                }
-                EnvelopeFate::Drop => self.metrics.record_fault_loss(),
-                EnvelopeFate::Delay(delay) => {
-                    self.metrics.record_fault_delay();
-                    self.deferred.entry(round + delay).or_default().push(env);
+            AdversaryDecision::Replace(msgs) => {
+                for env in msgs {
+                    self.deliver(round, env, true);
                 }
             }
         }
@@ -436,21 +465,69 @@ where
         // now (for consumption next round, like any other delivery).  Their
         // size is accounted here — a message deferred forever is never
         // counted as delivered.
-        if !self.deferred.is_empty() {
-            if let Some(due) = self.deferred.remove(&round) {
-                for env in due {
-                    if self.statuses[env.to.index()] == NodeStatus::Crashed {
-                        self.metrics.record_fault_expired(1);
-                    } else {
-                        self.metrics.record_delivery(env.payload.message_size());
-                        self.inboxes[env.to.index()].push(env);
-                    }
+        {
+            let metrics = &mut self.metrics;
+            let statuses = &self.statuses;
+            let next_inboxes = &mut self.next_inboxes;
+            self.deferred.drain_due(round, |env| {
+                if statuses[env.to.index()] == NodeStatus::Crashed {
+                    metrics.record_fault_expired(1);
+                } else {
+                    metrics.record_delivery(env.payload.message_size());
+                    next_inboxes[env.to.index()].push(env);
                 }
-            }
+            });
+        }
+
+        // Round boundary: this round's deliveries become next round's
+        // inboxes; the consumed side is cleared with its capacity kept.
+        std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
+        for inbox in &mut self.next_inboxes {
+            inbox.clear();
         }
 
         self.round += 1;
         !self.finished()
+    }
+
+    /// Validate, account and deliver (or lose / defer) one envelope queued
+    /// in `round`.
+    fn deliver(&mut self, round: u64, env: Envelope<P::Message>, authored_by_adversary: bool) {
+        let n = self.topology.len();
+        // A sender must exist and must not have crashed — a crashed node
+        // stays silent forever, even a Byzantine one.  Adversary-authored
+        // envelopes must additionally claim a Byzantine sender (identity
+        // non-forgeability: the adversary may only speak through the
+        // nodes it controls).
+        let from_ok = env.from.index() < n
+            && self.statuses[env.from.index()] != NodeStatus::Crashed
+            && (!authored_by_adversary || self.byzantine[env.from.index()]);
+        let edge_ok = env.to.index() < n && self.topology.can_send(env.from, env.to);
+        let to_ok = env.to.index() < n && self.statuses[env.to.index()] != NodeStatus::Crashed;
+        if !(from_ok && edge_ok && to_ok) {
+            self.metrics.record_drop();
+            return;
+        }
+        // The fault layer only touches honest traffic: Byzantine
+        // envelopes (protocol-following or adversary-authored) already
+        // went through the adversary path and are delivered as-is.
+        let fate = match self.fault_plan.as_mut() {
+            Some(plan) if !self.byzantine[env.from.index()] => {
+                plan.envelope_fate(round, env.from, env.to)
+            }
+            _ => EnvelopeFate::Deliver,
+        };
+        match fate {
+            EnvelopeFate::Deliver | EnvelopeFate::Delay(0) => {
+                self.metrics.record_delivery(env.payload.message_size());
+                self.next_inboxes[env.to.index()].push(env);
+            }
+            EnvelopeFate::Drop => self.metrics.record_fault_loss(),
+            EnvelopeFate::Delay(delay) => {
+                self.metrics.record_fault_delay();
+                self.deferred.push(round, round + delay, env);
+            }
+        }
     }
 
     /// Run until the stop condition and return the result.
@@ -463,7 +540,7 @@ where
 
     /// Consume the engine and produce the result without running further.
     pub fn into_result(mut self) -> RunResult<P::Output> {
-        let in_flight: u64 = self.deferred.values().map(|v| v.len() as u64).sum();
+        let in_flight = self.deferred.in_flight() as u64;
         if in_flight > 0 {
             self.metrics.record_fault_expired(in_flight);
         }
@@ -873,6 +950,54 @@ mod tests {
             delayed.metrics.messages_delayed,
             delayed.metrics.messages_delivered + delayed.metrics.messages_expired,
             "all traffic was delayed here, so delivered + expired must add up"
+        );
+    }
+
+    #[test]
+    fn deferred_messages_to_a_crashed_recipient_expire_on_arrival() {
+        // Regression test for the second expiry path: an envelope deferred
+        // to a node that crashes while it is in flight must be counted as
+        // expired in its due round — never as delivered.
+        use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan};
+        struct DelayThenCrash;
+        impl FaultPlan for DelayThenCrash {
+            fn begin_round(&mut self, round: u64) -> Vec<ChurnEvent> {
+                // Crash node 1 after round 0's messages (to it) were
+                // deferred to round 2.
+                if round == 1 {
+                    vec![ChurnEvent::Crash(NodeId(1))]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn envelope_fate(&mut self, round: u64, _from: NodeId, to: NodeId) -> EnvelopeFate {
+                if round == 0 && to == NodeId(1) {
+                    EnvelopeFate::Delay(2)
+                } else {
+                    EnvelopeFate::Deliver
+                }
+            }
+        }
+        let n = 4;
+        let g = line_graph(n);
+        let result = SyncEngine::new(
+            &g,
+            flood_states(n, 12),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            6,
+        )
+        .with_fault_plan(Box::new(DelayThenCrash))
+        .run();
+        assert!(result.crashed[1]);
+        assert!(
+            result.metrics.messages_expired > 0,
+            "in-flight envelopes to the crashed node must expire"
+        );
+        assert_eq!(
+            result.metrics.messages_delayed, result.metrics.messages_expired,
+            "every deferred envelope was addressed to the crashed node"
         );
     }
 

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod message;
 pub mod metrics;
 pub mod node;
+pub mod ring;
 pub mod topology;
 
 pub use adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
@@ -39,6 +40,7 @@ pub use engine::{EngineConfig, RunResult, SyncEngine};
 pub use message::{Envelope, MessageSize, SizedMessage};
 pub use metrics::RunMetrics;
 pub use node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
+pub use ring::DelayRing;
 pub use topology::Topology;
 
 /// The fault-injection subsystem (re-exported from [`netsim_faults`]): an

@@ -49,17 +49,27 @@ pub struct NodeContext<'a> {
     pub decided: bool,
 }
 
+/// Inline outbox slots: the common low-degree broadcast queues this many
+/// messages without touching the heap; higher-degree nodes spill once and
+/// the engine reuses the spilled buffer for every later round.
+const OUTBOX_INLINE: usize = 16;
+
 /// Outgoing message buffer for one node in one round.
-#[derive(Clone, Debug, Default)]
+///
+/// Engine-owned and reused across rounds: the engine clears it before each
+/// `step` and drains it afterwards, so the hot path performs no per-round
+/// allocation (messages live inline below the 16-slot inline capacity, and any
+/// spilled heap buffer keeps its capacity).
+#[derive(Clone, Debug)]
 pub struct Outbox<M> {
-    messages: Vec<(NodeId, M)>,
+    messages: smallvec::SmallVec<(NodeId, M), OUTBOX_INLINE>,
 }
 
 impl<M> Outbox<M> {
     /// Create an empty outbox.
     pub fn new() -> Self {
         Outbox {
-            messages: Vec::new(),
+            messages: smallvec::SmallVec::new(),
         }
     }
 
@@ -89,12 +99,30 @@ impl<M> Outbox<M> {
         self.messages.is_empty()
     }
 
-    /// Drain into envelopes stamped with the sender id.
-    pub(crate) fn into_envelopes(self, from: NodeId) -> Vec<Envelope<M>> {
+    /// Drop any queued messages, keeping spilled capacity for reuse.
+    pub fn clear(&mut self) {
+        self.messages.clear();
+    }
+
+    /// Move every queued message out as an envelope stamped with the sender
+    /// id, in queueing order, leaving the outbox empty and reusable.
+    pub(crate) fn drain_envelopes(&mut self, from: NodeId, mut consume: impl FnMut(Envelope<M>)) {
         self.messages
-            .into_iter()
-            .map(|(to, payload)| Envelope { from, to, payload })
-            .collect()
+            .drain_into(|(to, payload)| consume(Envelope { from, to, payload }));
+    }
+
+    /// Drain into envelopes stamped with the sender id.
+    #[cfg(test)]
+    pub(crate) fn into_envelopes(mut self, from: NodeId) -> Vec<Envelope<M>> {
+        let mut out = Vec::with_capacity(self.len());
+        self.drain_envelopes(from, |env| out.push(env));
+        out
+    }
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new()
     }
 }
 

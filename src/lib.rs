@@ -106,8 +106,8 @@ pub mod prelude {
     };
     pub use byzcount_core::sim::{
         AdversarySpec, AttackSpec, BatchReport, BatchSpec, Estimand, Estimator, ParamsSpec,
-        PlacementSpec, RunReport, RunSpec, SeedPolicy, SimContext, SimError, Simulation,
-        SimulationBuilder, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
+        PlacementSpec, PreparedRun, RunReport, RunSpec, SeedPolicy, SimContext, SimError,
+        Simulation, SimulationBuilder, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
     };
     pub use byzcount_core::{
         run_basic_counting, run_basic_counting_on, run_basic_counting_with, run_counting_on,

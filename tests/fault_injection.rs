@@ -159,6 +159,74 @@ fn total_loss_still_delivers_byzantine_traffic_end_to_end() {
     );
 }
 
+#[test]
+fn delays_past_the_final_round_expire_and_are_never_delivered() {
+    // Regression test for the expired-deferral accounting: every honest
+    // envelope is delayed far beyond the engine's round cap, so every one
+    // of them must end up in `messages_expired` — and none in
+    // `messages_delivered`.  (Without Byzantine nodes, delivered counts
+    // only honest traffic, so the two counters partition the delayed set.)
+    let report = Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n: 96, d: 6 })
+        .workload(WorkloadSpec::Basic)
+        .fault(FaultSpec::Delay {
+            max_delay: 100_000,
+            rate: 1.0,
+        })
+        .max_rounds(20)
+        .seed(44)
+        .build()
+        .expect("spec")
+        .run()
+        .expect("run");
+    assert!(
+        report.messages_expired > 0,
+        "a delay reaching past the final round must increment messages_expired"
+    );
+    // Delays are uniform in 1..=Δ, so with Δ = 100 000 and a 20-round cap
+    // virtually every deferred envelope out-lives the run; the handful
+    // whose delay happened to land inside the cap arrived normally.
+    assert!(
+        report.messages_expired > 100 * report.messages_delivered.max(1),
+        "almost every delayed envelope must expire, not deliver \
+         (expired {}, delivered {})",
+        report.messages_expired,
+        report.messages_delivered
+    );
+    assert_eq!(
+        report.messages_delayed,
+        report.messages_delivered + report.messages_expired,
+        "an envelope is delivered or expired, never both and never neither"
+    );
+}
+
+#[test]
+fn partially_expiring_delays_conserve_the_delayed_count() {
+    // Moderate delays: some deferred envelopes arrive, the in-flight rest
+    // expires at the cap.  delivered + expired must exactly account for
+    // every delayed envelope (no double counting, no losses).
+    let report = Simulation::builder()
+        .topology(TopologySpec::SmallWorld { n: 96, d: 6 })
+        .workload(WorkloadSpec::Basic)
+        .fault(FaultSpec::Delay {
+            max_delay: 3,
+            rate: 1.0,
+        })
+        .max_rounds(30)
+        .seed(45)
+        .build()
+        .expect("spec")
+        .run()
+        .expect("run");
+    assert!(report.messages_delayed > 0);
+    assert!(report.messages_expired > 0, "some were still in flight");
+    assert!(report.messages_delivered > 0, "some delays elapsed in time");
+    assert_eq!(
+        report.messages_delayed,
+        report.messages_delivered + report.messages_expired
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -1,9 +1,40 @@
 //! Property-based tests (proptest) on the core data structures and
-//! protocol invariants, spanning netsim-graph and byzcount-core.
+//! protocol invariants, spanning netsim-graph, netsim-faults and
+//! byzcount-core.
 
 use byzcount::prelude::*;
 use byzcount_core::color;
 use proptest::prelude::*;
+
+/// Build an arbitrary [`FaultSpec`] from fuzzed scalars.  `shape` selects
+/// the variant; nesting is exercised through one `Compose` level (the spec
+/// grammar is closed under composition, so one level covers the recursive
+/// serde path).
+fn fault_spec_from(shape: u8, rate_milli: u64, rounds: u64, nested: bool) -> FaultSpec {
+    let rate = (rate_milli % 1001) as f64 / 1000.0;
+    let rounds = rounds % 50 + 1;
+    let leaf = match shape % 5 {
+        0 => FaultSpec::None,
+        1 => FaultSpec::Loss { rate },
+        2 => FaultSpec::Delay {
+            max_delay: rounds,
+            rate,
+        },
+        3 => FaultSpec::Churn {
+            rate,
+            downtime: rounds,
+        },
+        _ => FaultSpec::Partition {
+            start: rounds,
+            duration: rounds + 2,
+        },
+    };
+    if nested {
+        FaultSpec::Compose(vec![leaf, FaultSpec::Loss { rate }, FaultSpec::None])
+    } else {
+        leaf
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -72,6 +103,95 @@ proptest! {
         prop_assert_eq!(p.count(), count.min(n));
         prop_assert_eq!(p.nodes().len(), p.count());
         prop_assert_eq!(p.mask().iter().filter(|&&b| b).count(), p.count());
+    }
+
+    /// Serde round-trip fuzz (parse ∘ print = id) for `RunSpec`, over every
+    /// fault shape, the full u64 seed space and both schema-visible
+    /// optional fields.  Printing the parsed spec must also reproduce the
+    /// exact bytes, so specs are canonical and diffable.
+    #[test]
+    fn run_spec_serde_round_trip_is_identity(
+        seed in any::<u64>(),
+        n in 2usize..5000,
+        d_half in 2usize..6,
+        fault_shape in 0u8..10,
+        rate_milli in any::<u64>(),
+        rounds in any::<u64>(),
+        nested in proptest::option::of(0u8..1),
+        max_rounds in proptest::option::of(1u64..100_000),
+    ) {
+        let spec = RunSpec {
+            version: SPEC_VERSION,
+            topology: TopologySpec::SmallWorld { n, d: 2 * d_half },
+            workload: WorkloadSpec::Byzantine,
+            placement: PlacementSpec::RandomBudget { delta: 0.6 },
+            adversary: AdversarySpec::Combined,
+            fault: fault_spec_from(fault_shape, rate_milli, rounds, nested.is_some()),
+            params: ParamsSpec::Derived { delta: 0.6, epsilon: 0.1 },
+            seed,
+            max_rounds,
+        };
+        prop_assert!(spec.validate().is_ok(), "{spec:?}");
+        let json = spec.to_json();
+        let back = RunSpec::from_json(&json).expect("fuzzed spec must parse");
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.to_json(), json, "print ∘ parse must be the identity");
+    }
+
+    /// Serde round-trip fuzz for `FaultSpec` on its own (the hand-written
+    /// serde impls): every generated shape must survive value-level
+    /// round-tripping unchanged.
+    #[test]
+    fn fault_spec_serde_round_trip_is_identity(
+        shape in 0u8..10,
+        rate_milli in any::<u64>(),
+        rounds in any::<u64>(),
+        nested in proptest::option::of(0u8..1),
+    ) {
+        use byzcount::faults::FaultSpec as FS;
+        use serde::{Deserialize, Serialize};
+        let spec = fault_spec_from(shape, rate_milli, rounds, nested.is_some());
+        let back = FS::from_value(&spec.to_value()).expect("round trip");
+        prop_assert_eq!(back, spec);
+    }
+
+    /// `ComposedFaults` order-invariance: composing the *same constituent
+    /// plans* (same per-plan seeds) in either order gives every envelope
+    /// the same fate.  Drop decisions commute because Drop dominates and
+    /// every plan is consulted for every envelope regardless of earlier
+    /// verdicts; delays commute because they add.
+    #[test]
+    fn composed_fault_fates_are_order_invariant(
+        loss_rate_milli in 0u64..1001,
+        delay_rate_milli in 0u64..1001,
+        max_delay in 1u64..6,
+        loss_seed in any::<u64>(),
+        delay_seed in any::<u64>(),
+        envelopes in 1usize..400,
+    ) {
+        use byzcount::faults::{ComposedFaults, EnvelopeFate, FaultPlan, IidLoss, RandomDelay};
+        let loss_rate = loss_rate_milli as f64 / 1000.0;
+        let delay_rate = delay_rate_milli as f64 / 1000.0;
+        let fates = |mut plan: ComposedFaults| -> Vec<EnvelopeFate> {
+            (0..envelopes)
+                .map(|i| {
+                    plan.envelope_fate(i as u64, NodeId((i % 7) as u32), NodeId((i % 11) as u32))
+                })
+                .collect()
+        };
+        let loss_then_delay = ComposedFaults::new(vec![
+            Box::new(IidLoss::new(loss_rate, loss_seed)),
+            Box::new(RandomDelay::new(max_delay, delay_rate, delay_seed)),
+        ]);
+        let delay_then_loss = ComposedFaults::new(vec![
+            Box::new(RandomDelay::new(max_delay, delay_rate, delay_seed)),
+            Box::new(IidLoss::new(loss_rate, loss_seed)),
+        ]);
+        let a = fates(loss_then_delay);
+        let b = fates(delay_then_loss);
+        // Full fate equality — which subsumes the Drop-dominance case:
+        // loss∘delay ≡ delay∘loss on every envelope, dropped or not.
+        prop_assert_eq!(&a, &b);
     }
 
     /// Evaluation never counts more good nodes than honest nodes, and the
