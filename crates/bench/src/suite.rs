@@ -12,8 +12,8 @@
 
 use byzcount_analysis::FullRegistry;
 use byzcount_core::sim::{
-    AdversarySpec, AttackSpec, FaultSpec, PlacementSpec, PreparedRun, RunSpec, SimError,
-    TopologySpec, WorkloadSpec, SPEC_VERSION,
+    AdversarySpec, AttackSpec, EngineSpec, FaultSpec, PlacementSpec, PreparedRun, RunSpec,
+    SimError, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -35,6 +35,11 @@ pub struct BenchConfig {
     /// Timed executions per entry at small sizes; the minimum wall time is
     /// reported (standard practice for throughput numbers).
     pub repeats: usize,
+    /// Engine the suite specs run on (CLI `--shards S` selects the sharded
+    /// engine).  Results are byte-identical across engines — the cell
+    /// seeds, and hence baseline joins, are engine-independent — so this
+    /// only changes *how fast* each cell executes.
+    pub engine: EngineSpec,
 }
 
 impl BenchConfig {
@@ -45,6 +50,7 @@ impl BenchConfig {
             sizes: vec![1024, 4096, 16384],
             seed: SUITE_SEED,
             repeats: 3,
+            engine: EngineSpec::Sync,
         }
     }
 
@@ -55,6 +61,7 @@ impl BenchConfig {
             sizes: vec![256],
             seed: SUITE_SEED,
             repeats: 1,
+            engine: EngineSpec::Sync,
         }
     }
 
@@ -114,6 +121,12 @@ pub struct BenchReport {
     pub sizes: Vec<usize>,
     /// Base seed.
     pub seed: u64,
+    /// Which engine executed the suite (`sync` / `sharded-S`).  Absent in
+    /// reports from before the engine knob existed, which all ran the
+    /// classic engine.  Results are engine-independent by contract, so a
+    /// cross-engine `apply_baseline` join is legitimate — it measures the
+    /// engines' relative throughput — but the report must say so.
+    pub engine: Option<String>,
     /// Label of the joined baseline build, when one was given.
     pub baseline_label: Option<String>,
     /// Every measured cell, in suite order (size-major, workload-minor,
@@ -167,9 +180,21 @@ pub fn suite_fault() -> FaultSpec {
 /// is the protocol loop, not adversary bookkeeping); baselines run on the
 /// expander `H`, as everywhere else in the workspace.
 pub fn suite_spec(workload: &WorkloadSpec, n: usize, faulty: bool, seed: u64) -> RunSpec {
+    suite_spec_on(workload, n, faulty, seed, EngineSpec::Sync)
+}
+
+/// [`suite_spec`] with an explicit engine selection.
+pub fn suite_spec_on(
+    workload: &WorkloadSpec,
+    n: usize,
+    faulty: bool,
+    seed: u64,
+    engine: EngineSpec,
+) -> RunSpec {
     let counting = workload.is_counting();
     RunSpec {
         version: SPEC_VERSION,
+        engine,
         topology: if counting {
             TopologySpec::SmallWorld { n, d: SUITE_D }
         } else {
@@ -260,7 +285,7 @@ pub fn run_suite(
         for workload in suite_workloads() {
             for (faulty, network) in [(false, "clean"), (true, "faulty")] {
                 let seed = cell_seed(cfg.seed, workload.name(), network, n);
-                let spec = suite_spec(&workload, n, faulty, seed);
+                let spec = suite_spec_on(&workload, n, faulty, seed, cfg.engine);
                 let setup_start = Instant::now();
                 let prepared = PreparedRun::new(&spec)?;
                 let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
@@ -304,6 +329,7 @@ pub fn run_suite(
         suite: "roundloop".to_string(),
         sizes: cfg.sizes.clone(),
         seed: cfg.seed,
+        engine: Some(cfg.engine.name()),
         baseline_label: None,
         entries,
     })
@@ -358,8 +384,16 @@ impl BenchReport {
 
     /// Join a baseline report (same suite, typically from the previous
     /// build): matching entries gain `baseline_rounds_per_s` and `speedup`.
+    ///
+    /// When the baseline recorded which engine produced it, that engine is
+    /// folded into `baseline_label`, so a cross-engine join (a legitimate
+    /// sharded-vs-sync throughput comparison) is distinguishable from a
+    /// same-engine regression join by reading the report alone.
     pub fn apply_baseline(&mut self, baseline: &BenchReport, label: &str) {
-        self.baseline_label = Some(label.to_string());
+        self.baseline_label = Some(match &baseline.engine {
+            Some(engine) => format!("{label} [engine: {engine}]"),
+            None => label.to_string(),
+        });
         for entry in &mut self.entries {
             if let Some(base) = baseline.entry(&entry.workload, &entry.network, entry.n) {
                 // Only join cells that executed the same spec: the seed is
@@ -439,6 +473,7 @@ mod tests {
             suite: "roundloop".into(),
             sizes: vec![64],
             seed: 3,
+            engine: Some("sync".into()),
             baseline_label: None,
             entries,
         };
@@ -458,6 +493,7 @@ mod tests {
             suite: "roundloop".into(),
             sizes: vec![64],
             seed: 3,
+            engine: Some("sync".into()),
             baseline_label: None,
             entries: vec![BenchEntry {
                 workload: "byzantine-counting".into(),
@@ -479,7 +515,11 @@ mod tests {
         let mut baseline = report.clone();
         baseline.entries[0].rounds_per_s = 4000.0;
         report.apply_baseline(&baseline, "pre-refactor");
-        assert_eq!(report.baseline_label.as_deref(), Some("pre-refactor"));
+        assert_eq!(
+            report.baseline_label.as_deref(),
+            Some("pre-refactor [engine: sync]"),
+            "the baseline's engine must be visible in the joined report"
+        );
         assert_eq!(report.entries[0].baseline_rounds_per_s, Some(4000.0));
         assert!((report.entries[0].speedup.unwrap() - 1.5).abs() < 1e-12);
 

@@ -90,6 +90,7 @@ mod tests {
             max_rounds: None,
             fault: &byzcount_core::sim::FaultSpec::None,
             fault_seed: 0,
+            engine: byzcount_core::sim::EngineKind::Sync,
         };
         for spec in [
             AdversarySpec::Null,
@@ -117,6 +118,7 @@ mod tests {
             max_rounds: None,
             fault: &byzcount_core::sim::FaultSpec::None,
             fault_seed: 0,
+            engine: byzcount_core::sim::EngineKind::Sync,
         };
         match SpecAdversaryFactory::new(AdversarySpec::Combined).build(&ctx, &params) {
             Err(SimError::Unsupported(_)) => {}
@@ -134,6 +136,7 @@ mod tests {
             max_rounds: None,
             fault: &byzcount_core::sim::FaultSpec::None,
             fault_seed: 0,
+            engine: byzcount_core::sim::EngineKind::Sync,
         };
         assert!(SpecAdversaryFactory::new(AdversarySpec::Combined)
             .build(&ctx, &params)

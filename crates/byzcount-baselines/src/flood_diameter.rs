@@ -10,8 +10,8 @@
 
 use crate::attack::BaselineAttack;
 use netsim_runtime::{
-    Action, EngineConfig, Envelope, FaultPlan, MessageSize, NodeContext, NullAdversary, Outbox,
-    Protocol, RunResult, SizedMessage, SyncEngine, Topology,
+    run_with_engine, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
+    NodeContext, NullAdversary, Outbox, Protocol, RunResult, SizedMessage, Topology,
 };
 use rand_chacha::ChaCha8Rng;
 
@@ -105,6 +105,28 @@ pub fn run_flood_diameter_faulty<T: Topology>(
     seed: u64,
     fault_plan: Option<Box<dyn FaultPlan>>,
 ) -> RunResult<u64> {
+    run_flood_diameter_engine(
+        topo,
+        byzantine,
+        attack,
+        ttl,
+        seed,
+        fault_plan,
+        EngineKind::Sync,
+    )
+}
+
+/// [`run_flood_diameter_faulty`] with an explicit [`EngineKind`] (classic
+/// or sharded; results are byte-identical either way).
+pub fn run_flood_diameter_engine<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+) -> RunResult<u64> {
     let nodes: Vec<FloodDiameterEstimator> = (0..topo.len())
         .map(|i| {
             FloodDiameterEstimator::new(i == 0, if byzantine[i] { Some(attack) } else { None }, ttl)
@@ -114,9 +136,16 @@ pub fn run_flood_diameter_faulty<T: Topology>(
         max_rounds: ttl + 4,
         stop_when_all_decided: true,
     };
-    SyncEngine::new(topo, nodes, byzantine.to_vec(), NullAdversary, config, seed)
-        .with_fault_plan_opt(fault_plan)
-        .run()
+    run_with_engine(
+        engine,
+        topo,
+        nodes,
+        byzantine.to_vec(),
+        NullAdversary,
+        config,
+        seed,
+        fault_plan,
+    )
 }
 
 #[cfg(test)]

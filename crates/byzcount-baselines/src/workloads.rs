@@ -8,8 +8,8 @@
 
 use crate::attack::BaselineAttack;
 use crate::{
-    run_exponential_support_faulty, run_flood_diameter_faulty, run_geometric_support_faulty,
-    run_spanning_tree_count_faulty,
+    run_exponential_support_engine, run_flood_diameter_engine, run_geometric_support_engine,
+    run_spanning_tree_count_engine,
 };
 use byzcount_core::sim::{AttackSpec, Estimand, Estimator, SimContext, SimError, WorkloadRun};
 use netsim_graph::log2n;
@@ -72,13 +72,14 @@ impl Estimator for GeometricSupportWorkload {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
-        let result = run_geometric_support_faulty(
+        let result = run_geometric_support_engine(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
             ttl,
             ctx.seed,
             ctx.build_fault_plan(),
+            ctx.engine,
         );
         Ok(workload_run(Estimand::LogN, result, |v| v as f64))
     }
@@ -104,13 +105,14 @@ impl Estimator for ExponentialSupportWorkload {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
-        let result = run_exponential_support_faulty(
+        let result = run_exponential_support_engine(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
             ttl,
             ctx.seed,
             ctx.build_fault_plan(),
+            ctx.engine,
         );
         Ok(workload_run(Estimand::N, result, |v| v))
     }
@@ -140,13 +142,14 @@ impl Estimator for SpanningTreeWorkload {
         // other high-diameter graphs get a cap linear in n.
         let derived = (4 * default_ttl(n)).max(2 * n as u64 + 8);
         let max_rounds = self.max_rounds.or(ctx.max_rounds).unwrap_or(derived);
-        let result = run_spanning_tree_count_faulty(
+        let result = run_spanning_tree_count_engine(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
             max_rounds,
             ctx.seed,
             ctx.build_fault_plan(),
+            ctx.engine,
         );
         Ok(workload_run(Estimand::N, result, |v| v as f64))
     }
@@ -173,13 +176,14 @@ impl Estimator for FloodDiameterWorkload {
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let n = ctx.topology.len();
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(n).max(n as u64));
-        let result = run_flood_diameter_faulty(
+        let result = run_flood_diameter_engine(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
             ttl,
             ctx.seed,
             ctx.build_fault_plan(),
+            ctx.engine,
         );
         Ok(workload_run(Estimand::Diameter, result, |v| v as f64))
     }
@@ -201,6 +205,7 @@ mod tests {
             max_rounds: None,
             fault: &byzcount_core::sim::FaultSpec::None,
             fault_seed: 0,
+            engine: byzcount_core::sim::EngineKind::Sync,
         }
     }
 

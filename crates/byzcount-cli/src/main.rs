@@ -31,14 +31,16 @@
 //! "Performance" section.  Options: `--smoke` (n = 256, one repeat),
 //! `--sizes 1024,4096`, `--repeats N`, `--seed N`, `--out FILE` (default
 //! `BENCH_roundloop.json`; `-` = stdout only), `--baseline PREV.json`
-//! (join a previous report to compute per-cell speedups).
+//! (join a previous report to compute per-cell speedups), `--shards S`
+//! (run every cell on the sharded engine with `S` shards — byte-identical
+//! results, different core mapping).
 //! ```
 
 use byzcount_analysis::experiments::{self, ExperimentConfig};
 use byzcount_analysis::{campaign, Table};
 use byzcount_core::sim::{
-    AdversarySpec, BatchSpec, FaultSpec, ParamsSpec, PlacementSpec, RunSpec, SeedPolicy,
-    TopologySpec, WorkloadSpec, SPEC_VERSION,
+    AdversarySpec, BatchSpec, EngineSpec, FaultSpec, ParamsSpec, PlacementSpec, RunSpec,
+    SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
 use std::env;
 use std::io::Read;
@@ -52,7 +54,8 @@ fn usage() -> ExitCode {
          \x20      byzcount-cli run <spec.json|->\n\
          \x20      byzcount-cli template [run|batch|faulty]\n\
          \x20      byzcount-cli bench [--smoke] [--sizes 1024,4096] \
-         [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json]"
+         [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json] \
+         [--shards S]"
     );
     ExitCode::from(2)
 }
@@ -72,7 +75,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => {}
-            "--sizes" | "--repeats" | "--seed" | "--out" | "--baseline" => {
+            "--sizes" | "--repeats" | "--seed" | "--out" | "--baseline" | "--shards" => {
                 let Some(value) = args.get(i + 1) else {
                     return usage();
                 };
@@ -103,6 +106,15 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                         }
                     },
                     "--out" => out = value.clone(),
+                    "--shards" => match value.parse::<u32>() {
+                        Ok(shards) if shards >= 1 => {
+                            cfg.engine = EngineSpec::Sharded { shards };
+                        }
+                        _ => {
+                            eprintln!("byzcount-cli: invalid --shards value `{value}`");
+                            return usage();
+                        }
+                    },
                     "--baseline" => {
                         let text = match std::fs::read_to_string(value) {
                             Ok(text) => text,
@@ -181,6 +193,7 @@ fn template_run_spec() -> RunSpec {
         placement: PlacementSpec::RandomBudget { delta: 0.6 },
         adversary: AdversarySpec::Combined,
         fault: FaultSpec::None,
+        engine: EngineSpec::Sync,
         params: ParamsSpec::Derived {
             delta: 0.6,
             epsilon: 0.1,

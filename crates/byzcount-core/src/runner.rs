@@ -7,7 +7,9 @@ use crate::params::ProtocolParams;
 use crate::schedule::Schedule;
 use netsim_faults::FaultPlan;
 use netsim_graph::SmallWorldNetwork;
-use netsim_runtime::{Adversary, EngineConfig, NullAdversary, SyncEngine, Topology};
+use netsim_runtime::{
+    run_with_engine, Adversary, EngineConfig, EngineKind, NullAdversary, Topology,
+};
 
 /// How many phases past the reference decision phase the engine allows
 /// before giving up (safety cap; honest runs finish well before it).
@@ -160,6 +162,39 @@ where
     T: Topology,
     A: Adversary<CountingNode>,
 {
+    run_counting_engine(
+        net,
+        params,
+        byzantine,
+        adversary,
+        verify,
+        seed,
+        max_rounds,
+        fault_plan,
+        EngineKind::Sync,
+    )
+}
+
+/// [`run_counting_faulty`] with an explicit [`EngineKind`]: the classic
+/// engine or the sharded engine with a given shard count.  The engine
+/// choice is execution policy only — outcomes are byte-identical for equal
+/// inputs, whichever engine runs them.
+#[allow(clippy::too_many_arguments)]
+pub fn run_counting_engine<T, A>(
+    net: &T,
+    params: &ProtocolParams,
+    byzantine: &[bool],
+    adversary: A,
+    verify: bool,
+    seed: u64,
+    max_rounds: Option<u64>,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+) -> CountingOutcome
+where
+    T: Topology,
+    A: Adversary<CountingNode>,
+{
     let n = net.len();
     assert_eq!(byzantine.len(), n, "byzantine mask must cover every node");
     let nodes: Vec<CountingNode> = (0..n)
@@ -175,9 +210,16 @@ where
         max_rounds: max_rounds.unwrap_or_else(|| round_cap(params, n)),
         stop_when_all_decided: true,
     };
-    let engine = SyncEngine::new(net, nodes, byzantine.to_vec(), adversary, config, seed)
-        .with_fault_plan_opt(fault_plan);
-    let result = engine.run();
+    let result = run_with_engine(
+        engine,
+        net,
+        nodes,
+        byzantine.to_vec(),
+        adversary,
+        config,
+        seed,
+        fault_plan,
+    );
     CountingOutcome {
         n,
         estimates: result

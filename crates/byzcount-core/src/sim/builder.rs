@@ -30,8 +30,8 @@ use crate::sim::error::SimError;
 use crate::sim::estimator::{CountingEstimator, Estimator, NullAdversaryFactory, SimContext};
 use crate::sim::report::{BatchReport, RunReport};
 use crate::sim::spec::{
-    derive_seed, seed_stream, AdversarySpec, BatchSpec, ParamsSpec, PlacementSpec, RunSpec,
-    SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
+    derive_seed, seed_stream, AdversarySpec, BatchSpec, EngineSpec, ParamsSpec, PlacementSpec,
+    RunSpec, SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
 use crate::ProtocolParams;
 use netsim_faults::FaultSpec;
@@ -157,6 +157,7 @@ impl PreparedRun {
             max_rounds: self.spec.max_rounds,
             fault: &self.spec.fault,
             fault_seed: derive_seed(self.spec.seed, seed_stream::FAULTS),
+            engine: self.spec.engine.kind(),
         };
         let run = estimator.run(&ctx)?;
         Ok(RunReport::from_run(
@@ -201,6 +202,7 @@ pub struct SimulationBuilder {
     placement: PlacementSpec,
     adversary: AdversarySpec,
     fault: FaultSpec,
+    engine: EngineSpec,
     params: ParamsSpec,
     seeds: SeedPolicy,
     sizes: Option<Vec<usize>>,
@@ -215,6 +217,7 @@ impl Default for SimulationBuilder {
             placement: PlacementSpec::None,
             adversary: AdversarySpec::Null,
             fault: FaultSpec::None,
+            engine: EngineSpec::Sync,
             params: ParamsSpec::default(),
             seeds: SeedPolicy::Fixed(0),
             sizes: None,
@@ -252,6 +255,21 @@ impl SimulationBuilder {
     /// none, the paper's perfect synchronous network).
     pub fn fault(mut self, fault: FaultSpec) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Which engine implementation executes the run (default: the classic
+    /// synchronous engine).  Pure execution policy — reports are
+    /// byte-identical whichever engine runs the spec.
+    pub fn engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Shorthand for [`engine`](Self::engine) with the sharded engine at
+    /// the given shard count.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.engine = EngineSpec::Sharded { shards };
         self
     }
 
@@ -307,6 +325,7 @@ impl SimulationBuilder {
                 placement: self.placement,
                 adversary: self.adversary,
                 fault: self.fault,
+                engine: self.engine,
                 params: self.params,
                 seed: self.seeds.primary(),
                 max_rounds: self.max_rounds,

@@ -14,7 +14,7 @@ use crate::runner;
 use crate::sim::error::SimError;
 use crate::sim::spec::BuiltTopology;
 use netsim_faults::{FaultPlan, FaultSpec};
-use netsim_runtime::{Adversary, NullAdversary, RunMetrics};
+use netsim_runtime::{Adversary, EngineKind, NullAdversary, RunMetrics};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -55,6 +55,9 @@ pub struct SimContext<'a> {
     pub fault: &'a FaultSpec,
     /// Fault-stream seed (an independent sub-stream of the spec seed).
     pub fault_seed: u64,
+    /// Which engine implementation executes the run (execution policy
+    /// only: results are byte-identical across engines and shard counts).
+    pub engine: EngineKind,
 }
 
 impl SimContext<'_> {
@@ -189,7 +192,7 @@ impl Estimator for CountingEstimator {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let adversary = self.adversary.build(ctx, &self.params)?;
-        let outcome = runner::run_counting_faulty(
+        let outcome = runner::run_counting_engine(
             ctx.topology,
             &self.params,
             ctx.byzantine,
@@ -198,6 +201,7 @@ impl Estimator for CountingEstimator {
             ctx.seed,
             ctx.max_rounds,
             ctx.build_fault_plan(),
+            ctx.engine,
         );
         Ok(WorkloadRun {
             estimand: Estimand::LogN,
@@ -239,6 +243,7 @@ mod tests {
             max_rounds: None,
             fault: &FaultSpec::None,
             fault_seed: 0,
+            engine: EngineKind::Sync,
         };
         let run = est.run(&ctx).unwrap();
         assert!(run.completed);

@@ -44,9 +44,13 @@ pub use report::{
     Aggregate, BatchReport, CountingSummary, EstimateStats, RunReport, SizeAggregate,
 };
 pub use spec::{
-    AdversarySpec, AttackSpec, BatchSpec, BuiltTopology, ParamsSpec, PlacementSpec, RunSpec,
-    SeedPolicy, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
+    AdversarySpec, AttackSpec, BatchSpec, BuiltTopology, EngineSpec, ParamsSpec, PlacementSpec,
+    RunSpec, SeedPolicy, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
+
+/// The runtime-side engine selection an [`EngineSpec`] resolves to
+/// (re-exported from [`netsim_runtime`]).
+pub use netsim_runtime::EngineKind;
 
 /// The fault layer's serializable description, embedded in every
 /// [`RunSpec`] (re-exported from [`netsim_faults`]).

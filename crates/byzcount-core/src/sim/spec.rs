@@ -17,10 +17,10 @@ use crate::params::ProtocolParams;
 use crate::sim::error::SimError;
 use netsim_faults::FaultSpec;
 use netsim_graph::{balanced_tree, random_tree, Csr, NodeId, SmallWorldNetwork, WattsStrogatz};
-use netsim_runtime::Topology;
+use netsim_runtime::{EngineKind, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Map, Number, Serialize, Value};
 
 /// Version of the specification schema.  Bump on breaking changes; readers
 /// reject specs with a newer version than they understand.
@@ -32,7 +32,16 @@ use serde::{Deserialize, Serialize};
 ///   parsing upgrades the spec in place ([`RunSpec::migrate`]), so a v1
 ///   spec and its v2 `fault: "None"` equivalent are indistinguishable — and
 ///   produce byte-identical reports.
-pub const SPEC_VERSION: u32 = 2;
+/// * **3** — adds the `engine` field ([`EngineSpec`]): which engine
+///   implementation executes the run (the classic
+///   [`SyncEngine`](netsim_runtime::SyncEngine) or the sharded engine with
+///   an explicit shard count).  Version-1/2 specs are still accepted: a
+///   missing
+///   `engine` reads as [`EngineSpec::Sync`] and parsing migrates in place.
+///   The engine is execution *policy*, not semantics — every variant
+///   produces byte-identical run results for equal spec and seed, which
+///   `tests/sharded_parity.rs` locks down.
+pub const SPEC_VERSION: u32 = 3;
 
 /// Derive an independent seed stream from a master seed (SplitMix64).
 pub(crate) fn derive_seed(seed: u64, stream: u64) -> u64 {
@@ -520,6 +529,117 @@ impl SeedPolicy {
 }
 
 // ---------------------------------------------------------------------------
+// Engine selection
+// ---------------------------------------------------------------------------
+
+/// Which engine implementation executes the run.
+///
+/// Execution policy, not semantics: the sharded engine is contractually
+/// byte-identical to the classic engine for equal spec and seed (for every
+/// shard count), so this knob only changes how the round loop maps onto
+/// cores.  It still lives in the spec so campaigns can pin their execution
+/// layout reproducibly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// The classic single-owner synchronous engine (the default).
+    #[default]
+    Sync,
+    /// The sharded engine: node state, outboxes, inboxes, deferred rings
+    /// and delivery metrics partitioned into `shards` contiguous node-id
+    /// ranges (clamped to the node count at run time).
+    Sharded {
+        /// Number of shards (≥ 1).
+        shards: u32,
+    },
+}
+
+impl EngineSpec {
+    /// Short stable name (used in tables and logs).
+    pub fn name(&self) -> String {
+        self.kind().describe()
+    }
+
+    /// The runtime engine selection this spec resolves to.
+    pub fn kind(&self) -> EngineKind {
+        match *self {
+            EngineSpec::Sync => EngineKind::Sync,
+            EngineSpec::Sharded { shards } => EngineKind::Sharded {
+                shards: shards as usize,
+            },
+        }
+    }
+
+    /// Check the engine selection is well-formed.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            EngineSpec::Sync => Ok(()),
+            EngineSpec::Sharded { shards: 0 } => {
+                Err("sharded engine needs at least one shard".into())
+            }
+            EngineSpec::Sharded { .. } => Ok(()),
+        }
+    }
+}
+
+// Hand-written serde impls for the same backwards-compatibility reason as
+// `FaultSpec`: a missing or `null` value must read as `EngineSpec::Sync`,
+// so version-1/2 specs — which have no `engine` field at all — keep
+// deserializing.  The wire shapes otherwise match what the derive would
+// produce (externally tagged variants).
+
+impl Serialize for EngineSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            EngineSpec::Sync => Value::Str("Sync".into()),
+            EngineSpec::Sharded { shards } => {
+                let mut inner = Map::new();
+                inner.insert("shards".into(), Value::Num(Number::U(*shards as u64)));
+                let mut m = Map::new();
+                m.insert("Sharded".into(), Value::Obj(inner));
+                Value::Obj(m)
+            }
+        }
+    }
+}
+
+impl Deserialize for EngineSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            // v1/v2 specs have no engine field: absent/null means the
+            // classic engine.
+            Value::Null => Ok(EngineSpec::Sync),
+            Value::Str(s) if s == "Sync" || s == "sync" => Ok(EngineSpec::Sync),
+            Value::Str(other) => Err(Error::msg(format!(
+                "unknown unit variant `{other}` of EngineSpec"
+            ))),
+            Value::Obj(m) if m.len() == 1 => {
+                let (tag, inner) = m.iter().next().expect("len checked");
+                match tag.as_str() {
+                    "Sharded" => {
+                        let mm = inner
+                            .as_obj()
+                            .ok_or_else(|| Error::expected("object", inner))?;
+                        let shards: u64 = serde::from_value_field(mm, "shards")?;
+                        Ok(EngineSpec::Sharded {
+                            shards: u32::try_from(shards).map_err(|_| {
+                                Error::msg(format!("shard count {shards} out of range"))
+                            })?,
+                        })
+                    }
+                    other => Err(Error::msg(format!(
+                        "unknown variant `{other}` of EngineSpec"
+                    ))),
+                }
+            }
+            other => Err(Error::expected(
+                "EngineSpec (string or tagged object)",
+                other,
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // RunSpec / BatchSpec
 // ---------------------------------------------------------------------------
 
@@ -539,6 +659,10 @@ pub struct RunSpec {
     /// Network fault injection (loss, delay, churn, partitions); absent in
     /// version-1 specs and defaults to [`FaultSpec::None`].
     pub fault: FaultSpec,
+    /// Engine implementation (classic or sharded); absent in version-1/2
+    /// specs and defaults to [`EngineSpec::Sync`].  Execution policy only:
+    /// results are byte-identical across engines and shard counts.
+    pub engine: EngineSpec,
     /// Protocol parameters.
     pub params: ParamsSpec,
     /// Master seed; topology, placement and execution use independent
@@ -571,15 +695,17 @@ impl RunSpec {
             )));
         }
         self.fault.validate().map_err(SimError::Spec)?;
+        self.engine.validate().map_err(SimError::Spec)?;
         Ok(())
     }
 
     /// Upgrade an older (but accepted) spec to the current schema version.
-    /// Versions 1 and 2 only differ in the `fault` field, which older specs
-    /// lack and deserialization already defaulted to [`FaultSpec::None`] —
-    /// so the upgrade is just the version stamp.  Reports embed the
-    /// migrated spec, which is what makes a v1 spec and its v2 equivalent
-    /// produce byte-identical reports.
+    /// Versions 1, 2 and 3 only differ in the `fault` and `engine` fields,
+    /// which older specs lack and deserialization already defaulted
+    /// ([`FaultSpec::None`] / [`EngineSpec::Sync`]) — so the upgrade is
+    /// just the version stamp.  Reports embed the migrated spec, which is
+    /// what makes a v1 spec and its v2/v3 equivalents produce
+    /// byte-identical reports.
     pub fn migrate(&mut self) {
         if self.version < SPEC_VERSION {
             self.version = SPEC_VERSION;
@@ -685,6 +811,7 @@ mod tests {
             placement: PlacementSpec::RandomBudget { delta: 0.6 },
             adversary: AdversarySpec::Combined,
             fault: FaultSpec::None,
+            engine: EngineSpec::Sync,
             params: ParamsSpec::default(),
             seed: 0xDEAD_BEEF_CAFE_F00D,
             max_rounds: None,
@@ -716,6 +843,53 @@ mod tests {
         let parsed_v2 = RunSpec::from_json(&v2).expect("v2 spec must parse");
         assert_eq!(parsed, parsed_v2);
         assert_eq!(parsed.to_json(), parsed_v2.to_json());
+    }
+
+    #[test]
+    fn v2_specs_without_an_engine_field_still_parse() {
+        // A verbatim version-2 spec: a `fault` field but no `engine` key.
+        let v2 = r#"{
+            "version": 2,
+            "topology": {"SmallWorld": {"d": 6, "n": 128}},
+            "workload": "Byzantine",
+            "placement": {"RandomBudget": {"delta": 0.6}},
+            "adversary": "Combined",
+            "fault": {"Loss": {"rate": 0.1}},
+            "params": {"Derived": {"delta": 0.6, "epsilon": 0.1}},
+            "seed": 7,
+            "max_rounds": null
+        }"#;
+        let parsed = RunSpec::from_json(v2).expect("v2 spec must parse");
+        assert_eq!(parsed.engine, EngineSpec::Sync);
+        assert_eq!(parsed.version, SPEC_VERSION, "parsing migrates to latest");
+        // The v3 equivalent spells the engine out; both normalize to the
+        // same spec and hence the same JSON bytes.
+        let v3 = v2.replace(
+            "\"version\": 2,",
+            "\"version\": 3,\n            \"engine\": \"Sync\",",
+        );
+        let parsed_v3 = RunSpec::from_json(&v3).expect("v3 spec must parse");
+        assert_eq!(parsed, parsed_v3);
+        assert_eq!(parsed.to_json(), parsed_v3.to_json());
+    }
+
+    #[test]
+    fn engine_specs_round_trip_and_validate() {
+        let mut spec = demo_spec();
+        spec.engine = EngineSpec::Sharded { shards: 4 };
+        let back = RunSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), spec.to_json());
+        spec.engine = EngineSpec::Sharded { shards: 0 };
+        assert!(matches!(spec.validate(), Err(SimError::Spec(_))));
+        // Kind resolution and naming.
+        assert_eq!(EngineSpec::Sync.name(), "sync");
+        assert_eq!(EngineSpec::Sharded { shards: 8 }.name(), "sharded-8");
+        assert_eq!(
+            EngineSpec::Sharded { shards: 8 }.kind(),
+            netsim_runtime::EngineKind::Sharded { shards: 8 }
+        );
+        assert_eq!(EngineSpec::default(), EngineSpec::Sync);
     }
 
     #[test]

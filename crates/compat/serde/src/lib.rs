@@ -108,6 +108,15 @@ impl Value {
         }
     }
 
+    /// Borrow as mutable object (API parity with `serde_json`'s
+    /// `as_object_mut`; used by tests that surgically edit spec values).
+    pub fn as_obj_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Borrow as array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

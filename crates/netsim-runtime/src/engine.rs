@@ -493,18 +493,13 @@ where
     /// Validate, account and deliver (or lose / defer) one envelope queued
     /// in `round`.
     fn deliver(&mut self, round: u64, env: Envelope<P::Message>, authored_by_adversary: bool) {
-        let n = self.topology.len();
-        // A sender must exist and must not have crashed — a crashed node
-        // stays silent forever, even a Byzantine one.  Adversary-authored
-        // envelopes must additionally claim a Byzantine sender (identity
-        // non-forgeability: the adversary may only speak through the
-        // nodes it controls).
-        let from_ok = env.from.index() < n
-            && self.statuses[env.from.index()] != NodeStatus::Crashed
-            && (!authored_by_adversary || self.byzantine[env.from.index()]);
-        let edge_ok = env.to.index() < n && self.topology.can_send(env.from, env.to);
-        let to_ok = env.to.index() < n && self.statuses[env.to.index()] != NodeStatus::Crashed;
-        if !(from_ok && edge_ok && to_ok) {
+        if !envelope_admissible(
+            self.topology,
+            &self.statuses,
+            &self.byzantine,
+            &env,
+            authored_by_adversary,
+        ) {
             self.metrics.record_drop();
             return;
         }
@@ -566,8 +561,35 @@ where
     }
 }
 
+/// Shared envelope validation, used verbatim by both engines so the rules
+/// — and in particular the `from_ok` operator-precedence hazard fixed in
+/// PR 1 — live in exactly one place.
+///
+/// A sender must exist and must not have crashed — a crashed node stays
+/// silent forever, even a Byzantine one.  Adversary-authored envelopes
+/// must additionally claim a Byzantine sender (identity non-forgeability:
+/// the adversary may only speak through the nodes it controls).  The
+/// `(from, to)` pair must be an edge, and the recipient must be alive.
+pub(crate) fn envelope_admissible<T: Topology, M>(
+    topology: &T,
+    statuses: &[NodeStatus],
+    byzantine: &[bool],
+    env: &Envelope<M>,
+    authored_by_adversary: bool,
+) -> bool {
+    let n = topology.len();
+    let from_ok = env.from.index() < n
+        && statuses[env.from.index()] != NodeStatus::Crashed
+        && (!authored_by_adversary || byzantine[env.from.index()]);
+    let edge_ok = env.to.index() < n && topology.can_send(env.from, env.to);
+    let to_ok = env.to.index() < n && statuses[env.to.index()] != NodeStatus::Crashed;
+    from_ok && edge_ok && to_ok
+}
+
 /// SplitMix64-style seed derivation so per-node RNG streams are independent.
-fn splitmix(seed: u64, index: u64) -> u64 {
+/// Shared with the sharded engine: both derive node `i`'s stream the same
+/// way, which is what makes their runs comparable seed-for-seed.
+pub(crate) fn splitmix(seed: u64, index: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);

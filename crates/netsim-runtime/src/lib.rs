@@ -33,6 +33,7 @@ pub mod message;
 pub mod metrics;
 pub mod node;
 pub mod ring;
+pub mod sharded;
 pub mod topology;
 
 pub use adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
@@ -41,6 +42,7 @@ pub use message::{Envelope, MessageSize, SizedMessage};
 pub use metrics::RunMetrics;
 pub use node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
 pub use ring::DelayRing;
+pub use sharded::{run_with_engine, shard_bounds, EngineKind, ShardedSyncEngine};
 pub use topology::Topology;
 
 /// The fault-injection subsystem (re-exported from [`netsim_faults`]): an
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use crate::message::{Envelope, MessageSize, SizedMessage};
     pub use crate::metrics::RunMetrics;
     pub use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
+    pub use crate::sharded::{run_with_engine, EngineKind, ShardedSyncEngine};
     pub use crate::topology::Topology;
     pub use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan, FaultSpec, NoFaults};
 }

@@ -89,6 +89,44 @@ impl RunMetrics {
         self.per_round_messages.push(0);
     }
 
+    /// Fold one shard's accounting into this (router-side) metrics value.
+    ///
+    /// The sharded engine partitions delivery accounting by destination
+    /// shard: each shard records the messages (and deferred expiries)
+    /// arriving in its node range, while the router records round counts,
+    /// validation drops, fault losses/delays and churn.  Merging is a plain
+    /// sum of the additive counters plus a lexicographic `(ids, bits)` max
+    /// of `max_message` and an element-wise sum of the per-round series —
+    /// every one of which is order-insensitive, so the merged value equals
+    /// what a single unsharded engine stream would have recorded.
+    ///
+    /// `rounds` is deliberately *not* summed: all shards observe the same
+    /// rounds, which the router already counted.
+    pub fn absorb_shard(&mut self, shard: &RunMetrics) {
+        self.messages_delivered += shard.messages_delivered;
+        self.messages_dropped += shard.messages_dropped;
+        self.messages_lost += shard.messages_lost;
+        self.messages_delayed += shard.messages_delayed;
+        self.messages_expired += shard.messages_expired;
+        self.churn_crashes += shard.churn_crashes;
+        self.churn_recoveries += shard.churn_recoveries;
+        self.total_ids += shard.total_ids;
+        self.total_bits += shard.total_bits;
+        if shard.max_message.ids > self.max_message.ids
+            || (shard.max_message.ids == self.max_message.ids
+                && shard.max_message.bits > self.max_message.bits)
+        {
+            self.max_message = shard.max_message;
+        }
+        for (mine, theirs) in self
+            .per_round_messages
+            .iter_mut()
+            .zip(&shard.per_round_messages)
+        {
+            *mine += *theirs;
+        }
+    }
+
     /// Average messages per round.
     pub fn avg_messages_per_round(&self) -> f64 {
         if self.rounds == 0 {
@@ -140,6 +178,42 @@ mod tests {
         assert_eq!(m.per_round_messages, vec![2, 1]);
         assert!((m.avg_messages_per_round() - 1.5).abs() < 1e-12);
         assert!((m.avg_messages_per_node_round(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_shard_merges_like_a_single_stream() {
+        // Router side: two rounds, one drop, one fault loss, one delay.
+        let mut router = RunMetrics::default();
+        router.begin_round();
+        router.record_drop();
+        router.record_fault_delay();
+        router.begin_round();
+        router.record_fault_loss();
+        // Two shards keep per-round series aligned with the router.
+        let mut a = RunMetrics::default();
+        let mut b = RunMetrics::default();
+        for shard in [&mut a, &mut b] {
+            shard.begin_round();
+            shard.begin_round();
+        }
+        a.record_delivery(SizedMessage::new(2, 10)); // lands in round 2
+        b.per_round_messages[0] += 1; // simulate a round-1 delivery...
+        b.messages_delivered += 1; // ...recorded before round 2 opened
+        b.total_bits += 64;
+        b.max_message = SizedMessage::new(2, 64);
+        b.record_fault_expired(3);
+        router.absorb_shard(&a);
+        router.absorb_shard(&b);
+        assert_eq!(router.rounds, 2, "rounds are counted once, not summed");
+        assert_eq!(router.messages_delivered, 2);
+        assert_eq!(router.messages_dropped, 1);
+        assert_eq!(router.messages_lost, 1);
+        assert_eq!(router.messages_delayed, 1);
+        assert_eq!(router.messages_expired, 3);
+        assert_eq!(router.total_ids, 2);
+        assert_eq!(router.total_bits, 74);
+        assert_eq!(router.max_message, SizedMessage::new(2, 64));
+        assert_eq!(router.per_round_messages, vec![1, 1]);
     }
 
     #[test]

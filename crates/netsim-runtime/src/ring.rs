@@ -11,7 +11,7 @@
 //! Correctness relies on one invariant the ring enforces itself: every
 //! ring-resident due round lies within one capacity window of the current
 //! round, so each owns a distinct slot.  Delays too large for the ring to
-//! cover affordably — the ring never grows past [`MAX_BUCKETS`] — spill
+//! cover affordably — the ring never grows past `MAX_BUCKETS` — spill
 //! into a `BTreeMap` side table with the original structure's exact
 //! semantics, so a spec with an enormous `Δ` costs O(deferred messages)
 //! memory (as it always did) instead of an O(Δ) allocation.  All items for

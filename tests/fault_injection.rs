@@ -17,14 +17,16 @@ fn demo_sim(seed: u64) -> Simulation {
         .expect("spec")
 }
 
-/// Rewrite a v2 spec's JSON into its v1 form: stamp `version: 1` and remove
-/// the `fault` key (v1 predates the fault layer).
+/// Rewrite a current spec's JSON into its v1 form: stamp `version: 1` and
+/// remove the `fault` and `engine` keys (v1 predates both the fault layer
+/// and the engine knob).
 fn downgrade_to_v1(json: &str) -> String {
     let value = serde_json::parse_value_complete(json).expect("valid JSON");
     let Value::Obj(mut obj) = value else {
         panic!("spec must be an object")
     };
     obj.remove("fault");
+    obj.remove("engine");
     obj.insert(
         "version".into(),
         serde_json::parse_value_complete("1").unwrap(),
@@ -40,12 +42,16 @@ fn v1_spec_and_v2_fault_none_produce_byte_identical_reports() {
         v2_json.contains("\"fault\""),
         "v2 specs spell the fault out"
     );
-    assert!(v2_json.contains("\"version\": 2"));
+    assert!(v2_json.contains(&format!("\"version\": {SPEC_VERSION}")));
 
     let v1_json = downgrade_to_v1(&v2_json);
     assert!(!v1_json.contains("fault"));
+    assert!(!v1_json.contains("engine"));
     let v1_spec = RunSpec::from_json(&v1_json).expect("v1 specs must still parse");
-    assert_eq!(v1_spec, v2_spec, "parsing migrates v1 to the v2 equivalent");
+    assert_eq!(
+        v1_spec, v2_spec,
+        "parsing migrates v1 to the current-version equivalent"
+    );
 
     let from_v1 = byzcount::sim::execute(&v1_spec).expect("v1 run");
     let from_v2 = byzcount::sim::execute(&v2_spec).expect("v2 run");
@@ -80,6 +86,7 @@ fn v1_batch_specs_still_deserialize_and_run() {
         panic!("batch has a run object")
     };
     run.remove("fault");
+    run.remove("engine");
     run.insert(
         "version".into(),
         serde_json::parse_value_complete("1").unwrap(),

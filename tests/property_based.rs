@@ -36,6 +36,17 @@ fn fault_spec_from(shape: u8, rate_milli: u64, rounds: u64, nested: bool) -> Fau
     }
 }
 
+/// Build an arbitrary [`EngineSpec`] from fuzzed scalars.
+fn engine_spec_from(shape: u8, shards: u32) -> EngineSpec {
+    if shape.is_multiple_of(2) {
+        EngineSpec::Sync
+    } else {
+        EngineSpec::Sharded {
+            shards: shards % 64 + 1,
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -106,9 +117,9 @@ proptest! {
     }
 
     /// Serde round-trip fuzz (parse ∘ print = id) for `RunSpec`, over every
-    /// fault shape, the full u64 seed space and both schema-visible
-    /// optional fields.  Printing the parsed spec must also reproduce the
-    /// exact bytes, so specs are canonical and diffable.
+    /// fault shape, every engine shape, the full u64 seed space and the
+    /// schema-visible optional fields.  Printing the parsed spec must also
+    /// reproduce the exact bytes, so specs are canonical and diffable.
     #[test]
     fn run_spec_serde_round_trip_is_identity(
         seed in any::<u64>(),
@@ -119,6 +130,8 @@ proptest! {
         rounds in any::<u64>(),
         nested in proptest::option::of(0u8..1),
         max_rounds in proptest::option::of(1u64..100_000),
+        engine_shape in 0u8..4,
+        shards in any::<u32>(),
     ) {
         let spec = RunSpec {
             version: SPEC_VERSION,
@@ -127,6 +140,7 @@ proptest! {
             placement: PlacementSpec::RandomBudget { delta: 0.6 },
             adversary: AdversarySpec::Combined,
             fault: fault_spec_from(fault_shape, rate_milli, rounds, nested.is_some()),
+            engine: engine_spec_from(engine_shape, shards),
             params: ParamsSpec::Derived { delta: 0.6, epsilon: 0.1 },
             seed,
             max_rounds,
@@ -136,6 +150,54 @@ proptest! {
         let back = RunSpec::from_json(&json).expect("fuzzed spec must parse");
         prop_assert_eq!(&back, &spec);
         prop_assert_eq!(back.to_json(), json, "print ∘ parse must be the identity");
+    }
+
+    /// v2 → v3 migration fuzz: strip the `engine` key (and stamp version 2)
+    /// off any serialized spec — the result must still parse, to the same
+    /// spec with the default `Sync` engine and the current version.  The
+    /// same holds one version further down: stripping `fault` too (version
+    /// 1) must yield the fault-free equivalent.
+    #[test]
+    fn older_spec_versions_migrate_to_v3_defaults(
+        seed in any::<u64>(),
+        n in 2usize..5000,
+        fault_shape in 0u8..10,
+        rate_milli in any::<u64>(),
+        rounds in any::<u64>(),
+    ) {
+        use serde::{Number, Serialize, Value};
+        let mut spec = RunSpec {
+            version: SPEC_VERSION,
+            topology: TopologySpec::SmallWorld { n, d: 6 },
+            workload: WorkloadSpec::Byzantine,
+            placement: PlacementSpec::RandomBudget { delta: 0.6 },
+            adversary: AdversarySpec::Combined,
+            fault: fault_spec_from(fault_shape, rate_milli, rounds, false),
+            engine: EngineSpec::Sharded { shards: 5 },
+            params: ParamsSpec::Derived { delta: 0.6, epsilon: 0.1 },
+            seed,
+            max_rounds: None,
+        };
+        let strip = |spec: &RunSpec, version: u64, keys: &[&str]| -> String {
+            let mut v = spec.to_value();
+            let obj = v.as_obj_mut().expect("specs serialize to objects");
+            obj.insert("version".into(), Value::Num(Number::U(version)));
+            for key in keys {
+                obj.remove(*key);
+            }
+            serde_json::to_string_pretty(&v).expect("value prints")
+        };
+        // v2: no engine field.
+        let parsed = RunSpec::from_json(&strip(&spec, 2, &["engine"]))
+            .expect("v2 spec must parse");
+        spec.engine = EngineSpec::Sync;
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.version, SPEC_VERSION);
+        // v1: no engine and no fault field.
+        let parsed = RunSpec::from_json(&strip(&spec, 1, &["engine", "fault"]))
+            .expect("v1 spec must parse");
+        spec.fault = FaultSpec::None;
+        prop_assert_eq!(&parsed, &spec);
     }
 
     /// Serde round-trip fuzz for `FaultSpec` on its own (the hand-written
@@ -192,6 +254,46 @@ proptest! {
         // Full fate equality — which subsumes the Drop-dominance case:
         // loss∘delay ≡ delay∘loss on every envelope, dropped or not.
         prop_assert_eq!(&a, &b);
+    }
+
+    /// Shard-count invariance over randomized specs: for a fuzzed
+    /// topology size, seed and fault shape (every variant reachable via
+    /// `fault_spec_from`, nesting included), executing the spec on the
+    /// sharded engine with a fuzzed shard count produces a report
+    /// byte-identical to the unsharded engine's — the parity contract,
+    /// stated as a property rather than over fixtures.
+    #[test]
+    fn randomized_specs_are_shard_count_invariant(
+        seed in any::<u64>(),
+        n in 48usize..128,
+        fault_shape in 0u8..10,
+        rate_milli in 0u64..400, // cap rates so runs still terminate fast
+        rounds in any::<u64>(),
+        nested in proptest::option::of(0u8..1),
+        shards in 2u32..10,
+    ) {
+        let base = RunSpec {
+            version: SPEC_VERSION,
+            topology: TopologySpec::SmallWorld { n, d: 6 },
+            workload: WorkloadSpec::Byzantine,
+            placement: PlacementSpec::RandomBudget { delta: 0.6 },
+            adversary: AdversarySpec::Silent,
+            fault: fault_spec_from(fault_shape, rate_milli, rounds, nested.is_some()),
+            engine: EngineSpec::Sync,
+            params: ParamsSpec::Derived { delta: 0.6, epsilon: 0.1 },
+            seed,
+            max_rounds: Some(4000),
+        };
+        let mut sharded_spec = base.clone();
+        sharded_spec.engine = EngineSpec::Sharded { shards };
+        let reference = byzcount::sim::execute(&base).expect("unsharded run");
+        let mut sharded = byzcount::sim::execute(&sharded_spec).expect("sharded run");
+        sharded.spec.engine = EngineSpec::Sync; // the one intentional delta
+        prop_assert_eq!(
+            sharded.to_json(),
+            reference.to_json(),
+            "S={} diverged from the unsharded engine", shards
+        );
     }
 
     /// Evaluation never counts more good nodes than honest nodes, and the
