@@ -36,9 +36,12 @@ pub struct BenchConfig {
     /// reported (standard practice for throughput numbers).
     pub repeats: usize,
     /// Engine the suite specs run on (CLI `--shards S` selects the sharded
-    /// engine).  Results are byte-identical across engines — the cell
-    /// seeds, and hence baseline joins, are engine-independent — so this
-    /// only changes *how fast* each cell executes.
+    /// engine, `--engine async` the event-driven engine with uniform
+    /// clocks).  Results are byte-identical across these engines — the
+    /// cell seeds, and hence baseline joins, are engine-independent — so
+    /// this only changes *how fast* each cell executes.  (Heterogeneous
+    /// async clock plans would change the runs themselves and are not
+    /// suite configurations.)
     pub engine: EngineSpec,
 }
 
@@ -121,11 +124,13 @@ pub struct BenchReport {
     pub sizes: Vec<usize>,
     /// Base seed.
     pub seed: u64,
-    /// Which engine executed the suite (`sync` / `sharded-S`).  Absent in
-    /// reports from before the engine knob existed, which all ran the
-    /// classic engine.  Results are engine-independent by contract, so a
-    /// cross-engine `apply_baseline` join is legitimate — it measures the
-    /// engines' relative throughput — but the report must say so.
+    /// Which engine executed the suite (`sync` / `sharded-S` / `async`).
+    /// Absent in reports from before the engine knob existed, which all
+    /// ran the classic engine.  Results are engine-independent by
+    /// contract (heterogeneous async clock plans, which would break that
+    /// contract, are rejected by [`run_suite`]), so a cross-engine
+    /// `apply_baseline` join is legitimate — it measures the engines'
+    /// relative throughput — but the report must say so.
     pub engine: Option<String>,
     /// Label of the joined baseline build, when one was given.
     pub baseline_label: Option<String>,
@@ -280,6 +285,19 @@ pub fn run_suite(
     cfg: &BenchConfig,
     mut progress: impl FnMut(&BenchEntry),
 ) -> Result<BenchReport, SimError> {
+    // The suite's cells are defined over the synchronous model: a
+    // heterogeneous clock plan would change the runs themselves, and
+    // `apply_baseline` would then join semantically different executions
+    // on the engine-independent cell seeds.  Refuse up front.
+    if let netsim_runtime::EngineKind::Async { clocks } = cfg.engine.kind() {
+        if !clocks.is_synchronous() {
+            return Err(SimError::Spec(format!(
+                "the bench suite only runs synchronous engines; async clock \
+                 plan `{}` would change the measured runs themselves",
+                clocks.describe()
+            )));
+        }
+    }
     let mut entries = Vec::new();
     for &n in &cfg.sizes {
         for workload in suite_workloads() {
@@ -560,6 +578,28 @@ mod tests {
             full,
             cell_seed(SUITE_SEED ^ 1, "byzantine-counting", "clean", 4096)
         );
+    }
+
+    #[test]
+    fn heterogeneous_clock_plans_are_rejected_by_the_suite() {
+        // The documented invariant: only synchronous engines may run the
+        // suite, because apply_baseline joins on engine-independent cell
+        // seeds and a heterogeneous clock plan changes the runs
+        // themselves.
+        use byzcount_core::sim::ClockPlan;
+        let mut cfg = BenchConfig::smoke();
+        cfg.engine = EngineSpec::Async {
+            clocks: ClockPlan::Stratified {
+                every: 4,
+                period: 3,
+            },
+        };
+        let err = run_suite(&cfg, |_| {}).expect_err("must refuse");
+        assert!(err.to_string().contains("synchronous"), "{err}");
+        // Uniform clocks keep the byte-identity contract and pass the
+        // guard (the suite itself is exercised end-to-end by the CI
+        // async bench smoke, not here — it is seconds of protocol work).
+        assert!(ClockPlan::Uniform.is_synchronous());
     }
 
     #[test]

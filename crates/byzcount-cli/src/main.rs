@@ -4,7 +4,7 @@
 //! ```text
 //! byzcount-cli <experiment> [options]     # regenerate paper tables
 //! byzcount-cli run <spec.json|->          # execute a RunSpec/BatchSpec
-//! byzcount-cli template [run|batch|faulty] # print an example spec
+//! byzcount-cli template [run|batch|faulty|async] # print an example spec
 //! byzcount-cli bench [--smoke] [--out F]  # standardized perf suite
 //!
 //! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 all
@@ -33,7 +33,9 @@
 //! `BENCH_roundloop.json`; `-` = stdout only), `--baseline PREV.json`
 //! (join a previous report to compute per-cell speedups), `--shards S`
 //! (run every cell on the sharded engine with `S` shards — byte-identical
-//! results, different core mapping).
+//! results, different core mapping), `--engine sync|async|sharded-S`
+//! (general engine selection; `async` is the event-driven engine with
+//! uniform clocks — byte-identical results, event-queue execution).
 //! ```
 
 use byzcount_analysis::experiments::{self, ExperimentConfig};
@@ -52,12 +54,26 @@ fn usage() -> ExitCode {
          [--quick|--standard] [--n 512,1024] [--d 6] [--delta 0.6] \
          [--epsilon 0.1] [--trials 3] [--seed 42] [--json]\n\
          \x20      byzcount-cli run <spec.json|->\n\
-         \x20      byzcount-cli template [run|batch|faulty]\n\
+         \x20      byzcount-cli template [run|batch|faulty|async]\n\
          \x20      byzcount-cli bench [--smoke] [--sizes 1024,4096] \
          [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json] \
-         [--shards S]"
+         [--shards S] [--engine sync|async|sharded-S]"
     );
     ExitCode::from(2)
+}
+
+/// Parse a `--engine` value: `sync`, `async` (event-driven engine,
+/// uniform clocks) or `sharded-S`.
+fn parse_engine(value: &str) -> Option<EngineSpec> {
+    match value {
+        "sync" => Some(EngineSpec::Sync),
+        "async" => Some(EngineSpec::asynchronous()),
+        other => other
+            .strip_prefix("sharded-")
+            .and_then(|s| s.parse::<u32>().ok())
+            .filter(|&shards| shards >= 1)
+            .map(|shards| EngineSpec::Sharded { shards }),
+    }
 }
 
 fn cmd_bench(args: &[String]) -> ExitCode {
@@ -71,11 +87,16 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     };
     let mut out = "BENCH_roundloop.json".to_string();
     let mut baseline: Option<(String, bench::suite::BenchReport)> = None;
+    // `--shards` and `--engine` both select the engine; a command line
+    // naming more than one selection is ambiguous (last-wins would depend
+    // on argument order) and is rejected instead.
+    let mut engine_flag: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => {}
-            "--sizes" | "--repeats" | "--seed" | "--out" | "--baseline" | "--shards" => {
+            "--sizes" | "--repeats" | "--seed" | "--out" | "--baseline" | "--shards"
+            | "--engine" => {
                 let Some(value) = args.get(i + 1) else {
                     return usage();
                 };
@@ -106,15 +127,38 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                         }
                     },
                     "--out" => out = value.clone(),
-                    "--shards" => match value.parse::<u32>() {
-                        Ok(shards) if shards >= 1 => {
-                            cfg.engine = EngineSpec::Sharded { shards };
-                        }
-                        _ => {
-                            eprintln!("byzcount-cli: invalid --shards value `{value}`");
+                    flag @ ("--shards" | "--engine") => {
+                        if let Some(previous) = engine_flag {
+                            eprintln!(
+                                "byzcount-cli: {flag} conflicts with {previous}: \
+                                 give exactly one engine selection"
+                            );
                             return usage();
                         }
-                    },
+                        engine_flag = Some(if flag == "--shards" {
+                            "--shards"
+                        } else {
+                            "--engine"
+                        });
+                        match flag {
+                            "--shards" => match value.parse::<u32>() {
+                                Ok(shards) if shards >= 1 => {
+                                    cfg.engine = EngineSpec::Sharded { shards };
+                                }
+                                _ => {
+                                    eprintln!("byzcount-cli: invalid --shards value `{value}`");
+                                    return usage();
+                                }
+                            },
+                            _ => match parse_engine(value) {
+                                Some(engine) => cfg.engine = engine,
+                                None => {
+                                    eprintln!("byzcount-cli: invalid --engine value `{value}`");
+                                    return usage();
+                                }
+                            },
+                        }
+                    }
                     "--baseline" => {
                         let text = match std::fs::read_to_string(value) {
                             Ok(text) => text,
@@ -222,6 +266,20 @@ fn template_faulty_spec() -> RunSpec {
     }
 }
 
+/// A template showing the async engine: Byzantine counting where every
+/// fourth node runs at a third of the network's clock speed.
+fn template_async_spec() -> RunSpec {
+    RunSpec {
+        engine: EngineSpec::Async {
+            clocks: byzcount_core::sim::ClockPlan::Stratified {
+                every: 4,
+                period: 3,
+            },
+        },
+        ..template_run_spec()
+    }
+}
+
 fn template_batch_spec() -> BatchSpec {
     BatchSpec {
         version: SPEC_VERSION,
@@ -289,6 +347,7 @@ fn main() -> ExitCode {
             None | Some("run") => println!("{}", template_run_spec().to_json()),
             Some("batch") => println!("{}", template_batch_spec().to_json()),
             Some("faulty") => println!("{}", template_faulty_spec().to_json()),
+            Some("async") => println!("{}", template_async_spec().to_json()),
             Some(_) => return usage(),
         }
         return ExitCode::SUCCESS;

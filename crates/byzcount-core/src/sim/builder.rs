@@ -273,6 +273,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Shorthand for [`engine`](Self::engine) with the event-driven async
+    /// engine under the given clock plan
+    /// ([`ClockPlan::Uniform`](netsim_runtime::ClockPlan::Uniform) keeps
+    /// the synchronous byte-identity contract; heterogeneous plans open
+    /// the asynchronous scenario space).
+    pub fn async_clocks(mut self, clocks: netsim_runtime::ClockPlan) -> Self {
+        self.engine = EngineSpec::Async { clocks };
+        self
+    }
+
     /// Protocol parameters (default: derived with `δ = 0.6`, `ε = 0.1`).
     pub fn params(mut self, params: ParamsSpec) -> Self {
         self.params = params;

@@ -48,9 +48,10 @@ pub use spec::{
     RunSpec, SeedPolicy, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
 
-/// The runtime-side engine selection an [`EngineSpec`] resolves to
-/// (re-exported from [`netsim_runtime`]).
-pub use netsim_runtime::EngineKind;
+/// The runtime-side engine selection an [`EngineSpec`] resolves to, and
+/// the async engine's per-node clock model (re-exported from
+/// [`netsim_runtime`]).
+pub use netsim_runtime::{ClockPlan, EngineKind};
 
 /// The fault layer's serializable description, embedded in every
 /// [`RunSpec`] (re-exported from [`netsim_faults`]).

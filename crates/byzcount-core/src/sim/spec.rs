@@ -17,7 +17,7 @@ use crate::params::ProtocolParams;
 use crate::sim::error::SimError;
 use netsim_faults::FaultSpec;
 use netsim_graph::{balanced_tree, random_tree, Csr, NodeId, SmallWorldNetwork, WattsStrogatz};
-use netsim_runtime::{EngineKind, Topology};
+use netsim_runtime::{ClockPlan, EngineKind, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Error, Map, Number, Serialize, Value};
@@ -41,7 +41,16 @@ use serde::{Deserialize, Error, Map, Number, Serialize, Value};
 ///   The engine is execution *policy*, not semantics — every variant
 ///   produces byte-identical run results for equal spec and seed, which
 ///   `tests/sharded_parity.rs` locks down.
-pub const SPEC_VERSION: u32 = 3;
+/// * **4** — adds the [`EngineSpec::Async`] variant: the event-driven
+///   engine with per-node virtual clocks ([`ClockPlan`]).  No field is
+///   added or removed, so version-1/2/3 specs all still parse unchanged
+///   (missing/`null` engine still reads as [`EngineSpec::Sync`]); the
+///   version bump marks that v3 readers cannot interpret an `Async`
+///   engine value.  Under [`ClockPlan::Uniform`] the async engine is
+///   byte-identical to the synchronous engines (`tests/async_parity.rs`);
+///   heterogeneous clock plans are the first spec knob that changes run
+///   *semantics* by design — deterministically per spec and seed.
+pub const SPEC_VERSION: u32 = 4;
 
 /// Derive an independent seed stream from a master seed (SplitMix64).
 pub(crate) fn derive_seed(seed: u64, stream: u64) -> u64 {
@@ -534,11 +543,15 @@ impl SeedPolicy {
 
 /// Which engine implementation executes the run.
 ///
-/// Execution policy, not semantics: the sharded engine is contractually
-/// byte-identical to the classic engine for equal spec and seed (for every
-/// shard count), so this knob only changes how the round loop maps onto
-/// cores.  It still lives in the spec so campaigns can pin their execution
-/// layout reproducibly.
+/// `Sync` and `Sharded` are execution policy, not semantics: the sharded
+/// engine is contractually byte-identical to the classic engine for equal
+/// spec and seed (for every shard count), so those knobs only change how
+/// the round loop maps onto cores.  `Async` with
+/// [`ClockPlan::Uniform`] keeps the same byte-identity contract; a
+/// heterogeneous [`ClockPlan`] is the one engine knob that changes run
+/// semantics by design (per-node clock speeds), deterministically per
+/// spec and seed.  The knob lives in the spec so campaigns can pin their
+/// execution layout — and their clock model — reproducibly.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EngineSpec {
     /// The classic single-owner synchronous engine (the default).
@@ -551,12 +564,27 @@ pub enum EngineSpec {
         /// Number of shards (≥ 1).
         shards: u32,
     },
+    /// The event-driven engine: per-node virtual clocks over a
+    /// deterministic calendar event queue, no global round barrier.
+    Async {
+        /// How node clocks map onto virtual time
+        /// ([`ClockPlan::Uniform`] = the synchronous model).
+        clocks: ClockPlan,
+    },
 }
 
 impl EngineSpec {
     /// Short stable name (used in tables and logs).
     pub fn name(&self) -> String {
         self.kind().describe()
+    }
+
+    /// The event-driven engine with uniform clocks (the `--engine async`
+    /// shape: byte-identical results, event-driven execution).
+    pub fn asynchronous() -> Self {
+        EngineSpec::Async {
+            clocks: ClockPlan::Uniform,
+        }
     }
 
     /// The runtime engine selection this spec resolves to.
@@ -566,6 +594,7 @@ impl EngineSpec {
             EngineSpec::Sharded { shards } => EngineKind::Sharded {
                 shards: shards as usize,
             },
+            EngineSpec::Async { clocks } => EngineKind::Async { clocks },
         }
     }
 
@@ -577,6 +606,7 @@ impl EngineSpec {
                 Err("sharded engine needs at least one shard".into())
             }
             EngineSpec::Sharded { .. } => Ok(()),
+            EngineSpec::Async { clocks } => clocks.validate(),
         }
     }
 }
@@ -587,6 +617,71 @@ impl EngineSpec {
 // deserializing.  The wire shapes otherwise match what the derive would
 // produce (externally tagged variants).
 
+/// `u32` field helper with a range check (serde_json numbers are u64).
+fn u32_field(m: &Map, key: &str) -> Result<u32, Error> {
+    let raw: u64 = serde::from_value_field(m, key)?;
+    u32::try_from(raw).map_err(|_| Error::msg(format!("{key} value {raw} out of range")))
+}
+
+/// Wire shape of a [`ClockPlan`] (externally tagged, like a derive).
+fn clock_plan_to_value(clocks: &ClockPlan) -> Value {
+    match *clocks {
+        ClockPlan::Uniform => Value::Str("Uniform".into()),
+        ClockPlan::Stratified { every, period } => {
+            let mut inner = Map::new();
+            inner.insert("every".into(), Value::Num(Number::U(every as u64)));
+            inner.insert("period".into(), Value::Num(Number::U(period as u64)));
+            let mut m = Map::new();
+            m.insert("Stratified".into(), Value::Obj(inner));
+            Value::Obj(m)
+        }
+        ClockPlan::Jittered { max_period } => {
+            let mut inner = Map::new();
+            inner.insert(
+                "max_period".into(),
+                Value::Num(Number::U(max_period as u64)),
+            );
+            let mut m = Map::new();
+            m.insert("Jittered".into(), Value::Obj(inner));
+            Value::Obj(m)
+        }
+    }
+}
+
+fn clock_plan_from_value(v: &Value) -> Result<ClockPlan, Error> {
+    match v {
+        // An Async engine without an explicit clock plan means the
+        // synchronous model.
+        Value::Null => Ok(ClockPlan::Uniform),
+        Value::Str(s) if s == "Uniform" || s == "uniform" => Ok(ClockPlan::Uniform),
+        Value::Str(other) => Err(Error::msg(format!(
+            "unknown unit variant `{other}` of ClockPlan"
+        ))),
+        Value::Obj(m) if m.len() == 1 => {
+            let (tag, inner) = m.iter().next().expect("len checked");
+            let mm = inner
+                .as_obj()
+                .ok_or_else(|| Error::expected("object", inner))?;
+            match tag.as_str() {
+                "Stratified" => Ok(ClockPlan::Stratified {
+                    every: u32_field(mm, "every")?,
+                    period: u32_field(mm, "period")?,
+                }),
+                "Jittered" => Ok(ClockPlan::Jittered {
+                    max_period: u32_field(mm, "max_period")?,
+                }),
+                other => Err(Error::msg(format!(
+                    "unknown variant `{other}` of ClockPlan"
+                ))),
+            }
+        }
+        other => Err(Error::expected(
+            "ClockPlan (string or tagged object)",
+            other,
+        )),
+    }
+}
+
 impl Serialize for EngineSpec {
     fn to_value(&self) -> Value {
         match self {
@@ -596,6 +691,13 @@ impl Serialize for EngineSpec {
                 inner.insert("shards".into(), Value::Num(Number::U(*shards as u64)));
                 let mut m = Map::new();
                 m.insert("Sharded".into(), Value::Obj(inner));
+                Value::Obj(m)
+            }
+            EngineSpec::Async { clocks } => {
+                let mut inner = Map::new();
+                inner.insert("clocks".into(), clock_plan_to_value(clocks));
+                let mut m = Map::new();
+                m.insert("Async".into(), Value::Obj(inner));
                 Value::Obj(m)
             }
         }
@@ -609,6 +711,8 @@ impl Deserialize for EngineSpec {
             // classic engine.
             Value::Null => Ok(EngineSpec::Sync),
             Value::Str(s) if s == "Sync" || s == "sync" => Ok(EngineSpec::Sync),
+            // Hand-written specs may abbreviate uniform clocks.
+            Value::Str(s) if s == "Async" || s == "async" => Ok(EngineSpec::asynchronous()),
             Value::Str(other) => Err(Error::msg(format!(
                 "unknown unit variant `{other}` of EngineSpec"
             ))),
@@ -619,11 +723,18 @@ impl Deserialize for EngineSpec {
                         let mm = inner
                             .as_obj()
                             .ok_or_else(|| Error::expected("object", inner))?;
-                        let shards: u64 = serde::from_value_field(mm, "shards")?;
                         Ok(EngineSpec::Sharded {
-                            shards: u32::try_from(shards).map_err(|_| {
-                                Error::msg(format!("shard count {shards} out of range"))
-                            })?,
+                            shards: u32_field(mm, "shards")?,
+                        })
+                    }
+                    "Async" => {
+                        let mm = inner
+                            .as_obj()
+                            .ok_or_else(|| Error::expected("object", inner))?;
+                        Ok(EngineSpec::Async {
+                            clocks: clock_plan_from_value(
+                                mm.get("clocks").unwrap_or(&Value::Null),
+                            )?,
                         })
                     }
                     other => Err(Error::msg(format!(
@@ -890,6 +1001,94 @@ mod tests {
             netsim_runtime::EngineKind::Sharded { shards: 8 }
         );
         assert_eq!(EngineSpec::default(), EngineSpec::Sync);
+    }
+
+    #[test]
+    fn async_engine_specs_round_trip_and_validate() {
+        for clocks in [
+            ClockPlan::Uniform,
+            ClockPlan::Stratified {
+                every: 4,
+                period: 3,
+            },
+            ClockPlan::Jittered { max_period: 5 },
+        ] {
+            let mut spec = demo_spec();
+            spec.engine = EngineSpec::Async { clocks };
+            let back = RunSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec, "{clocks:?}");
+            assert_eq!(back.to_json(), spec.to_json(), "{clocks:?}");
+        }
+        // Degenerate clock plans are rejected at validation.
+        let mut spec = demo_spec();
+        spec.engine = EngineSpec::Async {
+            clocks: ClockPlan::Stratified {
+                every: 0,
+                period: 2,
+            },
+        };
+        assert!(matches!(spec.validate(), Err(SimError::Spec(_))));
+        spec.engine = EngineSpec::Async {
+            clocks: ClockPlan::Jittered { max_period: 0 },
+        };
+        assert!(matches!(spec.validate(), Err(SimError::Spec(_))));
+        // Naming and kind resolution.
+        assert_eq!(EngineSpec::asynchronous().name(), "async");
+        assert_eq!(
+            EngineSpec::Async {
+                clocks: ClockPlan::Stratified {
+                    every: 4,
+                    period: 3
+                }
+            }
+            .name(),
+            "async-strat-4x3"
+        );
+        assert_eq!(
+            EngineSpec::asynchronous().kind(),
+            netsim_runtime::EngineKind::Async {
+                clocks: ClockPlan::Uniform
+            }
+        );
+        // The abbreviated wire form (`"engine": "Async"`) reads as uniform
+        // clocks.
+        let mut spec = demo_spec();
+        spec.engine = EngineSpec::asynchronous();
+        let mut value = spec.to_value();
+        value
+            .as_obj_mut()
+            .expect("specs serialize to objects")
+            .insert("engine".into(), Value::Str("Async".into()));
+        let abbreviated = serde_json::to_string_pretty(&value).expect("value prints");
+        let parsed = RunSpec::from_json(&abbreviated).expect("abbreviated Async parses");
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn v3_specs_with_engine_fields_still_parse() {
+        // A verbatim version-3 spec: `fault` and `engine` fields, but a
+        // pre-async engine vocabulary (Sync / Sharded only).
+        let v3 = r#"{
+            "version": 3,
+            "topology": {"SmallWorld": {"d": 6, "n": 128}},
+            "workload": "Byzantine",
+            "placement": {"RandomBudget": {"delta": 0.6}},
+            "adversary": "Combined",
+            "fault": "None",
+            "engine": {"Sharded": {"shards": 4}},
+            "params": {"Derived": {"delta": 0.6, "epsilon": 0.1}},
+            "seed": 7,
+            "max_rounds": null
+        }"#;
+        let parsed = RunSpec::from_json(v3).expect("v3 spec must parse");
+        assert_eq!(parsed.engine, EngineSpec::Sharded { shards: 4 });
+        assert_eq!(parsed.version, SPEC_VERSION, "parsing migrates to latest");
+        // The v4 equivalent differs only in the version stamp; both
+        // normalize to the same spec and hence the same JSON bytes.
+        let v4 = v3.replace("\"version\": 3,", "\"version\": 4,");
+        let parsed_v4 = RunSpec::from_json(&v4).expect("v4 spec must parse");
+        assert_eq!(parsed, parsed_v4);
+        assert_eq!(parsed.to_json(), parsed_v4.to_json());
     }
 
     #[test]

@@ -26,8 +26,17 @@
 //! from the master seed, and message delivery order within a round is
 //! canonical (sorted by sender), so a run is a pure function of
 //! `(topology, protocol, adversary, seed)` regardless of thread scheduling.
+//!
+//! Three engines execute the same semantics: the classic
+//! [`engine::SyncEngine`], the node-range-partitioned
+//! [`sharded::ShardedSyncEngine`], and the event-driven
+//! [`async_engine::AsyncEngine`] (per-node virtual clocks over a
+//! deterministic calendar queue — byte-identical to the synchronous
+//! engines under [`async_engine::ClockPlan::Uniform`], and the gateway to
+//! heterogeneous-clock scenarios beyond the synchronous model).
 
 pub mod adversary;
+pub mod async_engine;
 pub mod engine;
 pub mod message;
 pub mod metrics;
@@ -37,6 +46,7 @@ pub mod sharded;
 pub mod topology;
 
 pub use adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
+pub use async_engine::{AsyncEngine, CalendarQueue, ClockPlan, EventClass, EventKey};
 pub use engine::{EngineConfig, RunResult, SyncEngine};
 pub use message::{Envelope, MessageSize, SizedMessage};
 pub use metrics::RunMetrics;
@@ -54,6 +64,7 @@ pub use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan, FaultSpec, NoFaults
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
     pub use crate::adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
+    pub use crate::async_engine::{AsyncEngine, ClockPlan};
     pub use crate::engine::{EngineConfig, RunResult, SyncEngine};
     pub use crate::message::{Envelope, MessageSize, SizedMessage};
     pub use crate::metrics::RunMetrics;

@@ -39,6 +39,7 @@
 //! down over the golden fixtures.
 
 use crate::adversary::{Adversary, AdversaryDecision, AdversaryView};
+use crate::async_engine::{AsyncEngine, ClockPlan};
 use crate::engine::{envelope_admissible, splitmix, EngineConfig, RunResult, SyncEngine};
 use crate::message::{Envelope, MessageSize};
 use crate::metrics::RunMetrics;
@@ -52,9 +53,13 @@ use rand_chacha::ChaCha8Rng;
 
 /// Which engine implementation drives a run.
 ///
-/// This is pure execution policy: both variants produce byte-identical
-/// results for equal inputs (that is the sharded engine's contract), so the
-/// choice only affects how the round loop maps onto cores.
+/// `Sync` and `Sharded` are pure execution policy: they produce
+/// byte-identical results for equal inputs (that is the sharded engine's
+/// contract), so the choice only affects how the round loop maps onto
+/// cores.  `Async` is policy *plus* a clock model: under
+/// [`ClockPlan::Uniform`] it too is byte-identical to the synchronous
+/// engines, while heterogeneous clock plans deliberately leave the
+/// synchronous model (still fully deterministic per spec and seed).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EngineKind {
     /// The classic single-owner [`SyncEngine`].
@@ -65,6 +70,11 @@ pub enum EngineKind {
         /// Number of shards (≥ 1; clamped to the node count).
         shards: usize,
     },
+    /// The event-driven [`AsyncEngine`] with the given per-node clocks.
+    Async {
+        /// How node clocks map onto virtual time.
+        clocks: ClockPlan,
+    },
 }
 
 impl EngineKind {
@@ -73,6 +83,10 @@ impl EngineKind {
         match self {
             EngineKind::Sync => "sync".into(),
             EngineKind::Sharded { shards } => format!("sharded-{shards}"),
+            EngineKind::Async {
+                clocks: ClockPlan::Uniform,
+            } => "async".into(),
+            EngineKind::Async { clocks } => format!("async-{}", clocks.describe()),
         }
     }
 }
@@ -114,6 +128,11 @@ where
             .run(),
         EngineKind::Sharded { shards } => {
             ShardedSyncEngine::new(topology, states, byzantine, adversary, config, seed, shards)
+                .with_fault_plan_opt(fault_plan)
+                .run()
+        }
+        EngineKind::Async { clocks } => {
+            AsyncEngine::new(topology, states, byzantine, adversary, config, seed, clocks)
                 .with_fault_plan_opt(fault_plan)
                 .run()
         }
@@ -1042,8 +1061,29 @@ mod tests {
         let sync = run(EngineKind::Sync);
         let sharded = run(EngineKind::Sharded { shards: 3 });
         assert_results_equal(&sync, &sharded, "run_with_engine");
+        let asynced = run(EngineKind::Async {
+            clocks: ClockPlan::Uniform,
+        });
+        assert_results_equal(&sync, &asynced, "run_with_engine (async)");
         assert_eq!(EngineKind::Sync.describe(), "sync");
         assert_eq!(EngineKind::Sharded { shards: 3 }.describe(), "sharded-3");
+        assert_eq!(
+            EngineKind::Async {
+                clocks: ClockPlan::Uniform
+            }
+            .describe(),
+            "async"
+        );
+        assert_eq!(
+            EngineKind::Async {
+                clocks: ClockPlan::Stratified {
+                    every: 2,
+                    period: 3
+                }
+            }
+            .describe(),
+            "async-strat-2x3"
+        );
         assert_eq!(EngineKind::default(), EngineKind::Sync);
     }
 

@@ -105,10 +105,10 @@ pub mod prelude {
         GeometricSupportWorkload, SpanningTreeWorkload,
     };
     pub use byzcount_core::sim::{
-        AdversarySpec, AttackSpec, BatchReport, BatchSpec, EngineSpec, Estimand, Estimator,
-        ParamsSpec, PlacementSpec, PreparedRun, RunReport, RunSpec, SeedPolicy, SimContext,
-        SimError, Simulation, SimulationBuilder, TimingSpec, TopologySpec, WorkloadSpec,
-        SPEC_VERSION,
+        AdversarySpec, AttackSpec, BatchReport, BatchSpec, ClockPlan, EngineSpec, Estimand,
+        Estimator, ParamsSpec, PlacementSpec, PreparedRun, RunReport, RunSpec, SeedPolicy,
+        SimContext, SimError, Simulation, SimulationBuilder, TimingSpec, TopologySpec,
+        WorkloadSpec, SPEC_VERSION,
     };
     pub use byzcount_core::{
         run_basic_counting, run_basic_counting_on, run_basic_counting_with, run_counting_on,

@@ -36,14 +36,28 @@ fn fault_spec_from(shape: u8, rate_milli: u64, rounds: u64, nested: bool) -> Fau
     }
 }
 
-/// Build an arbitrary [`EngineSpec`] from fuzzed scalars.
+/// Build an arbitrary [`EngineSpec`] from fuzzed scalars, covering every
+/// engine family and every clock-plan shape.
 fn engine_spec_from(shape: u8, shards: u32) -> EngineSpec {
-    if shape.is_multiple_of(2) {
-        EngineSpec::Sync
-    } else {
-        EngineSpec::Sharded {
+    match shape % 5 {
+        0 => EngineSpec::Sync,
+        1 => EngineSpec::Sharded {
             shards: shards % 64 + 1,
-        }
+        },
+        2 => EngineSpec::Async {
+            clocks: ClockPlan::Uniform,
+        },
+        3 => EngineSpec::Async {
+            clocks: ClockPlan::Stratified {
+                every: shards % 7 + 1,
+                period: shards % 5 + 1,
+            },
+        },
+        _ => EngineSpec::Async {
+            clocks: ClockPlan::Jittered {
+                max_period: shards % 6 + 1,
+            },
+        },
     }
 }
 
@@ -130,7 +144,7 @@ proptest! {
         rounds in any::<u64>(),
         nested in proptest::option::of(0u8..1),
         max_rounds in proptest::option::of(1u64..100_000),
-        engine_shape in 0u8..4,
+        engine_shape in 0u8..10,
         shards in any::<u32>(),
     ) {
         let spec = RunSpec {
@@ -152,18 +166,21 @@ proptest! {
         prop_assert_eq!(back.to_json(), json, "print ∘ parse must be the identity");
     }
 
-    /// v2 → v3 migration fuzz: strip the `engine` key (and stamp version 2)
-    /// off any serialized spec — the result must still parse, to the same
-    /// spec with the default `Sync` engine and the current version.  The
-    /// same holds one version further down: stripping `fault` too (version
-    /// 1) must yield the fault-free equivalent.
+    /// Downward migration fuzz, v4 → v3 → v2 → v1: strip the async-only
+    /// engine value (and stamp version 3) off any serialized v4 spec — the
+    /// result must still parse, to the same spec with the default `Sync`
+    /// engine and the current version; a v3 stamp over a v3-legal engine
+    /// value (`Sharded`) must preserve that engine.  One version further
+    /// down, stripping `engine` (version 2) and then `fault` too (version
+    /// 1) must yield the corresponding defaults.
     #[test]
-    fn older_spec_versions_migrate_to_v3_defaults(
+    fn older_spec_versions_migrate_to_v4_defaults(
         seed in any::<u64>(),
         n in 2usize..5000,
         fault_shape in 0u8..10,
         rate_milli in any::<u64>(),
         rounds in any::<u64>(),
+        clock_shape in 0u8..10,
     ) {
         use serde::{Number, Serialize, Value};
         let mut spec = RunSpec {
@@ -173,7 +190,8 @@ proptest! {
             placement: PlacementSpec::RandomBudget { delta: 0.6 },
             adversary: AdversarySpec::Combined,
             fault: fault_spec_from(fault_shape, rate_milli, rounds, false),
-            engine: EngineSpec::Sharded { shards: 5 },
+            // Start from a v4-only engine value (any clock-plan shape).
+            engine: engine_spec_from(2 + clock_shape % 3, rate_milli as u32),
             params: ParamsSpec::Derived { delta: 0.6, epsilon: 0.1 },
             seed,
             max_rounds: None,
@@ -187,6 +205,20 @@ proptest! {
             }
             serde_json::to_string_pretty(&v).expect("value prints")
         };
+        // v4 → v3: the async engine value is the only v4-only content;
+        // stripping it (version 3, no engine key) must read as Sync and
+        // migrate back to the current version.
+        let parsed = RunSpec::from_json(&strip(&spec, 3, &["engine"]))
+            .expect("v3 spec must parse");
+        spec.engine = EngineSpec::Sync;
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.version, SPEC_VERSION);
+        // A v3 stamp over a v3-legal engine value survives unchanged.
+        spec.engine = EngineSpec::Sharded { shards: 5 };
+        let parsed = RunSpec::from_json(&strip(&spec, 3, &[]))
+            .expect("v3 spec with a Sharded engine must parse");
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.version, SPEC_VERSION);
         // v2: no engine field.
         let parsed = RunSpec::from_json(&strip(&spec, 2, &["engine"]))
             .expect("v2 spec must parse");
@@ -198,6 +230,57 @@ proptest! {
             .expect("v1 spec must parse");
         spec.fault = FaultSpec::None;
         prop_assert_eq!(&parsed, &spec);
+    }
+
+    /// Event-queue tie-break total order: permuting the insertion order of
+    /// equal-time events with distinct `(class, node)` keys never changes
+    /// the drain order — the order is the key, not the push history.
+    #[test]
+    fn calendar_queue_drain_order_is_insertion_order_invariant(
+        tick in 0u64..5000,
+        raw_events in proptest::collection::vec(any::<u64>(), 1..40),
+        swaps in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        use byzcount::runtime::{CalendarQueue, EventClass};
+        let class_of = |c: u8| match c {
+            0 => EventClass::PlanTick,
+            1 => EventClass::NodeStep,
+            _ => EventClass::Deliver,
+        };
+        // Dedup to distinct (class, node) keys: `seq` (the final
+        // tie-break) is deliberately insertion-ordered, so only events
+        // distinct in the other components are permutation-invariant.
+        let mut events: Vec<(u8, u32)> = raw_events
+            .iter()
+            .map(|&x| ((x % 3) as u8, ((x / 3) % 64) as u32))
+            .collect();
+        events.sort_unstable();
+        events.dedup();
+        // A fuzzed permutation of the insertion order.
+        let mut permuted = events.clone();
+        for &s in &swaps {
+            let a = (s as usize) % permuted.len();
+            let b = ((s >> 32) as usize) % permuted.len();
+            permuted.swap(a, b);
+        }
+        let drain = |order: &[(u8, u32)]| {
+            let mut q: CalendarQueue<(u8, u32)> = CalendarQueue::new();
+            for &(class, node) in order {
+                q.push(0, tick, class_of(class), node, (class, node));
+            }
+            let mut out = Vec::new();
+            q.drain_due(tick, |key, payload| out.push((key.class, key.node, payload)));
+            prop_assert!(q.is_empty());
+            Ok(out)
+        };
+        let a = drain(&events)?;
+        let b = drain(&permuted)?;
+        prop_assert_eq!(&a, &b, "drain order must not depend on insertion order");
+        // And the drained sequence is sorted by the (class, node) key.
+        let keys: Vec<_> = a.iter().map(|(c, n, _)| (*c, *n)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(keys, sorted);
     }
 
     /// Serde round-trip fuzz for `FaultSpec` on its own (the hand-written
@@ -256,14 +339,15 @@ proptest! {
         prop_assert_eq!(&a, &b);
     }
 
-    /// Shard-count invariance over randomized specs: for a fuzzed
+    /// Engine invariance over randomized synchronous specs: for a fuzzed
     /// topology size, seed and fault shape (every variant reachable via
     /// `fault_spec_from`, nesting included), executing the spec on the
-    /// sharded engine with a fuzzed shard count produces a report
-    /// byte-identical to the unsharded engine's — the parity contract,
-    /// stated as a property rather than over fixtures.
+    /// sharded engine (fuzzed shard count) and on the async engine with
+    /// uniform clocks produces reports byte-identical to the classic
+    /// engine's — the parity contract of the whole engine family, stated
+    /// as a property rather than over fixtures.
     #[test]
-    fn randomized_specs_are_shard_count_invariant(
+    fn randomized_synchronous_specs_are_engine_invariant(
         seed in any::<u64>(),
         n in 48usize..128,
         fault_shape in 0u8..10,
@@ -284,16 +368,21 @@ proptest! {
             seed,
             max_rounds: Some(4000),
         };
-        let mut sharded_spec = base.clone();
-        sharded_spec.engine = EngineSpec::Sharded { shards };
-        let reference = byzcount::sim::execute(&base).expect("unsharded run");
-        let mut sharded = byzcount::sim::execute(&sharded_spec).expect("sharded run");
-        sharded.spec.engine = EngineSpec::Sync; // the one intentional delta
-        prop_assert_eq!(
-            sharded.to_json(),
-            reference.to_json(),
-            "S={} diverged from the unsharded engine", shards
-        );
+        let reference = byzcount::sim::execute(&base).expect("sync run");
+        for engine in [
+            EngineSpec::Sharded { shards },
+            EngineSpec::asynchronous(),
+        ] {
+            let mut spec = base.clone();
+            spec.engine = engine;
+            let mut report = byzcount::sim::execute(&spec).expect("engine run");
+            report.spec.engine = EngineSpec::Sync; // the one intentional delta
+            prop_assert_eq!(
+                report.to_json(),
+                reference.to_json(),
+                "{} diverged from the classic engine", engine.name()
+            );
+        }
     }
 
     /// Evaluation never counts more good nodes than honest nodes, and the
