@@ -230,27 +230,13 @@ pub fn suite_spec_on(
     }
 }
 
-/// The spec seed of one suite cell: a stable FNV-1a hash of the cell's
-/// identity `(workload, network, n)` mixed into the base seed.  Identity-
-/// derived (not position-derived), so `--sizes` subsets, reorderings and
-/// future suite extensions never change an existing cell's seed — which is
-/// what keeps `apply_baseline` joins comparing runs of the *same* topology
-/// and placement.
-pub fn cell_seed(base: u64, workload: &str, network: &str, n: usize) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    mix(workload.as_bytes());
-    mix(b"/");
-    mix(network.as_bytes());
-    mix(b"/");
-    mix(&(n as u64).to_le_bytes());
-    base ^ hash
-}
+/// The spec seed of one suite cell — the workspace-wide identity-derived
+/// [`cell_seed`] helper, re-exported from
+/// `byzcount_core::sim` (where the campaign service shares it) so `--sizes`
+/// subsets, reorderings and future suite extensions never change an
+/// existing cell's seed — which is what keeps `apply_baseline` joins
+/// comparing runs of the *same* topology and placement.
+pub use byzcount_core::sim::cell_seed;
 
 /// The `(workload, network, n)` triples a complete suite must contain, in
 /// suite order.
@@ -577,6 +563,15 @@ mod tests {
         assert_ne!(
             full,
             cell_seed(SUITE_SEED ^ 1, "byzantine-counting", "clean", 4096)
+        );
+        // Regression lock on the promotion to `byzcount_core::sim`: the
+        // shared helper must produce exactly the values this suite produced
+        // when the definition lived here, or historical baseline joins
+        // would silently stop matching.
+        assert_eq!(full, 0x54db5256f1e5bc02);
+        assert_eq!(
+            cell_seed(SUITE_SEED, "spanning-tree", "faulty", 256),
+            0xfb0cb0f2a5c1bcda
         );
     }
 

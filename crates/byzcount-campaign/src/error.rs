@@ -1,0 +1,50 @@
+//! Campaign service errors.
+
+use byzcount_core::sim::SimError;
+use std::fmt;
+
+/// Errors raised by the campaign store, scheduler, protocol and server.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignError {
+    /// A campaign spec is malformed or uses an unsupported version.
+    Spec(String),
+    /// Filesystem or socket I/O failed.
+    Io(String),
+    /// A store file is corrupt beyond what torn-tail recovery repairs
+    /// (e.g. an unparsable snapshot, or a WAL record for an unknown cell).
+    Corrupt(String),
+    /// A protocol frame was malformed or violated the handshake rules.
+    Protocol(String),
+    /// An operation does not apply to the job's current state (unknown
+    /// job, paging a cancelled job, merging an incomplete job, …).
+    State(String),
+    /// Executing a cell failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Spec(msg) => write!(f, "invalid campaign spec: {msg}"),
+            CampaignError::Io(msg) => write!(f, "campaign i/o failed: {msg}"),
+            CampaignError::Corrupt(msg) => write!(f, "campaign store corrupt: {msg}"),
+            CampaignError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            CampaignError::State(msg) => write!(f, "invalid campaign state: {msg}"),
+            CampaignError::Sim(err) => write!(f, "cell execution failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<SimError> for CampaignError {
+    fn from(err: SimError) -> Self {
+        CampaignError::Sim(err)
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(err: std::io::Error) -> Self {
+        CampaignError::Io(err.to_string())
+    }
+}

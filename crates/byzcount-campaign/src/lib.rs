@@ -1,0 +1,43 @@
+//! # byzcount-campaign — the campaign service
+//!
+//! Long sweeps over the byzcount simulation engine, made durable,
+//! resumable and streamable:
+//!
+//! * [`spec`] — the job model: a [`CampaignSpec`]
+//!   wraps a `BatchSpec` with a job id, priority and chunking, and
+//!   expands deterministically into identity-tagged cells.
+//! * [`wal`] — the campaign store: an append-only, checksummed WAL of
+//!   per-cell reports plus an atomic snapshot; crash recovery truncates
+//!   the torn tail and resumes from the last durable cell.
+//! * [`scheduler`] — runs pending cells on a worker pool with graceful
+//!   shutdown (in-flight cells finish and are checkpointed) and merges a
+//!   complete job into a `BatchReport` byte-identical to an
+//!   uninterrupted `execute_batch` run.
+//! * [`protocol`] — the versioned, line-delimited JSON wire format:
+//!   hello handshake (major must match, minor is additive),
+//!   `submit`/`status`/`results`/`cancel` verbs, and cursor-paged
+//!   streaming of results while the job runs.
+//! * [`server`] / [`client`] — the two ends of the protocol over Unix or
+//!   TCP sockets (`byzcount-cli serve` / `submit` / `watch`).
+//!
+//! The engine hot path is untouched: cells execute through the same
+//! `PreparedRun` machinery as every other entry point, so a campaign is
+//! exactly a checkpointed, schedulable view of runs you could have made
+//! by hand — with the same bytes in every report.
+
+pub mod client;
+pub mod error;
+pub mod net;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod spec;
+pub mod wal;
+
+pub use client::Client;
+pub use error::CampaignError;
+pub use protocol::{Hello, JobStatus, Request, Response, PROTO_MAJOR, PROTO_MINOR};
+pub use scheduler::{merged_report, run_campaign, RunOutcome, RunnerConfig};
+pub use server::{CampaignServer, ServerConfig};
+pub use spec::{cell_identity, CampaignCell, CampaignSpec, CAMPAIGN_VERSION};
+pub use wal::{CampaignStore, CellRecord};

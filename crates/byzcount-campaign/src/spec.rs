@@ -1,0 +1,238 @@
+//! The campaign job model.
+//!
+//! A [`CampaignSpec`] lifts a [`BatchSpec`] into a *job*: a named,
+//! prioritised sweep the campaign service can schedule, checkpoint and
+//! resume.  The spec expands deterministically into [`CampaignCell`]s —
+//! one per `(size, seed)` combination of the batch, in the batch's own
+//! size-major, seed-minor order — so the cell at index `k` is the same
+//! run on every expansion, on every machine, after every restart.  Each
+//! cell also carries an identity tag derived with the workspace-wide
+//! [`cell_seed`] helper; the WAL stores the tag with every record, which
+//! lets recovery verify a record belongs to the cell it claims to.
+
+use crate::error::CampaignError;
+use byzcount_core::sim::{cell_seed, BatchSpec, RunSpec};
+use netsim_faults::FaultSpec;
+use serde::{Deserialize, Serialize};
+
+/// Version of the campaign-spec schema.  Bump on breaking changes; readers
+/// reject specs with a newer version than they understand.  (The embedded
+/// batch carries its own `SPEC_VERSION` with the usual migration rules.)
+pub const CAMPAIGN_VERSION: u32 = 1;
+
+/// Default cell-claim granularity of the scheduler (cells per claim).
+pub const DEFAULT_CHUNK: u32 = 16;
+
+/// A named, prioritised, chunked sweep job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign schema version ([`CAMPAIGN_VERSION`]).
+    pub version: u32,
+    /// Job identifier (also the store directory name): `[A-Za-z0-9._-]`,
+    /// 1–64 characters.
+    pub job: String,
+    /// Scheduling priority; higher runs first among queued jobs (ties
+    /// break by submission order).
+    pub priority: u8,
+    /// Cells a worker claims per scheduling step (execution policy only —
+    /// results are independent of chunking).  `0` means [`DEFAULT_CHUNK`].
+    pub chunk: u32,
+    /// The sweep itself.
+    pub batch: BatchSpec,
+}
+
+impl CampaignSpec {
+    /// Wrap a [`BatchSpec`] with campaign defaults.
+    pub fn for_batch(job: impl Into<String>, batch: BatchSpec) -> Self {
+        CampaignSpec {
+            version: CAMPAIGN_VERSION,
+            job: job.into(),
+            priority: 0,
+            chunk: DEFAULT_CHUNK,
+            batch,
+        }
+    }
+
+    /// Check the spec (job-id shape, version, embedded batch).
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.version > CAMPAIGN_VERSION {
+            return Err(CampaignError::Spec(format!(
+                "campaign version {} is newer than supported version {CAMPAIGN_VERSION}",
+                self.version
+            )));
+        }
+        if self.job.is_empty() || self.job.len() > 64 {
+            return Err(CampaignError::Spec("job id must be 1-64 characters".into()));
+        }
+        if !self
+            .job
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        {
+            return Err(CampaignError::Spec(format!(
+                "job id `{}` may only contain [A-Za-z0-9._-]",
+                self.job
+            )));
+        }
+        self.batch
+            .validate()
+            .map_err(|e| CampaignError::Spec(e.to_string()))
+    }
+
+    /// Upgrade an older (but accepted) spec in place, migrating the
+    /// embedded batch to the current `SPEC_VERSION`.
+    pub fn migrate(&mut self) {
+        if self.version < CAMPAIGN_VERSION {
+            self.version = CAMPAIGN_VERSION;
+        }
+        self.batch.migrate();
+    }
+
+    /// Serialize to pretty JSON (canonical: equal specs, equal bytes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("CampaignSpec serialization cannot fail")
+    }
+
+    /// Parse from JSON, validate and migrate.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        let mut spec: CampaignSpec =
+            serde_json::from_str(text).map_err(|e| CampaignError::Spec(e.to_string()))?;
+        spec.validate()?;
+        spec.migrate();
+        Ok(spec)
+    }
+
+    /// The scheduler's effective claim granularity.
+    pub fn chunk(&self) -> usize {
+        if self.chunk == 0 {
+            DEFAULT_CHUNK as usize
+        } else {
+            self.chunk as usize
+        }
+    }
+
+    /// Expand deterministically into the concrete cells, in batch order
+    /// (size-major, seed-minor).  The expansion is a pure function of the
+    /// spec: index `k` names the same run forever.
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        self.batch
+            .expand()
+            .into_iter()
+            .enumerate()
+            .map(|(index, spec)| CampaignCell {
+                index: index as u64,
+                id: cell_identity(&spec),
+                spec,
+            })
+            .collect()
+    }
+}
+
+/// One re-runnable unit of a campaign: position, identity tag and the
+/// fully-resolved [`RunSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignCell {
+    /// Position in expansion order (the results cursor is monotone in it
+    /// only per record sequence, not per cell — cells complete out of
+    /// order).
+    pub index: u64,
+    /// Identity tag ([`cell_identity`]) — stored in every WAL record and
+    /// cross-checked on recovery.
+    pub id: u64,
+    /// The run this cell executes.
+    pub spec: RunSpec,
+}
+
+/// The identity tag of a cell's [`RunSpec`]: the shared [`cell_seed`]
+/// derivation over `(workload, clean|faulty network, n)` with the run's
+/// own seed as the base.  Equal specs get equal tags; any drift between a
+/// recovered record and the re-expanded spec it claims to be (different
+/// seed, size, workload or fault-ness) changes the tag and is caught at
+/// recovery.
+pub fn cell_identity(spec: &RunSpec) -> u64 {
+    let network = if spec.fault == FaultSpec::None {
+        "clean"
+    } else {
+        "faulty"
+    };
+    cell_seed(spec.seed, spec.workload.name(), network, spec.topology.n())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use byzcount_core::sim::{
+        AdversarySpec, EngineSpec, ParamsSpec, PlacementSpec, SeedPolicy, TopologySpec,
+        WorkloadSpec, SPEC_VERSION,
+    };
+
+    pub(crate) fn demo_batch() -> BatchSpec {
+        BatchSpec {
+            version: SPEC_VERSION,
+            run: RunSpec {
+                version: SPEC_VERSION,
+                topology: TopologySpec::SmallWorld { n: 64, d: 6 },
+                workload: WorkloadSpec::Basic,
+                placement: PlacementSpec::None,
+                adversary: AdversarySpec::Null,
+                fault: FaultSpec::None,
+                engine: EngineSpec::Sync,
+                params: ParamsSpec::Derived {
+                    delta: 0.6,
+                    epsilon: 0.1,
+                },
+                seed: 7,
+                max_rounds: None,
+            },
+            seeds: SeedPolicy::Sequence { base: 7, count: 3 },
+            sizes: Some(vec![48, 64]),
+        }
+    }
+
+    #[test]
+    fn campaign_specs_round_trip_canonically() {
+        let spec = CampaignSpec::for_batch("sweep-1", demo_batch());
+        let json = spec.to_json();
+        let back = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn job_ids_are_validated() {
+        let mut spec = CampaignSpec::for_batch("ok_job-1.x", demo_batch());
+        assert!(spec.validate().is_ok());
+        spec.job = String::new();
+        assert!(spec.validate().is_err());
+        spec.job = "has space".into();
+        assert!(spec.validate().is_err());
+        spec.job = "has/slash".into();
+        assert!(spec.validate().is_err());
+        spec.job = "x".repeat(65);
+        assert!(spec.validate().is_err());
+        spec.job = "fine".into();
+        spec.version = CAMPAIGN_VERSION + 1;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_identity_tagged() {
+        let spec = CampaignSpec::for_batch("sweep", demo_batch());
+        let a = spec.cells();
+        let b = spec.cells();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6, "2 sizes x 3 seeds");
+        // Indices are the expansion order; identity tags match the shared
+        // derivation and differ across cells.
+        for (k, cell) in a.iter().enumerate() {
+            assert_eq!(cell.index, k as u64);
+            assert_eq!(cell.id, cell_identity(&cell.spec));
+        }
+        let ids: std::collections::HashSet<u64> = a.iter().map(|c| c.id).collect();
+        assert_eq!(ids.len(), a.len(), "distinct cells, distinct tags");
+        // The tag tracks fault-ness through the shared clean/faulty label.
+        let mut faulty = a[0].spec.clone();
+        faulty.fault = netsim_faults::FaultSpec::Loss { rate: 0.1 };
+        assert_ne!(cell_identity(&faulty), a[0].id);
+    }
+}

@@ -1,0 +1,218 @@
+//! In-process server tests: the full protocol loop over a real TCP
+//! socket (ephemeral port), graceful shutdown mid-campaign, and the
+//! restore-on-start resume path.
+
+use byzcount_analysis::campaign::FullRegistry;
+use byzcount_campaign::client::Client;
+use byzcount_campaign::server::{CampaignServer, ServerConfig};
+use byzcount_campaign::spec::CampaignSpec;
+use byzcount_core::sim::{
+    execute_batch, AdversarySpec, BatchSpec, EngineSpec, ParamsSpec, PlacementSpec, RunSpec,
+    SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
+};
+use netsim_faults::FaultSpec;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn batch(seed_count: u32) -> BatchSpec {
+    BatchSpec {
+        version: SPEC_VERSION,
+        run: RunSpec {
+            version: SPEC_VERSION,
+            topology: TopologySpec::SmallWorld { n: 64, d: 6 },
+            workload: WorkloadSpec::Basic,
+            placement: PlacementSpec::None,
+            adversary: AdversarySpec::Null,
+            fault: FaultSpec::None,
+            engine: EngineSpec::Sync,
+            params: ParamsSpec::Derived {
+                delta: 0.6,
+                epsilon: 0.1,
+            },
+            seed: 23,
+            max_rounds: None,
+        },
+        seeds: SeedPolicy::Sequence {
+            base: 23,
+            count: seed_count,
+        },
+        sizes: None,
+    }
+}
+
+fn tmp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("byzcount-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(store: &Path) -> ServerConfig {
+    ServerConfig {
+        store_root: store.to_path_buf(),
+        workers: 1,
+        snapshot_every: 1,
+    }
+}
+
+fn wait_done(client: &mut Client, job: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client.status(job).expect("status");
+        if status.state == "done" {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job `{job}` never finished: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn submit_stream_merge_over_tcp() {
+    let store = tmp_store("tcp");
+    let server = CampaignServer::spawn("127.0.0.1:0", config(&store)).unwrap();
+    let spec = CampaignSpec::for_batch("tcp-job", batch(3));
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (cells, resumed) = client.submit(&spec).unwrap();
+    assert_eq!(cells, 3);
+    assert!(!resumed);
+
+    // Stream while the job runs: every record exactly once, seqs 0..3.
+    let mut seqs = Vec::new();
+    let cursor = client.watch("tcp-job", 0, 1, |r| seqs.push(r.seq)).unwrap();
+    assert_eq!(seqs, vec![0, 1, 2]);
+    assert_eq!(cursor, 3);
+
+    // A second reader paging from an interior cursor sees only the tail.
+    let (records, next, done) = client.results("tcp-job", 2, 10).unwrap();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].seq, 2);
+    assert_eq!(next, 3);
+    assert!(done);
+
+    // Merged report == uninterrupted one-shot, byte for byte.
+    let merged = client.merged("tcp-job").unwrap();
+    let oneshot = execute_batch(&spec.batch, &FullRegistry).unwrap();
+    assert_eq!(merged.to_json(), oneshot.to_json());
+
+    // Unknown jobs and premature merges answer in-band (connection stays
+    // usable afterwards).
+    assert!(client.status("no-such-job").is_err());
+    assert!(client.status("tcp-job").is_ok(), "connection survived");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn duplicate_submit_attaches_and_conflicting_spec_is_rejected() {
+    let store = tmp_store("dup");
+    let server = CampaignServer::spawn("127.0.0.1:0", config(&store)).unwrap();
+    let spec = CampaignSpec::for_batch("dup-job", batch(2));
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.submit(&spec).unwrap();
+    let mut client2 = Client::connect(server.addr()).unwrap();
+    let (cells, resumed) = client2.submit(&spec).unwrap();
+    assert_eq!(cells, 2);
+    assert!(resumed, "identical resubmission attaches");
+
+    let mut conflicting = CampaignSpec::for_batch("dup-job", batch(4));
+    conflicting.priority = 9;
+    let err = client2.submit(&conflicting).unwrap_err();
+    assert!(
+        err.to_string().contains("different spec"),
+        "conflict must be explicit: {err}"
+    );
+
+    wait_done(&mut client, "dup-job");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn shutdown_mid_campaign_then_restart_resumes_to_identical_result() {
+    let store = tmp_store("restart");
+    let spec = CampaignSpec::for_batch("restart-job", batch(6));
+
+    // Round 1: submit, let at least one cell land, shut down gracefully.
+    let server = CampaignServer::spawn("127.0.0.1:0", config(&store)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.submit(&spec).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let landed = loop {
+        let status = client.status("restart-job").unwrap();
+        if status.completed >= 1 {
+            break status.completed;
+        }
+        assert!(Instant::now() < deadline, "no progress before shutdown");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    drop(client);
+    server.shutdown();
+
+    // Round 2: a fresh server over the same store adopts the job and
+    // finishes it without re-running durable cells.
+    let server = CampaignServer::spawn("127.0.0.1:0", config(&store)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let status = client.status("restart-job").expect("job restored on boot");
+    assert!(
+        status.completed >= landed,
+        "durable cells survived the restart"
+    );
+    wait_done(&mut client, "restart-job");
+
+    let merged = client.merged("restart-job").unwrap();
+    let oneshot = execute_batch(&spec.batch, &FullRegistry).unwrap();
+    assert_eq!(
+        merged.to_json(),
+        oneshot.to_json(),
+        "restart + resume must be invisible in the merged bytes"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn cancel_stops_scheduling_and_resubmit_revives() {
+    let store = tmp_store("cancel");
+    let server = CampaignServer::spawn("127.0.0.1:0", config(&store)).unwrap();
+    let spec = CampaignSpec::for_batch("c-job", batch(4));
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.submit(&spec).unwrap();
+    client.cancel("c-job").unwrap();
+
+    // The job settles into a non-running state; durable records stay.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        let status = client.status("c-job").unwrap();
+        if status.state == "cancelled" || status.state == "done" {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cancel never settled: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    // Streaming a cancelled job terminates (done covers "will never grow").
+    let mut count = 0u64;
+    client.watch("c-job", 0, 8, |_| count += 1).unwrap();
+    assert_eq!(count, status.completed);
+
+    if status.state == "cancelled" {
+        // Resubmitting the identical spec revives the job to completion.
+        let (_, resumed) = client.submit(&spec).unwrap();
+        assert!(resumed);
+        wait_done(&mut client, "c-job");
+        let merged = client.merged("c-job").unwrap();
+        let oneshot = execute_batch(&spec.batch, &FullRegistry).unwrap();
+        assert_eq!(merged.to_json(), oneshot.to_json());
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}

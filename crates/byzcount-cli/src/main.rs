@@ -6,6 +6,10 @@
 //! byzcount-cli run <spec.json|->          # execute a RunSpec/BatchSpec
 //! byzcount-cli template [run|batch|faulty|async] # print an example spec
 //! byzcount-cli bench [--smoke] [--out F]  # standardized perf suite
+//! byzcount-cli serve <addr> [--store DIR] [--workers N] [--snapshot-every K]
+//! byzcount-cli submit <addr> <spec.json|-> [--job ID] [--priority P]
+//! byzcount-cli status <addr> <job>
+//! byzcount-cli watch <addr> <job> [--cursor C] [--page N] [--merged]
 //!
 //! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 all
 //!
@@ -36,6 +40,15 @@
 //! results, different core mapping), `--engine sync|async|sharded-S`
 //! (general engine selection; `async` is the event-driven engine with
 //! uniform clocks — byte-identical results, event-queue execution).
+//!
+//! `serve` runs the campaign service (see the README's "Campaign service"
+//! section): a WAL-checkpointed, resumable sweep scheduler behind a
+//! line-delimited JSON protocol on a Unix (`unix:/path.sock`) or TCP
+//! (`host:port`) socket.  `submit` sends a spec — a `CampaignSpec`, or a
+//! bare `BatchSpec`/`RunSpec` that is wrapped automatically — and `watch`
+//! streams the job's records as NDJSON from a cursor (`--merged` instead
+//! prints the final merged `BatchReport`, byte-identical to what
+//! `byzcount-cli run` prints for the same batch).
 //! ```
 
 use byzcount_analysis::experiments::{self, ExperimentConfig};
@@ -57,7 +70,12 @@ fn usage() -> ExitCode {
          \x20      byzcount-cli template [run|batch|faulty|async]\n\
          \x20      byzcount-cli bench [--smoke] [--sizes 1024,4096] \
          [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json] \
-         [--shards S] [--engine sync|async|sharded-S]"
+         [--shards S] [--engine sync|async|sharded-S]\n\
+         \x20      byzcount-cli serve <unix:PATH|HOST:PORT> [--store DIR] \
+         [--workers N] [--snapshot-every K]\n\
+         \x20      byzcount-cli submit <addr> <spec.json|-> [--job ID] [--priority P]\n\
+         \x20      byzcount-cli status <addr> <job>\n\
+         \x20      byzcount-cli watch <addr> <job> [--cursor C] [--page N] [--merged]"
     );
     ExitCode::from(2)
 }
@@ -289,7 +307,8 @@ fn template_batch_spec() -> BatchSpec {
     }
 }
 
-fn cmd_run(path: &str) -> ExitCode {
+/// Read a spec argument: a file path or `-` for stdin.
+fn read_spec_text(path: &str) -> Result<String, ExitCode> {
     let mut text = String::new();
     let read_result = if path == "-" {
         std::io::stdin().read_to_string(&mut text).map(|_| ())
@@ -298,10 +317,20 @@ fn cmd_run(path: &str) -> ExitCode {
             text = s;
         })
     };
-    if let Err(err) = read_result {
-        eprintln!("byzcount-cli: cannot read {path}: {err}");
-        return ExitCode::from(2);
+    match read_result {
+        Ok(()) => Ok(text),
+        Err(err) => {
+            eprintln!("byzcount-cli: cannot read {path}: {err}");
+            Err(ExitCode::from(2))
+        }
     }
+}
+
+fn cmd_run(path: &str) -> ExitCode {
+    let text = match read_spec_text(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
     // A BatchSpec is distinguished by its `seeds` field.
     let is_batch = serde_json::parse_value_complete(&text)
         .map(|v| v.field("seeds") != &serde_json::Value::Null)
@@ -327,6 +356,270 @@ fn cmd_run(path: &str) -> ExitCode {
     }
 }
 
+/// Derive a stable default job id from the batch's canonical JSON
+/// (FNV-1a 64), so resubmitting the same sweep re-attaches to the same
+/// durable state without the user inventing a name.
+fn derive_job_id(batch: &BatchSpec) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in batch.to_json().bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("job-{hash:016x}")
+}
+
+/// Interpret a submitted spec: a full `CampaignSpec` (has `batch`), a
+/// `BatchSpec` (has `seeds`) or a bare `RunSpec` — the latter two are
+/// wrapped into a campaign automatically.
+fn parse_campaign_spec(text: &str) -> Result<byzcount_campaign::CampaignSpec, String> {
+    let value = serde_json::parse_value_complete(text).map_err(|e| e.to_string())?;
+    if value.field("batch") != &serde_json::Value::Null {
+        return byzcount_campaign::CampaignSpec::from_json(text).map_err(|e| e.to_string());
+    }
+    let batch = if value.field("seeds") != &serde_json::Value::Null {
+        BatchSpec::from_json(text).map_err(|e| e.to_string())?
+    } else {
+        let run = RunSpec::from_json(text).map_err(|e| e.to_string())?;
+        let seed = run.seed;
+        BatchSpec {
+            version: SPEC_VERSION,
+            run,
+            seeds: SeedPolicy::Fixed(seed),
+            sizes: None,
+        }
+    };
+    let job = derive_job_id(&batch);
+    Ok(byzcount_campaign::CampaignSpec::for_batch(job, batch))
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return usage();
+    };
+    let mut config = byzcount_campaign::ServerConfig::new("campaigns");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" | "--workers" | "--snapshot-every" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--store" => config.store_root = value.into(),
+                    "--workers" => match value.parse::<usize>() {
+                        Ok(workers) if workers >= 1 => config.workers = workers,
+                        _ => {
+                            eprintln!("byzcount-cli: invalid --workers value `{value}`");
+                            return usage();
+                        }
+                    },
+                    "--snapshot-every" => match value.parse::<usize>() {
+                        Ok(every) => config.snapshot_every = every,
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --snapshot-every value `{value}`");
+                            return usage();
+                        }
+                    },
+                    _ => unreachable!(),
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown serve option: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    match byzcount_campaign::CampaignServer::spawn(addr, config) {
+        Ok(server) => {
+            eprintln!("byzcount-cli: serving campaigns on {}", server.addr());
+            server.join();
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("byzcount-cli: cannot serve on {addr}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut job_override: Option<String> = None;
+    let mut priority: Option<u8> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--job" | "--priority" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--job" => job_override = Some(value.clone()),
+                    "--priority" => match value.parse::<u8>() {
+                        Ok(p) => priority = Some(p),
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --priority value `{value}`");
+                            return usage();
+                        }
+                    },
+                    _ => unreachable!(),
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown submit option: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let text = match read_spec_text(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let mut spec = match parse_campaign_spec(&text) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("byzcount-cli: bad spec {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(job) = job_override {
+        spec.job = job;
+    }
+    if let Some(p) = priority {
+        spec.priority = p;
+    }
+    if let Err(err) = spec.validate() {
+        eprintln!("byzcount-cli: bad spec {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    let result = byzcount_campaign::Client::connect(addr)
+        .and_then(|mut client| client.submit(&spec).map(|ok| (client, ok)));
+    match result {
+        Ok((_, (cells, resumed))) => {
+            println!(
+                "submitted {} ({} cells, {})",
+                spec.job,
+                cells,
+                if resumed { "resumed" } else { "fresh" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("byzcount-cli: submit failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_status(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(job)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    if let Some(other) = args.get(2) {
+        eprintln!("unknown status option: {other}");
+        return usage();
+    }
+    let outcome =
+        byzcount_campaign::Client::connect(addr).and_then(|mut client| client.status(job));
+    match outcome {
+        Ok(status) => {
+            // One `key=value` line — trivially parseable from shell (the
+            // CI resume leg polls `completed=`).
+            println!(
+                "job={} state={} completed={} total={} next_seq={} priority={}",
+                status.job,
+                status.state,
+                status.completed,
+                status.total,
+                status.next_seq,
+                status.priority
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("byzcount-cli: status failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(job)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut cursor = 0u64;
+    let mut page = 64u32;
+    let mut merged = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--merged" => merged = true,
+            "--cursor" | "--page" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--cursor" => match value.parse::<u64>() {
+                        Ok(c) => cursor = c,
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --cursor value `{value}`");
+                            return usage();
+                        }
+                    },
+                    "--page" => match value.parse::<u32>() {
+                        Ok(p) if p >= 1 => page = p,
+                        _ => {
+                            eprintln!("byzcount-cli: invalid --page value `{value}`");
+                            return usage();
+                        }
+                    },
+                    _ => unreachable!(),
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown watch option: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let outcome = byzcount_campaign::Client::connect(addr).and_then(|mut client| {
+        // Follow the cursor to the end of the job.  With `--merged`, the
+        // records themselves stay quiet and only the final merged report
+        // is printed (byte-identical to `byzcount-cli run` on the batch).
+        client.watch(job, cursor, page, |record| {
+            if !merged {
+                let line = serde_json::to_string(record).expect("record serialization cannot fail");
+                println!("{line}");
+            }
+        })?;
+        if merged {
+            let report = client.merged(job)?;
+            println!("{}", report.to_json());
+        }
+        Ok(())
+    });
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("byzcount-cli: watch failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Every experiment selector `main` accepts before option parsing.
+const EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "all",
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
@@ -342,15 +635,38 @@ fn main() -> ExitCode {
     if experiment == "bench" {
         return cmd_bench(&args[1..]);
     }
+    if experiment == "serve" {
+        return cmd_serve(&args[1..]);
+    }
+    if experiment == "submit" {
+        return cmd_submit(&args[1..]);
+    }
+    if experiment == "status" {
+        return cmd_status(&args[1..]);
+    }
+    if experiment == "watch" {
+        return cmd_watch(&args[1..]);
+    }
     if experiment == "template" {
         match args.get(1).map(String::as_str) {
             None | Some("run") => println!("{}", template_run_spec().to_json()),
             Some("batch") => println!("{}", template_batch_spec().to_json()),
             Some("faulty") => println!("{}", template_faulty_spec().to_json()),
             Some("async") => println!("{}", template_async_spec().to_json()),
-            Some(_) => return usage(),
+            Some(other) => {
+                eprintln!("unknown template: {other}");
+                return usage();
+            }
         }
         return ExitCode::SUCCESS;
+    }
+    // Reject unknown subcommands *before* option parsing, so a misspelled
+    // experiment name fails loudly instead of falling through the option
+    // loop first (and a typo like `e14 --trials x` reports the real
+    // problem, not a flag error).
+    if !EXPERIMENTS.contains(&experiment.as_str()) {
+        eprintln!("unknown subcommand: {experiment}");
+        return usage();
     }
     let mut cfg = ExperimentConfig::quick();
     let mut json = false;
@@ -364,21 +680,55 @@ fn main() -> ExitCode {
                 let Some(value) = args.get(i + 1) else {
                     return usage();
                 };
+                // A value that does not parse is an error, never a silent
+                // fall-back to the default.
                 match args[i].as_str() {
                     "--n" => {
-                        cfg.n_values = value
-                            .split(',')
-                            .filter_map(|s| s.trim().parse().ok())
-                            .collect();
-                        if cfg.n_values.is_empty() {
-                            return usage();
+                        let parsed: Result<Vec<usize>, _> =
+                            value.split(',').map(|s| s.trim().parse()).collect();
+                        match parsed {
+                            Ok(n_values) if !n_values.is_empty() => cfg.n_values = n_values,
+                            _ => {
+                                eprintln!("byzcount-cli: invalid --n value `{value}`");
+                                return usage();
+                            }
                         }
                     }
-                    "--d" => cfg.d = value.parse().unwrap_or(cfg.d),
-                    "--delta" => cfg.delta = value.parse().unwrap_or(cfg.delta),
-                    "--epsilon" => cfg.epsilon = value.parse().unwrap_or(cfg.epsilon),
-                    "--trials" => cfg.trials = value.parse().unwrap_or(cfg.trials),
-                    "--seed" => cfg.seed = value.parse().unwrap_or(cfg.seed),
+                    "--d" => match value.parse() {
+                        Ok(d) => cfg.d = d,
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --d value `{value}`");
+                            return usage();
+                        }
+                    },
+                    "--delta" => match value.parse() {
+                        Ok(delta) => cfg.delta = delta,
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --delta value `{value}`");
+                            return usage();
+                        }
+                    },
+                    "--epsilon" => match value.parse() {
+                        Ok(epsilon) => cfg.epsilon = epsilon,
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --epsilon value `{value}`");
+                            return usage();
+                        }
+                    },
+                    "--trials" => match value.parse() {
+                        Ok(trials) => cfg.trials = trials,
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --trials value `{value}`");
+                            return usage();
+                        }
+                    },
+                    "--seed" => match value.parse() {
+                        Ok(seed) => cfg.seed = seed,
+                        Err(_) => {
+                            eprintln!("byzcount-cli: invalid --seed value `{value}`");
+                            return usage();
+                        }
+                    },
                     _ => unreachable!(),
                 }
                 i += 1;

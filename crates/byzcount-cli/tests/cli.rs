@@ -1,0 +1,217 @@
+//! End-to-end tests of the `byzcount-cli` binary: argument hardening
+//! (unknown subcommands and malformed flag values must fail loudly on
+//! stderr with a nonzero exit) and a full serve → submit → watch smoke
+//! over a Unix socket.
+
+use byzcount_core::sim::{
+    AdversarySpec, BatchSpec, EngineSpec, FaultSpec, ParamsSpec, PlacementSpec, RunSpec,
+    SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
+};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_byzcount-cli"))
+}
+
+fn run_cli(args: &[&str]) -> Output {
+    bin()
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn byzcount-cli")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_fails() {
+    for argv in [
+        vec!["frobnicate"],
+        vec!["e99"],
+        vec!["benchh"], // a typo'd name must not fall through to the options
+        vec!["e1x", "--trials", "3"],
+    ] {
+        let out = run_cli(&argv);
+        assert!(!out.status.success(), "{argv:?} must fail");
+        let err = stderr_of(&out);
+        assert!(err.contains("usage:"), "{argv:?} stderr: {err}");
+        assert!(err.contains("unknown subcommand"), "{argv:?} stderr: {err}");
+    }
+}
+
+#[test]
+fn empty_invocation_prints_usage_and_fails() {
+    let out = run_cli(&[]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("usage:"));
+}
+
+#[test]
+fn malformed_flag_values_are_rejected_not_defaulted() {
+    for (argv, needle) in [
+        (vec!["e1", "--trials", "many"], "invalid --trials"),
+        (vec!["e1", "--seed", "0x2a"], "invalid --seed"),
+        (vec!["e1", "--d", "six"], "invalid --d"),
+        (vec!["e1", "--delta", ""], "invalid --delta"),
+        (vec!["e1", "--epsilon", "10%"], "invalid --epsilon"),
+        (vec!["e1", "--n", "512,,1024"], "invalid --n"),
+        (vec!["e1", "--bogus"], "unknown option"),
+        (vec!["template", "nope"], "unknown template"),
+        (vec!["bench", "--repeats", "0"], "invalid --repeats"),
+        (vec!["serve"], "usage:"),
+        (vec!["submit", "unix:/tmp/x.sock"], "usage:"),
+        (vec!["status", "unix:/tmp/x.sock"], "usage:"),
+        (vec!["watch", "unix:/tmp/x.sock"], "usage:"),
+        (
+            vec!["watch", "unix:/tmp/x.sock", "j", "--cursor", "minus"],
+            "invalid --cursor",
+        ),
+    ] {
+        let out = run_cli(&argv);
+        assert!(!out.status.success(), "{argv:?} must fail");
+        let err = stderr_of(&out);
+        assert!(err.contains(needle), "{argv:?} stderr: {err}");
+        assert!(err.contains("usage:"), "{argv:?} stderr: {err}");
+    }
+}
+
+fn smoke_batch() -> BatchSpec {
+    BatchSpec {
+        version: SPEC_VERSION,
+        run: RunSpec {
+            version: SPEC_VERSION,
+            topology: TopologySpec::SmallWorld { n: 64, d: 6 },
+            workload: WorkloadSpec::Basic,
+            placement: PlacementSpec::None,
+            adversary: AdversarySpec::Null,
+            fault: FaultSpec::None,
+            engine: EngineSpec::Sync,
+            params: ParamsSpec::Derived {
+                delta: 0.6,
+                epsilon: 0.1,
+            },
+            seed: 5,
+            max_rounds: None,
+        },
+        seeds: SeedPolicy::Sequence { base: 5, count: 2 },
+        sizes: None,
+    }
+}
+
+/// Kills the server process on drop so a failing assertion cannot leak it.
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_submit_watch_round_trip_over_unix_socket() {
+    let dir = std::env::temp_dir().join(format!("byzcount-cli-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = format!("unix:{}", dir.join("svc.sock").display());
+    let store: PathBuf = dir.join("store");
+    let spec_path = dir.join("batch.json");
+    std::fs::write(&spec_path, smoke_batch().to_json()).unwrap();
+
+    let server = ServerGuard(
+        bin()
+            .args([
+                "serve",
+                &sock,
+                "--store",
+                store.to_str().unwrap(),
+                "--workers",
+                "1",
+                "--snapshot-every",
+                "1",
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn serve"),
+    );
+
+    // Wait for the socket to come up.
+    let sock_file = dir.join("svc.sock");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !sock_file.exists() {
+        assert!(Instant::now() < deadline, "server socket never appeared");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Submit the tiny sweep under an explicit job id.
+    let out = run_cli(&[
+        "submit",
+        &sock,
+        spec_path.to_str().unwrap(),
+        "--job",
+        "smoke",
+    ]);
+    assert!(out.status.success(), "submit: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("submitted smoke (2 cells"), "{stdout}");
+
+    // Stream records to completion: exactly one NDJSON line per cell,
+    // no duplicates, no gaps.
+    let out = run_cli(&["watch", &sock, "smoke", "--page", "1"]);
+    assert!(out.status.success(), "watch: {}", stderr_of(&out));
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 2, "one record per cell: {lines:?}");
+    for (k, line) in lines.iter().enumerate() {
+        let value = serde_json::parse_value_complete(line).expect("record line parses");
+        let seq = value.field("seq").clone();
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            k.to_string(),
+            "records arrive in seq order"
+        );
+    }
+
+    // The status line is shell-parseable and reflects the finished job.
+    let out = run_cli(&["status", &sock, "smoke"]);
+    assert!(out.status.success(), "status: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("state=done completed=2 total=2"),
+        "{stdout}"
+    );
+
+    // The merged report over the socket is byte-identical to running the
+    // same batch locally.
+    let merged = run_cli(&["watch", &sock, "smoke", "--merged"]);
+    assert!(merged.status.success(), "merged: {}", stderr_of(&merged));
+    let direct = run_cli(&["run", spec_path.to_str().unwrap()]);
+    assert!(direct.status.success(), "run: {}", stderr_of(&direct));
+    assert_eq!(
+        String::from_utf8_lossy(&merged.stdout),
+        String::from_utf8_lossy(&direct.stdout),
+        "campaign result must be byte-identical to the one-shot run"
+    );
+
+    // Resubmitting the identical spec re-attaches instead of restarting.
+    let again = run_cli(&[
+        "submit",
+        &sock,
+        spec_path.to_str().unwrap(),
+        "--job",
+        "smoke",
+    ]);
+    assert!(again.status.success());
+    assert!(
+        String::from_utf8_lossy(&again.stdout).contains("resumed"),
+        "identical resubmission must resume"
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -44,8 +44,8 @@ pub use report::{
     Aggregate, BatchReport, CountingSummary, EstimateStats, RunReport, SizeAggregate,
 };
 pub use spec::{
-    AdversarySpec, AttackSpec, BatchSpec, BuiltTopology, EngineSpec, ParamsSpec, PlacementSpec,
-    RunSpec, SeedPolicy, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
+    cell_seed, AdversarySpec, AttackSpec, BatchSpec, BuiltTopology, EngineSpec, ParamsSpec,
+    PlacementSpec, RunSpec, SeedPolicy, TimingSpec, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
 
 /// The runtime-side engine selection an [`EngineSpec`] resolves to, and

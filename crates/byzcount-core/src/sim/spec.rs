@@ -70,6 +70,41 @@ pub(crate) mod seed_stream {
     pub const FAULTS: u64 = 4;
 }
 
+/// The identity-derived seed (or identity tag) of one sweep cell: a stable
+/// FNV-1a hash of the cell's identity `(workload, network, n)` mixed into
+/// the base seed.
+///
+/// This is *the* workspace-wide definition of cell identity.  Identity-
+/// derived (not position-derived), so sweep subsets, reorderings and future
+/// sweep extensions never change an existing cell's value.  Two consumers
+/// rely on that stability:
+///
+/// * the bench suite (`bench::suite`) derives every cell's *spec seed* from
+///   it, which is what keeps `apply_baseline` joins across `--sizes`
+///   subsets comparing runs of the same topology and placement;
+/// * the campaign service (`byzcount-campaign`) derives every WAL record's
+///   *identity tag* from it, which is what lets a resumed sweep verify that
+///   a recovered record belongs to the cell it claims to.
+///
+/// The hash is pinned: changing it would silently unjoin historical bench
+/// reports and orphan existing campaign stores, so it is locked by
+/// regression literals in both consumers.
+pub fn cell_seed(base: u64, workload: &str, network: &str, n: usize) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    mix(workload.as_bytes());
+    mix(b"/");
+    mix(network.as_bytes());
+    mix(b"/");
+    mix(&(n as u64).to_le_bytes());
+    base ^ hash
+}
+
 // ---------------------------------------------------------------------------
 // Topology
 // ---------------------------------------------------------------------------
@@ -1182,6 +1217,44 @@ mod tests {
         assert!(PlacementSpec::Exact { nodes: vec![900] }
             .materialize(&topo, 0)
             .is_err());
+    }
+
+    #[test]
+    fn cell_seed_is_identity_derived_and_pinned() {
+        // Identity-derived: the same cell gets the same value no matter
+        // which sweep it appears in; distinct identities get distinct
+        // values (workload, network and n all feed the hash).
+        let full = cell_seed(0xBE7C4, "byzantine-counting", "clean", 4096);
+        assert_eq!(
+            full,
+            cell_seed(0xBE7C4, "byzantine-counting", "clean", 4096)
+        );
+        assert_ne!(
+            full,
+            cell_seed(0xBE7C4, "byzantine-counting", "faulty", 4096)
+        );
+        assert_ne!(
+            full,
+            cell_seed(0xBE7C4, "byzantine-counting", "clean", 1024)
+        );
+        assert_ne!(full, cell_seed(0xBE7C4, "spanning-tree", "clean", 4096));
+        assert_ne!(
+            full,
+            cell_seed(0xBE7C5, "byzantine-counting", "clean", 4096)
+        );
+        // Pinned: these literals are what the bench suite historically
+        // produced (pre-promotion, when the helper lived in
+        // `bench::suite`); changing the hash would unjoin historical
+        // `BENCH_roundloop.json` baselines and orphan campaign stores.
+        assert_eq!(full, 0x54db5256f1e5bc02);
+        assert_eq!(
+            cell_seed(0xBE7C4, "spanning-tree", "faulty", 256),
+            0xfb0cb0f2a5c1bcda
+        );
+        assert_eq!(
+            cell_seed(7, "basic-counting", "clean", 64),
+            0xc79060f0771c9e67
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`baselines`] — non-Byzantine-tolerant estimators the paper compares
 //!   against conceptually (support estimation, converge-cast, flooding);
 //! * [`analysis`] — campaign execution, the experiment harness, statistics
-//!   and table rendering used to regenerate every quantitative claim.
+//!   and table rendering used to regenerate every quantitative claim;
+//! * [`campaign`] — the campaign *service*: WAL-checkpointed, resumable
+//!   sweeps served over a line-delimited socket protocol
+//!   (`byzcount-cli serve` / `submit` / `watch`).
 //!
 //! ## Quickstart
 //!
@@ -79,6 +82,7 @@
 pub use byzcount_adversary as adversary;
 pub use byzcount_analysis as analysis;
 pub use byzcount_baselines as baselines;
+pub use byzcount_campaign as campaign;
 pub use byzcount_core as protocol;
 pub use netsim_graph as graph;
 pub use netsim_runtime as runtime;

@@ -406,3 +406,114 @@ proptest! {
         prop_assert!(eval.honest_decided <= eval.honest_total);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Campaign protocol fuzz: the wire parser must never panic, whatever the
+// bytes, and must apply the handshake compatibility rules exactly.
+// ---------------------------------------------------------------------------
+
+use byzcount_campaign::protocol::{self, Hello, Request, Response, PROTO_MAJOR, PROTO_MINOR};
+
+/// Assemble an adversarial frame line from fuzzed scalars: truncations of
+/// valid frames, unknown verbs, wrong-kind bodies, binary junk.
+fn hostile_line(shape: u8, verb_seed: u64, cut_milli: u64, job_byte: u8) -> String {
+    let verbs = [
+        "submit",
+        "status",
+        "results",
+        "cancel",
+        "hello",
+        "merge",
+        "",
+        "\u{1F980}",
+    ];
+    let verb = verbs[(verb_seed % verbs.len() as u64) as usize];
+    let line = match shape % 8 {
+        0 => format!("{{\"{verb}\": {{}}}}"),
+        1 => format!("{{\"{verb}\": {{\"job\": {job_byte}}}}}"),
+        2 => format!("{{\"{verb}\": [{job_byte}, {verb_seed}]}}"),
+        3 => format!("{{\"{verb}\": null}}"),
+        4 => format!("[{job_byte}]"),
+        5 => format!("{job_byte}"),
+        6 => String::from_utf8_lossy(&[job_byte, 0xFF, b'{', job_byte]).into_owned(),
+        _ => protocol::encode_line(&Request::Status {
+            job: "fuzzed".into(),
+        }),
+    };
+    // Truncate to an arbitrary prefix: torn frames must parse-or-error,
+    // never panic.
+    let keep = line.len() as u64 * (cut_milli % 1001) / 1000;
+    let mut cut = keep as usize;
+    while cut < line.len() && !line.is_char_boundary(cut) {
+        cut += 1;
+    }
+    line[..cut].to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary (possibly torn) frames decode to Ok or to a clean
+    /// protocol error — both requests and responses, plus the hello path.
+    #[test]
+    fn campaign_frames_never_panic(
+        shape in any::<u8>(),
+        verb_seed in any::<u64>(),
+        cut_milli in any::<u64>(),
+        job_byte in any::<u8>(),
+    ) {
+        let line = hostile_line(shape, verb_seed, cut_milli, job_byte);
+        let _ = protocol::decode_line::<Request>(&line);
+        let _ = protocol::decode_line::<Response>(&line);
+        let _ = protocol::decode_hello(&line);
+    }
+
+    /// Well-formed requests survive the wire unchanged, whatever the job
+    /// id and cursor; unknown verbs are rejected without panicking.
+    #[test]
+    fn campaign_requests_round_trip_and_reject_unknown_verbs(
+        cursor in any::<u64>(),
+        max in any::<u32>(),
+        merged in proptest::option::of(0u8..1),
+        job_tail in 0u64..1_000_000,
+    ) {
+        let job = format!("job-{job_tail}");
+        let request = Request::Results {
+            job: job.clone(),
+            cursor,
+            max,
+            merged: merged.is_some(),
+        };
+        let line = protocol::encode_line(&request);
+        prop_assert_eq!(line.matches('\n').count(), 1);
+        let back: Request = protocol::decode_line(&line).expect("round trip");
+        prop_assert_eq!(back, request);
+
+        let unknown = format!("{{\"verb-{job_tail}\": {{\"job\": \"{job}\"}}}}");
+        prop_assert!(protocol::decode_line::<Request>(&unknown).is_err());
+    }
+
+    /// Hello compatibility: any minor (ours, older, future) is accepted
+    /// as long as the major matches; every other major is rejected.
+    /// Unknown fields riding along a newer minor's hello are ignored.
+    #[test]
+    fn campaign_hello_compatibility_rules(
+        major in 0u32..5,
+        minor in any::<u32>(),
+        spec_version in any::<u32>(),
+        extra in any::<u64>(),
+    ) {
+        let line = format!(
+            "{{\"hello\": {{\"proto_major\": {major}, \"proto_minor\": {minor}, \
+             \"spec_version\": {spec_version}, \"extension_{extra}\": [{extra}]}}}}\n"
+        );
+        let hello = protocol::decode_hello(&line).expect("hello with extras parses");
+        prop_assert_eq!(hello.proto_major, major);
+        prop_assert_eq!(hello.proto_minor, minor);
+        let compatible = hello.check_compatible().is_ok();
+        prop_assert_eq!(compatible, major == PROTO_MAJOR);
+        // Sanity: our own hello is always compatible with itself.
+        prop_assert!(Hello::current().check_compatible().is_ok());
+        prop_assert_eq!(Hello::current().proto_minor, PROTO_MINOR);
+    }
+}
