@@ -15,6 +15,7 @@ use byzcount_core::sim::{
     AdversarySpec, AttackSpec, EngineSpec, FaultSpec, PlacementSpec, PreparedRun, RunSpec,
     SimError, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
+use netsim_runtime::trace::{PhaseProfile, PhaseProfiler};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -43,6 +44,11 @@ pub struct BenchConfig {
     /// async clock plans would change the runs themselves and are not
     /// suite configurations.)
     pub engine: EngineSpec,
+    /// Attach a per-phase timing profile to every cell.  The profiled
+    /// execution is an *extra* run after the timed repeats — the timed
+    /// numbers always measure the bare engine with no recorder installed,
+    /// so `--profile` never perturbs the throughput columns.
+    pub profile: bool,
 }
 
 impl BenchConfig {
@@ -54,6 +60,7 @@ impl BenchConfig {
             seed: SUITE_SEED,
             repeats: 3,
             engine: EngineSpec::Sync,
+            profile: false,
         }
     }
 
@@ -65,6 +72,7 @@ impl BenchConfig {
             seed: SUITE_SEED,
             repeats: 1,
             engine: EngineSpec::Sync,
+            profile: false,
         }
     }
 
@@ -111,6 +119,10 @@ pub struct BenchEntry {
     pub baseline_rounds_per_s: Option<f64>,
     /// `rounds_per_s / baseline_rounds_per_s`, when a baseline was joined.
     pub speedup: Option<f64>,
+    /// Per-phase timing profile from an extra profiled execution, when the
+    /// suite ran with profiling on.  `None` in plain runs; reports from
+    /// before the field existed (no `phases` key at all) still parse.
+    pub phases: Option<PhaseProfile>,
 }
 
 /// The machine-readable suite report (`BENCH_roundloop.json`).
@@ -306,6 +318,20 @@ pub fn run_suite(
                     report = Some(run);
                 }
                 let report = report.expect("at least one repeat");
+                // Profiling runs *after* the timed repeats on a fresh
+                // profiler, so the throughput columns always measure the
+                // bare engine (recorder checks only, no recorder work).
+                let phases = if cfg.profile {
+                    let profiler = PhaseProfiler::new();
+                    let profiled = prepared.execute_recorded(&FullRegistry, Some(&profiler))?;
+                    debug_assert_eq!(
+                        profiled.rounds, report.rounds,
+                        "recorders are observation-only"
+                    );
+                    Some(profiler.report())
+                } else {
+                    None
+                };
                 let secs = best.max(1e-9);
                 let entry = BenchEntry {
                     workload: workload.name().to_string(),
@@ -322,6 +348,7 @@ pub fn run_suite(
                     peak_rss_kb: peak_rss_kb(),
                     baseline_rounds_per_s: None,
                     speedup: None,
+                    phases,
                 };
                 progress(&entry);
                 entries.push(entry);
@@ -462,6 +489,7 @@ mod tests {
             peak_rss_kb: 1234,
             baseline_rounds_per_s: None,
             speedup: None,
+            phases: None,
         };
         let mut entries = Vec::new();
         for (workload, network, n) in expected_cells(&[64]) {
@@ -491,6 +519,47 @@ mod tests {
     }
 
     #[test]
+    fn reports_without_a_phases_key_still_parse() {
+        // The committed BENCH_roundloop.json predates the `phases` field;
+        // dropping the key entirely must deserialize as `None`.
+        let entry = BenchEntry {
+            workload: "byzantine-counting".into(),
+            network: "clean".into(),
+            n: 64,
+            seed: 3,
+            repeats: 1,
+            setup_ms: 1.0,
+            wall_ms: 2.0,
+            rounds: 10,
+            messages_delivered: 100,
+            rounds_per_s: 5000.0,
+            messages_per_s: 50000.0,
+            peak_rss_kb: 1234,
+            baseline_rounds_per_s: None,
+            speedup: None,
+            phases: None,
+        };
+        let report = BenchReport {
+            schema: BENCH_SCHEMA,
+            suite: "roundloop".into(),
+            sizes: vec![64],
+            seed: 3,
+            engine: Some("sync".into()),
+            baseline_label: None,
+            entries: vec![entry],
+        };
+        let stripped = report
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("\"phases\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!stripped.contains("phases"));
+        let back = BenchReport::from_json(&stripped).expect("old-shape report must parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
     fn baselines_join_by_cell() {
         let mut report = BenchReport {
             schema: BENCH_SCHEMA,
@@ -514,6 +583,7 @@ mod tests {
                 peak_rss_kb: 0,
                 baseline_rounds_per_s: None,
                 speedup: None,
+                phases: None,
             }],
         };
         let mut baseline = report.clone();

@@ -91,6 +91,7 @@ mod tests {
             fault: &byzcount_core::sim::FaultSpec::None,
             fault_seed: 0,
             engine: byzcount_core::sim::EngineKind::Sync,
+            recorder: None,
         };
         for spec in [
             AdversarySpec::Null,
@@ -119,6 +120,7 @@ mod tests {
             fault: &byzcount_core::sim::FaultSpec::None,
             fault_seed: 0,
             engine: byzcount_core::sim::EngineKind::Sync,
+            recorder: None,
         };
         match SpecAdversaryFactory::new(AdversarySpec::Combined).build(&ctx, &params) {
             Err(SimError::Unsupported(_)) => {}
@@ -137,6 +139,7 @@ mod tests {
             fault: &byzcount_core::sim::FaultSpec::None,
             fault_seed: 0,
             engine: byzcount_core::sim::EngineKind::Sync,
+            recorder: None,
         };
         assert!(SpecAdversaryFactory::new(AdversarySpec::Combined)
             .build(&ctx, &params)

@@ -14,9 +14,10 @@ use byzcount_baselines::workloads::{
     SpanningTreeWorkload,
 };
 use byzcount_core::sim::{
-    execute_batch as core_execute_batch, execute_spec as core_execute_spec, BatchReport, BatchSpec,
-    CountingEstimator, Estimator, RunReport, RunSpec, ScenarioRegistry, SimError, Simulation,
-    WorkloadSpec,
+    execute_batch as core_execute_batch, execute_batch_recorded as core_execute_batch_recorded,
+    execute_spec as core_execute_spec, execute_spec_recorded as core_execute_spec_recorded,
+    BatchReport, BatchSpec, CountingEstimator, Estimator, Recorder, RunReport, RunSpec,
+    ScenarioRegistry, SimError, Simulation, WorkloadSpec,
 };
 use byzcount_core::ProtocolParams;
 use std::sync::Arc;
@@ -60,6 +61,23 @@ pub fn execute(spec: &RunSpec) -> Result<RunReport, SimError> {
 /// Execute a [`BatchSpec`] with the full registry (parallel over runs).
 pub fn execute_batch(spec: &BatchSpec) -> Result<BatchReport, SimError> {
     core_execute_batch(spec, &FullRegistry)
+}
+
+/// [`execute`] with an optional [`Recorder`] observing the run
+/// (observation-only: the report is byte-identical either way).
+pub fn execute_recorded(
+    spec: &RunSpec,
+    recorder: Option<&dyn Recorder>,
+) -> Result<RunReport, SimError> {
+    core_execute_spec_recorded(spec, &FullRegistry, recorder)
+}
+
+/// [`execute_batch`] with an optional [`Recorder`] observing every run.
+pub fn execute_batch_recorded(
+    spec: &BatchSpec,
+    recorder: Option<&dyn Recorder>,
+) -> Result<BatchReport, SimError> {
+    core_execute_batch_recorded(spec, &FullRegistry, recorder)
 }
 
 /// `.run()` / `.run_batch()` on [`Simulation`], wired to the full registry.

@@ -8,8 +8,8 @@
 
 use crate::attack::BaselineAttack;
 use netsim_runtime::{
-    run_with_engine, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
-    NodeContext, NullAdversary, Outbox, Protocol, RunResult, SizedMessage, Topology,
+    run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
+    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
 };
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -170,6 +170,23 @@ pub fn run_exponential_support_engine<T: Topology>(
     fault_plan: Option<Box<dyn FaultPlan>>,
     engine: EngineKind,
 ) -> RunResult<f64> {
+    run_exponential_support_recorded(topo, byzantine, attack, ttl, seed, fault_plan, engine, None)
+}
+
+/// [`run_exponential_support_engine`] with an optional [`Recorder`]
+/// observing the run (observation-only: results are byte-identical either
+/// way).
+#[allow(clippy::too_many_arguments)]
+pub fn run_exponential_support_recorded<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+    recorder: Option<&dyn Recorder>,
+) -> RunResult<f64> {
     let nodes: Vec<ExponentialSupportEstimator> = (0..topo.len())
         .map(|i| {
             if byzantine[i] {
@@ -183,7 +200,7 @@ pub fn run_exponential_support_engine<T: Topology>(
         max_rounds: ttl + 4,
         stop_when_all_decided: true,
     };
-    run_with_engine(
+    run_with_engine_recorded(
         engine,
         topo,
         nodes,
@@ -192,6 +209,7 @@ pub fn run_exponential_support_engine<T: Topology>(
         config,
         seed,
         fault_plan,
+        recorder,
     )
 }
 

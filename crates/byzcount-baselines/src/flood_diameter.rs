@@ -10,8 +10,8 @@
 
 use crate::attack::BaselineAttack;
 use netsim_runtime::{
-    run_with_engine, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
-    NodeContext, NullAdversary, Outbox, Protocol, RunResult, SizedMessage, Topology,
+    run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
+    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
 };
 use rand_chacha::ChaCha8Rng;
 
@@ -127,6 +127,22 @@ pub fn run_flood_diameter_engine<T: Topology>(
     fault_plan: Option<Box<dyn FaultPlan>>,
     engine: EngineKind,
 ) -> RunResult<u64> {
+    run_flood_diameter_recorded(topo, byzantine, attack, ttl, seed, fault_plan, engine, None)
+}
+
+/// [`run_flood_diameter_engine`] with an optional [`Recorder`] observing
+/// the run (observation-only: results are byte-identical either way).
+#[allow(clippy::too_many_arguments)]
+pub fn run_flood_diameter_recorded<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+    recorder: Option<&dyn Recorder>,
+) -> RunResult<u64> {
     let nodes: Vec<FloodDiameterEstimator> = (0..topo.len())
         .map(|i| {
             FloodDiameterEstimator::new(i == 0, if byzantine[i] { Some(attack) } else { None }, ttl)
@@ -136,7 +152,7 @@ pub fn run_flood_diameter_engine<T: Topology>(
         max_rounds: ttl + 4,
         stop_when_all_decided: true,
     };
-    run_with_engine(
+    run_with_engine_recorded(
         engine,
         topo,
         nodes,
@@ -145,6 +161,7 @@ pub fn run_flood_diameter_engine<T: Topology>(
         config,
         seed,
         fault_plan,
+        recorder,
     )
 }
 

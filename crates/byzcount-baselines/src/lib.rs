@@ -33,19 +33,19 @@ pub mod workloads;
 pub use attack::BaselineAttack;
 pub use exponential::{
     run_exponential_support, run_exponential_support_engine, run_exponential_support_faulty,
-    ExponentialSupportEstimator,
+    run_exponential_support_recorded, ExponentialSupportEstimator,
 };
 pub use flood_diameter::{
     run_flood_diameter, run_flood_diameter_engine, run_flood_diameter_faulty,
-    FloodDiameterEstimator,
+    run_flood_diameter_recorded, FloodDiameterEstimator,
 };
 pub use geometric::{
     run_geometric_support, run_geometric_support_engine, run_geometric_support_faulty,
-    GeometricSupportEstimator,
+    run_geometric_support_recorded, GeometricSupportEstimator,
 };
 pub use spanning_tree::{
     run_spanning_tree_count, run_spanning_tree_count_engine, run_spanning_tree_count_faulty,
-    SpanningTreeCounter,
+    run_spanning_tree_count_recorded, SpanningTreeCounter,
 };
 pub use workloads::{
     attack_from_spec, ExponentialSupportWorkload, FloodDiameterWorkload, GeometricSupportWorkload,

@@ -11,8 +11,8 @@
 use crate::attack::BaselineAttack;
 use netsim_graph::NodeId;
 use netsim_runtime::{
-    run_with_engine, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
-    NodeContext, NullAdversary, Outbox, Protocol, RunResult, SizedMessage, Topology,
+    run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
+    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
 };
 use rand_chacha::ChaCha8Rng;
 
@@ -215,6 +215,25 @@ pub fn run_spanning_tree_count_engine<T: Topology>(
     fault_plan: Option<Box<dyn FaultPlan>>,
     engine: EngineKind,
 ) -> RunResult<u64> {
+    run_spanning_tree_count_recorded(
+        topo, byzantine, attack, max_rounds, seed, fault_plan, engine, None,
+    )
+}
+
+/// [`run_spanning_tree_count_engine`] with an optional [`Recorder`]
+/// observing the run (observation-only: results are byte-identical either
+/// way).
+#[allow(clippy::too_many_arguments)]
+pub fn run_spanning_tree_count_recorded<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    max_rounds: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+    recorder: Option<&dyn Recorder>,
+) -> RunResult<u64> {
     let nodes: Vec<SpanningTreeCounter> = (0..topo.len())
         .map(|i| SpanningTreeCounter::new(i == 0, if byzantine[i] { Some(attack) } else { None }))
         .collect();
@@ -222,7 +241,7 @@ pub fn run_spanning_tree_count_engine<T: Topology>(
         max_rounds,
         stop_when_all_decided: true,
     };
-    run_with_engine(
+    run_with_engine_recorded(
         engine,
         topo,
         nodes,
@@ -231,6 +250,7 @@ pub fn run_spanning_tree_count_engine<T: Topology>(
         config,
         seed,
         fault_plan,
+        recorder,
     )
 }
 

@@ -8,8 +8,8 @@
 
 use crate::attack::BaselineAttack;
 use crate::{
-    run_exponential_support_engine, run_flood_diameter_engine, run_geometric_support_engine,
-    run_spanning_tree_count_engine,
+    run_exponential_support_recorded, run_flood_diameter_recorded, run_geometric_support_recorded,
+    run_spanning_tree_count_recorded,
 };
 use byzcount_core::sim::{AttackSpec, Estimand, Estimator, SimContext, SimError, WorkloadRun};
 use netsim_graph::log2n;
@@ -72,7 +72,7 @@ impl Estimator for GeometricSupportWorkload {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
-        let result = run_geometric_support_engine(
+        let result = run_geometric_support_recorded(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
@@ -80,6 +80,7 @@ impl Estimator for GeometricSupportWorkload {
             ctx.seed,
             ctx.build_fault_plan(),
             ctx.engine,
+            ctx.recorder,
         );
         Ok(workload_run(Estimand::LogN, result, |v| v as f64))
     }
@@ -105,7 +106,7 @@ impl Estimator for ExponentialSupportWorkload {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
-        let result = run_exponential_support_engine(
+        let result = run_exponential_support_recorded(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
@@ -113,6 +114,7 @@ impl Estimator for ExponentialSupportWorkload {
             ctx.seed,
             ctx.build_fault_plan(),
             ctx.engine,
+            ctx.recorder,
         );
         Ok(workload_run(Estimand::N, result, |v| v))
     }
@@ -142,7 +144,7 @@ impl Estimator for SpanningTreeWorkload {
         // other high-diameter graphs get a cap linear in n.
         let derived = (4 * default_ttl(n)).max(2 * n as u64 + 8);
         let max_rounds = self.max_rounds.or(ctx.max_rounds).unwrap_or(derived);
-        let result = run_spanning_tree_count_engine(
+        let result = run_spanning_tree_count_recorded(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
@@ -150,6 +152,7 @@ impl Estimator for SpanningTreeWorkload {
             ctx.seed,
             ctx.build_fault_plan(),
             ctx.engine,
+            ctx.recorder,
         );
         Ok(workload_run(Estimand::N, result, |v| v as f64))
     }
@@ -176,7 +179,7 @@ impl Estimator for FloodDiameterWorkload {
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let n = ctx.topology.len();
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(n).max(n as u64));
-        let result = run_flood_diameter_engine(
+        let result = run_flood_diameter_recorded(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
@@ -184,6 +187,7 @@ impl Estimator for FloodDiameterWorkload {
             ctx.seed,
             ctx.build_fault_plan(),
             ctx.engine,
+            ctx.recorder,
         );
         Ok(workload_run(Estimand::Diameter, result, |v| v as f64))
     }
@@ -206,6 +210,7 @@ mod tests {
             fault: &byzcount_core::sim::FaultSpec::None,
             fault_seed: 0,
             engine: byzcount_core::sim::EngineKind::Sync,
+            recorder: None,
         }
     }
 

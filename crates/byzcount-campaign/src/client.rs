@@ -12,6 +12,7 @@ use crate::error::CampaignError;
 use crate::net::IoStream;
 use crate::protocol::{
     decode_hello, decode_line, encode_hello, encode_line, Hello, JobStatus, Request, Response,
+    ServerStats,
 };
 use crate::spec::CampaignSpec;
 use crate::wal::CellRecord;
@@ -124,6 +125,16 @@ impl Client {
         })? {
             Response::Merged { report } => Ok(*report),
             other => Err(unexpected("merged", &other)),
+        }
+    }
+
+    /// Fetch live service telemetry (requires a server speaking protocol
+    /// minor ≥ 1; an older server answers with a clean `unknown verb`
+    /// error, surfaced as [`CampaignError::Protocol`]).
+    pub fn stats(&mut self) -> Result<ServerStats, CampaignError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
         }
     }
 

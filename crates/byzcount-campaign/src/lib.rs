@@ -15,8 +15,11 @@
 //!   uninterrupted `execute_batch` run.
 //! * [`protocol`] — the versioned, line-delimited JSON wire format:
 //!   hello handshake (major must match, minor is additive),
-//!   `submit`/`status`/`results`/`cancel` verbs, and cursor-paged
+//!   `submit`/`status`/`results`/`cancel`/`stats` verbs, and cursor-paged
 //!   streaming of results while the job runs.
+//! * [`telemetry`] — observation-only live service counters (worker
+//!   utilization, cells/s, WAL fsync latency histogram) surfaced by the
+//!   `stats` verb (protocol minor 1).
 //! * [`server`] / [`client`] — the two ends of the protocol over Unix or
 //!   TCP sockets (`byzcount-cli serve` / `submit` / `watch`).
 //!
@@ -32,12 +35,18 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod spec;
+pub mod telemetry;
 pub mod wal;
 
 pub use client::Client;
 pub use error::CampaignError;
-pub use protocol::{Hello, JobStatus, Request, Response, PROTO_MAJOR, PROTO_MINOR};
-pub use scheduler::{merged_report, run_campaign, RunOutcome, RunnerConfig};
+pub use protocol::{
+    Hello, JobStatus, JobTelemetry, Request, Response, ServerStats, PROTO_MAJOR, PROTO_MINOR,
+};
+pub use scheduler::{
+    merged_report, run_campaign, run_campaign_telemetry, RunOutcome, RunnerConfig,
+};
 pub use server::{CampaignServer, ServerConfig};
 pub use spec::{cell_identity, CampaignCell, CampaignSpec, CAMPAIGN_VERSION};
+pub use telemetry::Telemetry;
 pub use wal::{CampaignStore, CellRecord};

@@ -32,7 +32,8 @@ use serde::{Deserialize, Map, Serialize, Value};
 /// Protocol major version: peers must match exactly.
 pub const PROTO_MAJOR: u32 = 1;
 /// Protocol minor version: peers may differ (additive changes only).
-pub const PROTO_MINOR: u32 = 0;
+/// Minor 1 added the `stats` verb (live service telemetry).
+pub const PROTO_MINOR: u32 = 1;
 /// Default page size of a `results` request that names none.
 pub const DEFAULT_PAGE: u32 = 64;
 
@@ -102,6 +103,8 @@ pub enum Request {
         /// Job id.
         job: String,
     },
+    /// Ask for live service telemetry (added in minor 1).
+    Stats,
 }
 
 /// A job's progress counters.
@@ -120,6 +123,57 @@ pub struct JobStatus {
     pub next_seq: u64,
     /// Scheduling priority.
     pub priority: u8,
+}
+
+/// Per-job live telemetry inside a [`ServerStats`] frame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobTelemetry {
+    /// Job id.
+    pub job: String,
+    /// Lifecycle state (same vocabulary as [`JobStatus::state`]).
+    pub state: String,
+    /// Cells with durable reports.
+    pub completed: u64,
+    /// Total cells in the expansion.
+    pub total: u64,
+    /// Estimated seconds to completion at the current throughput;
+    /// `None` when the job is not running or no throughput is
+    /// established yet.
+    pub eta_s: Option<f64>,
+}
+
+/// Live service telemetry: the body of a `stats` response (minor 1).
+///
+/// Every field is additive — older clients never ask for it, newer
+/// servers may append fields that this struct silently ignores.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Seconds since the server process started.
+    pub uptime_s: f64,
+    /// Configured scheduler worker threads.
+    pub workers: u64,
+    /// Workers currently executing a cell (instantaneous).
+    pub busy_workers: u64,
+    /// Jobs waiting for a scheduler slot.
+    pub queue_depth: u64,
+    /// Jobs currently being scheduled.
+    pub running_jobs: u64,
+    /// Cells made durable by this process since start.
+    pub cells_completed: u64,
+    /// Cells still pending across all live jobs.
+    pub cells_pending: u64,
+    /// Mean cells per second since the process started.
+    pub cells_per_s: f64,
+    /// WAL fsyncs timed so far.
+    pub fsyncs: u64,
+    /// WAL fsync latency, 50th percentile (microseconds).
+    pub fsync_p50_us: u64,
+    /// WAL fsync latency, 90th percentile (microseconds).
+    pub fsync_p90_us: u64,
+    /// WAL fsync latency, 99th percentile (microseconds).
+    pub fsync_p99_us: u64,
+    /// Per-job progress and ETA.
+    pub jobs: Vec<JobTelemetry>,
 }
 
 /// Server → client verbs.
@@ -159,6 +213,8 @@ pub enum Response {
         /// Job id.
         job: String,
     },
+    /// Live service telemetry (answer to a `stats` request, minor 1).
+    Stats(ServerStats),
     /// The request failed; the connection stays usable.
     Error {
         /// Machine-readable kind (`spec`, `state`, `protocol`, …).
@@ -259,6 +315,7 @@ impl Serialize for Request {
                 body.insert("job".into(), Value::Str(job.clone()));
                 tagged("cancel", Value::Obj(body))
             }
+            Request::Stats => tagged("stats", Value::Obj(Map::new())),
         }
     }
 }
@@ -284,6 +341,7 @@ impl Deserialize for Request {
             "cancel" => Ok(Request::Cancel {
                 job: str_field(body, "job")?,
             }),
+            "stats" => Ok(Request::Stats),
             other => Err(serde::Error::msg(format!("unknown verb `{other}`"))),
         }
     }
@@ -327,6 +385,7 @@ impl Serialize for Response {
                 body.insert("job".into(), Value::Str(job.clone()));
                 tagged("cancelled", Value::Obj(body))
             }
+            Response::Stats(stats) => tagged("stats", stats.to_value()),
             Response::Error { code, message } => {
                 let mut body = Map::new();
                 body.insert("code".into(), Value::Str(code.clone()));
@@ -365,6 +424,9 @@ impl Deserialize for Response {
             "cancelled" => Ok(Response::Cancelled {
                 job: str_field(body, "job")?,
             }),
+            "stats" => Ok(Response::Stats(
+                ServerStats::from_value(body).map_err(|e| e.in_field("stats"))?,
+            )),
             "error" => Ok(Response::Error {
                 code: opt_field(body, "code", "error".to_string())?,
                 message: opt_field(body, "message", String::new())?,
@@ -424,6 +486,7 @@ mod tests {
                 merged: false,
             },
             Request::Cancel { job: "j".into() },
+            Request::Stats,
         ];
         for frame in frames {
             let line = encode_line(&frame);
@@ -456,6 +519,27 @@ mod tests {
                 done: false,
             },
             Response::Cancelled { job: "j".into() },
+            Response::Stats(ServerStats {
+                uptime_s: 12.5,
+                workers: 4,
+                busy_workers: 3,
+                queue_depth: 1,
+                running_jobs: 2,
+                cells_completed: 40,
+                cells_pending: 8,
+                cells_per_s: 3.2,
+                fsyncs: 40,
+                fsync_p50_us: 90,
+                fsync_p90_us: 200,
+                fsync_p99_us: 512,
+                jobs: vec![JobTelemetry {
+                    job: "j".into(),
+                    state: "running".into(),
+                    completed: 4,
+                    total: 12,
+                    eta_s: Some(2.5),
+                }],
+            }),
             Response::Error {
                 code: "state".into(),
                 message: "nope".into(),
@@ -496,6 +580,35 @@ mod tests {
                 merged: false,
             }
         );
+    }
+
+    #[test]
+    fn stats_tolerates_future_minor_additions() {
+        // A newer server (higher minor) may append fields to the stats
+        // body and to each job entry; this client must ignore them and
+        // still parse what it knows.
+        let line = "{\"stats\": {\"uptime_s\": 1.0, \"workers\": 2, \
+                    \"busy_workers\": 0, \"queue_depth\": 0, \
+                    \"running_jobs\": 0, \"cells_completed\": 9, \
+                    \"cells_pending\": 0, \"cells_per_s\": 9.0, \
+                    \"fsyncs\": 9, \"fsync_p50_us\": 1, \"fsync_p90_us\": 2, \
+                    \"fsync_p99_us\": 3, \"jobs\": [{\"job\": \"j\", \
+                    \"state\": \"done\", \"completed\": 9, \"total\": 9, \
+                    \"eta_s\": null, \"gpu_ms\": 17}], \
+                    \"brand_new_gauge\": 42}}\n";
+        let back: Response = decode_line(line).unwrap();
+        match back {
+            Response::Stats(stats) => {
+                assert_eq!(stats.cells_completed, 9);
+                assert_eq!(stats.jobs.len(), 1);
+                assert_eq!(stats.jobs[0].eta_s, None);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // And the old wire shape (minor 0) never carried `stats` at all:
+        // an old server answers the verb with a clean protocol error, not
+        // a disconnect — modelled here by the unknown-verb path.
+        assert!(decode_line::<Response>("{\"statz\": {}}\n").is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::error::CampaignError;
 use crate::spec::CampaignCell;
+use crate::telemetry::Telemetry;
 use crate::wal::{CampaignStore, CellRecord};
 use byzcount_core::sim::{execute_spec, BatchReport, RunReport, ScenarioRegistry};
 use std::collections::VecDeque;
@@ -60,6 +61,20 @@ pub fn run_campaign(
     registry: &dyn ScenarioRegistry,
     config: RunnerConfig,
     stop: &AtomicBool,
+    on_record: impl FnMut(&CellRecord),
+) -> Result<RunOutcome, CampaignError> {
+    run_campaign_telemetry(store, registry, config, stop, None, on_record)
+}
+
+/// [`run_campaign`] with an optional observation-only [`Telemetry`] sink:
+/// workers mark themselves busy around each cell and every durable
+/// append counts one cell done.  Results and durability are unaffected.
+pub fn run_campaign_telemetry(
+    store: &Mutex<CampaignStore>,
+    registry: &dyn ScenarioRegistry,
+    config: RunnerConfig,
+    stop: &AtomicBool,
+    telemetry: Option<&Telemetry>,
     mut on_record: impl FnMut(&CellRecord),
 ) -> Result<RunOutcome, CampaignError> {
     let (pending, chunk) = {
@@ -101,6 +116,7 @@ pub fn run_campaign(
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
+                    let _busy = telemetry.map(|t| t.busy_guard());
                     let result = execute_spec(&cell.spec, registry).map_err(Into::into);
                     if tx.send((cell.index, result)).is_err() {
                         return;
@@ -117,6 +133,9 @@ pub fn run_campaign(
                 Ok(report) => {
                     let mut guard = store.lock().expect("store lock");
                     let record = guard.append(cell, report)?;
+                    if let Some(t) = telemetry {
+                        t.cell_done();
+                    }
                     on_record(record);
                     landed += 1;
                     since_snapshot += 1;
@@ -268,6 +287,42 @@ mod tests {
         )
         .unwrap();
         assert_eq!(outcome, RunOutcome::Complete);
+        let merged = merged_report(&store.lock().unwrap()).unwrap();
+        let oneshot = execute_batch(&spec.batch, &FullRegistry).unwrap();
+        assert_eq!(merged.to_json(), oneshot.to_json());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn telemetry_counts_cells_and_fsyncs_without_changing_results() {
+        let root = tmp_root("telemetry");
+        let spec = CampaignSpec::for_batch("telemetry", demo_batch());
+        let (mut store, _) = CampaignStore::open_or_create(&root, &spec).unwrap();
+        let telemetry = std::sync::Arc::new(Telemetry::new());
+        store.attach_telemetry(telemetry.clone());
+        let total = store.cells().len() as u64;
+        let store = Mutex::new(store);
+        let stop = AtomicBool::new(false);
+        let outcome = run_campaign_telemetry(
+            &store,
+            &FullRegistry,
+            RunnerConfig {
+                workers: 2,
+                snapshot_every: 0,
+            },
+            &stop,
+            Some(&telemetry),
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(outcome, RunOutcome::Complete);
+        assert_eq!(telemetry.cells_done(), total);
+        assert_eq!(telemetry.busy_workers(), 0, "all busy guards released");
+        let (fsyncs, p50, _, p99) = telemetry.fsync_summary_ns();
+        assert_eq!(fsyncs, total, "one timed fsync per durable cell");
+        assert!(p50 > 0 && p99 >= p50);
+        // Observation only: the merged report is byte-identical to the
+        // untelemetered one-shot batch.
         let merged = merged_report(&store.lock().unwrap()).unwrap();
         let oneshot = execute_batch(&spec.batch, &FullRegistry).unwrap();
         assert_eq!(merged.to_json(), oneshot.to_json());

@@ -6,8 +6,9 @@
 //!
 //! * the **scheduler** — takes the highest-priority queued job
 //!   (submission order breaks ties) and drives it with
-//!   [`run_campaign`], one job at a time, appending every finished cell
-//!   to the job's WAL;
+//!   [`run_campaign_telemetry`], one job at a time, appending every
+//!   finished cell to the job's WAL and feeding the live [`Telemetry`]
+//!   served by the `stats` verb;
 //! * one **connection handler** per client — hello handshake first
 //!   (server speaks first), then a request/response loop.  Protocol
 //!   errors are answered in-band; only a hello major mismatch or EOF
@@ -20,10 +21,12 @@
 use crate::error::CampaignError;
 use crate::net::{IoStream, Listener};
 use crate::protocol::{
-    decode_hello, decode_line, encode_hello, encode_line, Hello, JobStatus, Request, Response,
+    decode_hello, decode_line, encode_hello, encode_line, Hello, JobStatus, JobTelemetry, Request,
+    Response, ServerStats,
 };
-use crate::scheduler::{run_campaign, RunOutcome, RunnerConfig};
+use crate::scheduler::{run_campaign_telemetry, RunOutcome, RunnerConfig};
 use crate::spec::CampaignSpec;
+use crate::telemetry::Telemetry;
 use crate::wal::CampaignStore;
 use byzcount_analysis::campaign::FullRegistry;
 use std::collections::BTreeMap;
@@ -100,6 +103,8 @@ struct Shared {
     wake: Condvar,
     shutdown: AtomicBool,
     submit_counter: AtomicU64,
+    /// Process-wide live telemetry (the `stats` verb's source of truth).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Shared {
@@ -153,6 +158,7 @@ impl CampaignServer {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             submit_counter: AtomicU64::new(0),
+            telemetry: Arc::new(Telemetry::new()),
         });
         restore_jobs(&shared)?;
 
@@ -217,7 +223,8 @@ fn restore_jobs(shared: &Arc<Shared>) -> Result<(), CampaignError> {
             .and_then(|n| n.to_str())
             .unwrap_or_default()
             .to_string();
-        let store = CampaignStore::open(&shared.config.store_root, &job)?;
+        let mut store = CampaignStore::open(&shared.config.store_root, &job)?;
+        store.attach_telemetry(Arc::clone(&shared.telemetry));
         let spec = store.spec().clone();
         let complete = store.is_complete();
         let handle = Arc::new(JobHandle {
@@ -289,7 +296,14 @@ fn scheduler_loop(shared: &Arc<Shared>) {
                 }
             })
         };
-        let outcome = run_campaign(&handle.store, &FullRegistry, config, stop, |_| {});
+        let outcome = run_campaign_telemetry(
+            &handle.store,
+            &FullRegistry,
+            config,
+            stop,
+            Some(&shared.telemetry),
+            |_| {},
+        );
         let next = match outcome {
             Ok(RunOutcome::Complete) => JobState::Done,
             Ok(RunOutcome::Stopped) => {
@@ -403,6 +417,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
             merged,
         } => handle_results(shared, &job, cursor, max, merged),
         Request::Cancel { job } => handle_cancel(shared, &job),
+        Request::Stats => handle_stats(shared),
     };
     result.unwrap_or_else(|err| Response::from_error(&err))
 }
@@ -449,7 +464,8 @@ fn handle_submit(shared: &Arc<Shared>, spec: CampaignSpec) -> Result<Response, C
             resumed: true,
         });
     }
-    let (store, resumed) = CampaignStore::open_or_create(&shared.config.store_root, &spec)?;
+    let (mut store, resumed) = CampaignStore::open_or_create(&shared.config.store_root, &spec)?;
+    store.attach_telemetry(Arc::clone(&shared.telemetry));
     let cells = store.cells().len() as u64;
     let complete = store.is_complete();
     let job = spec.job.clone();
@@ -531,6 +547,66 @@ fn handle_results(
         total: store.next_seq(),
         done,
     })
+}
+
+/// Assemble the `stats` response from the process telemetry plus a walk
+/// over the live job table.  Purely observational: takes the same locks
+/// as `status`, mutates nothing.
+fn handle_stats(shared: &Arc<Shared>) -> Result<Response, CampaignError> {
+    let telemetry = &shared.telemetry;
+    let cells_per_s = telemetry.cells_per_s();
+    let (fsyncs, p50_ns, p90_ns, p99_ns) = telemetry.fsync_summary_ns();
+
+    let handles: Vec<(String, Arc<JobHandle>)> = {
+        let jobs = shared.jobs.lock().expect("jobs lock");
+        jobs.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    };
+    let mut jobs = Vec::with_capacity(handles.len());
+    let mut cells_pending = 0u64;
+    let mut running_jobs = 0u64;
+    for (name, handle) in handles {
+        let (total, completed) = {
+            let store = handle.store.lock().expect("store lock");
+            (store.cells().len() as u64, store.completed() as u64)
+        };
+        let state = handle.state.lock().expect("state lock").clone();
+        let remaining = total - completed;
+        let running = state == JobState::Running;
+        if running {
+            running_jobs += 1;
+        }
+        if matches!(state, JobState::Queued | JobState::Running) {
+            cells_pending += remaining;
+        }
+        let eta_s = if running && cells_per_s > 0.0 && remaining > 0 {
+            Some(remaining as f64 / cells_per_s)
+        } else {
+            None
+        };
+        jobs.push(JobTelemetry {
+            job: name,
+            state: state.name().to_string(),
+            completed,
+            total,
+            eta_s,
+        });
+    }
+    let queue_depth = shared.queue.lock().expect("queue lock").len() as u64;
+    Ok(Response::Stats(ServerStats {
+        uptime_s: telemetry.uptime_s(),
+        workers: shared.config.workers as u64,
+        busy_workers: telemetry.busy_workers(),
+        queue_depth,
+        running_jobs,
+        cells_completed: telemetry.cells_done(),
+        cells_pending,
+        cells_per_s,
+        fsyncs,
+        fsync_p50_us: p50_ns / 1_000,
+        fsync_p90_us: p90_ns / 1_000,
+        fsync_p99_us: p99_ns / 1_000,
+        jobs,
+    }))
 }
 
 fn handle_cancel(shared: &Arc<Shared>, job: &str) -> Result<Response, CampaignError> {

@@ -1,0 +1,140 @@
+//! Live service telemetry: what the `stats` verb reports.
+//!
+//! One [`Telemetry`] instance lives for the whole server process and
+//! aggregates observation-only counters — busy workers, cells landed,
+//! WAL fsync latencies — from the scheduler and every job store.  The
+//! scheduler and WAL never *read* it, so (like the engine recorders) it
+//! cannot perturb results; it only prices them.
+
+use netsim_trace::LogHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Shared, thread-safe telemetry counters for one server process.
+pub struct Telemetry {
+    started: Instant,
+    busy: AtomicU64,
+    cells_done: AtomicU64,
+    fsync_ns: Mutex<LogHistogram>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            started: Instant::now(),
+            busy: AtomicU64::new(0),
+            cells_done: AtomicU64::new(0),
+            fsync_ns: Mutex::new(LogHistogram::new()),
+        }
+    }
+}
+
+impl Telemetry {
+    /// Fresh counters; the uptime clock starts now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seconds since the counters were created.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Mark one worker busy for the guard's lifetime.
+    pub fn busy_guard(&self) -> BusyGuard<'_> {
+        self.busy.fetch_add(1, Ordering::SeqCst);
+        BusyGuard { telemetry: self }
+    }
+
+    /// Workers currently executing a cell.
+    pub fn busy_workers(&self) -> u64 {
+        self.busy.load(Ordering::SeqCst)
+    }
+
+    /// Record one durable cell.
+    pub fn cell_done(&self) {
+        self.cells_done.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Cells made durable by this process since start.
+    pub fn cells_done(&self) -> u64 {
+        self.cells_done.load(Ordering::SeqCst)
+    }
+
+    /// Mean throughput since start (cells per second).
+    pub fn cells_per_s(&self) -> f64 {
+        let secs = self.uptime_s();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.cells_done() as f64 / secs
+    }
+
+    /// Record one WAL fsync duration.
+    pub fn record_fsync_ns(&self, ns: u64) {
+        self.fsync_ns.lock().expect("fsync lock").record(ns);
+    }
+
+    /// `(count, p50, p90, p99)` of the fsync latency histogram, in
+    /// nanoseconds.
+    pub fn fsync_summary_ns(&self) -> (u64, u64, u64, u64) {
+        let hist = self.fsync_ns.lock().expect("fsync lock");
+        (
+            hist.count(),
+            hist.quantile(0.50),
+            hist.quantile(0.90),
+            hist.quantile(0.99),
+        )
+    }
+}
+
+/// RAII marker of one busy worker; dropping it returns the slot.
+pub struct BusyGuard<'a> {
+    telemetry: &'a Telemetry,
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.telemetry.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_guard_counts_nested_scopes() {
+        let t = Telemetry::new();
+        assert_eq!(t.busy_workers(), 0);
+        {
+            let _a = t.busy_guard();
+            let _b = t.busy_guard();
+            assert_eq!(t.busy_workers(), 2);
+        }
+        assert_eq!(t.busy_workers(), 0);
+    }
+
+    #[test]
+    fn fsync_summary_is_ordered() {
+        let t = Telemetry::new();
+        assert_eq!(t.fsync_summary_ns(), (0, 0, 0, 0));
+        for ns in [100u64, 1_000, 10_000, 100_000] {
+            t.record_fsync_ns(ns);
+        }
+        let (count, p50, p90, p99) = t.fsync_summary_ns();
+        assert_eq!(count, 4);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 >= 100_000, "p99 bucket must cover the max");
+    }
+
+    #[test]
+    fn throughput_counts_cells() {
+        let t = Telemetry::new();
+        t.cell_done();
+        t.cell_done();
+        assert_eq!(t.cells_done(), 2);
+        assert!(t.cells_per_s() >= 0.0);
+    }
+}

@@ -22,12 +22,15 @@
 
 use crate::error::CampaignError;
 use crate::spec::{CampaignCell, CampaignSpec};
+use crate::telemetry::Telemetry;
 use byzcount_core::sim::RunReport;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Upper bound on a single framed payload; anything larger is treated as
 /// a torn length field.
@@ -103,6 +106,11 @@ pub struct CampaignStore {
     by_cell: BTreeMap<u64, usize>,
     wal: File,
     next_seq: u64,
+    /// Optional observation-only telemetry sink; when present, [`append`]
+    /// times its `fdatasync` into the fsync latency histogram.
+    ///
+    /// [`append`]: CampaignStore::append
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl CampaignStore {
@@ -156,6 +164,7 @@ impl CampaignStore {
                 by_cell: BTreeMap::new(),
                 wal,
                 next_seq: 0,
+                telemetry: None,
             },
             false,
         ))
@@ -258,6 +267,7 @@ impl CampaignStore {
             by_cell,
             wal,
             next_seq,
+            telemetry: None,
         })
     }
 
@@ -301,6 +311,13 @@ impl CampaignStore {
         self.next_seq
     }
 
+    /// Install an observation-only telemetry sink; subsequent
+    /// [`append`](CampaignStore::append)s time their fsync into it.
+    /// Durability and record contents are unaffected.
+    pub fn attach_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
     /// Append one completed cell to the WAL (flushed and synced before
     /// returning — once `append` returns, the record survives a crash).
     /// A duplicate report for an already-durable cell is ignored.
@@ -322,7 +339,14 @@ impl CampaignStore {
         };
         let payload = serde_json::to_string(&record).expect("CellRecord serialization cannot fail");
         self.wal.write_all(&frame(payload.as_bytes()))?;
-        self.wal.sync_data()?;
+        match &self.telemetry {
+            Some(telemetry) => {
+                let start = Instant::now();
+                self.wal.sync_data()?;
+                telemetry.record_fsync_ns(start.elapsed().as_nanos() as u64);
+            }
+            None => self.wal.sync_data()?,
+        }
         self.next_seq += 1;
         self.by_cell.insert(cell, self.records.len());
         self.records.push(record);

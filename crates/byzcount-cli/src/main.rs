@@ -3,12 +3,14 @@
 //!
 //! ```text
 //! byzcount-cli <experiment> [options]     # regenerate paper tables
-//! byzcount-cli run <spec.json|->          # execute a RunSpec/BatchSpec
+//! byzcount-cli run <spec.json|-> [--trace F] [--profile] # execute a spec
 //! byzcount-cli template [run|batch|faulty|async] # print an example spec
-//! byzcount-cli bench [--smoke] [--out F]  # standardized perf suite
+//! byzcount-cli bench [--smoke] [--out F] [--profile] # standardized perf suite
+//! byzcount-cli trace-check <trace.ndjson> # validate a trace file
 //! byzcount-cli serve <addr> [--store DIR] [--workers N] [--snapshot-every K]
 //! byzcount-cli submit <addr> <spec.json|-> [--job ID] [--priority P]
 //! byzcount-cli status <addr> <job>
+//! byzcount-cli stats <addr>
 //! byzcount-cli watch <addr> <job> [--cursor C] [--page N] [--merged]
 //!
 //! Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 all
@@ -28,6 +30,14 @@
 //! `seeds` field) from the given file or stdin (`-`), executes it with the
 //! full scenario registry, and prints the `RunReport` / `BatchReport` JSON
 //! to stdout.  The same spec and seed always produce byte-identical output.
+//! `--trace FILE` additionally writes an NDJSON structured trace of the
+//! run (Chrome trace-event format, byte-deterministic for equal
+//! spec+seed; load it in `chrome://tracing` or Perfetto) and `--profile`
+//! prints a phase-level timing table (count / total / p50 / p90 / p99 per
+//! engine phase) to stderr.  Both are observation-only: the report JSON
+//! on stdout is byte-identical with or without them.  `trace-check`
+//! validates a trace file — every line a known event, spans balanced,
+//! `ts` strictly increasing — and prints its counter totals.
 //!
 //! `bench` runs the standardized round-loop performance suite (counting +
 //! all four baselines × {clean, faulty} networks × the configured sizes)
@@ -39,7 +49,14 @@
 //! (run every cell on the sharded engine with `S` shards — byte-identical
 //! results, different core mapping), `--engine sync|async|sharded-S`
 //! (general engine selection; `async` is the event-driven engine with
-//! uniform clocks — byte-identical results, event-queue execution).
+//! uniform clocks — byte-identical results, event-queue execution),
+//! `--profile` (attach a phase profiler to one *extra* run per cell and
+//! embed the phase table in each entry's `phases` block — the timed
+//! repeats that feed the throughput columns never carry a recorder).
+//!
+//! `stats` asks a campaign server for live telemetry (protocol minor 1):
+//! uptime, worker utilization, queue depth, cells/s, WAL fsync latency
+//! percentiles, and per-job progress with an ETA.
 //!
 //! `serve` runs the campaign service (see the README's "Campaign service"
 //! section): a WAL-checkpointed, resumable sweep scheduler behind a
@@ -57,24 +74,28 @@ use byzcount_core::sim::{
     AdversarySpec, BatchSpec, EngineSpec, FaultSpec, ParamsSpec, PlacementSpec, RunSpec,
     SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
+use netsim_trace::{check_trace, Fanout, PhaseProfiler, Recorder, TraceWriter};
 use std::env;
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: byzcount-cli <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all> \
          [--quick|--standard] [--n 512,1024] [--d 6] [--delta 0.6] \
          [--epsilon 0.1] [--trials 3] [--seed 42] [--json]\n\
-         \x20      byzcount-cli run <spec.json|->\n\
+         \x20      byzcount-cli run <spec.json|-> [--trace FILE] [--profile]\n\
          \x20      byzcount-cli template [run|batch|faulty|async]\n\
          \x20      byzcount-cli bench [--smoke] [--sizes 1024,4096] \
          [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json] \
-         [--shards S] [--engine sync|async|sharded-S]\n\
+         [--shards S] [--engine sync|async|sharded-S] [--profile]\n\
+         \x20      byzcount-cli trace-check <trace.ndjson>\n\
          \x20      byzcount-cli serve <unix:PATH|HOST:PORT> [--store DIR] \
          [--workers N] [--snapshot-every K]\n\
          \x20      byzcount-cli submit <addr> <spec.json|-> [--job ID] [--priority P]\n\
          \x20      byzcount-cli status <addr> <job>\n\
+         \x20      byzcount-cli stats <addr>\n\
          \x20      byzcount-cli watch <addr> <job> [--cursor C] [--page N] [--merged]"
     );
     ExitCode::from(2)
@@ -113,6 +134,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => {}
+            "--profile" => cfg.profile = true,
             "--sizes" | "--repeats" | "--seed" | "--out" | "--baseline" | "--shards"
             | "--engine" => {
                 let Some(value) = args.get(i + 1) else {
@@ -326,10 +348,51 @@ fn read_spec_text(path: &str) -> Result<String, ExitCode> {
     }
 }
 
-fn cmd_run(path: &str) -> ExitCode {
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut trace_path: Option<String> = None;
+    let mut profile = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => profile = true,
+            "--trace" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                trace_path = Some(value.clone());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown run option: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
     let text = match read_spec_text(path) {
         Ok(text) => text,
         Err(code) => return code,
+    };
+    // Observation-only instrumentation: the report printed to stdout is
+    // byte-identical with or without these recorders installed.
+    let writer: Option<Arc<TraceWriter>> = trace_path
+        .as_ref()
+        .map(|p| Arc::new(TraceWriter::to_path(p)));
+    let profiler: Option<Arc<PhaseProfiler>> = profile.then(|| Arc::new(PhaseProfiler::new()));
+    let mut fanout = Fanout::new();
+    if let Some(w) = &writer {
+        fanout.push(Arc::clone(w) as Arc<dyn Recorder>);
+    }
+    if let Some(p) = &profiler {
+        fanout.push(Arc::clone(p) as Arc<dyn Recorder>);
+    }
+    let recorder: Option<&dyn Recorder> = if fanout.is_empty() {
+        None
+    } else {
+        Some(&fanout)
     };
     // A BatchSpec is distinguished by its `seeds` field.
     let is_batch = serde_json::parse_value_complete(&text)
@@ -337,13 +400,19 @@ fn cmd_run(path: &str) -> ExitCode {
         .unwrap_or(false);
     let outcome = if is_batch {
         BatchSpec::from_json(&text)
-            .and_then(|spec| campaign::execute_batch(&spec))
+            .and_then(|spec| campaign::execute_batch_recorded(&spec, recorder))
             .map(|report| report.to_json())
     } else {
         RunSpec::from_json(&text)
-            .and_then(|spec| campaign::execute(&spec))
+            .and_then(|spec| campaign::execute_recorded(&spec, recorder))
             .map(|report| report.to_json())
     };
+    if let Some(writer) = &writer {
+        writer.finish(); // writes the sorted NDJSON trace to --trace FILE
+    }
+    if let Some(profiler) = &profiler {
+        eprint!("{}", profiler.report().render());
+    }
     match outcome {
         Ok(json) => {
             println!("{json}");
@@ -549,6 +618,89 @@ fn cmd_status(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return usage();
+    };
+    if let Some(other) = args.get(1) {
+        eprintln!("unknown stats option: {other}");
+        return usage();
+    }
+    let outcome = byzcount_campaign::Client::connect(addr).and_then(|mut client| client.stats());
+    match outcome {
+        Ok(stats) => {
+            // Shell-parseable `key=value` lines: one for the service, one
+            // per job (the CI telemetry probe greps `cells_completed=`).
+            println!(
+                "uptime_s={:.1} workers={} busy_workers={} queue_depth={} \
+                 running_jobs={} cells_completed={} cells_pending={} \
+                 cells_per_s={:.2} fsyncs={} fsync_p50_us={} fsync_p90_us={} \
+                 fsync_p99_us={}",
+                stats.uptime_s,
+                stats.workers,
+                stats.busy_workers,
+                stats.queue_depth,
+                stats.running_jobs,
+                stats.cells_completed,
+                stats.cells_pending,
+                stats.cells_per_s,
+                stats.fsyncs,
+                stats.fsync_p50_us,
+                stats.fsync_p90_us,
+                stats.fsync_p99_us
+            );
+            for job in &stats.jobs {
+                let eta = job
+                    .eta_s
+                    .map(|s| format!("{s:.1}"))
+                    .unwrap_or_else(|| "-".to_string());
+                println!(
+                    "job={} state={} completed={} total={} eta_s={eta}",
+                    job.job, job.state, job.completed, job.total
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("byzcount-cli: stats failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_trace_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    if let Some(other) = args.get(1) {
+        eprintln!("unknown trace-check option: {other}");
+        return usage();
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("byzcount-cli: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match check_trace(&text) {
+        Ok(check) => {
+            println!("trace-ok events={} spans={}", check.events, check.spans);
+            for (name, total) in &check.counters {
+                println!("counter {name}={total}");
+            }
+            for (name, max) in &check.gauges {
+                println!("gauge {name}={max}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("byzcount-cli: malformed trace {path}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_watch(args: &[String]) -> ExitCode {
     let (Some(addr), Some(job)) = (args.first(), args.get(1)) else {
         return usage();
@@ -627,13 +779,13 @@ fn main() -> ExitCode {
     }
     let experiment = args[0].to_lowercase();
     if experiment == "run" {
-        let Some(path) = args.get(1) else {
-            return usage();
-        };
-        return cmd_run(path);
+        return cmd_run(&args[1..]);
     }
     if experiment == "bench" {
         return cmd_bench(&args[1..]);
+    }
+    if experiment == "trace-check" {
+        return cmd_trace_check(&args[1..]);
     }
     if experiment == "serve" {
         return cmd_serve(&args[1..]);
@@ -643,6 +795,9 @@ fn main() -> ExitCode {
     }
     if experiment == "status" {
         return cmd_status(&args[1..]);
+    }
+    if experiment == "stats" {
+        return cmd_stats(&args[1..]);
     }
     if experiment == "watch" {
         return cmd_watch(&args[1..]);
@@ -658,6 +813,13 @@ fn main() -> ExitCode {
                 return usage();
             }
         }
+        // Stdout stays pure JSON (pipe it straight into `run`); the usage
+        // hint — including the observability flags — goes to stderr.
+        eprintln!(
+            "# execute: byzcount-cli run <spec.json|-> [--trace trace.ndjson] [--profile]\n\
+             # --trace writes a deterministic NDJSON trace (validate: byzcount-cli trace-check)\n\
+             # --profile prints per-phase timings to stderr; neither changes the report JSON"
+        );
         return ExitCode::SUCCESS;
     }
     // Reject unknown subcommands *before* option parsing, so a misspelled

@@ -8,7 +8,8 @@ use crate::schedule::Schedule;
 use netsim_faults::FaultPlan;
 use netsim_graph::SmallWorldNetwork;
 use netsim_runtime::{
-    run_with_engine, Adversary, EngineConfig, EngineKind, NullAdversary, Topology,
+    run_with_engine_recorded, Adversary, EngineConfig, EngineKind, NullAdversary, Recorder,
+    Topology,
 };
 
 /// How many phases past the reference decision phase the engine allows
@@ -195,6 +196,31 @@ where
     T: Topology,
     A: Adversary<CountingNode>,
 {
+    run_counting_recorded(
+        net, params, byzantine, adversary, verify, seed, max_rounds, fault_plan, engine, None,
+    )
+}
+
+/// [`run_counting_engine`] with an optional [`Recorder`] observing the run.
+/// Recorders are observation-only: the outcome is byte-identical with any
+/// recorder installed or none.
+#[allow(clippy::too_many_arguments)]
+pub fn run_counting_recorded<T, A>(
+    net: &T,
+    params: &ProtocolParams,
+    byzantine: &[bool],
+    adversary: A,
+    verify: bool,
+    seed: u64,
+    max_rounds: Option<u64>,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+    recorder: Option<&dyn Recorder>,
+) -> CountingOutcome
+where
+    T: Topology,
+    A: Adversary<CountingNode>,
+{
     let n = net.len();
     assert_eq!(byzantine.len(), n, "byzantine mask must cover every node");
     let nodes: Vec<CountingNode> = (0..n)
@@ -210,7 +236,7 @@ where
         max_rounds: max_rounds.unwrap_or_else(|| round_cap(params, n)),
         stop_when_all_decided: true,
     };
-    let result = run_with_engine(
+    let result = run_with_engine_recorded(
         engine,
         net,
         nodes,
@@ -219,6 +245,7 @@ where
         config,
         seed,
         fault_plan,
+        recorder,
     );
     CountingOutcome {
         n,

@@ -35,8 +35,33 @@ use crate::sim::spec::{
 };
 use crate::ProtocolParams;
 use netsim_faults::FaultSpec;
+use netsim_runtime::Recorder;
 use rayon::prelude::*;
 use std::sync::Arc;
+
+/// A cloneable, debug-printable handle around a shared [`Recorder`], so
+/// recorders can ride along inside the (otherwise `Clone + Debug`) builder
+/// and [`Simulation`] without infecting their derives.
+#[derive(Clone)]
+pub struct RecorderHandle(Arc<dyn Recorder>);
+
+impl RecorderHandle {
+    /// Wrap a shared recorder.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        RecorderHandle(recorder)
+    }
+
+    /// Borrow the recorder as the trait object the engines take.
+    pub fn as_dyn(&self) -> &dyn Recorder {
+        self.0.as_ref()
+    }
+}
+
+impl std::fmt::Debug for RecorderHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RecorderHandle(..)")
+    }
+}
 
 /// Turns spec variants into executable estimators.
 ///
@@ -149,6 +174,17 @@ impl PreparedRun {
     /// Execute the workload (node construction + round loop) and assemble
     /// the report.  Deterministic: every call returns the same report.
     pub fn execute(&self, registry: &dyn ScenarioRegistry) -> Result<RunReport, SimError> {
+        self.execute_recorded(registry, None)
+    }
+
+    /// [`execute`](Self::execute) with an optional [`Recorder`] observing
+    /// the run.  Observation-only: the report is byte-identical with any
+    /// recorder installed or none (locked down by the trace test suite).
+    pub fn execute_recorded(
+        &self,
+        registry: &dyn ScenarioRegistry,
+        recorder: Option<&dyn Recorder>,
+    ) -> Result<RunReport, SimError> {
         let estimator = registry.estimator(&self.spec, &self.params)?;
         let ctx = SimContext {
             topology: &self.topology,
@@ -158,6 +194,7 @@ impl PreparedRun {
             fault: &self.spec.fault,
             fault_seed: derive_seed(self.spec.seed, seed_stream::FAULTS),
             engine: self.spec.engine.kind(),
+            recorder,
         };
         let run = estimator.run(&ctx)?;
         Ok(RunReport::from_run(
@@ -176,10 +213,29 @@ pub fn execute_spec(
     PreparedRun::new(spec)?.execute(registry)
 }
 
+/// [`execute_spec`] with an optional [`Recorder`] observing the run.
+pub fn execute_spec_recorded(
+    spec: &RunSpec,
+    registry: &dyn ScenarioRegistry,
+    recorder: Option<&dyn Recorder>,
+) -> Result<RunReport, SimError> {
+    PreparedRun::new(spec)?.execute_recorded(registry, recorder)
+}
+
 /// Execute a whole [`BatchSpec`] through a registry, runs in parallel.
 pub fn execute_batch(
     spec: &BatchSpec,
     registry: &dyn ScenarioRegistry,
+) -> Result<BatchReport, SimError> {
+    execute_batch_recorded(spec, registry, None)
+}
+
+/// [`execute_batch`] with an optional [`Recorder`] shared by every run in
+/// the batch (recorders are `Sync`; runs execute in parallel).
+pub fn execute_batch_recorded(
+    spec: &BatchSpec,
+    registry: &dyn ScenarioRegistry,
+    recorder: Option<&dyn Recorder>,
 ) -> Result<BatchReport, SimError> {
     spec.validate()?;
     let mut spec = spec.clone();
@@ -187,7 +243,7 @@ pub fn execute_batch(
     let runs: Result<Vec<RunReport>, SimError> = spec
         .expand()
         .into_par_iter()
-        .map(|run_spec| execute_spec(&run_spec, registry))
+        .map(|run_spec| execute_spec_recorded(&run_spec, registry, recorder))
         .collect::<Vec<Result<RunReport, SimError>>>()
         .into_iter()
         .collect();
@@ -207,6 +263,7 @@ pub struct SimulationBuilder {
     seeds: SeedPolicy,
     sizes: Option<Vec<usize>>,
     max_rounds: Option<u64>,
+    recorder: Option<RecorderHandle>,
 }
 
 impl Default for SimulationBuilder {
@@ -222,6 +279,7 @@ impl Default for SimulationBuilder {
             seeds: SeedPolicy::Fixed(0),
             sizes: None,
             max_rounds: None,
+            recorder: None,
         }
     }
 }
@@ -319,6 +377,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attach a [`Recorder`] that observes every run this simulation
+    /// executes (phase spans, counters, gauges).  Observation-only:
+    /// reports are byte-identical with any recorder installed or none,
+    /// and the recorder never enters the serializable spec.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(RecorderHandle::new(recorder));
+        self
+    }
+
     /// Validate and freeze into a [`Simulation`].
     pub fn build(self) -> Result<Simulation, SimError> {
         let topology = self.topology.ok_or(SimError::Incomplete("a topology"))?;
@@ -342,6 +409,7 @@ impl SimulationBuilder {
             },
             seeds: self.seeds,
             sizes: self.sizes,
+            recorder: self.recorder,
         };
         sim.run.validate()?;
         Ok(sim)
@@ -354,6 +422,7 @@ pub struct Simulation {
     run: RunSpec,
     seeds: SeedPolicy,
     sizes: Option<Vec<usize>>,
+    recorder: Option<RecorderHandle>,
 }
 
 impl Simulation {
@@ -377,14 +446,19 @@ impl Simulation {
         }
     }
 
+    /// The recorder attached at build time, if any.
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.recorder.as_ref().map(RecorderHandle::as_dyn)
+    }
+
     /// Execute a single run through an explicit registry.
     pub fn run_with(&self, registry: &dyn ScenarioRegistry) -> Result<RunReport, SimError> {
-        execute_spec(&self.run, registry)
+        execute_spec_recorded(&self.run, registry, self.recorder())
     }
 
     /// Execute the batch through an explicit registry (parallel over runs).
     pub fn run_batch_with(&self, registry: &dyn ScenarioRegistry) -> Result<BatchReport, SimError> {
-        execute_batch(&self.batch_spec(), registry)
+        execute_batch_recorded(&self.batch_spec(), registry, self.recorder())
     }
 
     /// Execute a single run with the core-only registry (counting workloads,

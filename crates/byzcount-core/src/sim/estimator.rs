@@ -14,7 +14,7 @@ use crate::runner;
 use crate::sim::error::SimError;
 use crate::sim::spec::BuiltTopology;
 use netsim_faults::{FaultPlan, FaultSpec};
-use netsim_runtime::{Adversary, EngineKind, NullAdversary, RunMetrics};
+use netsim_runtime::{Adversary, EngineKind, NullAdversary, Recorder, RunMetrics};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -58,6 +58,10 @@ pub struct SimContext<'a> {
     /// Which engine implementation executes the run (execution policy
     /// only: results are byte-identical across engines and shard counts).
     pub engine: EngineKind,
+    /// Optional observer for phase spans, counters and gauges.
+    /// Observation-only: reports are byte-identical with any recorder
+    /// installed or none.
+    pub recorder: Option<&'a dyn Recorder>,
 }
 
 impl SimContext<'_> {
@@ -192,7 +196,7 @@ impl Estimator for CountingEstimator {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let adversary = self.adversary.build(ctx, &self.params)?;
-        let outcome = runner::run_counting_engine(
+        let outcome = runner::run_counting_recorded(
             ctx.topology,
             &self.params,
             ctx.byzantine,
@@ -202,6 +206,7 @@ impl Estimator for CountingEstimator {
             ctx.max_rounds,
             ctx.build_fault_plan(),
             ctx.engine,
+            ctx.recorder,
         );
         Ok(WorkloadRun {
             estimand: Estimand::LogN,
@@ -244,6 +249,7 @@ mod tests {
             fault: &FaultSpec::None,
             fault_seed: 0,
             engine: EngineKind::Sync,
+            recorder: None,
         };
         let run = est.run(&ctx).unwrap();
         assert!(run.completed);

@@ -32,8 +32,8 @@ mod report;
 mod spec;
 
 pub use builder::{
-    execute_batch, execute_spec, CoreRegistry, PreparedRun, ScenarioRegistry, Simulation,
-    SimulationBuilder,
+    execute_batch, execute_batch_recorded, execute_spec, execute_spec_recorded, CoreRegistry,
+    PreparedRun, RecorderHandle, ScenarioRegistry, Simulation, SimulationBuilder,
 };
 pub use error::SimError;
 pub use estimator::{
@@ -51,7 +51,7 @@ pub use spec::{
 /// The runtime-side engine selection an [`EngineSpec`] resolves to, and
 /// the async engine's per-node clock model (re-exported from
 /// [`netsim_runtime`]).
-pub use netsim_runtime::{ClockPlan, EngineKind};
+pub use netsim_runtime::{ClockPlan, EngineKind, NoopRecorder, Recorder};
 
 /// The fault layer's serializable description, embedded in every
 /// [`RunSpec`] (re-exported from [`netsim_faults`]).

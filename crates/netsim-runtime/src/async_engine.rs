@@ -61,13 +61,16 @@
 //! stepped this tick — still full information, per tick.
 
 use crate::adversary::{Adversary, AdversaryDecision, AdversaryView};
-use crate::engine::{envelope_admissible, splitmix, EngineConfig, RunResult};
+use crate::engine::{
+    emit_metric_deltas, envelope_admissible, splitmix, EngineConfig, MetricsSnap, RunResult,
+};
 use crate::message::{Envelope, MessageSize};
 use crate::metrics::RunMetrics;
 use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
 use crate::topology::Topology;
 use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan};
 use netsim_graph::NodeId;
+use netsim_trace::{Counter, Gauge, Phase, Recorder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
@@ -540,6 +543,10 @@ where
     fault_plan: Option<Box<dyn FaultPlan>>,
     reset_state: Option<Box<dyn Fn(usize) -> P + Send>>,
     churned_down: Vec<bool>,
+    /// Optional observer (tick phases map onto the synchronous phase
+    /// vocabulary; the calendar-queue occupancy is this engine's extra
+    /// gauge).  `None` costs one branch per phase boundary.
+    recorder: Option<&'a dyn Recorder>,
 }
 
 impl<'a, T, P, A> AsyncEngine<'a, T, P, A>
@@ -608,7 +615,21 @@ where
             fault_plan: None,
             reset_state: None,
             churned_down: vec![false; n],
+            recorder: None,
         }
+    }
+
+    /// Attach a [`Recorder`]; see
+    /// [`SyncEngine::with_recorder`](crate::SyncEngine::with_recorder).
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// [`with_recorder`](Self::with_recorder) that is a no-op for `None`.
+    pub fn with_recorder_opt(mut self, recorder: Option<&'a dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Install a [`FaultPlan`]; see
@@ -707,6 +728,17 @@ where
         self.metrics.begin_round();
         let tick = self.time;
 
+        // Observability: the tick maps onto the synchronous phase
+        // vocabulary (plan tick = churn, class-1 drain = node-step, cut +
+        // action application = adversary-cut, delivery = routing, class-2
+        // drain = deferred-drain), all under tid 0.
+        let rec = self.recorder;
+        let snap = rec.map(|_| MetricsSnap::of(&self.metrics));
+        if let Some(rec) = rec {
+            rec.phase_begin(0, tick, Phase::Round);
+            rec.phase_begin(0, tick, Phase::Churn);
+        }
+
         // Class 0 — plan tick: churn transitions requested by the fault
         // plan, in plan order (identical to the sync engine's phase 0;
         // this is also where round-windowed plan behaviour such as
@@ -762,6 +794,11 @@ where
             }
         }
 
+        if let Some(rec) = rec {
+            rec.phase_end(0, tick, Phase::Churn);
+            rec.phase_begin(0, tick, Phase::NodeStep);
+        }
+
         // Class 1 — node steps, in node order (the queue's tie-break).
         // Each due node consumes its accumulated mailbox, fills its
         // engine-owned outbox, and its envelopes move straight into the
@@ -808,6 +845,11 @@ where
             outbox.drain_envelopes(id, |env| target.push(env));
         }
 
+        if let Some(rec) = rec {
+            rec.phase_end(0, tick, Phase::NodeStep);
+            rec.phase_begin(0, tick, Phase::AdversaryCut);
+        }
+
         // Adversary cut: one full-information `act` per tick, every tick,
         // over the envelopes gathered above (sync engine's phase 2).
         self.crashed_scratch.clear();
@@ -847,6 +889,23 @@ where
             }
         }
 
+        if let Some(rec) = rec {
+            rec.gauge(
+                0,
+                tick,
+                Gauge::HonestArenaHighWater,
+                self.honest_arena.len() as u64,
+            );
+            rec.gauge(
+                0,
+                tick,
+                Gauge::ByzArenaHighWater,
+                self.byz_default.len() as u64,
+            );
+            rec.phase_end(0, tick, Phase::AdversaryCut);
+            rec.phase_begin(0, tick, Phase::Routing);
+        }
+
         // Routing: validate, account and deliver — honest arena first,
         // then the Byzantine path, with the fault plan consulted per
         // envelope in exactly the sync engine's phase-4 order (its RNG
@@ -872,6 +931,11 @@ where
             }
         }
 
+        if let Some(rec) = rec {
+            rec.phase_end(0, tick, Phase::Routing);
+            rec.phase_begin(0, tick, Phase::DeferredDrain);
+        }
+
         // Class 2 — deferred deliveries due this tick (sync engine's phase
         // 5).  An envelope whose recipient crashed while it was in flight
         // expires here, never delivered.
@@ -890,6 +954,26 @@ where
             }
         }
         self.scratch = scratch;
+
+        if let Some(rec) = rec {
+            rec.phase_end(0, tick, Phase::DeferredDrain);
+            rec.gauge(0, tick, Gauge::DelayRingPending, self.deferred_in_flight);
+            rec.gauge(
+                0,
+                tick,
+                Gauge::CalendarOccupancy,
+                self.queue.scheduled() as u64,
+            );
+            emit_metric_deltas(
+                rec,
+                0,
+                tick,
+                snap.expect("snapshotted with recorder"),
+                MetricsSnap::of(&self.metrics),
+            );
+            rec.add(0, tick, Counter::Rounds, 1);
+            rec.phase_end(0, tick, Phase::Round);
+        }
 
         self.time += 1;
         !self.finished()
@@ -950,6 +1034,16 @@ where
     pub fn into_result(mut self) -> RunResult<P::Output> {
         if self.deferred_in_flight > 0 {
             self.metrics.record_fault_expired(self.deferred_in_flight);
+            if let Some(rec) = self.recorder {
+                // Mirror the end-of-run expiries so trace-derived totals
+                // keep matching `RunMetrics` bit-for-bit.
+                rec.add(
+                    0,
+                    self.time,
+                    Counter::MessagesExpired,
+                    self.deferred_in_flight,
+                );
+            }
         }
         let completed = self
             .statuses

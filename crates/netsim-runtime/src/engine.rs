@@ -42,8 +42,69 @@ use crate::ring::DelayRing;
 use crate::topology::Topology;
 use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan};
 use netsim_graph::NodeId;
+use netsim_trace::{Counter, Gauge, Phase, Recorder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Snapshot of the `RunMetrics` counters a [`Recorder`] mirrors; taken at
+/// a phase boundary so per-round deltas can be emitted without touching
+/// the per-envelope accounting path.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct MetricsSnap {
+    delivered: u64,
+    dropped: u64,
+    lost: u64,
+    delayed: u64,
+    expired: u64,
+    crashes: u64,
+    recoveries: u64,
+}
+
+impl MetricsSnap {
+    pub(crate) fn of(m: &RunMetrics) -> Self {
+        MetricsSnap {
+            delivered: m.messages_delivered,
+            dropped: m.messages_dropped,
+            lost: m.messages_lost,
+            delayed: m.messages_delayed,
+            expired: m.messages_expired,
+            crashes: m.churn_crashes,
+            recoveries: m.churn_recoveries,
+        }
+    }
+}
+
+/// Emit the per-round counter deltas between two snapshots (zero deltas
+/// are suppressed by the recorders, but skipping them here keeps the dyn
+/// call count minimal too).
+pub(crate) fn emit_metric_deltas(
+    rec: &dyn Recorder,
+    shard: u32,
+    time: u64,
+    before: MetricsSnap,
+    after: MetricsSnap,
+) {
+    let pairs = [
+        (
+            Counter::MessagesDelivered,
+            after.delivered - before.delivered,
+        ),
+        (Counter::MessagesDropped, after.dropped - before.dropped),
+        (Counter::MessagesLost, after.lost - before.lost),
+        (Counter::MessagesDelayed, after.delayed - before.delayed),
+        (Counter::MessagesExpired, after.expired - before.expired),
+        (Counter::ChurnCrashes, after.crashes - before.crashes),
+        (
+            Counter::ChurnRecoveries,
+            after.recoveries - before.recoveries,
+        ),
+    ];
+    for (counter, delta) in pairs {
+        if delta > 0 {
+            rec.add(shard, time, counter, delta);
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -162,6 +223,11 @@ where
     /// event only revives these: nodes that fail-stopped any other way
     /// (initial crashes, protocol self-crash) stay down forever.
     churned_down: Vec<bool>,
+    /// Observation sink, if one is installed.  `None` costs one branch per
+    /// *phase boundary* (a handful per round, never per envelope), so the
+    /// zero-allocation hot path is untouched.  Recorders only observe:
+    /// they can never influence an RNG stream or a delivery order.
+    recorder: Option<&'a dyn Recorder>,
 }
 
 impl<'a, T, P, A> SyncEngine<'a, T, P, A>
@@ -214,7 +280,22 @@ where
             deferred: DelayRing::new(),
             reset_state: None,
             churned_down: vec![false; n],
+            recorder: None,
         }
+    }
+
+    /// Install an observation [`Recorder`].  Purely additive: reports are
+    /// byte-identical with and without one (locked down by the
+    /// observability test suite).
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// [`with_recorder`](Self::with_recorder) that is a no-op for `None`.
+    pub fn with_recorder_opt(mut self, recorder: Option<&'a dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Install a [`FaultPlan`]: the network may now lose, delay and defer
@@ -302,6 +383,17 @@ where
         let n = self.topology.len();
         self.metrics.begin_round();
         let round = self.round;
+        let rec = self.recorder;
+        // The unsharded engine reports everything under shard (tid) 0.
+        let shard = 0u32;
+        let metrics_base = match rec {
+            Some(r) => {
+                r.phase_begin(shard, round, Phase::Round);
+                r.phase_begin(shard, round, Phase::Churn);
+                MetricsSnap::of(&self.metrics)
+            }
+            None => MetricsSnap::default(),
+        };
 
         // Phase 0: churn transitions requested by the fault plan.  Only
         // honest nodes are touched; a recovered node rejoins with a fresh
@@ -339,6 +431,11 @@ where
                     }
                 }
             }
+        }
+
+        if let Some(r) = rec {
+            r.phase_end(shard, round, Phase::Churn);
+            r.phase_begin(shard, round, Phase::NodeStep);
         }
 
         // Phase 1: run every non-crashed node against its inbox, writing
@@ -379,6 +476,11 @@ where
                 };
                 *action = state.step(&ctx, &inboxes[i], outbox, rng);
             }
+        }
+
+        if let Some(r) = rec {
+            r.phase_end(shard, round, Phase::NodeStep);
+            r.phase_begin(shard, round, Phase::AdversaryCut);
         }
 
         // Phase 2: move every queued message — no clones — into the round
@@ -438,6 +540,23 @@ where
             }
         }
 
+        if let Some(r) = rec {
+            r.gauge(
+                shard,
+                round,
+                Gauge::HonestArenaHighWater,
+                self.honest_arena.len() as u64,
+            );
+            r.gauge(
+                shard,
+                round,
+                Gauge::ByzArenaHighWater,
+                self.byz_default.len() as u64,
+            );
+            r.phase_end(shard, round, Phase::AdversaryCut);
+            r.phase_begin(shard, round, Phase::Routing);
+        }
+
         // Phase 4: validate, account and deliver messages for the next
         // round — honest arena first, then the Byzantine path, exactly the
         // pre-refactor order (the fault plan's RNG stream depends on it).
@@ -461,6 +580,11 @@ where
             }
         }
 
+        if let Some(r) = rec {
+            r.phase_end(shard, round, Phase::Routing);
+            r.phase_begin(shard, round, Phase::DeferredDrain);
+        }
+
         // Phase 5: deferred envelopes whose delay elapses this round arrive
         // now (for consumption next round, like any other delivery).  Their
         // size is accounted here — a message deferred forever is never
@@ -477,6 +601,25 @@ where
                     next_inboxes[env.to.index()].push(env);
                 }
             });
+        }
+
+        if let Some(r) = rec {
+            r.phase_end(shard, round, Phase::DeferredDrain);
+            r.gauge(
+                shard,
+                round,
+                Gauge::DelayRingPending,
+                self.deferred.in_flight() as u64,
+            );
+            emit_metric_deltas(
+                r,
+                shard,
+                round,
+                metrics_base,
+                MetricsSnap::of(&self.metrics),
+            );
+            r.add(shard, round, Counter::Rounds, 1);
+            r.phase_end(shard, round, Phase::Round);
         }
 
         // Round boundary: this round's deliveries become next round's
@@ -538,6 +681,11 @@ where
         let in_flight = self.deferred.in_flight() as u64;
         if in_flight > 0 {
             self.metrics.record_fault_expired(in_flight);
+            // End-of-run expiry happens outside any round span; mirror it
+            // so trace-derived totals still match the final metrics.
+            if let Some(r) = self.recorder {
+                r.add(0, self.round, Counter::MessagesExpired, in_flight);
+            }
         }
         let completed = self
             .statuses

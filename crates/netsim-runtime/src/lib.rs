@@ -52,8 +52,16 @@ pub use message::{Envelope, MessageSize, SizedMessage};
 pub use metrics::RunMetrics;
 pub use node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
 pub use ring::DelayRing;
-pub use sharded::{run_with_engine, shard_bounds, EngineKind, ShardedSyncEngine};
+pub use sharded::{
+    run_with_engine, run_with_engine_recorded, shard_bounds, EngineKind, ShardedSyncEngine,
+};
 pub use topology::Topology;
+
+/// The structured-tracing subsystem (re-exported from [`netsim_trace`]):
+/// an optional [`Recorder`] installed via `with_recorder` on any engine
+/// observes phase spans, counters and gauges without perturbing the run.
+pub use netsim_trace as trace;
+pub use netsim_trace::{NoopRecorder, Recorder};
 
 /// The fault-injection subsystem (re-exported from [`netsim_faults`]): an
 /// optional [`FaultPlan`] installed via [`SyncEngine::with_fault_plan`]
@@ -69,7 +77,10 @@ pub mod prelude {
     pub use crate::message::{Envelope, MessageSize, SizedMessage};
     pub use crate::metrics::RunMetrics;
     pub use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
-    pub use crate::sharded::{run_with_engine, EngineKind, ShardedSyncEngine};
+    pub use crate::sharded::{
+        run_with_engine, run_with_engine_recorded, EngineKind, ShardedSyncEngine,
+    };
     pub use crate::topology::Topology;
     pub use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan, FaultSpec, NoFaults};
+    pub use netsim_trace::{NoopRecorder, Recorder};
 }

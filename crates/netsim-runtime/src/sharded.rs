@@ -40,7 +40,10 @@
 
 use crate::adversary::{Adversary, AdversaryDecision, AdversaryView};
 use crate::async_engine::{AsyncEngine, ClockPlan};
-use crate::engine::{envelope_admissible, splitmix, EngineConfig, RunResult, SyncEngine};
+use crate::engine::{
+    emit_metric_deltas, envelope_admissible, splitmix, EngineConfig, MetricsSnap, RunResult,
+    SyncEngine,
+};
 use crate::message::{Envelope, MessageSize};
 use crate::metrics::RunMetrics;
 use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
@@ -48,6 +51,7 @@ use crate::ring::DelayRing;
 use crate::topology::Topology;
 use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan};
 use netsim_graph::NodeId;
+use netsim_trace::{Counter, Gauge, Phase, Recorder, SHARD_ROUTER};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -122,18 +126,52 @@ where
     P::Output: Send,
     A: Adversary<P>,
 {
+    run_with_engine_recorded(
+        kind, topology, states, byzantine, adversary, config, seed, fault_plan, None,
+    )
+}
+
+/// [`run_with_engine`] with an optional [`Recorder`] attached to whichever
+/// engine `kind` selects.
+///
+/// This is the observability entry point: with `recorder = None` it is
+/// exactly `run_with_engine` (the recorder field stays `None` and every
+/// instrumentation site is a single never-taken branch per phase
+/// boundary), and the run result is byte-identical either way — recorders
+/// observe, they never steer.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_engine_recorded<T, P, A>(
+    kind: EngineKind,
+    topology: &T,
+    states: Vec<P>,
+    byzantine: Vec<bool>,
+    adversary: A,
+    config: EngineConfig,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    recorder: Option<&dyn Recorder>,
+) -> RunResult<P::Output>
+where
+    T: Topology,
+    P: Protocol + Clone + Send + Sync + 'static,
+    P::Output: Send,
+    A: Adversary<P>,
+{
     match kind {
         EngineKind::Sync => SyncEngine::new(topology, states, byzantine, adversary, config, seed)
             .with_fault_plan_opt(fault_plan)
+            .with_recorder_opt(recorder)
             .run(),
         EngineKind::Sharded { shards } => {
             ShardedSyncEngine::new(topology, states, byzantine, adversary, config, seed, shards)
                 .with_fault_plan_opt(fault_plan)
+                .with_recorder_opt(recorder)
                 .run()
         }
         EngineKind::Async { clocks } => {
             AsyncEngine::new(topology, states, byzantine, adversary, config, seed, clocks)
                 .with_fault_plan_opt(fault_plan)
+                .with_recorder_opt(recorder)
                 .run()
         }
     }
@@ -142,6 +180,8 @@ where
 /// The per-shard mutable view used by the parallel compute phase: disjoint
 /// slices of the node-indexed engine state plus the shard-owned arenas.
 struct ShardTask<'b, P: Protocol> {
+    /// This shard's index (the `tid` its trace records report under).
+    shard: u32,
     /// First global node id of this shard.
     start: usize,
     states: &'b mut [P],
@@ -238,6 +278,14 @@ where
     shard_deferred: Vec<DelayRing<Envelope<P::Message>>>,
     reset_state: Option<Box<dyn Fn(usize) -> P + Send>>,
     churned_down: Vec<bool>,
+    /// Optional observer.  Shard-local phases report under their shard id,
+    /// the routing step under [`SHARD_ROUTER`]; `None` costs one branch per
+    /// phase boundary, never per envelope.
+    recorder: Option<&'a dyn Recorder>,
+    /// Per-destination-shard count of envelopes routed across a shard
+    /// boundary this round (recorder-only accounting; left untouched when
+    /// no recorder is installed).
+    cross_shard_scratch: Vec<u64>,
 }
 
 impl<'a, T, P, A> ShardedSyncEngine<'a, T, P, A>
@@ -309,7 +357,21 @@ where
             shard_deferred: (0..shard_count).map(|_| DelayRing::new()).collect(),
             reset_state: None,
             churned_down: vec![false; n],
+            recorder: None,
+            cross_shard_scratch: vec![0; shard_count],
         }
+    }
+
+    /// Attach a [`Recorder`]; see [`SyncEngine::with_recorder`].
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// [`with_recorder`](Self::with_recorder) that is a no-op for `None`.
+    pub fn with_recorder_opt(mut self, recorder: Option<&'a dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Install a [`FaultPlan`]; see [`SyncEngine::with_fault_plan`].
@@ -400,6 +462,24 @@ where
         }
         let round = self.round;
 
+        // Observability: snapshot the per-shard and router metrics so the
+        // round's deltas can be emitted at the end.  All of this is behind
+        // one `Option` check; recorders never see (or touch) engine state.
+        let rec = self.recorder;
+        let router_snap = rec.map(|_| MetricsSnap::of(&self.router_metrics));
+        let shard_snaps: Vec<MetricsSnap> = if rec.is_some() {
+            self.shard_metrics.iter().map(MetricsSnap::of).collect()
+        } else {
+            Vec::new()
+        };
+        if let Some(rec) = rec {
+            for c in &mut self.cross_shard_scratch {
+                *c = 0;
+            }
+            rec.phase_begin(SHARD_ROUTER, round, Phase::Round);
+            rec.phase_begin(SHARD_ROUTER, round, Phase::Churn);
+        }
+
         // Phase 0: churn transitions — global and sequential, exactly the
         // unsharded order (the plan's RNG stream depends on it).
         if let Some(plan) = self.fault_plan.as_mut() {
@@ -432,6 +512,10 @@ where
             }
         }
 
+        if let Some(rec) = rec {
+            rec.phase_end(SHARD_ROUTER, round, Phase::Churn);
+        }
+
         // Phase 1: per-shard compute.  Each shard receives disjoint mutable
         // slices of the node-indexed state plus its owned arenas; statuses,
         // outputs, inboxes and the topology are shared read-only.  Node
@@ -447,7 +531,7 @@ where
                 let mut actions = self.actions.as_mut_slice();
                 let mut honest = self.shard_honest.iter_mut();
                 let mut byz = self.shard_byz.iter_mut();
-                for w in self.bounds.windows(2) {
+                for (s, w) in self.bounds.windows(2).enumerate() {
                     let len = w[1] - w[0];
                     let (task_states, rest) = states.split_at_mut(len);
                     states = rest;
@@ -458,6 +542,7 @@ where
                     let (task_actions, rest) = actions.split_at_mut(len);
                     actions = rest;
                     tasks.push(ShardTask {
+                        shard: s as u32,
                         start: w[0],
                         states: task_states,
                         rngs: task_rngs,
@@ -474,6 +559,12 @@ where
             let byzantine = &self.byzantine;
             let topology = self.topology;
             for_each_shard(&mut tasks, &|task: &mut ShardTask<'_, P>| {
+                // The shard's compute is its `node-step` span, reported
+                // under its own tid (recorders are `Sync`: shards may run
+                // on scoped threads).
+                if let Some(rec) = rec {
+                    rec.phase_begin(task.shard, round, Phase::NodeStep);
+                }
                 for local in 0..task.states.len() {
                     let i = task.start + local;
                     let outbox = &mut task.outboxes[local];
@@ -501,7 +592,14 @@ where
                     task.outboxes[local]
                         .drain_envelopes(NodeId::from_index(i), |env| target.push(env));
                 }
+                if let Some(rec) = rec {
+                    rec.phase_end(task.shard, round, Phase::NodeStep);
+                }
             });
+        }
+
+        if let Some(rec) = rec {
+            rec.phase_begin(SHARD_ROUTER, round, Phase::AdversaryCut);
         }
 
         // Cross-shard routing, step 1: gather the shard arenas in shard
@@ -553,6 +651,26 @@ where
             }
         }
 
+        if let Some(rec) = rec {
+            // Arena high-water marks at their per-round peak: the gathered
+            // streams, before the router drains them (same observation
+            // point as the unsharded engine).
+            rec.gauge(
+                SHARD_ROUTER,
+                round,
+                Gauge::HonestArenaHighWater,
+                self.honest_arena.len() as u64,
+            );
+            rec.gauge(
+                SHARD_ROUTER,
+                round,
+                Gauge::ByzArenaHighWater,
+                self.byz_default.len() as u64,
+            );
+            rec.phase_end(SHARD_ROUTER, round, Phase::AdversaryCut);
+            rec.phase_begin(SHARD_ROUTER, round, Phase::Routing);
+        }
+
         // Cross-shard routing, step 2: validate, account and route every
         // envelope — honest stream first, then the Byzantine path, in the
         // unsharded engine's exact order (the fault plan's RNG stream
@@ -578,6 +696,10 @@ where
             }
         }
 
+        if let Some(rec) = rec {
+            rec.phase_end(SHARD_ROUTER, round, Phase::Routing);
+        }
+
         // Phase 5: every shard drains the deferred envelopes due in its own
         // ring this round.  Shard order again equals global node order per
         // destination, and each destination lives in exactly one ring, so
@@ -585,11 +707,15 @@ where
         {
             let statuses = &self.statuses;
             let next_inboxes = &mut self.next_inboxes;
-            for (ring, metrics) in self
+            for (s, (ring, metrics)) in self
                 .shard_deferred
                 .iter_mut()
                 .zip(self.shard_metrics.iter_mut())
+                .enumerate()
             {
+                if let Some(rec) = rec {
+                    rec.phase_begin(s as u32, round, Phase::DeferredDrain);
+                }
                 ring.drain_due(round, |env| {
                     if statuses[env.to.index()] == NodeStatus::Crashed {
                         metrics.record_fault_expired(1);
@@ -598,7 +724,45 @@ where
                         next_inboxes[env.to.index()].push(env);
                     }
                 });
+                if let Some(rec) = rec {
+                    rec.phase_end(s as u32, round, Phase::DeferredDrain);
+                    rec.gauge(
+                        s as u32,
+                        round,
+                        Gauge::DelayRingPending,
+                        ring.in_flight() as u64,
+                    );
+                }
             }
+        }
+
+        if let Some(rec) = rec {
+            // Per-shard delivery/expiry deltas, cross-shard routing volume
+            // (under the destination shard), then the router's own
+            // accounting (validation drops, fault losses/delays, churn) and
+            // the round marker under [`SHARD_ROUTER`].  Summed over every
+            // tid, the trace reproduces `RunMetrics` exactly — that is the
+            // trace-vs-truth contract.
+            for (s, (snap, after)) in shard_snaps
+                .iter()
+                .zip(self.shard_metrics.iter())
+                .enumerate()
+            {
+                emit_metric_deltas(rec, s as u32, round, *snap, MetricsSnap::of(after));
+                let crossed = self.cross_shard_scratch[s];
+                if crossed > 0 {
+                    rec.add(s as u32, round, Counter::CrossShardRouted, crossed);
+                }
+            }
+            emit_metric_deltas(
+                rec,
+                SHARD_ROUTER,
+                round,
+                router_snap.expect("snapshotted with recorder"),
+                MetricsSnap::of(&self.router_metrics),
+            );
+            rec.add(SHARD_ROUTER, round, Counter::Rounds, 1);
+            rec.phase_end(SHARD_ROUTER, round, Phase::Round);
         }
 
         // Round boundary: swap the double-buffered inboxes, keep capacity.
@@ -632,6 +796,9 @@ where
             _ => EnvelopeFate::Deliver,
         };
         let dest_shard = self.shard_of[env.to.index()] as usize;
+        if self.recorder.is_some() && self.shard_of[env.from.index()] as usize != dest_shard {
+            self.cross_shard_scratch[dest_shard] += 1;
+        }
         match fate {
             EnvelopeFate::Deliver | EnvelopeFate::Delay(0) => {
                 self.shard_metrics[dest_shard].record_delivery(env.payload.message_size());
@@ -658,14 +825,20 @@ where
         // Envelopes still in flight expire in their destination shard —
         // including messages delayed past the final round into a shard
         // other than the sender's.
-        for (ring, metrics) in self
+        for (s, (ring, metrics)) in self
             .shard_deferred
             .iter()
             .zip(self.shard_metrics.iter_mut())
+            .enumerate()
         {
             let in_flight = ring.in_flight() as u64;
             if in_flight > 0 {
                 metrics.record_fault_expired(in_flight);
+                if let Some(rec) = self.recorder {
+                    // Mirror the end-of-run expiries so trace-derived
+                    // totals keep matching `RunMetrics` bit-for-bit.
+                    rec.add(s as u32, self.round, Counter::MessagesExpired, in_flight);
+                }
             }
         }
         let mut metrics = self.router_metrics;

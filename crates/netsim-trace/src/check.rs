@@ -1,0 +1,223 @@
+//! Trace-file well-formedness checking and counter extraction.
+//!
+//! [`check_trace`] is the single consumer-side authority on what a valid
+//! trace looks like: every line parses as a Chrome trace event, every
+//! span name comes from the fixed [`Phase`] vocabulary (counters/gauges
+//! from theirs), `ts` is strictly increasing, and every `"B"` has a
+//! matching `"E"` on the same `tid` in LIFO order.  It also totals the
+//! counter records, which is how the trace-vs-truth cross-check compares
+//! a trace against the run's `RunMetrics`.
+
+use crate::recorder::{Counter, Gauge, Phase};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// The result of a successful [`check_trace`]: shape statistics plus
+/// counter totals and gauge maxima derived from the records.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Lines (= events) in the trace.
+    pub events: u64,
+    /// Completed spans (B/E pairs).
+    pub spans: u64,
+    /// Spans still open at end of file (0 in a well-formed trace; kept
+    /// so callers can report *what* failed — `check_trace` errors before
+    /// returning a nonzero value here).
+    pub open_spans: u64,
+    /// Counter totals by name, summed across shards and time.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge maxima by name, across shards and time.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl TraceCheck {
+    /// Total of a named counter (0 if never emitted).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Maximum of a named gauge (0 if never emitted).
+    pub fn gauge_max(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+fn value_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Num(n) => n.as_u64(),
+        _ => None,
+    }
+}
+
+fn field_u64(obj: &Value, key: &str, line: usize) -> Result<u64, String> {
+    value_u64(obj.field(key)).ok_or_else(|| format!("line {line}: missing or non-integer `{key}`"))
+}
+
+fn field_str<'a>(obj: &'a Value, key: &str, line: usize) -> Result<&'a str, String> {
+    obj.field(key)
+        .as_str()
+        .ok_or_else(|| format!("line {line}: missing or non-string `{key}`"))
+}
+
+/// Validate an NDJSON trace and extract its counters.  Returns a
+/// human-readable description of the first violation found.
+pub fn check_trace(text: &str) -> Result<TraceCheck, String> {
+    let mut check = TraceCheck::default();
+    // Per-tid stacks of open span names.
+    let mut open: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: Option<u64> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            return Err(format!("line {line}: blank line inside trace"));
+        }
+        let event = serde_json::parse_value_complete(raw)
+            .map_err(|e| format!("line {line}: not valid JSON: {e}"))?;
+        if event.as_obj().is_none() {
+            return Err(format!("line {line}: event is not a JSON object"));
+        }
+        check.events += 1;
+
+        let name = field_str(&event, "name", line)?.to_string();
+        let ph = field_str(&event, "ph", line)?;
+        let cat = field_str(&event, "cat", line)?;
+        let ts = field_u64(&event, "ts", line)?;
+        let tid = field_u64(&event, "tid", line)?;
+        field_u64(&event, "pid", line)?;
+        if value_u64(event.field("args").field("t")).is_none() {
+            return Err(format!("line {line}: missing logical time `args.t`"));
+        }
+        if let Some(prev) = last_ts {
+            if ts <= prev {
+                return Err(format!(
+                    "line {line}: ts {ts} is not strictly increasing (previous {prev})"
+                ));
+            }
+        }
+        last_ts = Some(ts);
+
+        match ph {
+            "B" => {
+                let phase = Phase::from_name(&name)
+                    .ok_or_else(|| format!("line {line}: unknown phase `{name}`"))?;
+                let want_cat = if phase == Phase::Round {
+                    "round"
+                } else {
+                    "phase"
+                };
+                if cat != want_cat {
+                    return Err(format!(
+                        "line {line}: span `{name}` has cat `{cat}`, expected `{want_cat}`"
+                    ));
+                }
+                open.entry(tid).or_default().push(name);
+            }
+            "E" => {
+                let stack = open.entry(tid).or_default();
+                match stack.pop() {
+                    Some(top) if top == name => check.spans += 1,
+                    Some(top) => {
+                        return Err(format!(
+                            "line {line}: span end `{name}` does not match open span `{top}` \
+                             on tid {tid}"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {line}: span end `{name}` with no open span on tid {tid}"
+                        ))
+                    }
+                }
+            }
+            "C" => {
+                let value = value_u64(event.field("args").field("value"))
+                    .ok_or_else(|| format!("line {line}: counter record missing `args.value`"))?;
+                match cat {
+                    "counter" => {
+                        if Counter::from_name(&name).is_none() {
+                            return Err(format!("line {line}: unknown counter `{name}`"));
+                        }
+                        *check.counters.entry(name).or_insert(0) += value;
+                    }
+                    "gauge" => {
+                        if Gauge::from_name(&name).is_none() {
+                            return Err(format!("line {line}: unknown gauge `{name}`"));
+                        }
+                        let slot = check.gauges.entry(name).or_insert(0);
+                        if value > *slot {
+                            *slot = value;
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "line {line}: `C` record with unknown cat `{other}`"
+                        ))
+                    }
+                }
+            }
+            other => return Err(format!("line {line}: unknown ph `{other}`")),
+        }
+    }
+
+    for (tid, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!(
+                "end of trace: span `{name}` on tid {tid} was never closed \
+                 ({} open in total)",
+                open.values().map(|s| s.len()).sum::<usize>()
+            ));
+        }
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, cat: &str, ph: &str, ts: u64, extra: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts},\
+             \"pid\":0,\"tid\":0,\"args\":{{\"t\":0{extra}}}}}\n"
+        )
+    }
+
+    #[test]
+    fn accepts_a_minimal_valid_trace() {
+        let text = line("round", "round", "B", 0, "")
+            + &line("node-step", "phase", "B", 1, "")
+            + &line("node-step", "phase", "E", 2, "")
+            + &line("messages_delivered", "counter", "C", 3, ",\"value\":7")
+            + &line("calendar_occupancy", "gauge", "C", 4, ",\"value\":3")
+            + &line("round", "round", "E", 5, "");
+        let check = check_trace(&text).unwrap();
+        assert_eq!(check.events, 6);
+        assert_eq!(check.spans, 2);
+        assert_eq!(check.counter_total("messages_delivered"), 7);
+        assert_eq!(check.gauge_max("calendar_occupancy"), 3);
+    }
+
+    #[test]
+    fn rejects_violations() {
+        // Unclosed span.
+        let text = line("round", "round", "B", 0, "");
+        assert!(check_trace(&text).unwrap_err().contains("never closed"));
+        // Unknown phase name.
+        let text = line("warmup", "phase", "B", 0, "");
+        assert!(check_trace(&text).unwrap_err().contains("unknown phase"));
+        // Mismatched end.
+        let text = line("round", "round", "B", 0, "") + &line("churn", "phase", "E", 1, "");
+        assert!(check_trace(&text).unwrap_err().contains("does not match"));
+        // Non-monotone ts.
+        let text = line("round", "round", "B", 5, "") + &line("round", "round", "E", 5, "");
+        assert!(check_trace(&text)
+            .unwrap_err()
+            .contains("not strictly increasing"));
+        // Unknown counter.
+        let text = line("bogons", "counter", "C", 0, ",\"value\":1");
+        assert!(check_trace(&text).unwrap_err().contains("unknown counter"));
+        // Garbage line.
+        assert!(check_trace("not json\n").is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! [`CounterSet`]: per-shard monotone counters and high-water gauges.
+
+use crate::recorder::{Counter, Gauge, Phase, Recorder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One accumulated counter cell.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Counter name from the fixed vocabulary.
+    pub counter: String,
+    /// The shard that emitted it ([`u32::MAX`] = the sharded router).
+    pub shard: u32,
+    /// Accumulated total.
+    pub value: u64,
+}
+
+/// One gauge high-water cell.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Gauge name from the fixed vocabulary.
+    pub gauge: String,
+    /// The shard that emitted it.
+    pub shard: u32,
+    /// Maximum value observed.
+    pub max: u64,
+}
+
+/// A deterministic snapshot of a [`CounterSet`] (sorted by name, then
+/// shard).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Monotone counters.
+    pub counters: Vec<CounterValue>,
+    /// High-water gauges.
+    pub gauges: Vec<GaugeValue>,
+}
+
+impl CounterSnapshot {
+    /// Total of a named counter across shards.
+    pub fn total(&self, counter: Counter) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.counter == counter.name())
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The per-shard value of a named counter.
+    pub fn of_shard(&self, counter: Counter, shard: u32) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.counter == counter.name() && c.shard == shard)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The maximum of a named gauge across shards.
+    pub fn gauge_max(&self, gauge: Gauge) -> u64 {
+        self.gauges
+            .iter()
+            .filter(|g| g.gauge == gauge.name())
+            .map(|g| g.max)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+struct CounterState {
+    counters: BTreeMap<(&'static str, u32), u64>,
+    gauges: BTreeMap<(&'static str, u32), u64>,
+}
+
+/// A [`Recorder`] that accumulates counters per `(counter, shard)` and
+/// keeps the per-shard maximum of every gauge.  Phase spans are ignored.
+#[derive(Default)]
+pub struct CounterSet {
+    inner: Mutex<CounterState>,
+}
+
+impl CounterSet {
+    /// Fresh, all-zero counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the current totals in deterministic order.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let state = self.inner.lock().expect("counter lock");
+        CounterSnapshot {
+            counters: state
+                .counters
+                .iter()
+                .map(|(&(name, shard), &value)| CounterValue {
+                    counter: name.to_string(),
+                    shard,
+                    value,
+                })
+                .collect(),
+            gauges: state
+                .gauges
+                .iter()
+                .map(|(&(name, shard), &max)| GaugeValue {
+                    gauge: name.to_string(),
+                    shard,
+                    max,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for CounterSet {
+    fn phase_begin(&self, _: u32, _: u64, _: Phase) {}
+    fn phase_end(&self, _: u32, _: u64, _: Phase) {}
+
+    fn add(&self, shard: u32, _time: u64, counter: Counter, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let mut state = self.inner.lock().expect("counter lock");
+        *state.counters.entry((counter.name(), shard)).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, shard: u32, _time: u64, gauge: Gauge, value: u64) {
+        let mut state = self.inner.lock().expect("counter lock");
+        let slot = state.gauges.entry((gauge.name(), shard)).or_insert(0);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_shard_and_total() {
+        let set = CounterSet::new();
+        set.add(0, 1, Counter::MessagesDelivered, 5);
+        set.add(1, 1, Counter::MessagesDelivered, 7);
+        set.add(0, 2, Counter::MessagesDelivered, 3);
+        set.add(0, 2, Counter::MessagesDropped, 0); // zero deltas vanish
+        let snap = set.snapshot();
+        assert_eq!(snap.total(Counter::MessagesDelivered), 15);
+        assert_eq!(snap.of_shard(Counter::MessagesDelivered, 0), 8);
+        assert_eq!(snap.of_shard(Counter::MessagesDelivered, 1), 7);
+        assert_eq!(snap.total(Counter::MessagesDropped), 0);
+        assert!(snap
+            .counters
+            .iter()
+            .all(|c| c.counter != "messages_dropped"));
+    }
+
+    #[test]
+    fn gauges_keep_the_high_water_mark() {
+        let set = CounterSet::new();
+        set.gauge(2, 0, Gauge::CalendarOccupancy, 10);
+        set.gauge(2, 1, Gauge::CalendarOccupancy, 25);
+        set.gauge(2, 2, Gauge::CalendarOccupancy, 4);
+        let snap = set.snapshot();
+        assert_eq!(snap.gauge_max(Gauge::CalendarOccupancy), 25);
+        assert_eq!(snap.gauge_max(Gauge::HonestArenaHighWater), 0);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips() {
+        let set = CounterSet::new();
+        set.add(u32::MAX, 3, Counter::CrossShardRouted, 9);
+        set.gauge(0, 3, Gauge::HonestArenaHighWater, 512);
+        let snap = set.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CounterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

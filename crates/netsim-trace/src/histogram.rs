@@ -1,0 +1,123 @@
+//! A power-of-two log-bucketed histogram for nanosecond durations.
+//!
+//! 65 buckets cover the full `u64` range: bucket 0 holds the value 0,
+//! bucket `k` holds values with bit length `k` (i.e. `[2^(k-1), 2^k)`).
+//! Quantiles come back as the *upper bound* of the bucket holding the
+//! requested rank — a conservative estimate with ≤ 2× relative error,
+//! which is plenty for phase timings spanning orders of magnitude.
+
+/// Log-bucketed `u64` histogram with total count and sum.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`0.0 < q <= 1.0`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if bucket == 0 {
+                    0
+                } else if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merge another histogram into this one.
+    pub fn absorb(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 10_000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 111_106);
+        // p50 falls in the bucket of 100 → upper bound 127.
+        assert_eq!(h.quantile(0.5), 127);
+        // p99 falls in the top bucket (100_000 → [65536, 131072)).
+        assert_eq!(h.quantile(0.99), 131_071);
+        assert!(h.quantile(1.0) >= 100_000);
+    }
+
+    #[test]
+    fn zero_and_empty_are_sane() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_sums() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(20);
+        b.record(30);
+        a.absorb(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 60);
+    }
+}

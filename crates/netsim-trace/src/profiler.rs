@@ -1,0 +1,183 @@
+//! [`PhaseProfiler`]: wall-clock span timings per engine phase,
+//! aggregated into log-bucketed histograms.
+
+use crate::histogram::LogHistogram;
+use crate::recorder::{Counter, Gauge, Phase, Recorder, PHASES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregated timing statistics of one phase (nanoseconds).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase name from the fixed vocabulary.
+    pub phase: String,
+    /// Spans observed.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub sum_ns: u64,
+    /// Median span duration (log-bucket upper bound).
+    pub p50_ns: u64,
+    /// 90th-percentile span duration.
+    pub p90_ns: u64,
+    /// 99th-percentile span duration.
+    pub p99_ns: u64,
+}
+
+/// The profiler's report: one [`PhaseStats`] per phase that was observed
+/// at least once, in fixed vocabulary order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Per-phase statistics.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl PhaseProfile {
+    /// The stats of a named phase, if observed.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+
+    /// Sum of all *sub*-phase durations (everything except the enclosing
+    /// `round` span).
+    pub fn subphase_sum_ns(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.phase != Phase::Round.name())
+            .map(|p| p.sum_ns)
+            .sum()
+    }
+
+    /// Render a compact human-readable table.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("phase            count        sum_ms    p50_us    p90_us    p99_us\n");
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<16} {:>6} {:>13.3} {:>9.1} {:>9.1} {:>9.1}\n",
+                p.phase,
+                p.count,
+                p.sum_ns as f64 / 1e6,
+                p.p50_ns as f64 / 1e3,
+                p.p90_ns as f64 / 1e3,
+                p.p99_ns as f64 / 1e3,
+            ));
+        }
+        out
+    }
+}
+
+struct ProfilerState {
+    /// Open spans keyed by (shard, phase index).
+    open: HashMap<(u32, usize), Instant>,
+    /// One histogram per phase, aggregated across shards.
+    hist: Vec<LogHistogram>,
+}
+
+/// A [`Recorder`] that times every phase span with the monotone wall
+/// clock and aggregates durations into per-phase [`LogHistogram`]s.
+/// Counters and gauges are ignored.  All interior mutability sits behind
+/// one mutex taken only at phase boundaries (a handful of times per
+/// round), never per envelope.
+pub struct PhaseProfiler {
+    inner: Mutex<ProfilerState>,
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        PhaseProfiler {
+            inner: Mutex::new(ProfilerState {
+                open: HashMap::new(),
+                hist: (0..PHASES.len()).map(|_| LogHistogram::new()).collect(),
+            }),
+        }
+    }
+}
+
+impl PhaseProfiler {
+    /// Fresh profiler with empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the aggregated per-phase statistics.
+    pub fn report(&self) -> PhaseProfile {
+        let state = self.inner.lock().expect("profiler lock");
+        let mut phases = Vec::new();
+        for p in PHASES {
+            let h = &state.hist[p.index()];
+            if h.count() == 0 {
+                continue;
+            }
+            phases.push(PhaseStats {
+                phase: p.name().to_string(),
+                count: h.count(),
+                sum_ns: h.sum(),
+                p50_ns: h.quantile(0.50),
+                p90_ns: h.quantile(0.90),
+                p99_ns: h.quantile(0.99),
+            });
+        }
+        PhaseProfile { phases }
+    }
+}
+
+impl Recorder for PhaseProfiler {
+    fn phase_begin(&self, shard: u32, _time: u64, phase: Phase) {
+        let mut state = self.inner.lock().expect("profiler lock");
+        state.open.insert((shard, phase.index()), Instant::now());
+    }
+
+    fn phase_end(&self, shard: u32, _time: u64, phase: Phase) {
+        let mut state = self.inner.lock().expect("profiler lock");
+        if let Some(start) = state.open.remove(&(shard, phase.index())) {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            state.hist[phase.index()].record(ns);
+        }
+    }
+
+    fn add(&self, _: u32, _: u64, _: Counter, _: u64) {}
+    fn gauge(&self, _: u32, _: u64, _: Gauge, _: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_land_in_the_right_phase() {
+        let prof = PhaseProfiler::new();
+        for round in 0..10u64 {
+            prof.phase_begin(0, round, Phase::Round);
+            prof.phase_begin(0, round, Phase::NodeStep);
+            prof.phase_end(0, round, Phase::NodeStep);
+            prof.phase_end(0, round, Phase::Round);
+        }
+        let report = prof.report();
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phase("round").unwrap().count, 10);
+        assert_eq!(report.phase("node-step").unwrap().count, 10);
+        assert!(report.phase("round").unwrap().sum_ns >= report.subphase_sum_ns());
+        assert!(report.phase("churn").is_none());
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored() {
+        let prof = PhaseProfiler::new();
+        prof.phase_end(0, 0, Phase::Routing);
+        assert!(prof.report().phases.is_empty());
+    }
+
+    #[test]
+    fn profile_serde_round_trips() {
+        let prof = PhaseProfiler::new();
+        prof.phase_begin(3, 7, Phase::Churn);
+        prof.phase_end(3, 7, Phase::Churn);
+        let report = prof.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: PhaseProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(!report.render().is_empty());
+    }
+}

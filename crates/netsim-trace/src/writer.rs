@@ -1,0 +1,262 @@
+//! [`TraceWriter`]: an NDJSON stream of Chrome-trace-event-compatible
+//! records.
+//!
+//! Each line is one JSON object with the Chrome trace-event fields
+//! (`name`, `cat`, `ph`, `ts`, `pid`, `tid`, `args`): `"B"`/`"E"` span
+//! pairs for phases and `"C"` records for counters/gauges.  The `ts`
+//! field is a **logical ordinal**, not wall clock: events are buffered
+//! during the run, sorted by the deterministic key `(logical time,
+//! shard, per-shard emission order)` at [`finish`](Recorder::finish),
+//! and numbered 0.. in that order.  The resulting file is therefore
+//! byte-identical across repeat runs of the same spec+seed, regardless
+//! of shard-thread interleaving.  [`TraceWriter::with_wall_time`] opts
+//! into an extra nondeterministic `wall_ns` field on span ends for
+//! humans who want real durations.
+
+use crate::recorder::{Counter, Gauge, Phase, Recorder};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+enum EvKind {
+    Begin(Phase),
+    End(Phase, Option<u64>),
+    Counter(Counter, u64),
+    Gauge(Gauge, u64),
+}
+
+struct Ev {
+    time: u64,
+    shard: u32,
+    seq: u64,
+    kind: EvKind,
+}
+
+#[derive(Default)]
+struct WriterState {
+    events: Vec<Ev>,
+    /// Per-shard emission counters (the deterministic within-shard order).
+    shard_seq: HashMap<u32, u64>,
+    /// Open spans, for optional wall-clock durations.
+    open: HashMap<(u32, usize), Instant>,
+}
+
+/// A [`Recorder`] that buffers every observation and renders the sorted
+/// NDJSON trace at [`finish`](Recorder::finish) (or on demand via
+/// [`render`](TraceWriter::render)).
+pub struct TraceWriter {
+    inner: Mutex<WriterState>,
+    path: Option<PathBuf>,
+    wall: bool,
+}
+
+impl TraceWriter {
+    /// Buffer in memory only; fetch the trace with
+    /// [`render`](TraceWriter::render).
+    pub fn in_memory() -> Self {
+        TraceWriter {
+            inner: Mutex::new(WriterState::default()),
+            path: None,
+            wall: false,
+        }
+    }
+
+    /// Write the trace to `path` when [`finish`](Recorder::finish) is
+    /// called.
+    pub fn to_path(path: impl Into<PathBuf>) -> Self {
+        TraceWriter {
+            inner: Mutex::new(WriterState::default()),
+            path: Some(path.into()),
+            wall: false,
+        }
+    }
+
+    /// Also emit a nondeterministic `wall_ns` duration on every span-end
+    /// record.  Off by default, keeping trace files byte-deterministic.
+    pub fn with_wall_time(mut self) -> Self {
+        self.wall = true;
+        self
+    }
+
+    fn push(&self, time: u64, shard: u32, kind: EvKind) {
+        let mut state = self.inner.lock().expect("trace lock");
+        let seq = state.shard_seq.entry(shard).or_insert(0);
+        let seq_now = *seq;
+        *seq += 1;
+        state.events.push(Ev {
+            time,
+            shard,
+            seq: seq_now,
+            kind,
+        });
+    }
+
+    /// Render the sorted NDJSON trace.
+    pub fn render(&self) -> String {
+        let mut state = self.inner.lock().expect("trace lock");
+        state.events.sort_by_key(|e| (e.time, e.shard, e.seq));
+        let mut out = String::with_capacity(state.events.len() * 96);
+        for (ts, ev) in state.events.iter().enumerate() {
+            render_event(&mut out, ts as u64, ev);
+        }
+        out
+    }
+
+    /// [`render`](TraceWriter::render) and write to `path`.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let text = self.render();
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(text.as_bytes())?;
+        file.flush()
+    }
+}
+
+fn render_event(out: &mut String, ts: u64, ev: &Ev) {
+    let (name, cat, ph, value, wall): (&str, &str, &str, Option<u64>, Option<u64>) = match &ev.kind
+    {
+        EvKind::Begin(p) => (
+            p.name(),
+            if *p == Phase::Round { "round" } else { "phase" },
+            "B",
+            None,
+            None,
+        ),
+        EvKind::End(p, wall) => (
+            p.name(),
+            if *p == Phase::Round { "round" } else { "phase" },
+            "E",
+            None,
+            *wall,
+        ),
+        EvKind::Counter(c, v) => (c.name(), "counter", "C", Some(*v), None),
+        EvKind::Gauge(g, v) => (g.name(), "gauge", "C", Some(*v), None),
+    };
+    out.push_str(&format!(
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts},\
+         \"pid\":0,\"tid\":{},\"args\":{{\"t\":{}",
+        ev.shard, ev.time
+    ));
+    if let Some(v) = value {
+        out.push_str(&format!(",\"value\":{v}"));
+    }
+    if let Some(ns) = wall {
+        out.push_str(&format!(",\"wall_ns\":{ns}"));
+    }
+    out.push_str("}}\n");
+}
+
+impl Recorder for TraceWriter {
+    fn phase_begin(&self, shard: u32, time: u64, phase: Phase) {
+        if self.wall {
+            let mut state = self.inner.lock().expect("trace lock");
+            state.open.insert((shard, phase.index()), Instant::now());
+        }
+        self.push(time, shard, EvKind::Begin(phase));
+    }
+
+    fn phase_end(&self, shard: u32, time: u64, phase: Phase) {
+        let wall = if self.wall {
+            let mut state = self.inner.lock().expect("trace lock");
+            state
+                .open
+                .remove(&(shard, phase.index()))
+                .map(|start| start.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        } else {
+            None
+        };
+        self.push(time, shard, EvKind::End(phase, wall));
+    }
+
+    fn add(&self, shard: u32, time: u64, counter: Counter, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        self.push(time, shard, EvKind::Counter(counter, delta));
+    }
+
+    fn gauge(&self, shard: u32, time: u64, gauge: Gauge, value: u64) {
+        self.push(time, shard, EvKind::Gauge(gauge, value));
+    }
+
+    fn finish(&self) {
+        if let Some(path) = &self.path {
+            if let Err(err) = self.write_to(path) {
+                eprintln!("trace: failed to write {}: {err}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_trace;
+
+    fn emit_round(w: &TraceWriter, shard: u32, round: u64) {
+        w.phase_begin(shard, round, Phase::Round);
+        w.phase_begin(shard, round, Phase::NodeStep);
+        w.phase_end(shard, round, Phase::NodeStep);
+        w.add(shard, round, Counter::MessagesDelivered, 4);
+        w.gauge(shard, round, Gauge::HonestArenaHighWater, 128);
+        w.phase_end(shard, round, Phase::Round);
+    }
+
+    #[test]
+    fn trace_is_wellformed_and_deterministic() {
+        let render = |order_flip: bool| {
+            let w = TraceWriter::in_memory();
+            // Interleave two shards in either order: the rendered trace
+            // must not care (per-shard order is what is deterministic).
+            for round in 0..3u64 {
+                if order_flip {
+                    emit_round(&w, 1, round);
+                    emit_round(&w, 0, round);
+                } else {
+                    emit_round(&w, 0, round);
+                    emit_round(&w, 1, round);
+                }
+            }
+            w.render()
+        };
+        let a = render(false);
+        let b = render(true);
+        assert_eq!(a, b, "trace bytes must not depend on shard interleaving");
+        let check = check_trace(&a).unwrap();
+        assert_eq!(check.open_spans, 0);
+        assert_eq!(check.counter_total("messages_delivered"), 24);
+        assert_eq!(check.gauge_max("honest_arena_high_water"), 128);
+    }
+
+    #[test]
+    fn zero_deltas_are_suppressed() {
+        let w = TraceWriter::in_memory();
+        w.add(0, 0, Counter::MessagesDropped, 0);
+        assert!(w.render().is_empty());
+    }
+
+    #[test]
+    fn wall_time_is_opt_in() {
+        let w = TraceWriter::in_memory().with_wall_time();
+        w.phase_begin(0, 0, Phase::Round);
+        w.phase_end(0, 0, Phase::Round);
+        assert!(w.render().contains("wall_ns"));
+        let w = TraceWriter::in_memory();
+        w.phase_begin(0, 0, Phase::Round);
+        w.phase_end(0, 0, Phase::Round);
+        assert!(!w.render().contains("wall_ns"));
+    }
+
+    #[test]
+    fn finish_writes_the_file() {
+        let path =
+            std::env::temp_dir().join(format!("netsim-trace-writer-{}.ndjson", std::process::id()));
+        let w = TraceWriter::to_path(&path);
+        emit_round(&w, 0, 0);
+        w.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, w.render());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

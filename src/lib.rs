@@ -91,9 +91,18 @@ pub use netsim_runtime::faults;
 /// The unified simulation API, re-exported from `byzcount_core::sim` with
 /// the full scenario registry from `byzcount_analysis::campaign`.
 pub mod sim {
-    pub use byzcount_analysis::campaign::{execute, execute_batch, FullRegistry, RunSimulation};
+    pub use byzcount_analysis::campaign::{
+        execute, execute_batch, execute_batch_recorded, execute_recorded, FullRegistry,
+        RunSimulation,
+    };
     pub use byzcount_core::sim::*;
 }
+
+/// Structured tracing and phase-level metrics (re-exported from
+/// `netsim_trace`): the [`trace::Recorder`] trait, the NDJSON
+/// [`trace::TraceWriter`], the [`trace::PhaseProfiler`] and the
+/// trace-file validator [`trace::check_trace`].
+pub use netsim_runtime::trace;
 
 /// Most commonly used items, re-exported flat.
 pub mod prelude {

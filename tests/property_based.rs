@@ -517,3 +517,157 @@ proptest! {
         prop_assert_eq!(Hello::current().proto_minor, PROTO_MINOR);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability fuzz: trace record shapes and the `stats` telemetry verb
+// must round-trip losslessly through their wire encodings, and the trace
+// validator must recover exactly the counters a writer was fed.
+// ---------------------------------------------------------------------------
+
+use byzcount::trace::{
+    check_trace, Counter as TraceCounter, CounterSet, Phase as TracePhase, PhaseProfiler,
+    Recorder as TraceRecorder, TraceWriter, COUNTERS as TRACE_COUNTERS, GAUGES as TRACE_GAUGES,
+};
+use byzcount_campaign::protocol::{JobTelemetry, ServerStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counter-set snapshots and phase profiles — the two trace record
+    /// shapes embedded in bench reports — survive JSON round trips for
+    /// arbitrary counter/gauge/shard/value combinations.  (The proptest
+    /// shim has no tuple strategies, so each fuzzed `u64` is bit-sliced
+    /// into the cell's pick/shard/value fields.)
+    #[test]
+    fn trace_record_shapes_round_trip(
+        cells in proptest::collection::vec(any::<u64>(), 0..24),
+        spans in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let set = CounterSet::new();
+        for &cell in &cells {
+            let idx = (cell & 0xFF) as usize % (TRACE_COUNTERS.len() + TRACE_GAUGES.len());
+            let shard = ((cell >> 8) % 9) as u32;
+            let value = cell >> 16;
+            if idx < TRACE_COUNTERS.len() {
+                set.add(shard, 0, TRACE_COUNTERS[idx], value % 1_000_003);
+            } else {
+                set.gauge(shard, 0, TRACE_GAUGES[idx - TRACE_COUNTERS.len()], value);
+            }
+        }
+        let snap = set.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize snapshot");
+        let back: byzcount::trace::CounterSnapshot =
+            serde_json::from_str(&json).expect("parse snapshot");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(serde_json::to_string(&back).expect("re-serialize"), json);
+
+        let profiler = PhaseProfiler::new();
+        for &span in &spans {
+            let phase = byzcount::trace::PHASES[(span & 0xFF) as usize % byzcount::trace::PHASES.len()];
+            let shard = ((span >> 8) % 5) as u32;
+            profiler.phase_begin(shard, 0, phase);
+            profiler.phase_end(shard, 0, phase);
+        }
+        let profile = profiler.report();
+        let json = serde_json::to_string(&profile).expect("serialize profile");
+        let back: byzcount::trace::PhaseProfile =
+            serde_json::from_str(&json).expect("parse profile");
+        prop_assert_eq!(back, profile);
+    }
+
+    /// Whatever (delta, shard, round) pattern a run emits, rendering the
+    /// NDJSON trace and re-validating it with `check_trace` recovers the
+    /// exact counter totals — the trace file is a lossless channel.
+    #[test]
+    fn trace_writer_render_and_check_recover_exact_totals(
+        deltas in proptest::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let writer = TraceWriter::in_memory();
+        let mut expect_delivered = 0u64;
+        let mut expect_dropped = 0u64;
+        for (round, &word) in deltas.iter().enumerate() {
+            let shard = (word % 3) as u32;
+            let delta = (word >> 8) % 1_000_000 + 1;
+            let time = round as u64;
+            writer.phase_begin(shard, time, TracePhase::Round);
+            if (word >> 2) % 2 == 0 {
+                writer.add(shard, time, TraceCounter::MessagesDelivered, delta);
+                expect_delivered += delta;
+            } else {
+                writer.add(shard, time, TraceCounter::MessagesDropped, delta);
+                expect_dropped += delta;
+            }
+            writer.phase_end(shard, time, TracePhase::Round);
+        }
+        let text = writer.render();
+        let checked = check_trace(&text).expect("well-formed trace");
+        prop_assert_eq!(checked.counter_total("messages_delivered"), expect_delivered);
+        prop_assert_eq!(checked.counter_total("messages_dropped"), expect_dropped);
+        prop_assert_eq!(checked.open_spans, 0);
+        // Rendering is a pure function of the recorded events.
+        prop_assert_eq!(writer.render(), text);
+    }
+
+    /// The `stats` verb (protocol minor 1): arbitrary telemetry payloads
+    /// round-trip the wire losslessly, including job lists and absent
+    /// ETAs, and frames with unknown future fields still parse.
+    #[test]
+    fn stats_frames_round_trip_and_tolerate_future_fields(
+        uptime_milli in any::<u32>(),
+        counts in proptest::collection::vec(any::<u16>(), 8..9),
+        jobs in proptest::collection::vec(any::<u64>(), 0..6),
+        extra in any::<u64>(),
+    ) {
+        let stats = ServerStats {
+            uptime_s: uptime_milli as f64 / 1000.0,
+            workers: counts[0] as u64,
+            busy_workers: counts[1] as u64,
+            queue_depth: counts[2] as u64,
+            running_jobs: jobs.len() as u64,
+            cells_completed: counts[3] as u64,
+            cells_pending: counts[4] as u64,
+            cells_per_s: counts[5] as f64 / 16.0,
+            fsyncs: counts[6] as u64,
+            fsync_p50_us: counts[7] as u64,
+            fsync_p90_us: counts[7] as u64 * 2,
+            fsync_p99_us: counts[7] as u64 * 4,
+            jobs: jobs
+                .iter()
+                .map(|&word| {
+                    let completed = (word >> 20) & 0xFFFF;
+                    JobTelemetry {
+                        job: format!("job-{}", word % 1_000_000),
+                        state: "running".into(),
+                        completed,
+                        total: completed + ((word >> 36) & 0xFFFF),
+                        eta_s: (word % 2 == 0).then(|| (word >> 52) as f64 / 8.0),
+                    }
+                })
+                .collect(),
+        };
+        let line = protocol::encode_line(&Response::Stats(stats.clone()));
+        prop_assert_eq!(line.matches('\n').count(), 1);
+        let back: Response = protocol::decode_line(&line).expect("round trip");
+        prop_assert_eq!(back, Response::Stats(stats));
+
+        // The request side is a bare verb and must survive the wire too.
+        let request_line = protocol::encode_line(&Request::Stats);
+        let request: Request = protocol::decode_line(&request_line).expect("request");
+        prop_assert_eq!(request, Request::Stats);
+
+        // Forward tolerance: a future minor may add fields; today's
+        // parser must ignore them rather than error.
+        let extended = format!(
+            "{{\"stats\": {{\"uptime_s\": 1.5, \"workers\": 2, \"busy_workers\": 0, \
+             \"queue_depth\": 0, \"running_jobs\": 0, \"cells_completed\": 9, \
+             \"cells_pending\": 0, \"cells_per_s\": 3.0, \"fsyncs\": 9, \
+             \"fsync_p50_us\": 10, \"fsync_p90_us\": 20, \"fsync_p99_us\": 30, \
+             \"jobs\": [], \"future_field_{extra}\": {extra}}}}}\n"
+        );
+        let parsed: Response = protocol::decode_line(&extended).expect("future-tolerant");
+        match parsed {
+            Response::Stats(s) => prop_assert_eq!(s.cells_completed, 9),
+            other => prop_assert!(false, "wrong variant: {:?}", other),
+        }
+    }
+}
