@@ -136,7 +136,8 @@ pub struct BenchReport {
     pub sizes: Vec<usize>,
     /// Base seed.
     pub seed: u64,
-    /// Which engine executed the suite (`sync` / `sharded-S` / `async`).
+    /// Which engine executed the suite (`sync` / `sharded-S` / `async` /
+    /// `sharded-async-S`).
     /// Absent in reports from before the engine knob existed, which all
     /// ran the classic engine.  Results are engine-independent by
     /// contract (heterogeneous async clock plans, which would break that
@@ -287,7 +288,9 @@ pub fn run_suite(
     // heterogeneous clock plan would change the runs themselves, and
     // `apply_baseline` would then join semantically different executions
     // on the engine-independent cell seeds.  Refuse up front.
-    if let netsim_runtime::EngineKind::Async { clocks } = cfg.engine.kind() {
+    if let netsim_runtime::EngineKind::Async { clocks }
+    | netsim_runtime::EngineKind::ShardedAsync { clocks, .. } = cfg.engine.kind()
+    {
         if !clocks.is_synchronous() {
             return Err(SimError::Spec(format!(
                 "the bench suite only runs synchronous engines; async clock \
@@ -658,6 +661,14 @@ mod tests {
                 every: 4,
                 period: 3,
             },
+        };
+        let err = run_suite(&cfg, |_| {}).expect_err("must refuse");
+        assert!(err.to_string().contains("synchronous"), "{err}");
+        // The sharded-async engine carries the same clock knob and is
+        // guarded the same way.
+        cfg.engine = EngineSpec::ShardedAsync {
+            shards: 2,
+            clocks: ClockPlan::Jittered { max_period: 4 },
         };
         let err = run_suite(&cfg, |_| {}).expect_err("must refuse");
         assert!(err.to_string().contains("synchronous"), "{err}");

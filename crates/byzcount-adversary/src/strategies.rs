@@ -39,6 +39,12 @@ impl Adversary<CountingNode> for HonestBehavingAdversary {
     ) -> AdversaryDecision<CountingMessage> {
         AdversaryDecision::FollowProtocol
     }
+
+    // Stateless, RNG-free and always `FollowProtocol`: eliding idle-tick
+    // calls (sparse ticking) cannot change anything.
+    fn idle_passive(&self) -> bool {
+        true
+    }
 }
 
 /// Byzantine nodes never send anything — not even their adjacency list,
@@ -54,6 +60,12 @@ impl Adversary<CountingNode> for SilentAdversary {
         _rng: &mut ChaCha8Rng,
     ) -> AdversaryDecision<CountingMessage> {
         AdversaryDecision::Replace(Vec::new())
+    }
+
+    // Stateless, RNG-free and always an empty `Replace`: on an idle tick
+    // (no queued envelopes to suppress) the call is a pure no-op.
+    fn idle_passive(&self) -> bool {
+        true
     }
 }
 

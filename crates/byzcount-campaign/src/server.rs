@@ -578,8 +578,11 @@ fn handle_stats(shared: &Arc<Shared>) -> Result<Response, CampaignError> {
         if matches!(state, JobState::Queued | JobState::Running) {
             cells_pending += remaining;
         }
+        // ETA only when it is a finite, meaningful number: serde_json
+        // cannot represent NaN/Inf, and a non-finite ETA (rate denormal,
+        // huge remaining count) would poison the whole stats payload.
         let eta_s = if running && cells_per_s > 0.0 && remaining > 0 {
-            Some(remaining as f64 / cells_per_s)
+            Some(remaining as f64 / cells_per_s).filter(|eta| eta.is_finite())
         } else {
             None
         };

@@ -62,13 +62,21 @@ impl Telemetry {
         self.cells_done.load(Ordering::SeqCst)
     }
 
-    /// Mean throughput since start (cells per second).
+    /// Mean throughput since start (cells per second).  Always finite:
+    /// a fresh instance (zero or sub-tick uptime) reports `0.0`, never
+    /// `NaN`/`Inf` — the value goes straight into JSON, which cannot
+    /// represent non-finite numbers.
     pub fn cells_per_s(&self) -> f64 {
         let secs = self.uptime_s();
         if secs <= 0.0 {
             return 0.0;
         }
-        self.cells_done() as f64 / secs
+        let rate = self.cells_done() as f64 / secs;
+        if rate.is_finite() {
+            rate
+        } else {
+            0.0
+        }
     }
 
     /// Record one WAL fsync duration.
@@ -136,5 +144,25 @@ mod tests {
         t.cell_done();
         assert_eq!(t.cells_done(), 2);
         assert!(t.cells_per_s() >= 0.0);
+    }
+
+    #[test]
+    fn throughput_is_always_finite_and_serializable() {
+        // Regression: on a fresh instance the uptime can be zero (or
+        // denormal-small), and `cells / secs` used to be able to produce
+        // `Inf`/`NaN` — which `serde_json` refuses to serialize, so the
+        // stats verb would fail exactly when polled early.  The rate must
+        // be finite from the very first instant.
+        let t = Telemetry::new();
+        let rate = t.cells_per_s();
+        assert!(rate.is_finite(), "fresh telemetry rate must be finite");
+        assert_eq!(rate, 0.0);
+        t.cell_done();
+        let rate = t.cells_per_s();
+        assert!(rate.is_finite(), "rate with cells must be finite");
+        assert!(rate >= 0.0);
+        // And the whole stats payload shape survives JSON encoding.
+        let encoded = serde_json::to_string(&rate).expect("finite floats encode");
+        assert!(!encoded.contains("null"));
     }
 }

@@ -71,7 +71,7 @@
 use byzcount_analysis::experiments::{self, ExperimentConfig};
 use byzcount_analysis::{campaign, Table};
 use byzcount_core::sim::{
-    AdversarySpec, BatchSpec, EngineSpec, FaultSpec, ParamsSpec, PlacementSpec, RunSpec,
+    AdversarySpec, BatchSpec, ClockPlan, EngineSpec, FaultSpec, ParamsSpec, PlacementSpec, RunSpec,
     SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
 use netsim_trace::{check_trace, Fanout, PhaseProfiler, Recorder, TraceWriter};
@@ -89,7 +89,7 @@ fn usage() -> ExitCode {
          \x20      byzcount-cli template [run|batch|faulty|async]\n\
          \x20      byzcount-cli bench [--smoke] [--sizes 1024,4096] \
          [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json] \
-         [--shards S] [--engine sync|async|sharded-S] [--profile]\n\
+         [--shards S] [--engine sync|async|sharded-S|sharded-async-S] [--profile]\n\
          \x20      byzcount-cli trace-check <trace.ndjson>\n\
          \x20      byzcount-cli serve <unix:PATH|HOST:PORT> [--store DIR] \
          [--workers N] [--snapshot-every K]\n\
@@ -102,16 +102,29 @@ fn usage() -> ExitCode {
 }
 
 /// Parse a `--engine` value: `sync`, `async` (event-driven engine,
-/// uniform clocks) or `sharded-S`.
+/// uniform clocks), `sharded-S` or `sharded-async-S` (per-shard calendar
+/// queues, uniform clocks).
 fn parse_engine(value: &str) -> Option<EngineSpec> {
     match value {
         "sync" => Some(EngineSpec::Sync),
         "async" => Some(EngineSpec::asynchronous()),
-        other => other
-            .strip_prefix("sharded-")
-            .and_then(|s| s.parse::<u32>().ok())
-            .filter(|&shards| shards >= 1)
-            .map(|shards| EngineSpec::Sharded { shards }),
+        other => {
+            if let Some(s) = other.strip_prefix("sharded-async-") {
+                s.parse::<u32>()
+                    .ok()
+                    .filter(|&shards| shards >= 1)
+                    .map(|shards| EngineSpec::ShardedAsync {
+                        shards,
+                        clocks: ClockPlan::Uniform,
+                    })
+            } else {
+                other
+                    .strip_prefix("sharded-")
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .filter(|&shards| shards >= 1)
+                    .map(|shards| EngineSpec::Sharded { shards })
+            }
+        }
     }
 }
 

@@ -341,6 +341,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Shorthand for [`engine`](Self::engine) with the sharded
+    /// event-driven engine: per-shard calendar queues and clock domains.
+    /// The shard count is pure execution policy; the clock plan carries
+    /// the same semantics as [`async_clocks`](Self::async_clocks).
+    pub fn sharded_async(mut self, shards: u32, clocks: netsim_runtime::ClockPlan) -> Self {
+        self.engine = EngineSpec::ShardedAsync { shards, clocks };
+        self
+    }
+
     /// Protocol parameters (default: derived with `δ = 0.6`, `ε = 0.1`).
     pub fn params(mut self, params: ParamsSpec) -> Self {
         self.params = params;

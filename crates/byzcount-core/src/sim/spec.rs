@@ -50,7 +50,14 @@ use serde::{Deserialize, Error, Map, Number, Serialize, Value};
 ///   byte-identical to the synchronous engines (`tests/async_parity.rs`);
 ///   heterogeneous clock plans are the first spec knob that changes run
 ///   *semantics* by design — deterministically per spec and seed.
-pub const SPEC_VERSION: u32 = 4;
+/// * **5** — adds the [`EngineSpec::ShardedAsync`] variant: the
+///   event-driven engine with per-shard calendar queues and clock
+///   domains.  No field is added or removed, so version-1/2/3/4 specs all
+///   still parse unchanged; the bump marks that v4 readers cannot
+///   interpret a `ShardedAsync` engine value.  Like `Sharded`, the shard
+///   count is pure execution policy: for equal spec and seed the run is
+///   byte-identical to the unsharded async engine for every shard count.
+pub const SPEC_VERSION: u32 = 5;
 
 /// Derive an independent seed stream from a master seed (SplitMix64).
 pub(crate) fn derive_seed(seed: u64, stream: u64) -> u64 {
@@ -606,6 +613,16 @@ pub enum EngineSpec {
         /// ([`ClockPlan::Uniform`] = the synchronous model).
         clocks: ClockPlan,
     },
+    /// The sharded event-driven engine: per-shard calendar queues and
+    /// clock domains, rendezvousing only at the routing step.  The shard
+    /// count is execution policy (byte-identical results for every
+    /// count); the clock plan is the same semantic knob as `Async`'s.
+    ShardedAsync {
+        /// Number of shards (≥ 1).
+        shards: u32,
+        /// How node clocks map onto virtual time.
+        clocks: ClockPlan,
+    },
 }
 
 impl EngineSpec {
@@ -630,6 +647,10 @@ impl EngineSpec {
                 shards: shards as usize,
             },
             EngineSpec::Async { clocks } => EngineKind::Async { clocks },
+            EngineSpec::ShardedAsync { shards, clocks } => EngineKind::ShardedAsync {
+                shards: shards as usize,
+                clocks,
+            },
         }
     }
 
@@ -637,11 +658,13 @@ impl EngineSpec {
     pub fn validate(&self) -> Result<(), String> {
         match self {
             EngineSpec::Sync => Ok(()),
-            EngineSpec::Sharded { shards: 0 } => {
+            EngineSpec::Sharded { shards: 0 } | EngineSpec::ShardedAsync { shards: 0, .. } => {
                 Err("sharded engine needs at least one shard".into())
             }
             EngineSpec::Sharded { .. } => Ok(()),
-            EngineSpec::Async { clocks } => clocks.validate(),
+            EngineSpec::Async { clocks } | EngineSpec::ShardedAsync { clocks, .. } => {
+                clocks.validate()
+            }
         }
     }
 }
@@ -735,6 +758,14 @@ impl Serialize for EngineSpec {
                 m.insert("Async".into(), Value::Obj(inner));
                 Value::Obj(m)
             }
+            EngineSpec::ShardedAsync { shards, clocks } => {
+                let mut inner = Map::new();
+                inner.insert("shards".into(), Value::Num(Number::U(*shards as u64)));
+                inner.insert("clocks".into(), clock_plan_to_value(clocks));
+                let mut m = Map::new();
+                m.insert("ShardedAsync".into(), Value::Obj(inner));
+                Value::Obj(m)
+            }
         }
     }
 }
@@ -767,6 +798,17 @@ impl Deserialize for EngineSpec {
                             .as_obj()
                             .ok_or_else(|| Error::expected("object", inner))?;
                         Ok(EngineSpec::Async {
+                            clocks: clock_plan_from_value(
+                                mm.get("clocks").unwrap_or(&Value::Null),
+                            )?,
+                        })
+                    }
+                    "ShardedAsync" => {
+                        let mm = inner
+                            .as_obj()
+                            .ok_or_else(|| Error::expected("object", inner))?;
+                        Ok(EngineSpec::ShardedAsync {
+                            shards: u32_field(mm, "shards")?,
                             clocks: clock_plan_from_value(
                                 mm.get("clocks").unwrap_or(&Value::Null),
                             )?,
@@ -1124,6 +1166,92 @@ mod tests {
         let parsed_v4 = RunSpec::from_json(&v4).expect("v4 spec must parse");
         assert_eq!(parsed, parsed_v4);
         assert_eq!(parsed.to_json(), parsed_v4.to_json());
+        // And the v5 stamp as well: v4 → v5 added only the ShardedAsync
+        // vocabulary, no field changes.
+        let v5 = v3.replace("\"version\": 3,", "\"version\": 5,");
+        let parsed_v5 = RunSpec::from_json(&v5).expect("v5 spec must parse");
+        assert_eq!(parsed, parsed_v5);
+        assert_eq!(parsed.to_json(), parsed_v5.to_json());
+    }
+
+    #[test]
+    fn sharded_async_engine_specs_round_trip_and_validate() {
+        for clocks in [
+            ClockPlan::Uniform,
+            ClockPlan::Stratified {
+                every: 4,
+                period: 3,
+            },
+            ClockPlan::Jittered { max_period: 5 },
+        ] {
+            let mut spec = demo_spec();
+            spec.engine = EngineSpec::ShardedAsync { shards: 4, clocks };
+            let back = RunSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec, "{clocks:?}");
+            assert_eq!(back.to_json(), spec.to_json(), "{clocks:?}");
+        }
+        // Zero shards and degenerate clock plans are rejected.
+        let mut spec = demo_spec();
+        spec.engine = EngineSpec::ShardedAsync {
+            shards: 0,
+            clocks: ClockPlan::Uniform,
+        };
+        assert!(matches!(spec.validate(), Err(SimError::Spec(_))));
+        spec.engine = EngineSpec::ShardedAsync {
+            shards: 2,
+            clocks: ClockPlan::Jittered { max_period: 0 },
+        };
+        assert!(matches!(spec.validate(), Err(SimError::Spec(_))));
+        // Naming and kind resolution.
+        assert_eq!(
+            EngineSpec::ShardedAsync {
+                shards: 4,
+                clocks: ClockPlan::Uniform
+            }
+            .name(),
+            "sharded-async-4"
+        );
+        assert_eq!(
+            EngineSpec::ShardedAsync {
+                shards: 2,
+                clocks: ClockPlan::Stratified {
+                    every: 4,
+                    period: 3
+                }
+            }
+            .name(),
+            "sharded-async-2-strat-4x3"
+        );
+        assert_eq!(
+            EngineSpec::ShardedAsync {
+                shards: 4,
+                clocks: ClockPlan::Uniform
+            }
+            .kind(),
+            netsim_runtime::EngineKind::ShardedAsync {
+                shards: 4,
+                clocks: ClockPlan::Uniform
+            }
+        );
+        // A ShardedAsync value without an explicit clock plan reads as
+        // uniform clocks, like `Async`.
+        let mut spec = demo_spec();
+        spec.engine = EngineSpec::ShardedAsync {
+            shards: 3,
+            clocks: ClockPlan::Uniform,
+        };
+        let mut value = spec.to_value();
+        let mut inner = Map::new();
+        inner.insert("shards".into(), Value::Num(Number::U(3)));
+        let mut engine = Map::new();
+        engine.insert("ShardedAsync".into(), Value::Obj(inner));
+        value
+            .as_obj_mut()
+            .expect("specs serialize to objects")
+            .insert("engine".into(), Value::Obj(engine));
+        let abbreviated = serde_json::to_string_pretty(&value).expect("value prints");
+        let parsed = RunSpec::from_json(&abbreviated).expect("clockless ShardedAsync parses");
+        assert_eq!(parsed, spec);
     }
 
     #[test]

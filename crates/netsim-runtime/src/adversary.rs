@@ -55,6 +55,27 @@ pub trait Adversary<P: Protocol>: Send {
         view: &AdversaryView<'_, P>,
         rng: &mut ChaCha8Rng,
     ) -> AdversaryDecision<P::Message>;
+
+    /// True when this adversary is a pure no-op on *idle* ticks — ticks
+    /// at which no node stepped, so [`AdversaryView::honest_messages`]
+    /// and [`AdversaryView::byzantine_default_messages`] are both empty.
+    ///
+    /// Opting in promises that every such `act` call (a) returns
+    /// [`AdversaryDecision::FollowProtocol`] or an empty `Replace`,
+    /// (b) draws nothing from `rng`, and (c) leaves no internal state
+    /// behind that a later decision depends on.  Under that promise the
+    /// async engines may *skip* idle ticks entirely (sparse ticking)
+    /// without changing any observable result: the calls being elided
+    /// would have produced nothing and consumed no randomness, so the
+    /// adversary RNG stream stays tick-indexed and every later decision
+    /// is bit-identical.
+    ///
+    /// Adversaries that inject messages out of nowhere or advance their
+    /// RNG on every tick (e.g. per-tick coin flips) must keep the
+    /// default `false`, which pins the engines to dense ticking.
+    fn idle_passive(&self) -> bool {
+        false
+    }
 }
 
 /// Boxed adversaries forward to their contents, so heterogeneous adversary
@@ -67,6 +88,10 @@ impl<P: Protocol> Adversary<P> for Box<dyn Adversary<P>> {
         rng: &mut ChaCha8Rng,
     ) -> AdversaryDecision<P::Message> {
         (**self).act(view, rng)
+    }
+
+    fn idle_passive(&self) -> bool {
+        (**self).idle_passive()
     }
 }
 
@@ -84,6 +109,12 @@ impl<P: Protocol> Adversary<P> for NullAdversary {
         _rng: &mut ChaCha8Rng,
     ) -> AdversaryDecision<P::Message> {
         AdversaryDecision::FollowProtocol
+    }
+
+    // `act` never touches the RNG and always follows the protocol, so
+    // eliding idle-tick calls is trivially unobservable.
+    fn idle_passive(&self) -> bool {
+        true
     }
 }
 

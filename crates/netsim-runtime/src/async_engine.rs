@@ -299,6 +299,16 @@ impl<E> CalendarQueue<E> {
     /// their next drain, so callers must only push at the current tick
     /// for classes that have not yet drained (the engine drains classes
     /// in ascending order, which makes this easy to honour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time < current`.  The ring files events by
+    /// `time % capacity`, so an event pushed into the past would land in
+    /// a bucket the drain cursor has already passed — silently lost until
+    /// the tick counter wraps the ring, which is never.  A past push is
+    /// always a caller bug (a mis-derived due tick), and losing an event
+    /// would break the engines' determinism contract invisibly, so the
+    /// queue refuses loudly instead of filing it as "due now".
     pub fn push(
         &mut self,
         current: u64,
@@ -307,7 +317,11 @@ impl<E> CalendarQueue<E> {
         node: u32,
         payload: E,
     ) -> EventKey {
-        debug_assert!(time >= current, "events cannot fire in the past");
+        assert!(
+            time >= current,
+            "CalendarQueue::push: event due at tick {time} is in the past \
+             (current tick {current}); events cannot fire in the past"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         let event = Event {
@@ -446,6 +460,32 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// The earliest tick at which any scheduled event fires, or `None`
+    /// when the queue is empty.
+    ///
+    /// One pass over the ring's occupied buckets plus a first-key peek at
+    /// the overflow table — O(capacity), not O(events).  The sparse-ticking
+    /// engines consult it once per *executed* tick to find the next tick
+    /// worth visiting, so over a run the total cost is O(events × ring
+    /// capacity / events-per-tick), which is the O(events) shape the dense
+    /// tick loop lacks.
+    pub fn next_event_time(&self) -> Option<u64> {
+        if self.scheduled == 0 {
+            return None;
+        }
+        let ring_min = self
+            .buckets
+            .iter()
+            .filter(|b| !b.items.is_empty())
+            .map(|b| b.due)
+            .min();
+        let overflow_min = self.overflow.keys().next().copied();
+        match (ring_min, overflow_min) {
+            (Some(r), Some(o)) => Some(r.min(o)),
+            (r, o) => r.or(o),
+        }
+    }
+
     /// Grow the ring to at least `min_buckets`, re-slotting outstanding
     /// buckets (same policy as [`DelayRing`](crate::DelayRing)).
     fn grow(&mut self, min_buckets: usize) {
@@ -540,6 +580,15 @@ where
     /// Deferred envelopes currently scheduled as deliver events; whatever
     /// remains when the run stops has expired.
     deferred_in_flight: u64,
+    /// Whether the adversary licensed sparse ticking
+    /// ([`Adversary::idle_passive`], cached at construction).  When a
+    /// fault plan is installed its self-rescheduling plan-tick event makes
+    /// every tick an event tick, so the flag alone never causes a skip
+    /// the plan would have observed.
+    skip_enabled: bool,
+    /// Idle ticks jumped over by [`advance`](Self::advance) without being
+    /// executed (they still count into `metrics.rounds`).
+    ticks_skipped: u64,
     fault_plan: Option<Box<dyn FaultPlan>>,
     reset_state: Option<Box<dyn Fn(usize) -> P + Send>>,
     churned_down: Vec<bool>,
@@ -589,6 +638,7 @@ where
                 EnginePayload::NodeStep,
             );
         }
+        let skip_enabled = adversary.idle_passive();
         AsyncEngine {
             topology,
             states,
@@ -612,6 +662,8 @@ where
             queue,
             scratch: Vec::new(),
             deferred_in_flight: 0,
+            skip_enabled,
+            ticks_skipped: 0,
             fault_plan: None,
             reset_state: None,
             churned_down: vec![false; n],
@@ -681,9 +733,19 @@ where
         self
     }
 
-    /// The current virtual tick (number of ticks fully executed).
+    /// The current virtual tick (number of ticks fully executed,
+    /// including skipped idle ticks).
     pub fn time(&self) -> u64 {
         self.time
+    }
+
+    /// Idle ticks jumped over by the sparse-ticking skip so far.  Always
+    /// zero under dense execution ([`step_tick`](Self::step_tick) in a
+    /// loop), under a fault plan (its self-rescheduling plan-tick event
+    /// occupies every tick), or when the adversary did not opt into
+    /// [`Adversary::idle_passive`].
+    pub fn ticks_skipped(&self) -> u64 {
+        self.ticks_skipped
     }
 
     /// The per-node step periods resolved from the clock plan.
@@ -1000,6 +1062,8 @@ where
             _ => EnvelopeFate::Deliver,
         };
         match fate {
+            // `Delay(0)` accounts as plain delivery in every engine (see
+            // the cross-engine regression test in `sharded_async`).
             EnvelopeFate::Deliver | EnvelopeFate::Delay(0) => {
                 self.metrics.record_delivery(env.payload.message_size());
                 self.mailboxes[env.to.index()].push(env);
@@ -1020,10 +1084,63 @@ where
         }
     }
 
+    /// Jump over the span of dead ticks ahead of the current tick —
+    /// ticks at which no event fires — performing the bulk accounting
+    /// dense execution would have produced tick by tick.
+    ///
+    /// Only runs when the adversary opted into
+    /// [`Adversary::idle_passive`]: an idle tick's only side effects are
+    /// then `metrics.begin_round()` (an empty per-round slot), the
+    /// recorder's `Rounds` increment, and `time += 1` — every one of
+    /// which this skip replays in bulk, so a skipped span is
+    /// observationally identical to executing the empty ticks.  With a
+    /// fault plan installed the self-rescheduling plan-tick event is due
+    /// every tick, so `next_event_time()` never exceeds the current tick
+    /// and the skip is a no-op — plan RNG streams stay tick-indexed by
+    /// construction, not by special-casing.
+    fn skip_idle_ticks(&mut self) {
+        if !self.skip_enabled {
+            return;
+        }
+        let target = self
+            .queue
+            .next_event_time()
+            .unwrap_or(self.config.max_rounds)
+            .min(self.config.max_rounds);
+        if target <= self.time {
+            return;
+        }
+        let skipped = target - self.time;
+        self.metrics.skip_rounds(skipped);
+        self.ticks_skipped += skipped;
+        if let Some(rec) = self.recorder {
+            // Skipped ticks are completed ticks: trace-derived `rounds`
+            // totals must keep matching `RunMetrics` bit-for-bit.
+            rec.add(0, self.time, Counter::Rounds, skipped);
+            rec.add(0, self.time, Counter::TicksSkipped, skipped);
+        }
+        self.time = target;
+    }
+
+    /// Advance to the next tick at which anything can happen and execute
+    /// it: [`step_tick`](Self::step_tick) preceded by the sparse skip
+    /// over idle ticks.  Returns `false` when the stop condition has been
+    /// reached (possibly by the skip alone — the skip never crosses
+    /// `max_rounds`).  This is what [`run`](Self::run) iterates; calling
+    /// `step_tick` directly instead yields dense execution with
+    /// byte-identical results.
+    pub fn advance(&mut self) -> bool {
+        self.skip_idle_ticks();
+        if self.finished() {
+            return false;
+        }
+        self.step_tick()
+    }
+
     /// Run until the stop condition and return the result.
     pub fn run(mut self) -> RunResult<P::Output> {
         while !self.finished() {
-            self.step_tick();
+            self.advance();
         }
         self.into_result()
     }
@@ -1239,6 +1356,43 @@ mod tests {
         q.drain_class_into(1, EventClass::Deliver, &mut scratch);
         assert_eq!(scratch.len(), 1);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "events cannot fire in the past")]
+    fn queue_rejects_pushes_into_the_past() {
+        // Regression: a push with `time < current` used to be silently
+        // filed as "due now" (`time.saturating_sub(current)` == 0) into a
+        // ring bucket the drain had already passed, losing the event.  The
+        // queue must refuse loudly instead.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(10, 9, EventClass::Deliver, 0, 1);
+    }
+
+    #[test]
+    fn queue_next_event_time_tracks_ring_and_overflow() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        assert_eq!(q.next_event_time(), None, "empty queue has no next event");
+        // Far-future first: the overflow table alone answers.
+        q.push(0, 1_000_000, EventClass::Deliver, 0, 1);
+        assert_eq!(q.next_event_time(), Some(1_000_000));
+        // A nearer ring event wins the min.
+        q.push(0, 7, EventClass::NodeStep, 2, 2);
+        assert_eq!(q.next_event_time(), Some(7));
+        q.push(0, 3, EventClass::PlanTick, 0, 3);
+        assert_eq!(q.next_event_time(), Some(3));
+        // Draining the nearest tick advances the answer.
+        let mut scratch = Vec::new();
+        q.drain_class_into(3, EventClass::PlanTick, &mut scratch);
+        assert_eq!(q.next_event_time(), Some(7));
+        q.drain_class_into(7, EventClass::NodeStep, &mut scratch);
+        assert_eq!(
+            q.next_event_time(),
+            Some(1_000_000),
+            "only the overflow event remains"
+        );
+        q.drain_class_into(1_000_000, EventClass::Deliver, &mut scratch);
+        assert_eq!(q.next_event_time(), None);
     }
 
     // -- ClockPlan ----------------------------------------------------------
@@ -1748,5 +1902,176 @@ mod tests {
         assert_eq!(asynced.metrics.churn_crashes, 1);
         assert_eq!(asynced.metrics.churn_recoveries, 1);
         assert!(!asynced.crashed[2], "node 2 rejoined");
+    }
+
+    // -- Sparse ticking -------------------------------------------------------
+
+    /// Run the given engine densely — every integer tick executed — and
+    /// return the result plus the skip counter (which must stay zero).
+    fn run_dense(
+        mut engine: AsyncEngine<'_, Csr, MaxFlood, NullAdversary>,
+    ) -> (RunResult<u64>, u64) {
+        while !engine.finished() {
+            engine.step_tick();
+        }
+        let skipped = engine.ticks_skipped();
+        (engine.into_result(), skipped)
+    }
+
+    #[test]
+    fn sparse_ticking_is_byte_identical_to_dense_on_heterogeneous_clocks() {
+        let n = 18;
+        let g = line_graph(n);
+        let cfg = EngineConfig {
+            max_rounds: 600,
+            stop_when_all_decided: true,
+        };
+        for clocks in [
+            ClockPlan::Uniform,
+            ClockPlan::Stratified {
+                every: 3,
+                period: 5,
+            },
+            ClockPlan::Jittered { max_period: 6 },
+        ] {
+            let mk = || {
+                AsyncEngine::new(
+                    &g,
+                    flood_states(n, 200),
+                    vec![false; n],
+                    NullAdversary,
+                    cfg,
+                    13,
+                    clocks,
+                )
+            };
+            let (dense, dense_skips) = run_dense(mk());
+            assert_eq!(dense_skips, 0, "step_tick loops never skip");
+            let sparse = mk().run();
+            assert_results_equal(&dense, &sparse, &format!("sparse {}", clocks.describe()));
+        }
+    }
+
+    #[test]
+    fn sparse_ticking_visits_o_events_ticks_on_an_idle_heavy_run() {
+        // The acceptance scenario: every node on a slow clock (one step per
+        // 64 ticks), so all but one in 64 ticks are dead.  The skip counter
+        // must show that the ticks actually *visited* scale with the number
+        // of node-step events, not with the tick span of the run.
+        let n = 6;
+        let g = line_graph(n);
+        let period = 64u64;
+        let ttl = 2000u64;
+        let cfg = EngineConfig {
+            max_rounds: 100_000,
+            stop_when_all_decided: true,
+        };
+        let mk = || {
+            AsyncEngine::new(
+                &g,
+                flood_states(n, ttl),
+                vec![false; n],
+                NullAdversary,
+                cfg,
+                29,
+                ClockPlan::Stratified {
+                    every: 1,
+                    period: period as u32,
+                },
+            )
+        };
+        let mut sparse = mk();
+        while !sparse.finished() {
+            sparse.advance();
+        }
+        let span = sparse.time();
+        let skipped = sparse.ticks_skipped();
+        let visited = span - skipped;
+        // Steps happen only at multiples of `period`, so the visited tick
+        // count is bounded by the event ticks (span / period, plus the
+        // final partial span), while the span itself is > ttl ticks.
+        assert!(span > ttl, "the run must cover the idle-heavy span");
+        assert!(
+            visited <= span / period + 2,
+            "sparse ticking must visit only event ticks: visited {visited} of {span}"
+        );
+        assert!(
+            skipped > 30 * visited,
+            "the overwhelming majority of ticks must be skipped \
+             (skipped {skipped}, visited {visited})"
+        );
+        // And the skip is observationally free: byte-identical to dense.
+        let sparse_result = sparse.into_result();
+        let (dense, _) = run_dense(mk());
+        assert_results_equal(&dense, &sparse_result, "idle-heavy sparse parity");
+        assert_eq!(
+            sparse_result.metrics.rounds, span,
+            "skipped ticks still count as completed rounds"
+        );
+    }
+
+    #[test]
+    fn sparse_ticking_respects_the_round_cap_between_events() {
+        // Next event beyond `max_rounds`: the skip must stop at the cap and
+        // report exactly as many rounds as dense execution would.
+        let n = 4;
+        let g = line_graph(n);
+        let cfg = EngineConfig {
+            max_rounds: 100,
+            stop_when_all_decided: false,
+        };
+        let mk = || {
+            AsyncEngine::new(
+                &g,
+                flood_states(n, 100_000),
+                vec![false; n],
+                NullAdversary,
+                cfg,
+                31,
+                ClockPlan::Stratified {
+                    every: 1,
+                    period: 64,
+                },
+            )
+        };
+        let (dense, _) = run_dense(mk());
+        let sparse = mk().run();
+        assert_results_equal(&dense, &sparse, "cap-bounded sparse parity");
+        assert_eq!(sparse.metrics.rounds, 100);
+    }
+
+    #[test]
+    fn sparse_skip_reports_rounds_and_skips_to_the_recorder() {
+        use netsim_trace::CounterSet;
+        let n = 4;
+        let g = line_graph(n);
+        let cfg = EngineConfig {
+            max_rounds: 512,
+            stop_when_all_decided: false,
+        };
+        let counters = CounterSet::new();
+        let result = AsyncEngine::new(
+            &g,
+            flood_states(n, 100_000),
+            vec![false; n],
+            NullAdversary,
+            cfg,
+            37,
+            ClockPlan::Stratified {
+                every: 1,
+                period: 32,
+            },
+        )
+        .with_recorder(&counters)
+        .run();
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap.total(Counter::Rounds),
+            result.metrics.rounds,
+            "trace-derived round totals must include skipped ticks"
+        );
+        let skipped = snap.total(Counter::TicksSkipped);
+        assert!(skipped > 0, "the idle-heavy run must actually skip");
+        assert!(skipped < result.metrics.rounds);
     }
 }

@@ -656,6 +656,10 @@ where
             _ => EnvelopeFate::Deliver,
         };
         match fate {
+            // A zero-round delay is indistinguishable from plain delivery,
+            // so it must account as one: delivered now, never counted as
+            // delayed.  Every engine shares this reading (pinned by the
+            // cross-engine `Delay(0)` regression test).
             EnvelopeFate::Deliver | EnvelopeFate::Delay(0) => {
                 self.metrics.record_delivery(env.payload.message_size());
                 self.next_inboxes[env.to.index()].push(env);

@@ -27,13 +27,20 @@
 //! canonical (sorted by sender), so a run is a pure function of
 //! `(topology, protocol, adversary, seed)` regardless of thread scheduling.
 //!
-//! Three engines execute the same semantics: the classic
+//! Four engines execute the same semantics: the classic
 //! [`engine::SyncEngine`], the node-range-partitioned
-//! [`sharded::ShardedSyncEngine`], and the event-driven
+//! [`sharded::ShardedSyncEngine`], the event-driven
 //! [`async_engine::AsyncEngine`] (per-node virtual clocks over a
 //! deterministic calendar queue — byte-identical to the synchronous
 //! engines under [`async_engine::ClockPlan::Uniform`], and the gateway to
-//! heterogeneous-clock scenarios beyond the synchronous model).
+//! heterogeneous-clock scenarios beyond the synchronous model), and the
+//! [`sharded_async::ShardedAsyncEngine`] (per-shard calendar queues and
+//! clock domains rendezvousing only at routing).  The event-driven
+//! engines additionally *sparse-tick*: when the adversary is
+//! [`adversary::Adversary::idle_passive`] and no fault plan is installed,
+//! virtual time jumps straight to the next scheduled event, making
+//! idle-heavy heterogeneous-clock runs cost O(events) instead of
+//! O(ticks) — with byte-identical results.
 
 pub mod adversary;
 pub mod async_engine;
@@ -43,6 +50,7 @@ pub mod metrics;
 pub mod node;
 pub mod ring;
 pub mod sharded;
+pub mod sharded_async;
 pub mod topology;
 
 pub use adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
@@ -55,6 +63,7 @@ pub use ring::DelayRing;
 pub use sharded::{
     run_with_engine, run_with_engine_recorded, shard_bounds, EngineKind, ShardedSyncEngine,
 };
+pub use sharded_async::ShardedAsyncEngine;
 pub use topology::Topology;
 
 /// The structured-tracing subsystem (re-exported from [`netsim_trace`]):
@@ -80,6 +89,7 @@ pub mod prelude {
     pub use crate::sharded::{
         run_with_engine, run_with_engine_recorded, EngineKind, ShardedSyncEngine,
     };
+    pub use crate::sharded_async::ShardedAsyncEngine;
     pub use crate::topology::Topology;
     pub use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan, FaultSpec, NoFaults};
     pub use netsim_trace::{NoopRecorder, Recorder};

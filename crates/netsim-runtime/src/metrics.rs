@@ -89,6 +89,17 @@ impl RunMetrics {
         self.per_round_messages.push(0);
     }
 
+    /// Account for `count` consecutive rounds in which nothing happened —
+    /// exactly what `count` [`begin_round`](Self::begin_round) calls with
+    /// no deliveries in between would have recorded.  The sparse-ticking
+    /// async engines use this to bulk-advance over skipped idle ticks
+    /// while keeping the metrics byte-identical to dense execution.
+    pub fn skip_rounds(&mut self, count: u64) {
+        self.rounds += count;
+        self.per_round_messages
+            .extend(std::iter::repeat_n(0, count as usize));
+    }
+
     /// Fold one shard's accounting into this (router-side) metrics value.
     ///
     /// The sharded engine partitions delivery accounting by destination

@@ -79,6 +79,14 @@ pub enum EngineKind {
         /// How node clocks map onto virtual time.
         clocks: ClockPlan,
     },
+    /// A [`ShardedAsyncEngine`](crate::ShardedAsyncEngine): per-shard
+    /// calendar queues and clock domains, rendezvousing only at routing.
+    ShardedAsync {
+        /// Number of shards (≥ 1; clamped to the node count).
+        shards: usize,
+        /// How node clocks map onto virtual time.
+        clocks: ClockPlan,
+    },
 }
 
 impl EngineKind {
@@ -91,6 +99,13 @@ impl EngineKind {
                 clocks: ClockPlan::Uniform,
             } => "async".into(),
             EngineKind::Async { clocks } => format!("async-{}", clocks.describe()),
+            EngineKind::ShardedAsync {
+                shards,
+                clocks: ClockPlan::Uniform,
+            } => format!("sharded-async-{shards}"),
+            EngineKind::ShardedAsync { shards, clocks } => {
+                format!("sharded-async-{shards}-{}", clocks.describe())
+            }
         }
     }
 }
@@ -174,6 +189,14 @@ where
                 .with_recorder_opt(recorder)
                 .run()
         }
+        EngineKind::ShardedAsync { shards, clocks } => {
+            crate::sharded_async::ShardedAsyncEngine::new(
+                topology, states, byzantine, adversary, config, seed, shards, clocks,
+            )
+            .with_fault_plan_opt(fault_plan)
+            .with_recorder_opt(recorder)
+            .run()
+        }
     }
 }
 
@@ -203,7 +226,7 @@ struct ShardTask<'b, P: Protocol> {
 /// loop: no threads are spawned, so `S > cores` never pays for more
 /// fan-out than the machine can absorb, and results are identical either
 /// way (that is the engine's contract).
-fn for_each_shard<T: Send, F: Fn(&mut T) + Sync>(tasks: &mut [T], f: &F) {
+pub(crate) fn for_each_shard<T: Send, F: Fn(&mut T) + Sync>(tasks: &mut [T], f: &F) {
     let threads = rayon::current_num_threads();
     let splits = if threads <= 1 {
         0
@@ -800,6 +823,8 @@ where
             self.cross_shard_scratch[dest_shard] += 1;
         }
         match fate {
+            // `Delay(0)` accounts as plain delivery in every engine (see
+            // the cross-engine regression test in `sharded_async`).
             EnvelopeFate::Deliver | EnvelopeFate::Delay(0) => {
                 self.shard_metrics[dest_shard].record_delivery(env.payload.message_size());
                 self.next_inboxes[env.to.index()].push(env);
@@ -1238,6 +1263,11 @@ mod tests {
             clocks: ClockPlan::Uniform,
         });
         assert_results_equal(&sync, &asynced, "run_with_engine (async)");
+        let sharded_async = run(EngineKind::ShardedAsync {
+            shards: 3,
+            clocks: ClockPlan::Uniform,
+        });
+        assert_results_equal(&sync, &sharded_async, "run_with_engine (sharded-async)");
         assert_eq!(EngineKind::Sync.describe(), "sync");
         assert_eq!(EngineKind::Sharded { shards: 3 }.describe(), "sharded-3");
         assert_eq!(
@@ -1256,6 +1286,22 @@ mod tests {
             }
             .describe(),
             "async-strat-2x3"
+        );
+        assert_eq!(
+            EngineKind::ShardedAsync {
+                shards: 4,
+                clocks: ClockPlan::Uniform
+            }
+            .describe(),
+            "sharded-async-4"
+        );
+        assert_eq!(
+            EngineKind::ShardedAsync {
+                shards: 2,
+                clocks: ClockPlan::Jittered { max_period: 5 }
+            }
+            .describe(),
+            "sharded-async-2-jitter-5"
         );
         assert_eq!(EngineKind::default(), EngineKind::Sync);
     }

@@ -94,10 +94,16 @@ pub enum Counter {
     Rounds,
     /// Envelopes that crossed a shard boundary through the router.
     CrossShardRouted,
+    /// Idle ticks the sparse-ticking async engines jumped over without
+    /// executing.  Skipped ticks still count into [`Counter::Rounds`]
+    /// (they are observationally completed ticks); this counter reports
+    /// how many of those were never visited, i.e. the work the
+    /// next-event-time skip saved.
+    TicksSkipped,
 }
 
 /// Every counter, in report order.
-pub const COUNTERS: [Counter; 9] = [
+pub const COUNTERS: [Counter; 10] = [
     Counter::MessagesDelivered,
     Counter::MessagesDropped,
     Counter::MessagesLost,
@@ -107,6 +113,7 @@ pub const COUNTERS: [Counter; 9] = [
     Counter::ChurnRecoveries,
     Counter::Rounds,
     Counter::CrossShardRouted,
+    Counter::TicksSkipped,
 ];
 
 impl Counter {
@@ -122,6 +129,7 @@ impl Counter {
             Counter::ChurnRecoveries => "churn_recoveries",
             Counter::Rounds => "rounds",
             Counter::CrossShardRouted => "cross_shard_routed",
+            Counter::TicksSkipped => "ticks_skipped",
         }
     }
 

@@ -37,9 +37,11 @@ fn fault_spec_from(shape: u8, rate_milli: u64, rounds: u64, nested: bool) -> Fau
 }
 
 /// Build an arbitrary [`EngineSpec`] from fuzzed scalars, covering every
-/// engine family and every clock-plan shape.
+/// engine family and every clock-plan shape — including the v5
+/// `ShardedAsync` family, whose shard count and clock plan are both
+/// fuzzed.
 fn engine_spec_from(shape: u8, shards: u32) -> EngineSpec {
-    match shape % 5 {
+    match shape % 8 {
         0 => EngineSpec::Sync,
         1 => EngineSpec::Sharded {
             shards: shards % 64 + 1,
@@ -53,7 +55,24 @@ fn engine_spec_from(shape: u8, shards: u32) -> EngineSpec {
                 period: shards % 5 + 1,
             },
         },
-        _ => EngineSpec::Async {
+        4 => EngineSpec::Async {
+            clocks: ClockPlan::Jittered {
+                max_period: shards % 6 + 1,
+            },
+        },
+        5 => EngineSpec::ShardedAsync {
+            shards: shards % 64 + 1,
+            clocks: ClockPlan::Uniform,
+        },
+        6 => EngineSpec::ShardedAsync {
+            shards: shards % 16 + 1,
+            clocks: ClockPlan::Stratified {
+                every: shards % 7 + 1,
+                period: shards % 5 + 1,
+            },
+        },
+        _ => EngineSpec::ShardedAsync {
+            shards: shards % 8 + 1,
             clocks: ClockPlan::Jittered {
                 max_period: shards % 6 + 1,
             },
@@ -166,15 +185,16 @@ proptest! {
         prop_assert_eq!(back.to_json(), json, "print ∘ parse must be the identity");
     }
 
-    /// Downward migration fuzz, v4 → v3 → v2 → v1: strip the async-only
-    /// engine value (and stamp version 3) off any serialized v4 spec — the
-    /// result must still parse, to the same spec with the default `Sync`
-    /// engine and the current version; a v3 stamp over a v3-legal engine
-    /// value (`Sharded`) must preserve that engine.  One version further
+    /// Downward migration fuzz, v5 → v4 → v3 → v2 → v1: strip the
+    /// async-family engine value (and stamp version 3) off any serialized
+    /// v5 spec — the result must still parse, to the same spec with the
+    /// default `Sync` engine and the current version; a v4 stamp over a
+    /// v4-legal engine value (`Async`) and a v3 stamp over a v3-legal one
+    /// (`Sharded`) must each preserve that engine.  One version further
     /// down, stripping `engine` (version 2) and then `fault` too (version
     /// 1) must yield the corresponding defaults.
     #[test]
-    fn older_spec_versions_migrate_to_v4_defaults(
+    fn older_spec_versions_migrate_to_current_defaults(
         seed in any::<u64>(),
         n in 2usize..5000,
         fault_shape in 0u8..10,
@@ -190,8 +210,9 @@ proptest! {
             placement: PlacementSpec::RandomBudget { delta: 0.6 },
             adversary: AdversarySpec::Combined,
             fault: fault_spec_from(fault_shape, rate_milli, rounds, false),
-            // Start from a v4-only engine value (any clock-plan shape).
-            engine: engine_spec_from(2 + clock_shape % 3, rate_milli as u32),
+            // Start from a v4-or-v5-only engine value: any `Async` clock
+            // shape or any `ShardedAsync` shape (shapes 2..8).
+            engine: engine_spec_from(2 + clock_shape % 6, rate_milli as u32),
             params: ParamsSpec::Derived { delta: 0.6, epsilon: 0.1 },
             seed,
             max_rounds: None,
@@ -205,12 +226,19 @@ proptest! {
             }
             serde_json::to_string_pretty(&v).expect("value prints")
         };
-        // v4 → v3: the async engine value is the only v4-only content;
-        // stripping it (version 3, no engine key) must read as Sync and
-        // migrate back to the current version.
+        // v5 → v3: the async-family engine value is the only v4/v5-only
+        // content; stripping it (version 3, no engine key) must read as
+        // Sync and migrate back to the current version.
         let parsed = RunSpec::from_json(&strip(&spec, 3, &["engine"]))
             .expect("v3 spec must parse");
         spec.engine = EngineSpec::Sync;
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.version, SPEC_VERSION);
+        // A v4 stamp over a v4-legal engine value (async clocks) survives
+        // unchanged — v5 added only the `ShardedAsync` vocabulary.
+        spec.engine = engine_spec_from(2 + clock_shape % 3, rate_milli as u32);
+        let parsed = RunSpec::from_json(&strip(&spec, 4, &[]))
+            .expect("v4 spec with an Async engine must parse");
         prop_assert_eq!(&parsed, &spec);
         prop_assert_eq!(parsed.version, SPEC_VERSION);
         // A v3 stamp over a v3-legal engine value survives unchanged.
@@ -342,10 +370,11 @@ proptest! {
     /// Engine invariance over randomized synchronous specs: for a fuzzed
     /// topology size, seed and fault shape (every variant reachable via
     /// `fault_spec_from`, nesting included), executing the spec on the
-    /// sharded engine (fuzzed shard count) and on the async engine with
-    /// uniform clocks produces reports byte-identical to the classic
-    /// engine's — the parity contract of the whole engine family, stated
-    /// as a property rather than over fixtures.
+    /// sharded engine (fuzzed shard count), on the async engine with
+    /// uniform clocks, and on the sharded-async engine (same fuzzed shard
+    /// count, uniform clocks) produces reports byte-identical to the
+    /// classic engine's — the parity contract of the whole engine family,
+    /// stated as a property rather than over fixtures.
     #[test]
     fn randomized_synchronous_specs_are_engine_invariant(
         seed in any::<u64>(),
@@ -372,6 +401,10 @@ proptest! {
         for engine in [
             EngineSpec::Sharded { shards },
             EngineSpec::asynchronous(),
+            EngineSpec::ShardedAsync {
+                shards,
+                clocks: ClockPlan::Uniform,
+            },
         ] {
             let mut spec = base.clone();
             spec.engine = engine;
@@ -404,6 +437,183 @@ proptest! {
         prop_assert!(eval.honest_good <= eval.honest_total);
         prop_assert!((0.0..=1.0).contains(&eval.good_fraction_of_honest));
         prop_assert!(eval.honest_decided <= eval.honest_total);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// O(events) engine fuzz: sparse ticking and per-shard clock domains must be
+// invisible in results.  These properties drive the runtime engines
+// directly — the spec layer always takes the sparse `run()` path, so the
+// dense reference loop is only reachable at this level.
+// ---------------------------------------------------------------------------
+
+/// The fuzzed max-flood message: fixed 64-bit payload.
+#[derive(Clone, Debug, PartialEq)]
+struct FuzzVal(u64);
+
+impl MessageSize for FuzzVal {
+    fn message_size(&self) -> SizedMessage {
+        SizedMessage::new(0, 64)
+    }
+}
+
+/// A fuzzable max-flood protocol: every node draws a value from its node
+/// RNG, floods the running maximum, and decides at a TTL.  Mirrors the
+/// engine test-suite workhorse, with enough quiet rounds between floods
+/// for sparse ticking to have something to skip.
+#[derive(Clone)]
+struct FuzzFlood {
+    best: u64,
+    ttl: u64,
+    started: bool,
+}
+
+impl Protocol for FuzzFlood {
+    type Message = FuzzVal;
+    type Output = u64;
+
+    fn step(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &[Envelope<FuzzVal>],
+        outbox: &mut Outbox<FuzzVal>,
+        rng: &mut rand_chacha::ChaCha8Rng,
+    ) -> Action<u64> {
+        use rand::Rng;
+        if !self.started {
+            self.started = true;
+            self.best = rng.gen::<u64>() | 1;
+            outbox.broadcast(ctx.neighbors.iter(), FuzzVal(self.best));
+            return Action::Continue;
+        }
+        let mut improved = false;
+        for env in inbox {
+            if env.payload.0 > self.best {
+                self.best = env.payload.0;
+                improved = true;
+            }
+        }
+        if improved {
+            outbox.broadcast(ctx.neighbors.iter(), FuzzVal(self.best));
+        }
+        if ctx.round >= self.ttl {
+            Action::Decide(self.best)
+        } else {
+            Action::Continue
+        }
+    }
+}
+
+/// Ring topology: every node has two neighbors, so floods cross the whole
+/// graph and every fault shape has traffic to act on.
+fn ring_graph(n: usize) -> netsim_graph::Csr {
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    netsim_graph::Csr::from_undirected_edges(n, &edges).unwrap()
+}
+
+/// Every clock-plan shape, with fuzzed stratification parameters.
+fn clock_plan_from(shape: u8, every: u32, period: u32) -> ClockPlan {
+    match shape % 4 {
+        0 => ClockPlan::Uniform,
+        1 => ClockPlan::Stratified { every, period },
+        2 => ClockPlan::Stratified {
+            every: 2,
+            period: period + 2,
+        },
+        _ => ClockPlan::Jittered { max_period: period },
+    }
+}
+
+fn fuzz_states(n: usize, ttl: u64) -> Vec<FuzzFlood> {
+    (0..n)
+        .map(|_| FuzzFlood {
+            best: 0,
+            ttl,
+            started: false,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sparse ≡ dense: for any clock plan and any fault shape, the sparse
+    /// `run()` loop (which jumps over idle ticks) produces outputs,
+    /// statuses and metrics identical to a dense tick-by-tick reference —
+    /// tick skipping is a pure execution-cost optimization with no
+    /// observable semantics.
+    #[test]
+    fn sparse_ticking_is_invisible_for_any_clock_plan_and_fault_shape(
+        seed in any::<u64>(),
+        n in 4usize..24,
+        clock_shape in 0u8..8,
+        every in 2u32..6,
+        period in 2u32..9,
+        fault_shape in 0u8..10,
+        rate_milli in 0u64..400,
+        rounds in any::<u64>(),
+        nested in proptest::option::of(0u8..1),
+    ) {
+        let g = ring_graph(n);
+        let clocks = clock_plan_from(clock_shape, every, period);
+        let cfg = EngineConfig { max_rounds: 600, stop_when_all_decided: true };
+        let fault = fault_spec_from(fault_shape, rate_milli, rounds, nested.is_some());
+        // Plans are deterministic in (spec, n, seed), so building twice
+        // yields identical fault streams for the two executions.
+        let plan = || fault.build_plan(n, &vec![true; n], seed ^ 0xFA17);
+        let mut dense = AsyncEngine::new(
+            &g, fuzz_states(n, 120), vec![false; n], NullAdversary, cfg, seed, clocks,
+        ).with_fault_plan_opt(plan());
+        while !dense.finished() {
+            dense.step_tick();
+        }
+        let dense = dense.into_result();
+        let sparse = AsyncEngine::new(
+            &g, fuzz_states(n, 120), vec![false; n], NullAdversary, cfg, seed, clocks,
+        ).with_fault_plan_opt(plan()).run();
+        prop_assert_eq!(&sparse.outputs, &dense.outputs);
+        prop_assert_eq!(&sparse.decided_round, &dense.decided_round);
+        prop_assert_eq!(&sparse.crashed, &dense.crashed);
+        prop_assert_eq!(&sparse.statuses, &dense.statuses);
+        prop_assert_eq!(&sparse.metrics, &dense.metrics);
+        prop_assert_eq!(sparse.completed, dense.completed);
+    }
+
+    /// Shard-count invariance: the sharded-async engine produces results
+    /// identical to the unsharded async engine for every shard count
+    /// S ∈ {1, 2, 4, 8}, under any clock plan and any fault shape — the
+    /// shard layout is an execution detail, never a semantic one.
+    #[test]
+    fn sharded_async_engine_is_shard_count_invariant(
+        seed in any::<u64>(),
+        n in 4usize..24,
+        clock_shape in 0u8..8,
+        every in 2u32..6,
+        period in 2u32..9,
+        fault_shape in 0u8..10,
+        rate_milli in 0u64..400,
+        rounds in any::<u64>(),
+        nested in proptest::option::of(0u8..1),
+    ) {
+        let g = ring_graph(n);
+        let clocks = clock_plan_from(clock_shape, every, period);
+        let cfg = EngineConfig { max_rounds: 600, stop_when_all_decided: true };
+        let fault = fault_spec_from(fault_shape, rate_milli, rounds, nested.is_some());
+        let plan = || fault.build_plan(n, &vec![true; n], seed ^ 0xFA17);
+        let reference = AsyncEngine::new(
+            &g, fuzz_states(n, 120), vec![false; n], NullAdversary, cfg, seed, clocks,
+        ).with_fault_plan_opt(plan()).run();
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = ShardedAsyncEngine::new(
+                &g, fuzz_states(n, 120), vec![false; n], NullAdversary, cfg, seed, shards, clocks,
+            ).with_fault_plan_opt(plan()).run();
+            prop_assert_eq!(&sharded.outputs, &reference.outputs, "S={}", shards);
+            prop_assert_eq!(&sharded.decided_round, &reference.decided_round, "S={}", shards);
+            prop_assert_eq!(&sharded.crashed, &reference.crashed, "S={}", shards);
+            prop_assert_eq!(&sharded.statuses, &reference.statuses, "S={}", shards);
+            prop_assert_eq!(&sharded.metrics, &reference.metrics, "S={}", shards);
+            prop_assert_eq!(sharded.completed, reference.completed, "S={}", shards);
+        }
     }
 }
 

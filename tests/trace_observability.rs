@@ -39,13 +39,17 @@ fn with_engine(engine: EngineSpec) -> RunSpec {
 }
 
 /// Every counter total derived from the trace must equal the run's own
-/// metrics bit-for-bit, on all three engines.
+/// metrics bit-for-bit, on all four engines.
 #[test]
 fn trace_counters_match_run_metrics_exactly_on_all_engines() {
     for engine in [
         EngineSpec::Sync,
         EngineSpec::Sharded { shards: 4 },
         EngineSpec::asynchronous(),
+        EngineSpec::ShardedAsync {
+            shards: 4,
+            clocks: ClockPlan::Uniform,
+        },
     ] {
         let spec = with_engine(engine);
         let counters = CounterSet::new();
@@ -134,6 +138,10 @@ fn traced_and_untraced_reports_are_byte_identical_across_the_matrix() {
         EngineSpec::Sharded { shards: 4 },
         EngineSpec::Sharded { shards: 8 },
         EngineSpec::asynchronous(),
+        EngineSpec::ShardedAsync {
+            shards: 4,
+            clocks: ClockPlan::Uniform,
+        },
     ];
     // Worker counts are pinned through the rayon shim's programmatic
     // override, not `std::env::set_var` — mutating the environment races
@@ -174,6 +182,10 @@ fn trace_files_are_byte_deterministic_for_equal_spec_and_seed() {
         EngineSpec::Sync,
         EngineSpec::Sharded { shards: 4 },
         EngineSpec::asynchronous(),
+        EngineSpec::ShardedAsync {
+            shards: 4,
+            clocks: ClockPlan::Uniform,
+        },
     ] {
         let spec = with_engine(engine);
         let render = || {
