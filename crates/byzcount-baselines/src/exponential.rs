@@ -11,6 +11,7 @@ use netsim_runtime::{
     run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
     NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
 };
+use netsim_wire::{Reader, Wire, WireError};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -24,6 +25,17 @@ pub struct ExpMsg(pub Vec<f64>);
 impl MessageSize for ExpMsg {
     fn message_size(&self) -> SizedMessage {
         SizedMessage::new(0, (self.0.len() * 64) as u32)
+    }
+}
+
+/// Canonical binary encoding: the minima vector, with each `f64` as its
+/// IEEE-754 bit pattern (exact — parity across engines needs every bit).
+impl Wire for ExpMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ExpMsg(Vec::decode(r)?))
     }
 }
 

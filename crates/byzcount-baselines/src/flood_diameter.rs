@@ -13,6 +13,7 @@ use netsim_runtime::{
     run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
     NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
 };
+use netsim_wire::{Reader, Wire, WireError};
 use rand_chacha::ChaCha8Rng;
 
 /// The flooded token.
@@ -22,6 +23,15 @@ pub struct TokenMsg;
 impl MessageSize for TokenMsg {
     fn message_size(&self) -> SizedMessage {
         SizedMessage::new(0, 1)
+    }
+}
+
+/// Canonical binary encoding: the token carries no data, so it encodes to
+/// zero bytes (the envelope around it carries sender/receiver).
+impl Wire for TokenMsg {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TokenMsg)
     }
 }
 

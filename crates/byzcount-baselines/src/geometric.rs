@@ -13,6 +13,7 @@ use netsim_runtime::{
     run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
     NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
 };
+use netsim_wire::{Reader, Wire, WireError};
 use rand_chacha::ChaCha8Rng;
 
 /// The color value a Byzantine "inflate" node claims.
@@ -25,6 +26,16 @@ pub struct GeoMsg(pub Color);
 impl MessageSize for GeoMsg {
     fn message_size(&self) -> SizedMessage {
         SizedMessage::new(0, 32)
+    }
+}
+
+/// Canonical binary encoding: the bare color value.
+impl Wire for GeoMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(GeoMsg(Color::decode(r)?))
     }
 }
 

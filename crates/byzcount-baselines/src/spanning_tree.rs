@@ -14,6 +14,7 @@ use netsim_runtime::{
     run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
     NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
 };
+use netsim_wire::{Reader, Wire, WireError};
 use rand_chacha::ChaCha8Rng;
 
 /// Spanning-tree protocol messages.
@@ -36,6 +37,38 @@ impl MessageSize for TreeMsg {
         match self {
             TreeMsg::Invite | TreeMsg::Accept | TreeMsg::Reject => SizedMessage::new(0, 2),
             TreeMsg::Count(_) | TreeMsg::Result(_) => SizedMessage::new(0, 64),
+        }
+    }
+}
+
+/// Canonical binary encoding (tag byte + count), required to run this
+/// baseline on the distributed engine's shard channels.
+impl Wire for TreeMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TreeMsg::Invite => out.push(0),
+            TreeMsg::Accept => out.push(1),
+            TreeMsg::Reject => out.push(2),
+            TreeMsg::Count(c) => {
+                out.push(3);
+                c.encode(out);
+            }
+            TreeMsg::Result(c) => {
+                out.push(4);
+                c.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(TreeMsg::Invite),
+            1 => Ok(TreeMsg::Accept),
+            2 => Ok(TreeMsg::Reject),
+            3 => Ok(TreeMsg::Count(u64::decode(r)?)),
+            4 => Ok(TreeMsg::Result(u64::decode(r)?)),
+            other => Err(WireError::Corrupt(format!(
+                "unknown tree-message tag {other}"
+            ))),
         }
     }
 }

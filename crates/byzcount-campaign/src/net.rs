@@ -30,12 +30,24 @@ pub enum IoStream {
 }
 
 impl Listener {
-    /// Bind `addr` (`unix:<path>` or `<host>:<port>`).  An existing
-    /// socket file at a Unix path is removed first (stale from a killed
-    /// server — exactly the resume scenario).
+    /// Bind `addr` (`unix:<path>` or `<host>:<port>`).
+    ///
+    /// A *stale* socket file at a Unix path — left behind by a killed
+    /// server, exactly the resume scenario — is removed first.  Staleness
+    /// is probed by connecting: if something answers, another server owns
+    /// the path and binding fails loudly instead of silently unlinking a
+    /// live server's socket out from under it (its clients would hang and
+    /// two servers would believe they own the same store).
     pub fn bind(addr: &str) -> Result<Self, CampaignError> {
         if let Some(path) = addr.strip_prefix("unix:") {
             if Path::new(path).exists() {
+                if UnixStream::connect(path).is_ok() {
+                    return Err(CampaignError::Io(format!(
+                        "{addr}: socket is in use by a live server \
+                         (refusing to unlink it)"
+                    )));
+                }
+                // Nothing is accepting: a stale leftover; reclaim it.
                 std::fs::remove_file(path)?;
             }
             Ok(Listener::Unix(UnixListener::bind(path)?))

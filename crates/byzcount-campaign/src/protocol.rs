@@ -36,6 +36,11 @@ pub const PROTO_MAJOR: u32 = 1;
 pub const PROTO_MINOR: u32 = 1;
 /// Default page size of a `results` request that names none.
 pub const DEFAULT_PAGE: u32 = 64;
+/// Hard page-size ceiling of a `results` request.  A page is built and
+/// serialized in memory before anything is written back, so an unbounded
+/// `max` would let one request buffer an entire job's records; larger
+/// requests are rejected (the cursor loop makes more pages cheap).
+pub const MAX_PAGE: u32 = 4096;
 
 /// The handshake frame body (sent by both peers, server first).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,8 +72,14 @@ impl Hello {
             )));
         }
         // A differing minor — including a future one — is fine by
-        // construction: minors only add.
-        Ok(())
+        // construction: minors only add.  The spec schema is a separate
+        // axis: a peer speaking a *newer* run-spec schema must be turned
+        // away here, at handshake time, or its submits would fail
+        // mid-stream with a parse error ("newer than supported version")
+        // after the session looked healthy.  The rule is shared with the
+        // binary wire layer.
+        netsim_wire::check_spec_version(SPEC_VERSION, self.spec_version)
+            .map_err(|e| CampaignError::Protocol(format!("incompatible hello: {e}")))
     }
 }
 
@@ -618,10 +629,11 @@ mod tests {
         assert_eq!(back, ours);
         assert!(back.check_compatible().is_ok());
 
-        // A future minor is tolerated — even with fields we do not know.
+        // A future minor is tolerated — even with fields we do not know —
+        // as long as the peer's spec schema is not ahead of ours.
         let future = format!(
             "{{\"hello\": {{\"proto_major\": {PROTO_MAJOR}, \"proto_minor\": {}, \
-             \"spec_version\": 9, \"shiny_new_field\": true}}}}\n",
+             \"spec_version\": {SPEC_VERSION}, \"shiny_new_field\": true}}}}\n",
             PROTO_MINOR + 7
         );
         let hello = decode_hello(&future).unwrap();
@@ -633,6 +645,25 @@ mod tests {
             ..ours
         };
         assert!(alien.check_compatible().is_err());
+
+        // A peer on a *newer* spec schema is rejected at handshake time —
+        // its submits could only fail mid-stream ("newer than supported
+        // version"), after the session looked healthy.
+        let ahead = Hello {
+            spec_version: SPEC_VERSION + 1,
+            ..ours
+        };
+        let err = ahead.check_compatible().unwrap_err();
+        assert!(
+            err.to_string().contains("spec schema"),
+            "unexpected error: {err}"
+        );
+        // Older spec schemas migrate forward and stay compatible.
+        let behind = Hello {
+            spec_version: SPEC_VERSION - 1,
+            ..ours
+        };
+        assert!(behind.check_compatible().is_ok());
 
         // A non-hello first frame is rejected.
         assert!(decode_hello("{\"status\": {\"job\": \"j\"}}\n").is_err());

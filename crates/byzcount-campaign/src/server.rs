@@ -22,7 +22,7 @@ use crate::error::CampaignError;
 use crate::net::{IoStream, Listener};
 use crate::protocol::{
     decode_hello, decode_line, encode_hello, encode_line, Hello, JobStatus, JobTelemetry, Request,
-    Response, ServerStats,
+    Response, ServerStats, MAX_PAGE,
 };
 use crate::scheduler::{run_campaign_telemetry, RunOutcome, RunnerConfig};
 use crate::spec::CampaignSpec;
@@ -516,6 +516,22 @@ fn handle_results(
     max: u32,
     merged: bool,
 ) -> Result<Response, CampaignError> {
+    // Page-size bounds are protocol errors, answered before any store
+    // work.  `max: 0` used to be silently clamped to 1 — a page the
+    // client never asked for, indistinguishable from a real one-record
+    // page — and an unbounded `max` would buffer and serialize a whole
+    // job's records for one request.
+    if max == 0 {
+        return Err(CampaignError::Protocol(
+            "results page size 0 is meaningless (omit `max` for the default page)".into(),
+        ));
+    }
+    if max > MAX_PAGE {
+        return Err(CampaignError::Protocol(format!(
+            "results page size {max} exceeds the {MAX_PAGE} cap \
+             (page with the returned cursor instead)"
+        )));
+    }
     let handle = lookup(shared, job)?;
     let store = handle.store.lock().expect("store lock");
     if merged {
@@ -529,7 +545,7 @@ fn handle_results(
     let start = records.partition_point(|r| r.seq < cursor);
     let page: Vec<_> = records[start..]
         .iter()
-        .take(max.max(1) as usize)
+        .take(max as usize)
         .cloned()
         .collect();
     let next_cursor = page

@@ -177,6 +177,86 @@ fn shutdown_mid_campaign_then_restart_resumes_to_identical_result() {
 }
 
 #[test]
+fn page_size_bounds_are_protocol_errors_not_silent_clamps() {
+    let store = tmp_store("page");
+    let server = CampaignServer::spawn("127.0.0.1:0", config(&store)).unwrap();
+    let spec = CampaignSpec::for_batch("page-job", batch(3));
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.submit(&spec).unwrap();
+    wait_done(&mut client, "page-job");
+
+    // `max: 0` used to be silently clamped to a one-record page; it is
+    // now an in-band protocol error.
+    let err = client.results("page-job", 0, 0).unwrap_err();
+    assert!(
+        err.to_string().contains("page size 0"),
+        "zero page must be explicit: {err}"
+    );
+    // So is a page beyond the documented cap.
+    let err = client
+        .results("page-job", 0, byzcount_campaign::protocol::MAX_PAGE + 1)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("exceeds"),
+        "over-cap page must be explicit: {err}"
+    );
+    // Both answered in-band: the connection stays usable, the cap itself
+    // is accepted, and paging still yields every record.
+    let (records, next, done) = client
+        .results("page-job", 0, byzcount_campaign::protocol::MAX_PAGE)
+        .unwrap();
+    assert_eq!(records.len(), 3);
+    assert_eq!(next, 3);
+    assert!(done);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn binding_a_live_unix_socket_fails_loudly_but_a_stale_one_is_reclaimed() {
+    let dir = tmp_store("unix-bind");
+    std::fs::create_dir_all(&dir).unwrap();
+    let addr = format!("unix:{}", dir.join("svc.sock").display());
+
+    // A second server must NOT unlink the first one's live socket out
+    // from under it (clients would hang; both would claim the store).
+    let server = CampaignServer::spawn(&addr, config(&dir.join("store-a"))).unwrap();
+    let err = match CampaignServer::spawn(&addr, config(&dir.join("store-b"))) {
+        Err(err) => err,
+        Ok(_) => panic!("second server bound over a live socket"),
+    };
+    assert!(
+        err.to_string().contains("in use"),
+        "live socket must be refused, not stolen: {err}"
+    );
+
+    // The first server kept working throughout.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = CampaignSpec::for_batch("bind-job", batch(1));
+    client.submit(&spec).unwrap();
+    wait_done(&mut client, "bind-job");
+    drop(client);
+    server.shutdown();
+
+    // A socket file nobody is accepting on — the killed-server leftover —
+    // is stale and gets reclaimed on the next bind.
+    assert!(
+        dir.join("svc.sock").exists(),
+        "precondition: shutdown leaves the socket file behind"
+    );
+    let server = CampaignServer::spawn(&addr, config(&dir.join("store-a"))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(
+        client.status("bind-job").is_ok(),
+        "job restored over the reclaimed socket"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cancel_stops_scheduling_and_resubmit_revives() {
     let store = tmp_store("cancel");
     let server = CampaignServer::spawn("127.0.0.1:0", config(&store)).unwrap();

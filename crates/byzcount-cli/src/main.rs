@@ -89,7 +89,7 @@ fn usage() -> ExitCode {
          \x20      byzcount-cli template [run|batch|faulty|async]\n\
          \x20      byzcount-cli bench [--smoke] [--sizes 1024,4096] \
          [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json] \
-         [--shards S] [--engine sync|async|sharded-S|sharded-async-S] [--profile]\n\
+         [--shards S] [--engine sync|async|sharded-S|sharded-async-S|dist-S] [--profile]\n\
          \x20      byzcount-cli trace-check <trace.ndjson>\n\
          \x20      byzcount-cli serve <unix:PATH|HOST:PORT> [--store DIR] \
          [--workers N] [--snapshot-every K]\n\
@@ -102,8 +102,9 @@ fn usage() -> ExitCode {
 }
 
 /// Parse a `--engine` value: `sync`, `async` (event-driven engine,
-/// uniform clocks), `sharded-S` or `sharded-async-S` (per-shard calendar
-/// queues, uniform clocks).
+/// uniform clocks), `sharded-S`, `sharded-async-S` (per-shard calendar
+/// queues, uniform clocks) or `dist-S` (shard workers over the binary
+/// wire protocol).
 fn parse_engine(value: &str) -> Option<EngineSpec> {
     match value {
         "sync" => Some(EngineSpec::Sync),
@@ -117,6 +118,11 @@ fn parse_engine(value: &str) -> Option<EngineSpec> {
                         shards,
                         clocks: ClockPlan::Uniform,
                     })
+            } else if let Some(s) = other.strip_prefix("dist-") {
+                s.parse::<u32>()
+                    .ok()
+                    .filter(|&shards| shards >= 1)
+                    .map(|shards| EngineSpec::Distributed { shards })
             } else {
                 other
                     .strip_prefix("sharded-")

@@ -350,6 +350,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Shorthand for [`engine`](Self::engine) with the distributed engine
+    /// at the given worker count: shard workers speaking the `netsim-wire`
+    /// binary codec over checksummed channels, coordinated centrally.
+    /// Like [`shards`](Self::shards), pure execution policy.
+    pub fn distributed(mut self, shards: u32) -> Self {
+        self.engine = EngineSpec::Distributed { shards };
+        self
+    }
+
     /// Protocol parameters (default: derived with `δ = 0.6`, `ε = 0.1`).
     pub fn params(mut self, params: ParamsSpec) -> Self {
         self.params = params;

@@ -57,7 +57,16 @@ use serde::{Deserialize, Error, Map, Number, Serialize, Value};
 ///   interpret a `ShardedAsync` engine value.  Like `Sharded`, the shard
 ///   count is pure execution policy: for equal spec and seed the run is
 ///   byte-identical to the unsharded async engine for every shard count.
-pub const SPEC_VERSION: u32 = 5;
+/// * **6** — adds the [`EngineSpec::Distributed`] variant: shard workers
+///   running as separate threads of control that speak the `netsim-wire`
+///   binary codec over checksummed, versioned channels, with a coordinator
+///   owning routing, faults and the adversary.  No field is added or
+///   removed, so version-1/…/5 specs all still parse unchanged; the bump
+///   marks that v5 readers cannot interpret a `Distributed` engine value.
+///   Like `Sharded`, the worker count is pure execution policy: for equal
+///   spec and seed the run is byte-identical to the unsharded synchronous
+///   engine for every worker count (`tests/distributed_parity.rs`).
+pub const SPEC_VERSION: u32 = 6;
 
 /// Derive an independent seed stream from a master seed (SplitMix64).
 pub(crate) fn derive_seed(seed: u64, stream: u64) -> u64 {
@@ -623,6 +632,16 @@ pub enum EngineSpec {
         /// How node clocks map onto virtual time.
         clocks: ClockPlan,
     },
+    /// The distributed engine: shard workers with private state speaking
+    /// the `netsim-wire` binary codec over checksummed, versioned
+    /// channels; a coordinator owns routing, fault injection and the
+    /// adversary.  The worker count is execution policy (byte-identical
+    /// results for every count), but the protocol's message type must
+    /// have a canonical wire encoding.
+    Distributed {
+        /// Number of shard workers (≥ 1).
+        shards: u32,
+    },
 }
 
 impl EngineSpec {
@@ -651,6 +670,9 @@ impl EngineSpec {
                 shards: shards as usize,
                 clocks,
             },
+            EngineSpec::Distributed { shards } => EngineKind::Distributed {
+                shards: shards as usize,
+            },
         }
     }
 
@@ -658,10 +680,12 @@ impl EngineSpec {
     pub fn validate(&self) -> Result<(), String> {
         match self {
             EngineSpec::Sync => Ok(()),
-            EngineSpec::Sharded { shards: 0 } | EngineSpec::ShardedAsync { shards: 0, .. } => {
+            EngineSpec::Sharded { shards: 0 }
+            | EngineSpec::ShardedAsync { shards: 0, .. }
+            | EngineSpec::Distributed { shards: 0 } => {
                 Err("sharded engine needs at least one shard".into())
             }
-            EngineSpec::Sharded { .. } => Ok(()),
+            EngineSpec::Sharded { .. } | EngineSpec::Distributed { .. } => Ok(()),
             EngineSpec::Async { clocks } | EngineSpec::ShardedAsync { clocks, .. } => {
                 clocks.validate()
             }
@@ -766,6 +790,13 @@ impl Serialize for EngineSpec {
                 m.insert("ShardedAsync".into(), Value::Obj(inner));
                 Value::Obj(m)
             }
+            EngineSpec::Distributed { shards } => {
+                let mut inner = Map::new();
+                inner.insert("shards".into(), Value::Num(Number::U(*shards as u64)));
+                let mut m = Map::new();
+                m.insert("Distributed".into(), Value::Obj(inner));
+                Value::Obj(m)
+            }
         }
     }
 }
@@ -801,6 +832,14 @@ impl Deserialize for EngineSpec {
                             clocks: clock_plan_from_value(
                                 mm.get("clocks").unwrap_or(&Value::Null),
                             )?,
+                        })
+                    }
+                    "Distributed" => {
+                        let mm = inner
+                            .as_obj()
+                            .ok_or_else(|| Error::expected("object", inner))?;
+                        Ok(EngineSpec::Distributed {
+                            shards: u32_field(mm, "shards")?,
                         })
                     }
                     "ShardedAsync" => {
@@ -1172,6 +1211,31 @@ mod tests {
         let parsed_v5 = RunSpec::from_json(&v5).expect("v5 spec must parse");
         assert_eq!(parsed, parsed_v5);
         assert_eq!(parsed.to_json(), parsed_v5.to_json());
+        // And the v6 stamp: v5 → v6 added only the Distributed vocabulary,
+        // no field changes.
+        let v6 = v3.replace("\"version\": 3,", "\"version\": 6,");
+        let parsed_v6 = RunSpec::from_json(&v6).expect("v6 spec must parse");
+        assert_eq!(parsed, parsed_v6);
+        assert_eq!(parsed.to_json(), parsed_v6.to_json());
+    }
+
+    #[test]
+    fn distributed_engine_specs_round_trip_and_validate() {
+        let mut spec = demo_spec();
+        spec.engine = EngineSpec::Distributed { shards: 4 };
+        let back = RunSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), spec.to_json());
+        assert!(spec.to_json().contains("\"Distributed\""));
+        // Zero workers are rejected, like the other sharded engines.
+        spec.engine = EngineSpec::Distributed { shards: 0 };
+        assert!(matches!(spec.validate(), Err(SimError::Spec(_))));
+        // Naming and kind resolution.
+        assert_eq!(EngineSpec::Distributed { shards: 4 }.name(), "dist-4");
+        assert_eq!(
+            EngineSpec::Distributed { shards: 4 }.kind(),
+            netsim_runtime::EngineKind::Distributed { shards: 4 }
+        );
     }
 
     #[test]

@@ -1,0 +1,1366 @@
+//! The distributed synchronous engine: shard workers behind a wire
+//! protocol.
+//!
+//! [`DistributedSyncEngine`] executes the exact semantics of
+//! [`ShardedSyncEngine`](crate::ShardedSyncEngine) — and therefore of
+//! [`SyncEngine`](crate::SyncEngine) — but the shards are **workers**: each
+//! owns a contiguous node-id range *privately* (its protocol states, RNG
+//! streams, inbox double-buffers, deferred-delivery ring and delivery-side
+//! metrics never leave it), and talks to a central **coordinator**
+//! exclusively through `netsim-wire`'s versioned, checksummed binary frames.
+//! Workers run as scoped threads over in-memory [`netsim_wire::pipe`]
+//! duplexes — the hermetic transport — but nothing they exchange with the
+//! coordinator is an in-process shortcut: every per-round payload crosses
+//! the full handshake/frame/codec stack, so the same conversation works
+//! verbatim over any `Read + Write` transport (e.g. one socket per worker
+//! process).
+//!
+//! ## The conversation
+//!
+//! Per round (coordinator ⇄ each worker, workers addressed in shard order):
+//!
+//! 1. **`RoundBegin { round, churn }`** → worker.  The coordinator owns the
+//!    fault plan and consults it exactly like the unsharded engine (churn
+//!    first, globally and sequentially — the plan's RNG stream depends on
+//!    the order); only the *effective* events for the worker's range are
+//!    forwarded.  The worker applies them (a recovery resets the node from
+//!    its pristine state), steps its nodes, and drains its outboxes into
+//!    its honest/Byzantine arenas in node order.
+//! 2. **`Arenas { honest, byz, transitions }`** → coordinator.  This is the
+//!    ROADMAP's observation made concrete: the *only* per-round state a
+//!    worker must ship is its gathered envelope arena — plus the
+//!    status transitions (`Decide`/`Crash`) its nodes took, which the
+//!    coordinator needs for admissibility checks and the stop condition.
+//!    Outputs themselves stay worker-side (they are not wire types).
+//! 3. The coordinator gathers arenas **in shard order** (= global node
+//!    order), shows the single gathered stream to the adversary against the
+//!    pre-action statuses, applies the reported transitions, and routes
+//!    every envelope — honest stream first, then the Byzantine path — in
+//!    the unsharded engine's exact order, consulting the fault plan with
+//!    the identical RNG stream.
+//! 4. **`Fates { deliveries, deferred }`** → worker.  Each worker receives
+//!    the envelopes destined for its range (already in global route order)
+//!    plus the deferred ones with their due rounds.  It records the
+//!    deliveries in its own metrics, feeds its [`DelayRing`], drains what
+//!    is due this round, and swaps its inbox double-buffer.
+//!
+//! At the end, **`Finish`** prompts each worker to expire its in-flight
+//! deferrals and ship its [`RunMetrics`] as the final frame; outputs and
+//! decision rounds return through the scoped-thread join.
+//!
+//! ## Determinism contract
+//!
+//! For equal `(topology, protocol, adversary, seed, fault plan)`, a
+//! distributed run is **byte-identical** to `ShardedSyncEngine` and
+//! `SyncEngine` for every shard count — the differential suite
+//! (`tests/distributed_parity.rs`) locks this down over the golden
+//! fixtures.  One documented caveat: the coordinator shows the adversary an
+//! empty `states` slice (worker-owned protocol states are not shipped).
+//! No adversary in this workspace reads `AdversaryView::states`; one that
+//! did would need the states on the wire, which plain `Protocol` types do
+//! not support.
+//!
+//! Observability: a [`Recorder`] observes the coordinator side only (churn,
+//! adversary cut, routing and the router's metric deltas, all under
+//! [`SHARD_ROUTER`]).  Worker-side deltas are not traced in distributed
+//! mode — the shard metrics still merge into the run's exact totals.
+
+use crate::adversary::{Adversary, AdversaryDecision, AdversaryView};
+use crate::engine::{
+    emit_metric_deltas, envelope_admissible, splitmix, EngineConfig, MetricsSnap, RunResult,
+};
+use crate::message::{Envelope, MessageSize, SizedMessage};
+use crate::metrics::RunMetrics;
+use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
+use crate::ring::DelayRing;
+use crate::sharded::shard_bounds;
+use crate::topology::Topology;
+use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan};
+use netsim_graph::NodeId;
+use netsim_trace::{Counter, Gauge, Phase, Recorder, SHARD_ROUTER};
+use netsim_wire::{
+    decode_from_slice, duplex, encode_to_vec, read_frame, recv_hello, send_hello, write_frame,
+    PipeEnd, Reader, Wire, WireError, WireHello, SPEC_VERSION_ANY,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+
+// ---------------------------------------------------------------------------
+// Wire encodings for the runtime's transferable types.
+
+impl Wire for SizedMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ids.encode(out);
+        self.bits.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SizedMessage {
+            ids: u32::decode(r)?,
+            bits: u32::decode(r)?,
+        })
+    }
+}
+
+impl<M: Wire> Wire for Envelope<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.0.encode(out);
+        self.to.0.encode(out);
+        self.payload.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Envelope {
+            from: NodeId(u32::decode(r)?),
+            to: NodeId(u32::decode(r)?),
+            payload: M::decode(r)?,
+        })
+    }
+}
+
+impl Wire for RunMetrics {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rounds.encode(out);
+        self.messages_delivered.encode(out);
+        self.messages_dropped.encode(out);
+        self.messages_lost.encode(out);
+        self.messages_delayed.encode(out);
+        self.messages_expired.encode(out);
+        self.churn_crashes.encode(out);
+        self.churn_recoveries.encode(out);
+        self.total_ids.encode(out);
+        self.total_bits.encode(out);
+        self.max_message.encode(out);
+        self.per_round_messages.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RunMetrics {
+            rounds: u64::decode(r)?,
+            messages_delivered: u64::decode(r)?,
+            messages_dropped: u64::decode(r)?,
+            messages_lost: u64::decode(r)?,
+            messages_delayed: u64::decode(r)?,
+            messages_expired: u64::decode(r)?,
+            churn_crashes: u64::decode(r)?,
+            churn_recoveries: u64::decode(r)?,
+            total_ids: u64::decode(r)?,
+            total_bits: u64::decode(r)?,
+            max_message: SizedMessage::decode(r)?,
+            per_round_messages: Vec::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shard-channel protocol.
+
+/// Churn op codes on the wire.
+const CHURN_CRASH: u8 = 0;
+const CHURN_RECOVER: u8 = 1;
+/// Status-transition op codes on the wire.
+const TRANSITION_DECIDED: u8 = 0;
+const TRANSITION_CRASHED: u8 = 1;
+
+/// Coordinator → worker messages.
+enum CoordMsg<M> {
+    /// Open a round: effective churn events for the worker's range, in the
+    /// plan's global order.
+    RoundBegin { round: u64, churn: Vec<(u32, u8)> },
+    /// The round's routing verdicts for this worker's destinations:
+    /// immediate deliveries (in global route order) and deferred envelopes
+    /// with their due rounds.
+    Fates {
+        deliveries: Vec<Envelope<M>>,
+        deferred: Vec<(u64, Envelope<M>)>,
+    },
+    /// The run is over: expire in-flight deferrals and ship metrics.
+    Finish,
+}
+
+/// Worker → coordinator messages.
+enum WorkerMsg<M> {
+    /// The round's gathered outboxes (honest and Byzantine-default arenas,
+    /// each in node order) plus the status transitions the worker's nodes
+    /// took (`(global node id, TRANSITION_*)`, in node order).
+    Arenas {
+        honest: Vec<Envelope<M>>,
+        byz: Vec<Envelope<M>>,
+        transitions: Vec<(u32, u8)>,
+    },
+    /// The worker's final delivery-side metrics.
+    Metrics(RunMetrics),
+}
+
+impl<M: Wire> Wire for CoordMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CoordMsg::RoundBegin { round, churn } => {
+                out.push(0);
+                round.encode(out);
+                churn.encode(out);
+            }
+            CoordMsg::Fates {
+                deliveries,
+                deferred,
+            } => {
+                out.push(1);
+                deliveries.encode(out);
+                deferred.encode(out);
+            }
+            CoordMsg::Finish => out.push(2),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(CoordMsg::RoundBegin {
+                round: u64::decode(r)?,
+                churn: Vec::decode(r)?,
+            }),
+            1 => Ok(CoordMsg::Fates {
+                deliveries: Vec::decode(r)?,
+                deferred: Vec::decode(r)?,
+            }),
+            2 => Ok(CoordMsg::Finish),
+            other => Err(WireError::Corrupt(format!(
+                "unknown coordinator message tag {other}"
+            ))),
+        }
+    }
+}
+
+impl<M: Wire> Wire for WorkerMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WorkerMsg::Arenas {
+                honest,
+                byz,
+                transitions,
+            } => {
+                out.push(0);
+                honest.encode(out);
+                byz.encode(out);
+                transitions.encode(out);
+            }
+            WorkerMsg::Metrics(metrics) => {
+                out.push(1);
+                metrics.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(WorkerMsg::Arenas {
+                honest: Vec::decode(r)?,
+                byz: Vec::decode(r)?,
+                transitions: Vec::decode(r)?,
+            }),
+            1 => Ok(WorkerMsg::Metrics(RunMetrics::decode(r)?)),
+            other => Err(WireError::Corrupt(format!(
+                "unknown worker message tag {other}"
+            ))),
+        }
+    }
+}
+
+/// Send one codec message as one frame.
+fn send_msg<W: Write, V: Wire>(w: &mut W, msg: &V) -> Result<(), WireError> {
+    write_frame(w, &encode_to_vec(msg))
+}
+
+/// Receive one codec message from one frame (`scratch` is a reused buffer).
+fn recv_msg<R: Read, V: Wire>(r: &mut R, scratch: &mut Vec<u8>) -> Result<V, WireError> {
+    read_frame(r, scratch)?;
+    decode_from_slice(scratch)
+}
+
+// ---------------------------------------------------------------------------
+// The worker.
+
+/// One shard worker's private state: a contiguous node range no other
+/// thread can see.  Everything that crosses its boundary goes through the
+/// wire protocol above.
+struct Worker<'a, T, P: Protocol> {
+    topology: &'a T,
+    /// First global node id of this worker's range.
+    start: usize,
+    states: Vec<P>,
+    /// Pristine clones for churn recovery (present iff a fault plan is
+    /// installed, mirroring `ShardedSyncEngine::with_fault_plan`).
+    pristine: Option<Vec<P>>,
+    byzantine: Vec<bool>,
+    statuses: Vec<NodeStatus>,
+    rngs: Vec<ChaCha8Rng>,
+    outputs: Vec<Option<P::Output>>,
+    decided_round: Vec<Option<u64>>,
+    inboxes: Vec<Vec<Envelope<P::Message>>>,
+    next_inboxes: Vec<Vec<Envelope<P::Message>>>,
+    outboxes: Vec<Outbox<P::Message>>,
+    actions: Vec<Action<P::Output>>,
+    /// Deferred envelopes in flight *towards* this worker's range.
+    ring: DelayRing<Envelope<P::Message>>,
+    /// Delivery-side accounting for this worker's range.
+    metrics: RunMetrics,
+    /// The round currently open (set by `RoundBegin`).
+    round: u64,
+}
+
+/// What a worker hands back when its loop exits: the range's outputs and
+/// decision rounds (which never travel over the wire — protocol outputs
+/// are not wire types).
+type WorkerExit<O> = Result<(Vec<Option<O>>, Vec<Option<u64>>), WireError>;
+
+/// The worker's event loop: handshake, then serve `CoordMsg`s until
+/// `Finish`.
+fn worker_loop<T, P>(
+    mut w: Worker<'_, T, P>,
+    mut pipe: PipeEnd,
+    hello: WireHello,
+) -> WorkerExit<P::Output>
+where
+    T: Topology,
+    P: Protocol + Clone,
+    P::Message: Wire,
+{
+    send_hello(&mut pipe, &hello)?;
+    let theirs = recv_hello(&mut pipe)?;
+    theirs.check_compatible(&hello)?;
+    let mut scratch = Vec::new();
+    loop {
+        match recv_msg::<_, CoordMsg<P::Message>>(&mut pipe, &mut scratch)? {
+            CoordMsg::RoundBegin { round, churn } => {
+                w.round = round;
+                w.metrics.begin_round();
+                // Effective churn for this range, pre-validated by the
+                // coordinator (which owns the global guards).
+                for (node, op) in churn {
+                    let local = node as usize - w.start;
+                    match op {
+                        CHURN_CRASH => w.statuses[local] = NodeStatus::Crashed,
+                        CHURN_RECOVER => {
+                            let pristine = w.pristine.as_ref().ok_or_else(|| {
+                                WireError::Corrupt("recovery event without a fault plan".into())
+                            })?;
+                            w.states[local] = pristine[local].clone();
+                            w.outputs[local] = None;
+                            w.decided_round[local] = None;
+                            w.statuses[local] = NodeStatus::Active;
+                            w.inboxes[local].clear();
+                        }
+                        other => {
+                            return Err(WireError::Corrupt(format!("unknown churn op {other}")))
+                        }
+                    }
+                }
+                // Compute: step every non-crashed node against its inbox,
+                // exactly the sharded engine's phase 1.
+                for local in 0..w.states.len() {
+                    let i = w.start + local;
+                    let outbox = &mut w.outboxes[local];
+                    outbox.clear();
+                    if w.statuses[local] == NodeStatus::Crashed {
+                        w.actions[local] = Action::Continue;
+                        continue;
+                    }
+                    let id = NodeId::from_index(i);
+                    let ctx = NodeContext {
+                        id,
+                        round,
+                        neighbors: w.topology.neighbors(id),
+                        decided: w.outputs[local].is_some(),
+                    };
+                    w.actions[local] =
+                        w.states[local].step(&ctx, &w.inboxes[local], outbox, &mut w.rngs[local]);
+                }
+                // Drain outboxes into the round's arenas, in node order.
+                let mut honest = Vec::new();
+                let mut byz = Vec::new();
+                for local in 0..w.outboxes.len() {
+                    let i = w.start + local;
+                    let target = if w.byzantine[local] {
+                        &mut byz
+                    } else {
+                        &mut honest
+                    };
+                    w.outboxes[local]
+                        .drain_envelopes(NodeId::from_index(i), |env| target.push(env));
+                }
+                // Apply this range's actions locally and report the status
+                // transitions.  The per-node guards are independent, so
+                // applying here (before the coordinator's adversary cut)
+                // and reporting is equivalent to the sharded engine's
+                // global phase 3 — the coordinator defers *its* application
+                // until after the adversary has seen the pre-action
+                // statuses.
+                let mut transitions = Vec::new();
+                for local in 0..w.actions.len() {
+                    if w.byzantine[local] || w.statuses[local] == NodeStatus::Crashed {
+                        w.actions[local] = Action::Continue;
+                        continue;
+                    }
+                    match std::mem::replace(&mut w.actions[local], Action::Continue) {
+                        Action::Continue => {}
+                        Action::Decide(output) => {
+                            if w.outputs[local].is_none() {
+                                w.outputs[local] = Some(output);
+                                w.decided_round[local] = Some(round);
+                                w.statuses[local] = NodeStatus::Decided;
+                                transitions.push(((w.start + local) as u32, TRANSITION_DECIDED));
+                            }
+                        }
+                        Action::Crash => {
+                            w.statuses[local] = NodeStatus::Crashed;
+                            transitions.push(((w.start + local) as u32, TRANSITION_CRASHED));
+                        }
+                    }
+                }
+                send_msg(
+                    &mut pipe,
+                    &WorkerMsg::Arenas {
+                        honest,
+                        byz,
+                        transitions,
+                    },
+                )?;
+            }
+            CoordMsg::Fates {
+                deliveries,
+                deferred,
+            } => {
+                // Immediate deliveries, already in global route order.
+                for env in deliveries {
+                    w.metrics.record_delivery(env.payload.message_size());
+                    w.next_inboxes[env.to.index() - w.start].push(env);
+                }
+                for (due, env) in deferred {
+                    w.ring.push(w.round, due, env);
+                }
+                // Phase 5: drain what is due this round (post-action
+                // statuses, like the sharded engine).
+                let Worker {
+                    ring,
+                    metrics,
+                    next_inboxes,
+                    statuses,
+                    start,
+                    round,
+                    ..
+                } = &mut w;
+                ring.drain_due(*round, |env| {
+                    if statuses[env.to.index() - *start] == NodeStatus::Crashed {
+                        metrics.record_fault_expired(1);
+                    } else {
+                        metrics.record_delivery(env.payload.message_size());
+                        next_inboxes[env.to.index() - *start].push(env);
+                    }
+                });
+                // Round boundary: swap the inbox double-buffer.
+                std::mem::swap(&mut w.inboxes, &mut w.next_inboxes);
+                for inbox in &mut w.next_inboxes {
+                    inbox.clear();
+                }
+            }
+            CoordMsg::Finish => {
+                let in_flight = w.ring.in_flight() as u64;
+                if in_flight > 0 {
+                    w.metrics.record_fault_expired(in_flight);
+                }
+                send_msg(&mut pipe, &WorkerMsg::<P::Message>::Metrics(w.metrics))?;
+                return Ok((w.outputs, w.decided_round));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The coordinator.
+
+/// Validate, account and route one envelope into its destination worker's
+/// delivery or deferral batch (the distributed form of
+/// `ShardedSyncEngine::route`; validation is literally shared via
+/// [`envelope_admissible`]).
+#[allow(clippy::too_many_arguments)]
+fn route_one<T: Topology, M: MessageSize>(
+    topology: &T,
+    statuses: &[NodeStatus],
+    byzantine: &[bool],
+    shard_of: &[u32],
+    round: u64,
+    env: Envelope<M>,
+    authored_by_adversary: bool,
+    fault_plan: &mut Option<Box<dyn FaultPlan>>,
+    router_metrics: &mut RunMetrics,
+    deliveries: &mut [Vec<Envelope<M>>],
+    deferred: &mut [Vec<(u64, Envelope<M>)>],
+) {
+    if !envelope_admissible(topology, statuses, byzantine, &env, authored_by_adversary) {
+        router_metrics.record_drop();
+        return;
+    }
+    let fate = match fault_plan.as_mut() {
+        Some(plan) if !byzantine[env.from.index()] => plan.envelope_fate(round, env.from, env.to),
+        _ => EnvelopeFate::Deliver,
+    };
+    let dest = shard_of[env.to.index()] as usize;
+    match fate {
+        // `Delay(0)` accounts as plain delivery in every engine.
+        EnvelopeFate::Deliver | EnvelopeFate::Delay(0) => deliveries[dest].push(env),
+        EnvelopeFate::Drop => router_metrics.record_fault_loss(),
+        EnvelopeFate::Delay(delay) => {
+            router_metrics.record_fault_delay();
+            deferred[dest].push((round + delay, env));
+        }
+    }
+}
+
+/// The distributed synchronous engine; see the module documentation.
+pub struct DistributedSyncEngine<'a, T, P, A>
+where
+    T: Topology,
+    P: Protocol,
+    A: Adversary<P>,
+{
+    topology: &'a T,
+    states: Vec<P>,
+    byzantine: Vec<bool>,
+    adversary: A,
+    config: EngineConfig,
+    seed: u64,
+    shards: usize,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    initial_crashed: Vec<bool>,
+    recorder: Option<&'a dyn Recorder>,
+    spec_version: u32,
+}
+
+impl<'a, T, P, A> DistributedSyncEngine<'a, T, P, A>
+where
+    T: Topology,
+    P: Protocol + Clone,
+    P::Output: Send,
+    P::Message: Wire,
+    A: Adversary<P>,
+{
+    /// Create an engine over `shards` worker-owned contiguous node ranges.
+    ///
+    /// The shard count is clamped to `1..=n`, exactly like
+    /// [`shard_bounds`].
+    ///
+    /// # Panics
+    /// Panics if `states.len()` or `byzantine.len()` differ from the
+    /// topology size.
+    pub fn new(
+        topology: &'a T,
+        states: Vec<P>,
+        byzantine: Vec<bool>,
+        adversary: A,
+        config: EngineConfig,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        let n = topology.len();
+        assert_eq!(states.len(), n, "one protocol state per node required");
+        assert_eq!(byzantine.len(), n, "byzantine mask must cover every node");
+        DistributedSyncEngine {
+            topology,
+            states,
+            byzantine,
+            adversary,
+            config,
+            seed,
+            shards,
+            fault_plan: None,
+            initial_crashed: vec![false; n],
+            recorder: None,
+            spec_version: SPEC_VERSION_ANY,
+        }
+    }
+
+    /// Install a [`FaultPlan`]; workers keep pristine state clones for
+    /// churn recovery, mirroring `ShardedSyncEngine::with_fault_plan`.
+    pub fn with_fault_plan(mut self, plan: Box<dyn FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// [`with_fault_plan`](Self::with_fault_plan) that is a no-op for
+    /// `None`.
+    pub fn with_fault_plan_opt(mut self, plan: Option<Box<dyn FaultPlan>>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Mark nodes as crashed before the first round.
+    pub fn with_initial_crashes(mut self, crashed: &[bool]) -> Self {
+        assert_eq!(
+            crashed.len(),
+            self.initial_crashed.len(),
+            "crash mask must cover every node"
+        );
+        self.initial_crashed.copy_from_slice(crashed);
+        self
+    }
+
+    /// Attach a [`Recorder`] (coordinator-side instrumentation only; see
+    /// the module docs).
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// [`with_recorder`](Self::with_recorder) that is a no-op for `None`.
+    pub fn with_recorder_opt(mut self, recorder: Option<&'a dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Pin the handshake's payload-schema version (defaults to
+    /// [`SPEC_VERSION_ANY`]; in-process workers always share the build, so
+    /// the pin is exercised rather than load-bearing here).
+    pub fn with_spec_version(mut self, spec_version: u32) -> Self {
+        self.spec_version = spec_version;
+        self
+    }
+
+    /// Number of workers the engine actually runs with (after clamping).
+    pub fn shard_count(&self) -> usize {
+        shard_bounds(self.topology.len(), self.shards).len() - 1
+    }
+
+    /// Run to the stop condition and return the result.
+    ///
+    /// # Panics
+    /// Panics if a worker channel fails mid-conversation (a torn frame or
+    /// a dead worker is an unrecoverable engine fault, surfaced loudly).
+    pub fn run(self) -> RunResult<P::Output>
+    where
+        P: Send,
+    {
+        let DistributedSyncEngine {
+            topology,
+            states,
+            byzantine,
+            mut adversary,
+            config,
+            seed,
+            shards,
+            mut fault_plan,
+            initial_crashed,
+            recorder,
+            spec_version,
+        } = self;
+        let n = topology.len();
+        let bounds = shard_bounds(n, shards);
+        let shard_count = bounds.len() - 1;
+        let mut shard_of = vec![0u32; n];
+        for (s, w) in bounds.windows(2).enumerate() {
+            for owner in &mut shard_of[w[0]..w[1]] {
+                *owner = s as u32;
+            }
+        }
+        let mut statuses = vec![NodeStatus::Active; n];
+        for (status, &is_crashed) in statuses.iter_mut().zip(&initial_crashed) {
+            if is_crashed {
+                *status = NodeStatus::Crashed;
+            }
+        }
+        let pristine_needed = fault_plan.is_some();
+        let mut adversary_rng = ChaCha8Rng::seed_from_u64(splitmix(seed, u64::MAX));
+        let hello = WireHello::current(spec_version);
+        let mut churned_down = vec![false; n];
+        let mut router_metrics = RunMetrics::default();
+        let mut round: u64 = 0;
+        let mut scratch = Vec::new();
+        let mut crashed_scratch: Vec<bool> = Vec::with_capacity(n);
+
+        std::thread::scope(|scope| {
+            // Spawn one worker per shard, handing each its private range.
+            let mut pipes: Vec<PipeEnd> = Vec::with_capacity(shard_count);
+            let mut handles = Vec::with_capacity(shard_count);
+            let mut state_iter = states.into_iter();
+            for (s, w) in bounds.windows(2).enumerate() {
+                let (start, end) = (w[0], w[1]);
+                let len = end - start;
+                let chunk: Vec<P> = state_iter.by_ref().take(len).collect();
+                let pristine = pristine_needed.then(|| chunk.clone());
+                let worker = Worker {
+                    topology,
+                    start,
+                    states: chunk,
+                    pristine,
+                    byzantine: byzantine[start..end].to_vec(),
+                    statuses: statuses[start..end].to_vec(),
+                    rngs: (start..end)
+                        .map(|i| ChaCha8Rng::seed_from_u64(splitmix(seed, i as u64)))
+                        .collect(),
+                    outputs: vec![None; len],
+                    decided_round: vec![None; len],
+                    inboxes: vec![Vec::new(); len],
+                    next_inboxes: vec![Vec::new(); len],
+                    outboxes: (0..len).map(|_| Outbox::new()).collect(),
+                    actions: vec![Action::Continue; len],
+                    ring: DelayRing::new(),
+                    metrics: RunMetrics::default(),
+                    round: 0,
+                };
+                let (coord_end, worker_end) = duplex();
+                handles.push(scope.spawn(move || {
+                    worker_loop(worker, worker_end, hello)
+                        .unwrap_or_else(|e| panic!("shard worker {s} failed: {e}"))
+                }));
+                pipes.push(coord_end);
+            }
+            // Handshake every worker channel before the first round.
+            for (s, pipe) in pipes.iter_mut().enumerate() {
+                send_hello(pipe, &hello)
+                    .unwrap_or_else(|e| panic!("hello to shard worker {s} failed: {e}"));
+                let theirs = recv_hello(pipe)
+                    .unwrap_or_else(|e| panic!("hello from shard worker {s} failed: {e}"));
+                theirs
+                    .check_compatible(&hello)
+                    .unwrap_or_else(|e| panic!("shard worker {s} incompatible: {e}"));
+            }
+
+            loop {
+                // Stop condition, identical to the other engines.
+                if round >= config.max_rounds {
+                    break;
+                }
+                if config.stop_when_all_decided
+                    && statuses
+                        .iter()
+                        .zip(&byzantine)
+                        .filter(|(_, byz)| !**byz)
+                        .all(|(s, _)| *s != NodeStatus::Active)
+                {
+                    break;
+                }
+
+                router_metrics.begin_round();
+                let rec = recorder;
+                let router_snap = rec.map(|_| MetricsSnap::of(&router_metrics));
+                if let Some(rec) = rec {
+                    rec.phase_begin(SHARD_ROUTER, round, Phase::Round);
+                    rec.phase_begin(SHARD_ROUTER, round, Phase::Churn);
+                }
+
+                // Phase 0: churn — validated centrally in the plan's global
+                // order (its RNG stream depends on it), then forwarded as
+                // effective events to the owning workers.
+                let mut shard_churn: Vec<Vec<(u32, u8)>> = vec![Vec::new(); shard_count];
+                if let Some(plan) = fault_plan.as_mut() {
+                    for event in plan.begin_round(round) {
+                        match event {
+                            ChurnEvent::Crash(v) => {
+                                let i = v.index();
+                                if i < n && !byzantine[i] && statuses[i] != NodeStatus::Crashed {
+                                    statuses[i] = NodeStatus::Crashed;
+                                    churned_down[i] = true;
+                                    router_metrics.record_churn_crash();
+                                    shard_churn[shard_of[i] as usize].push((i as u32, CHURN_CRASH));
+                                }
+                            }
+                            ChurnEvent::Recover(v) => {
+                                let i = v.index();
+                                // Workers hold pristine states whenever a
+                                // fault plan is installed, so the sharded
+                                // engine's reset-availability guard is
+                                // implied here.
+                                if i < n && churned_down[i] && statuses[i] == NodeStatus::Crashed {
+                                    statuses[i] = NodeStatus::Active;
+                                    churned_down[i] = false;
+                                    router_metrics.record_churn_recovery();
+                                    shard_churn[shard_of[i] as usize]
+                                        .push((i as u32, CHURN_RECOVER));
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(rec) = rec {
+                    rec.phase_end(SHARD_ROUTER, round, Phase::Churn);
+                }
+
+                // Open the round on every worker.
+                for (s, pipe) in pipes.iter_mut().enumerate() {
+                    send_msg(
+                        pipe,
+                        &CoordMsg::<P::Message>::RoundBegin {
+                            round,
+                            churn: std::mem::take(&mut shard_churn[s]),
+                        },
+                    )
+                    .unwrap_or_else(|e| panic!("round-begin to shard worker {s} failed: {e}"));
+                }
+
+                // Gather arenas in shard order (= global node order).
+                let mut honest_arena: Vec<Envelope<P::Message>> = Vec::new();
+                let mut byz_default: Vec<Envelope<P::Message>> = Vec::new();
+                let mut transitions_all: Vec<(u32, u8)> = Vec::new();
+                for (s, pipe) in pipes.iter_mut().enumerate() {
+                    match recv_msg::<_, WorkerMsg<P::Message>>(pipe, &mut scratch)
+                        .unwrap_or_else(|e| panic!("arenas from shard worker {s} failed: {e}"))
+                    {
+                        WorkerMsg::Arenas {
+                            honest,
+                            byz,
+                            transitions,
+                        } => {
+                            honest_arena.extend(honest);
+                            byz_default.extend(byz);
+                            transitions_all.extend(transitions);
+                        }
+                        WorkerMsg::Metrics(_) => {
+                            panic!("shard worker {s} sent metrics mid-run")
+                        }
+                    }
+                }
+
+                if let Some(rec) = rec {
+                    rec.phase_begin(SHARD_ROUTER, round, Phase::AdversaryCut);
+                }
+                // The adversary observes the gathered stream against the
+                // pre-action statuses (worker-owned protocol states are not
+                // shipped; see the module docs).
+                crashed_scratch.clear();
+                crashed_scratch.extend(statuses.iter().map(|s| *s == NodeStatus::Crashed));
+                let decision = {
+                    let view = AdversaryView {
+                        round,
+                        byzantine: &byzantine,
+                        crashed: &crashed_scratch,
+                        states: &[],
+                        honest_messages: &honest_arena,
+                        byzantine_default_messages: &byz_default,
+                    };
+                    adversary.act(&view, &mut adversary_rng)
+                };
+                // Phase 3: apply the worker-reported transitions, after the
+                // adversary observed the pre-action statuses.
+                for &(node, op) in &transitions_all {
+                    statuses[node as usize] = if op == TRANSITION_DECIDED {
+                        NodeStatus::Decided
+                    } else {
+                        NodeStatus::Crashed
+                    };
+                }
+                if let Some(rec) = rec {
+                    rec.gauge(
+                        SHARD_ROUTER,
+                        round,
+                        Gauge::HonestArenaHighWater,
+                        honest_arena.len() as u64,
+                    );
+                    rec.gauge(
+                        SHARD_ROUTER,
+                        round,
+                        Gauge::ByzArenaHighWater,
+                        byz_default.len() as u64,
+                    );
+                    rec.phase_end(SHARD_ROUTER, round, Phase::AdversaryCut);
+                    rec.phase_begin(SHARD_ROUTER, round, Phase::Routing);
+                }
+
+                // Route every envelope in the unsharded engine's exact
+                // order: honest stream first, then the Byzantine path.
+                let mut deliveries: Vec<Vec<Envelope<P::Message>>> =
+                    (0..shard_count).map(|_| Vec::new()).collect();
+                let mut deferred: Vec<Vec<(u64, Envelope<P::Message>)>> =
+                    (0..shard_count).map(|_| Vec::new()).collect();
+                for env in honest_arena.drain(..) {
+                    route_one(
+                        topology,
+                        &statuses,
+                        &byzantine,
+                        &shard_of,
+                        round,
+                        env,
+                        false,
+                        &mut fault_plan,
+                        &mut router_metrics,
+                        &mut deliveries,
+                        &mut deferred,
+                    );
+                }
+                match decision {
+                    AdversaryDecision::FollowProtocol => {
+                        for env in byz_default.drain(..) {
+                            route_one(
+                                topology,
+                                &statuses,
+                                &byzantine,
+                                &shard_of,
+                                round,
+                                env,
+                                false,
+                                &mut fault_plan,
+                                &mut router_metrics,
+                                &mut deliveries,
+                                &mut deferred,
+                            );
+                        }
+                    }
+                    AdversaryDecision::Replace(msgs) => {
+                        for env in msgs {
+                            route_one(
+                                topology,
+                                &statuses,
+                                &byzantine,
+                                &shard_of,
+                                round,
+                                env,
+                                true,
+                                &mut fault_plan,
+                                &mut router_metrics,
+                                &mut deliveries,
+                                &mut deferred,
+                            );
+                        }
+                    }
+                }
+                if let Some(rec) = rec {
+                    rec.phase_end(SHARD_ROUTER, round, Phase::Routing);
+                }
+
+                // Scatter the fates back to the owning workers.
+                for (s, pipe) in pipes.iter_mut().enumerate() {
+                    send_msg(
+                        pipe,
+                        &CoordMsg::Fates {
+                            deliveries: std::mem::take(&mut deliveries[s]),
+                            deferred: std::mem::take(&mut deferred[s]),
+                        },
+                    )
+                    .unwrap_or_else(|e| panic!("fates to shard worker {s} failed: {e}"));
+                }
+
+                if let Some(rec) = rec {
+                    emit_metric_deltas(
+                        rec,
+                        SHARD_ROUTER,
+                        round,
+                        router_snap.expect("snapshotted with recorder"),
+                        MetricsSnap::of(&router_metrics),
+                    );
+                    rec.add(SHARD_ROUTER, round, Counter::Rounds, 1);
+                    rec.phase_end(SHARD_ROUTER, round, Phase::Round);
+                }
+                round += 1;
+            }
+
+            // Wind down: collect each worker's metrics (shard order), then
+            // its outputs through the join.
+            for (s, pipe) in pipes.iter_mut().enumerate() {
+                send_msg(pipe, &CoordMsg::<P::Message>::Finish)
+                    .unwrap_or_else(|e| panic!("finish to shard worker {s} failed: {e}"));
+            }
+            let mut metrics = router_metrics;
+            for (s, pipe) in pipes.iter_mut().enumerate() {
+                match recv_msg::<_, WorkerMsg<P::Message>>(pipe, &mut scratch)
+                    .unwrap_or_else(|e| panic!("metrics from shard worker {s} failed: {e}"))
+                {
+                    WorkerMsg::Metrics(shard) => metrics.absorb_shard(&shard),
+                    WorkerMsg::Arenas { .. } => panic!("shard worker {s} sent arenas at finish"),
+                }
+            }
+            let mut outputs = Vec::with_capacity(n);
+            let mut decided_round = Vec::with_capacity(n);
+            for handle in handles {
+                let (worker_outputs, worker_decided) =
+                    handle.join().expect("shard worker panicked");
+                outputs.extend(worker_outputs);
+                decided_round.extend(worker_decided);
+            }
+            let completed = statuses
+                .iter()
+                .zip(&byzantine)
+                .filter(|(_, byz)| !**byz)
+                .all(|(s, _)| *s != NodeStatus::Active);
+            let crashed = statuses.iter().map(|s| *s == NodeStatus::Crashed).collect();
+            RunResult {
+                outputs,
+                decided_round,
+                crashed,
+                statuses,
+                metrics,
+                completed,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NullAdversary;
+    use crate::engine::SyncEngine;
+    use crate::sharded::ShardedSyncEngine;
+    use netsim_faults::FaultSpec;
+    use netsim_graph::Csr;
+    use rand::Rng;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Val(u64);
+    impl MessageSize for Val {
+        fn message_size(&self) -> SizedMessage {
+            SizedMessage::new(0, 64)
+        }
+    }
+    impl Wire for Val {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+        fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+            Ok(Val(u64::decode(r)?))
+        }
+    }
+
+    /// Max-flooding, the engine test-suite workhorse (identical to the
+    /// sharded suite's protocol so the parity claims line up).
+    #[derive(Clone)]
+    struct MaxFlood {
+        value: u64,
+        best: u64,
+        ttl: u64,
+        started: bool,
+    }
+
+    impl Protocol for MaxFlood {
+        type Message = Val;
+        type Output = u64;
+        fn step(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &[Envelope<Val>],
+            outbox: &mut Outbox<Val>,
+            rng: &mut ChaCha8Rng,
+        ) -> Action<u64> {
+            if !self.started {
+                self.started = true;
+                if self.value == 0 {
+                    self.value = rng.gen::<u64>() | 1;
+                }
+                self.best = self.value;
+                outbox.broadcast(ctx.neighbors.iter(), Val(self.best));
+                return Action::Continue;
+            }
+            let mut improved = false;
+            for env in inbox {
+                if env.payload.0 > self.best {
+                    self.best = env.payload.0;
+                    improved = true;
+                }
+            }
+            if improved {
+                outbox.broadcast(ctx.neighbors.iter(), Val(self.best));
+            }
+            if ctx.round >= self.ttl {
+                Action::Decide(self.best)
+            } else {
+                Action::Continue
+            }
+        }
+    }
+
+    fn line_graph(n: usize) -> Csr {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Csr::from_undirected_edges(n, &edges).unwrap()
+    }
+
+    fn flood_states(n: usize, ttl: u64) -> Vec<MaxFlood> {
+        (0..n)
+            .map(|_| MaxFlood {
+                value: 0,
+                best: 0,
+                ttl,
+                started: false,
+            })
+            .collect()
+    }
+
+    fn assert_results_equal(a: &RunResult<u64>, b: &RunResult<u64>, label: &str) {
+        assert_eq!(a.outputs, b.outputs, "{label}: outputs diverged");
+        assert_eq!(a.decided_round, b.decided_round, "{label}: decided_round");
+        assert_eq!(a.crashed, b.crashed, "{label}: crash masks");
+        assert_eq!(a.statuses, b.statuses, "{label}: statuses");
+        assert_eq!(a.metrics, b.metrics, "{label}: metrics");
+        assert_eq!(a.completed, b.completed, "{label}: completed");
+    }
+
+    #[test]
+    fn wire_round_trips_for_runtime_types() {
+        let env = Envelope::new(NodeId(7), NodeId(3), Val(0xDEAD_BEEF));
+        let bytes = encode_to_vec(&env);
+        let back: Envelope<Val> = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, env);
+
+        let mut metrics = RunMetrics::default();
+        metrics.begin_round();
+        metrics.record_delivery(SizedMessage::new(2, 17));
+        metrics.record_fault_delay();
+        metrics.begin_round();
+        metrics.record_fault_expired(3);
+        metrics.record_churn_crash();
+        let bytes = encode_to_vec(&metrics);
+        let back: RunMetrics = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, metrics);
+
+        // Truncation is a clean error for composite payloads too.
+        assert!(decode_from_slice::<RunMetrics>(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn distributed_clean_runs_match_the_unsharded_engine_for_every_shard_count() {
+        let n = 24;
+        let g = line_graph(n);
+        let reference = SyncEngine::new(
+            &g,
+            flood_states(n, 3 * n as u64),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            42,
+        )
+        .run();
+        for shards in [1usize, 2, 3, 4, 8, 24, 100] {
+            let distributed = DistributedSyncEngine::new(
+                &g,
+                flood_states(n, 3 * n as u64),
+                vec![false; n],
+                NullAdversary,
+                EngineConfig::default(),
+                42,
+                shards,
+            )
+            .run();
+            assert_results_equal(&reference, &distributed, &format!("S={shards}"));
+        }
+    }
+
+    #[test]
+    fn distributed_faulty_runs_match_both_synchronous_engines() {
+        // The full fault stack: loss + bounded delay + churn + partition.
+        let n = 32;
+        let g = line_graph(n);
+        let spec = FaultSpec::Compose(vec![
+            FaultSpec::Loss { rate: 0.15 },
+            FaultSpec::Delay {
+                max_delay: 3,
+                rate: 0.3,
+            },
+            FaultSpec::Churn {
+                rate: 0.04,
+                downtime: 3,
+            },
+            FaultSpec::Partition {
+                start: 2,
+                duration: 5,
+            },
+        ]);
+        let plan = |seed: u64| {
+            spec.build_plan(n, &vec![true; n], seed ^ 0xFA17)
+                .expect("plan")
+        };
+        let reference = SyncEngine::new(
+            &g,
+            flood_states(n, 90),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            7,
+        )
+        .with_fault_plan(plan(7))
+        .run();
+        for shards in [1usize, 2, 4, 8] {
+            let distributed = DistributedSyncEngine::new(
+                &g,
+                flood_states(n, 90),
+                vec![false; n],
+                NullAdversary,
+                EngineConfig::default(),
+                7,
+                shards,
+            )
+            .with_fault_plan(plan(7))
+            .run();
+            assert_results_equal(&reference, &distributed, &format!("faulty S={shards}"));
+            let sharded = ShardedSyncEngine::new(
+                &g,
+                flood_states(n, 90),
+                vec![false; n],
+                NullAdversary,
+                EngineConfig::default(),
+                7,
+                shards,
+            )
+            .with_fault_plan(plan(7))
+            .run();
+            assert_results_equal(&sharded, &distributed, &format!("vs sharded S={shards}"));
+        }
+        assert!(
+            reference.metrics.messages_lost > 0 && reference.metrics.messages_delayed > 0,
+            "the fault stack must actually have fired for this test to mean anything"
+        );
+        assert!(
+            reference.metrics.churn_crashes > 0,
+            "churn must cross the wire for this test to mean anything"
+        );
+    }
+
+    #[test]
+    fn distributed_initial_crashes_match_the_unsharded_engine() {
+        let n = 16;
+        let g = line_graph(n);
+        let mut crashed = vec![false; n];
+        crashed[3] = true;
+        crashed[12] = true;
+        let reference = SyncEngine::new(
+            &g,
+            flood_states(n, 50),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            5,
+        )
+        .with_initial_crashes(&crashed)
+        .run();
+        let distributed = DistributedSyncEngine::new(
+            &g,
+            flood_states(n, 50),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            5,
+            4,
+        )
+        .with_initial_crashes(&crashed)
+        .run();
+        assert_results_equal(&reference, &distributed, "initial crashes");
+    }
+
+    /// The sharded suite's Shouter: Byzantine nodes shout a huge value at
+    /// node 0 plus an illegal long-range message.
+    struct Shouter;
+    impl Adversary<MaxFlood> for Shouter {
+        fn act(
+            &mut self,
+            view: &AdversaryView<'_, MaxFlood>,
+            _rng: &mut ChaCha8Rng,
+        ) -> AdversaryDecision<Val> {
+            let mut msgs = Vec::new();
+            for (i, &b) in view.byzantine.iter().enumerate() {
+                if b {
+                    msgs.push(Envelope::new(
+                        NodeId::from_index(i),
+                        NodeId(0),
+                        Val(u64::MAX),
+                    ));
+                    msgs.push(Envelope::new(
+                        NodeId::from_index(i),
+                        NodeId(5),
+                        Val(u64::MAX),
+                    ));
+                }
+            }
+            AdversaryDecision::Replace(msgs)
+        }
+    }
+
+    #[test]
+    fn distributed_adversarial_runs_match_the_unsharded_engine() {
+        let n = 16;
+        let g = line_graph(n);
+        let mut byz = vec![false; n];
+        byz[1] = true;
+        byz[9] = true;
+        let reference = SyncEngine::new(
+            &g,
+            flood_states(n, 30),
+            byz.clone(),
+            Shouter,
+            EngineConfig::default(),
+            3,
+        )
+        .run();
+        for shards in [2usize, 4, 8] {
+            let distributed = DistributedSyncEngine::new(
+                &g,
+                flood_states(n, 30),
+                byz.clone(),
+                Shouter,
+                EngineConfig::default(),
+                3,
+                shards,
+            )
+            .run();
+            assert_results_equal(&reference, &distributed, &format!("adversarial S={shards}"));
+        }
+        assert!(reference.metrics.messages_dropped > 0);
+    }
+
+    #[test]
+    fn cross_shard_delay_past_the_final_round_expires_in_the_worker_ring() {
+        struct DelayAcross;
+        impl FaultPlan for DelayAcross {
+            fn envelope_fate(&mut self, round: u64, from: NodeId, to: NodeId) -> EnvelopeFate {
+                // With n = 8 and S = 2, worker 0 owns 0..4 and worker 1
+                // owns 4..8: the 3 → 4 edge crosses the worker boundary.
+                if round == 0 && from == NodeId(3) && to == NodeId(4) {
+                    EnvelopeFate::Delay(1000)
+                } else {
+                    EnvelopeFate::Deliver
+                }
+            }
+        }
+        let n = 8;
+        let g = line_graph(n);
+        let cfg = EngineConfig {
+            max_rounds: 4,
+            stop_when_all_decided: true,
+        };
+        let reference = SyncEngine::new(
+            &g,
+            flood_states(n, 1000),
+            vec![false; n],
+            NullAdversary,
+            cfg,
+            11,
+        )
+        .with_fault_plan(Box::new(DelayAcross))
+        .run();
+        let distributed = DistributedSyncEngine::new(
+            &g,
+            flood_states(n, 1000),
+            vec![false; n],
+            NullAdversary,
+            cfg,
+            11,
+            2,
+        )
+        .with_fault_plan(Box::new(DelayAcross))
+        .run();
+        assert_results_equal(&reference, &distributed, "cross-shard expiry");
+        assert_eq!(distributed.metrics.messages_delayed, 1);
+        assert_eq!(
+            distributed.metrics.messages_expired, 1,
+            "the deferred envelope must expire in the destination worker's ring"
+        );
+    }
+
+    #[test]
+    fn shard_count_reports_the_clamped_value_and_spec_pin_is_accepted() {
+        let g = line_graph(4);
+        let engine = DistributedSyncEngine::new(
+            &g,
+            flood_states(4, 10),
+            vec![false; 4],
+            NullAdversary,
+            EngineConfig::default(),
+            0,
+            64,
+        )
+        .with_spec_version(6);
+        assert_eq!(engine.shard_count(), 4, "shards clamp to the node count");
+        // Both sides pin spec 6 → the handshake passes and the run works.
+        let result = engine.run();
+        assert!(result.completed);
+    }
+}

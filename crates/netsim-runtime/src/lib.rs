@@ -44,6 +44,7 @@
 
 pub mod adversary;
 pub mod async_engine;
+pub mod distributed;
 pub mod engine;
 pub mod message;
 pub mod metrics;
@@ -55,6 +56,7 @@ pub mod topology;
 
 pub use adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
 pub use async_engine::{AsyncEngine, CalendarQueue, ClockPlan, EventClass, EventKey};
+pub use distributed::DistributedSyncEngine;
 pub use engine::{EngineConfig, RunResult, SyncEngine};
 pub use message::{Envelope, MessageSize, SizedMessage};
 pub use metrics::RunMetrics;
@@ -72,6 +74,13 @@ pub use topology::Topology;
 pub use netsim_trace as trace;
 pub use netsim_trace::{NoopRecorder, Recorder};
 
+/// The wire layer (re-exported from [`netsim_wire`]): the binary codec,
+/// checksummed frames and versioned handshake the
+/// [`DistributedSyncEngine`]'s shard channels speak.  A protocol's message
+/// type must implement [`netsim_wire::Wire`] to run on the distributed
+/// engine (and, through the shared dispatcher, on [`run_with_engine`]).
+pub use netsim_wire as wire;
+
 /// The fault-injection subsystem (re-exported from [`netsim_faults`]): an
 /// optional [`FaultPlan`] installed via [`SyncEngine::with_fault_plan`]
 /// makes the network itself lossy, slow, churning or partitioned.
@@ -82,6 +91,7 @@ pub use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan, FaultSpec, NoFaults
 pub mod prelude {
     pub use crate::adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
     pub use crate::async_engine::{AsyncEngine, ClockPlan};
+    pub use crate::distributed::DistributedSyncEngine;
     pub use crate::engine::{EngineConfig, RunResult, SyncEngine};
     pub use crate::message::{Envelope, MessageSize, SizedMessage};
     pub use crate::metrics::RunMetrics;

@@ -87,6 +87,14 @@ pub enum EngineKind {
         /// How node clocks map onto virtual time.
         clocks: ClockPlan,
     },
+    /// A [`DistributedSyncEngine`](crate::DistributedSyncEngine): shard
+    /// workers owning private node ranges, speaking `netsim-wire`'s binary
+    /// protocol to a central coordinator.  Synchronous semantics,
+    /// byte-identical to `Sync` and `Sharded`.
+    Distributed {
+        /// Number of shard workers (≥ 1; clamped to the node count).
+        shards: usize,
+    },
 }
 
 impl EngineKind {
@@ -106,6 +114,7 @@ impl EngineKind {
             EngineKind::ShardedAsync { shards, clocks } => {
                 format!("sharded-async-{shards}-{}", clocks.describe())
             }
+            EngineKind::Distributed { shards } => format!("dist-{shards}"),
         }
     }
 }
@@ -139,6 +148,7 @@ where
     T: Topology,
     P: Protocol + Clone + Send + Sync + 'static,
     P::Output: Send,
+    P::Message: netsim_wire::Wire,
     A: Adversary<P>,
 {
     run_with_engine_recorded(
@@ -170,6 +180,7 @@ where
     T: Topology,
     P: Protocol + Clone + Send + Sync + 'static,
     P::Output: Send,
+    P::Message: netsim_wire::Wire,
     A: Adversary<P>,
 {
     match kind {
@@ -197,6 +208,12 @@ where
             .with_recorder_opt(recorder)
             .run()
         }
+        EngineKind::Distributed { shards } => crate::distributed::DistributedSyncEngine::new(
+            topology, states, byzantine, adversary, config, seed, shards,
+        )
+        .with_fault_plan_opt(fault_plan)
+        .with_recorder_opt(recorder)
+        .run(),
     }
 }
 
@@ -908,6 +925,14 @@ mod tests {
             SizedMessage::new(0, 64)
         }
     }
+    impl netsim_wire::Wire for Val {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+        fn decode(r: &mut netsim_wire::Reader<'_>) -> Result<Self, netsim_wire::WireError> {
+            Ok(Val(<u64 as netsim_wire::Wire>::decode(r)?))
+        }
+    }
 
     /// Max-flooding (the engine test-suite workhorse): every node starts
     /// with a random value and forwards the maximum it has seen.
@@ -1268,7 +1293,10 @@ mod tests {
             clocks: ClockPlan::Uniform,
         });
         assert_results_equal(&sync, &sharded_async, "run_with_engine (sharded-async)");
+        let distributed = run(EngineKind::Distributed { shards: 3 });
+        assert_results_equal(&sync, &distributed, "run_with_engine (distributed)");
         assert_eq!(EngineKind::Sync.describe(), "sync");
+        assert_eq!(EngineKind::Distributed { shards: 4 }.describe(), "dist-4");
         assert_eq!(EngineKind::Sharded { shards: 3 }.describe(), "sharded-3");
         assert_eq!(
             EngineKind::Async {

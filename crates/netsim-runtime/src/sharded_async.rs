@@ -38,6 +38,8 @@
 //! to the minimum [`CalendarQueue::next_event_time`] over all shard
 //! queues, bulk-replaying the empty ticks' accounting so the results stay
 //! byte-identical to dense execution.
+//!
+//! [`AsyncEngine`]: crate::async_engine::AsyncEngine
 
 use crate::adversary::{Adversary, AdversaryDecision, AdversaryView};
 use crate::async_engine::{CalendarQueue, ClockPlan, EventClass};
@@ -254,7 +256,8 @@ where
 
     /// Install a [`FaultPlan`]; see
     /// [`SyncEngine::with_fault_plan`](crate::SyncEngine::with_fault_plan).
-    /// The plan is consulted once per tick (the [`AsyncEngine`]'s
+    /// The plan is consulted once per tick (the
+    /// [`AsyncEngine`](crate::AsyncEngine)'s
     /// self-rescheduling plan-tick event, expressed as a global per-tick
     /// step here), which also pins the engine to dense ticking.
     pub fn with_fault_plan(mut self, plan: Box<dyn FaultPlan>) -> Self
@@ -322,7 +325,7 @@ where
     }
 
     /// Idle ticks jumped over by the sparse-ticking skip so far; see
-    /// [`AsyncEngine::ticks_skipped`].
+    /// [`AsyncEngine::ticks_skipped`](crate::AsyncEngine::ticks_skipped).
     pub fn ticks_skipped(&self) -> u64 {
         self.ticks_skipped
     }
@@ -765,7 +768,7 @@ where
     }
 
     /// Advance to the next tick at which anything can happen and execute
-    /// it; see [`AsyncEngine::advance`].
+    /// it; see [`AsyncEngine::advance`](crate::AsyncEngine::advance).
     pub fn advance(&mut self) -> bool {
         self.skip_idle_ticks();
         if self.finished() {

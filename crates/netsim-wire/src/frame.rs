@@ -1,0 +1,173 @@
+//! Length-prefixed, checksummed frames.
+//!
+//! The exact frame discipline of the campaign WAL, promoted to the wire:
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE FNV-1a checksum][payload bytes]
+//! ```
+//!
+//! The length is validated against [`MAX_FRAME_BYTES`] *before* any
+//! buffer is grown, and the checksum is verified before a single payload
+//! byte is handed to the codec — so a torn, truncated or bit-flipped
+//! frame is one clean [`WireError::Corrupt`], never a panic, never an
+//! attacker-sized allocation, and never a half-interpreted message.
+
+use crate::WireError;
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload (the WAL's own cap).
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// FNV-1a over the payload — cheap, deterministic, and identical to the
+/// WAL's record checksum, so both persistence and transport share one
+/// corruption detector.
+pub fn checksum32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Write one frame (length, checksum, payload) and flush it.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::Corrupt(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&checksum32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload into `buf` (cleared first, capacity kept).
+///
+/// EOF before the first header byte is an error here; use
+/// [`read_frame_opt`] where a clean hang-up is an expected outcome.
+pub fn read_frame<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<(), WireError> {
+    match read_frame_opt(r, buf)? {
+        true => Ok(()),
+        false => Err(WireError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "peer closed the stream mid-conversation",
+        ))),
+    }
+}
+
+/// [`read_frame`] that reports a clean EOF at a frame boundary as
+/// `Ok(false)` instead of an error.  EOF *inside* a frame is always
+/// corruption (a torn frame).
+pub fn read_frame_opt<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<bool, WireError> {
+    let mut header = [0u8; 8];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(WireError::Corrupt(format!(
+                "torn frame header: {filled} of 8 bytes"
+            )));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("sized")) as usize;
+    let expected = u32::from_le_bytes(header[4..8].try_into().expect("sized"));
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Corrupt(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Corrupt(format!("torn frame: payload short of {len} bytes"))
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let actual = checksum32(buf);
+    if actual != expected {
+        return Err(WireError::Corrupt(format!(
+            "frame checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, &[0xAB; 1000]).unwrap();
+        let mut cursor = &stream[..];
+        let mut buf = Vec::new();
+        read_frame(&mut cursor, &mut buf).unwrap();
+        assert_eq!(buf, b"first");
+        read_frame(&mut cursor, &mut buf).unwrap();
+        assert_eq!(buf, b"");
+        read_frame(&mut cursor, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xAB; 1000]);
+        assert!(!read_frame_opt(&mut cursor, &mut buf).unwrap());
+    }
+
+    #[test]
+    fn torn_and_flipped_frames_are_corrupt() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"payload").unwrap();
+        // Torn header.
+        let mut short = &stream[..5];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame_opt(&mut short, &mut buf),
+            Err(WireError::Corrupt(_))
+        ));
+        // Torn payload.
+        let mut short = &stream[..stream.len() - 2];
+        assert!(matches!(
+            read_frame_opt(&mut short, &mut buf),
+            Err(WireError::Corrupt(_))
+        ));
+        // Flipped payload bit.
+        let mut flipped = stream.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            read_frame_opt(&mut &flipped[..], &mut buf),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn over_length_frames_are_rejected_before_allocation() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&(u32::MAX).to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame_opt(&mut &header[..], &mut buf),
+            Err(WireError::Corrupt(_))
+        ));
+        assert!(write_frame(&mut Vec::new(), &vec![0; MAX_FRAME_BYTES + 1]).is_err());
+    }
+
+    #[test]
+    fn checksum_matches_the_wal_discipline() {
+        // FNV-1a 32-bit reference vectors.
+        assert_eq!(checksum32(b""), 0x811c_9dc5);
+        assert_eq!(checksum32(b"a"), 0xe40c_292c);
+        assert_eq!(checksum32(b"foobar"), 0xbf9c_f968);
+    }
+}

@@ -1,0 +1,197 @@
+//! The versioned wire handshake.
+//!
+//! A generalization of the campaign service's JSON hello to the binary
+//! layer.  Both peers send a [`WireHello`] as the first frame and check
+//! the peer's against their own:
+//!
+//! * **magic**: four fixed bytes up front, so a peer speaking a
+//!   different protocol entirely (say, a line-delimited JSON client
+//!   dialed at a shard port) is rejected on the first frame instead of
+//!   producing confusing downstream errors;
+//! * **major** — strict: a differing major means the frame vocabulary
+//!   itself changed, the connection must close;
+//! * **minor** — additive: future minors may add message kinds; either
+//!   side simply never sees the ones it does not know;
+//! * **`spec_version`** — the *payload schema* version (the run-spec
+//!   schema for campaign traffic, the envelope schema for shard
+//!   traffic).  A peer speaking a **newer** schema is rejected at
+//!   handshake time — this side would otherwise accept the session and
+//!   then fail mid-stream with a parse error.  An *older* peer is fine:
+//!   schemas migrate forward.  [`SPEC_VERSION_ANY`] opts out for
+//!   payload-schema-agnostic channels.
+//!
+//! Because **both** peers apply the newer-is-rejected rule to each
+//! other, two pinned (non-wildcard) peers end up agreeing exactly.
+
+use crate::codec::{Reader, Wire};
+use crate::frame::{read_frame, write_frame};
+use crate::WireError;
+use std::io::{Read, Write};
+
+/// First bytes of every hello: protocol magic + format generation.
+pub const WIRE_MAGIC: [u8; 4] = *b"NSW1";
+/// Wire-format major version; peers must match exactly.
+pub const WIRE_MAJOR: u16 = 1;
+/// Wire-format minor version; additive changes only.
+pub const WIRE_MINOR: u16 = 0;
+/// `spec_version` wildcard: this peer carries no payload schema pin.
+pub const SPEC_VERSION_ANY: u32 = 0;
+
+/// The handshake frame body (sent by both peers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireHello {
+    /// Wire-format major version; must equal the peer's.
+    pub major: u16,
+    /// Wire-format minor version; informational (additive only).
+    pub minor: u16,
+    /// Payload schema version ([`SPEC_VERSION_ANY`] = unpinned).
+    pub spec_version: u32,
+}
+
+impl WireHello {
+    /// This build's hello, pinned to the given payload schema.
+    pub fn current(spec_version: u32) -> Self {
+        WireHello {
+            major: WIRE_MAJOR,
+            minor: WIRE_MINOR,
+            spec_version,
+        }
+    }
+
+    /// Apply the compatibility rules to a peer's hello (`self` is the
+    /// peer's, `ours` this side's).
+    pub fn check_compatible(&self, ours: &WireHello) -> Result<(), WireError> {
+        if self.major != ours.major {
+            return Err(WireError::Incompatible(format!(
+                "wire major {} (this side speaks {})",
+                self.major, ours.major
+            )));
+        }
+        // A differing minor — including a future one — is fine by
+        // construction: minors only add.
+        check_spec_version(ours.spec_version, self.spec_version)
+    }
+}
+
+/// The shared `spec_version` rule, also applied by the campaign hello:
+/// a peer speaking a **newer** schema than ours is rejected (we could
+/// not parse its payloads); an older or equal one is accepted (schemas
+/// migrate forward); [`SPEC_VERSION_ANY`] on either side skips the
+/// check.
+pub fn check_spec_version(ours: u32, theirs: u32) -> Result<(), WireError> {
+    if ours == SPEC_VERSION_ANY || theirs == SPEC_VERSION_ANY {
+        return Ok(());
+    }
+    if theirs > ours {
+        return Err(WireError::Incompatible(format!(
+            "peer speaks spec schema v{theirs}, newer than our v{ours}: \
+             its payloads would fail to parse mid-stream"
+        )));
+    }
+    Ok(())
+}
+
+impl Wire for WireHello {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&WIRE_MAGIC);
+        self.major.encode(out);
+        self.minor.encode(out);
+        self.spec_version.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let magic = r.take(4)?;
+        if magic != WIRE_MAGIC {
+            return Err(WireError::Corrupt(format!(
+                "bad hello magic {magic:02x?} (expected {WIRE_MAGIC:02x?})"
+            )));
+        }
+        Ok(WireHello {
+            major: u16::decode(r)?,
+            minor: u16::decode(r)?,
+            spec_version: u32::decode(r)?,
+        })
+    }
+}
+
+/// Send `hello` as one frame.
+pub fn send_hello<W: Write>(w: &mut W, hello: &WireHello) -> Result<(), WireError> {
+    write_frame(w, &crate::codec::encode_to_vec(hello))
+}
+
+/// Receive the peer's hello frame (without checking compatibility).
+pub fn recv_hello<R: Read>(r: &mut R) -> Result<WireHello, WireError> {
+    let mut buf = Vec::new();
+    read_frame(r, &mut buf)?;
+    crate::codec::decode_from_slice(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips_over_frames() {
+        let mut stream = Vec::new();
+        let hello = WireHello::current(6);
+        send_hello(&mut stream, &hello).unwrap();
+        let back = recv_hello(&mut &stream[..]).unwrap();
+        assert_eq!(back, hello);
+        assert!(back.check_compatible(&hello).is_ok());
+    }
+
+    #[test]
+    fn major_is_strict_minor_is_additive() {
+        let ours = WireHello::current(6);
+        let alien = WireHello {
+            major: WIRE_MAJOR + 1,
+            ..ours
+        };
+        assert!(matches!(
+            alien.check_compatible(&ours),
+            Err(WireError::Incompatible(_))
+        ));
+        let future_minor = WireHello {
+            minor: WIRE_MINOR + 9,
+            ..ours
+        };
+        assert!(future_minor.check_compatible(&ours).is_ok());
+    }
+
+    #[test]
+    fn newer_spec_schema_is_rejected_older_and_wildcard_pass() {
+        let ours = WireHello::current(6);
+        let newer = WireHello {
+            spec_version: 7,
+            ..ours
+        };
+        assert!(matches!(
+            newer.check_compatible(&ours),
+            Err(WireError::Incompatible(_))
+        ));
+        let older = WireHello {
+            spec_version: 5,
+            ..ours
+        };
+        assert!(older.check_compatible(&ours).is_ok());
+        let unpinned = WireHello {
+            spec_version: SPEC_VERSION_ANY,
+            ..ours
+        };
+        assert!(unpinned.check_compatible(&ours).is_ok());
+        assert!(ours.check_compatible(&unpinned).is_ok());
+        // The rule is shared with the campaign's JSON hello.
+        assert!(check_spec_version(6, 6).is_ok());
+        assert!(check_spec_version(6, 9).is_err());
+        assert!(check_spec_version(9, 6).is_ok());
+    }
+
+    #[test]
+    fn wrong_magic_is_corrupt_not_a_panic() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"{\"hello\":{}}").unwrap();
+        assert!(matches!(
+            recv_hello(&mut &stream[..]),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+}
