@@ -92,6 +92,7 @@ mod tests {
             fault_seed: 0,
             engine: byzcount_core::sim::EngineKind::Sync,
             recorder: None,
+            fleet: None,
         };
         for spec in [
             AdversarySpec::Null,
@@ -121,6 +122,7 @@ mod tests {
             fault_seed: 0,
             engine: byzcount_core::sim::EngineKind::Sync,
             recorder: None,
+            fleet: None,
         };
         match SpecAdversaryFactory::new(AdversarySpec::Combined).build(&ctx, &params) {
             Err(SimError::Unsupported(_)) => {}
@@ -140,6 +142,7 @@ mod tests {
             fault_seed: 0,
             engine: byzcount_core::sim::EngineKind::Sync,
             recorder: None,
+            fleet: None,
         };
         assert!(SpecAdversaryFactory::new(AdversarySpec::Combined)
             .build(&ctx, &params)

@@ -15,9 +15,10 @@ use byzcount_baselines::workloads::{
 };
 use byzcount_core::sim::{
     execute_batch as core_execute_batch, execute_batch_recorded as core_execute_batch_recorded,
-    execute_spec as core_execute_spec, execute_spec_recorded as core_execute_spec_recorded,
-    BatchReport, BatchSpec, CountingEstimator, Estimator, Recorder, RunReport, RunSpec,
-    ScenarioRegistry, SimError, Simulation, WorkloadSpec,
+    execute_batch_workers as core_execute_batch_workers, execute_spec as core_execute_spec,
+    execute_spec_recorded as core_execute_spec_recorded,
+    execute_spec_workers as core_execute_spec_workers, BatchReport, BatchSpec, CountingEstimator,
+    Estimator, Recorder, RunReport, RunSpec, ScenarioRegistry, SimError, Simulation, WorkloadSpec,
 };
 use byzcount_core::ProtocolParams;
 use std::sync::Arc;
@@ -78,6 +79,28 @@ pub fn execute_batch_recorded(
     recorder: Option<&dyn Recorder>,
 ) -> Result<BatchReport, SimError> {
     core_execute_batch_recorded(spec, &FullRegistry, recorder)
+}
+
+/// [`execute_recorded`] dialing a remote shard-worker fleet for
+/// distributed-engine runs (in-process fallback when `workers` is
+/// empty).  This is what `byzcount-cli run --workers` calls; reports
+/// are byte-identical across transports.
+pub fn execute_workers(
+    spec: &RunSpec,
+    recorder: Option<&dyn Recorder>,
+    workers: &[String],
+) -> Result<RunReport, SimError> {
+    core_execute_spec_workers(spec, &FullRegistry, recorder, workers)
+}
+
+/// [`execute_batch_recorded`] dialing a remote shard-worker fleet (see
+/// [`execute_workers`]).
+pub fn execute_batch_workers(
+    spec: &BatchSpec,
+    recorder: Option<&dyn Recorder>,
+    workers: &[String],
+) -> Result<BatchReport, SimError> {
+    core_execute_batch_workers(spec, &FullRegistry, recorder, workers)
 }
 
 /// `.run()` / `.run_batch()` on [`Simulation`], wired to the full registry.

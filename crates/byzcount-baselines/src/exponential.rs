@@ -8,8 +8,9 @@
 
 use crate::attack::BaselineAttack;
 use netsim_runtime::{
-    run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
-    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
+    run_with_engine_fleet, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
+    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RemoteFleet, RunError, RunResult,
+    SizedMessage, Topology,
 };
 use netsim_wire::{Reader, Wire, WireError};
 use rand::Rng;
@@ -199,7 +200,21 @@ pub fn run_exponential_support_recorded<T: Topology>(
     engine: EngineKind,
     recorder: Option<&dyn Recorder>,
 ) -> RunResult<f64> {
-    let nodes: Vec<ExponentialSupportEstimator> = (0..topo.len())
+    run_exponential_support_fleet(
+        topo, byzantine, attack, ttl, seed, fault_plan, engine, recorder, None,
+    )
+    .expect("in-process engines are infallible")
+}
+
+/// Build the per-node estimator states for global node ids `range` (the
+/// full run is `0..topo.len()`; shard workers build their assigned chunk).
+pub fn exponential_support_nodes(
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<ExponentialSupportEstimator> {
+    range
         .map(|i| {
             if byzantine[i] {
                 ExponentialSupportEstimator::byzantine(ttl, attack)
@@ -207,12 +222,30 @@ pub fn run_exponential_support_recorded<T: Topology>(
                 ExponentialSupportEstimator::honest(ttl)
             }
         })
-        .collect();
+        .collect()
+}
+
+/// [`run_exponential_support_recorded`] with an optional remote
+/// shard-worker fleet for the distributed engine — the only exponential
+/// runner that can fail, and only on remote transports.
+#[allow(clippy::too_many_arguments)]
+pub fn run_exponential_support_fleet<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+    recorder: Option<&dyn Recorder>,
+    fleet: Option<&RemoteFleet>,
+) -> Result<RunResult<f64>, RunError> {
+    let nodes = exponential_support_nodes(byzantine, attack, ttl, 0..topo.len());
     let config = EngineConfig {
         max_rounds: ttl + 4,
         stop_when_all_decided: true,
     };
-    run_with_engine_recorded(
+    run_with_engine_fleet(
         engine,
         topo,
         nodes,
@@ -222,6 +255,7 @@ pub fn run_exponential_support_recorded<T: Topology>(
         seed,
         fault_plan,
         recorder,
+        fleet,
     )
 }
 

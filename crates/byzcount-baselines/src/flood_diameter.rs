@@ -10,8 +10,9 @@
 
 use crate::attack::BaselineAttack;
 use netsim_runtime::{
-    run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
-    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
+    run_with_engine_fleet, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
+    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RemoteFleet, RunError, RunResult,
+    SizedMessage, Topology,
 };
 use netsim_wire::{Reader, Wire, WireError};
 use rand_chacha::ChaCha8Rng;
@@ -153,16 +154,49 @@ pub fn run_flood_diameter_recorded<T: Topology>(
     engine: EngineKind,
     recorder: Option<&dyn Recorder>,
 ) -> RunResult<u64> {
-    let nodes: Vec<FloodDiameterEstimator> = (0..topo.len())
+    run_flood_diameter_fleet(
+        topo, byzantine, attack, ttl, seed, fault_plan, engine, recorder, None,
+    )
+    .expect("in-process engines are infallible")
+}
+
+/// Build the per-node estimator states for global node ids `range` (the
+/// full run is `0..topo.len()`; shard workers build their assigned chunk).
+/// Node 0 is always the leader.
+pub fn flood_diameter_nodes(
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<FloodDiameterEstimator> {
+    range
         .map(|i| {
             FloodDiameterEstimator::new(i == 0, if byzantine[i] { Some(attack) } else { None }, ttl)
         })
-        .collect();
+        .collect()
+}
+
+/// [`run_flood_diameter_recorded`] with an optional remote shard-worker
+/// fleet for the distributed engine — the only flood runner that can fail,
+/// and only on remote transports.
+#[allow(clippy::too_many_arguments)]
+pub fn run_flood_diameter_fleet<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    ttl: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+    recorder: Option<&dyn Recorder>,
+    fleet: Option<&RemoteFleet>,
+) -> Result<RunResult<u64>, RunError> {
+    let nodes = flood_diameter_nodes(byzantine, attack, ttl, 0..topo.len());
     let config = EngineConfig {
         max_rounds: ttl + 4,
         stop_when_all_decided: true,
     };
-    run_with_engine_recorded(
+    run_with_engine_fleet(
         engine,
         topo,
         nodes,
@@ -172,6 +206,7 @@ pub fn run_flood_diameter_recorded<T: Topology>(
         seed,
         fault_plan,
         recorder,
+        fleet,
     )
 }
 

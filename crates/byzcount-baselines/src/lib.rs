@@ -32,20 +32,23 @@ pub mod workloads;
 
 pub use attack::BaselineAttack;
 pub use exponential::{
-    run_exponential_support, run_exponential_support_engine, run_exponential_support_faulty,
+    exponential_support_nodes, run_exponential_support, run_exponential_support_engine,
+    run_exponential_support_faulty, run_exponential_support_fleet,
     run_exponential_support_recorded, ExponentialSupportEstimator,
 };
 pub use flood_diameter::{
-    run_flood_diameter, run_flood_diameter_engine, run_flood_diameter_faulty,
-    run_flood_diameter_recorded, FloodDiameterEstimator,
+    flood_diameter_nodes, run_flood_diameter, run_flood_diameter_engine, run_flood_diameter_faulty,
+    run_flood_diameter_fleet, run_flood_diameter_recorded, FloodDiameterEstimator,
 };
 pub use geometric::{
-    run_geometric_support, run_geometric_support_engine, run_geometric_support_faulty,
-    run_geometric_support_recorded, GeometricSupportEstimator,
+    geometric_support_nodes, run_geometric_support, run_geometric_support_engine,
+    run_geometric_support_faulty, run_geometric_support_fleet, run_geometric_support_recorded,
+    GeometricSupportEstimator,
 };
 pub use spanning_tree::{
     run_spanning_tree_count, run_spanning_tree_count_engine, run_spanning_tree_count_faulty,
-    run_spanning_tree_count_recorded, SpanningTreeCounter,
+    run_spanning_tree_count_fleet, run_spanning_tree_count_recorded, spanning_tree_nodes,
+    SpanningTreeCounter,
 };
 pub use workloads::{
     attack_from_spec, ExponentialSupportWorkload, FloodDiameterWorkload, GeometricSupportWorkload,

@@ -11,8 +11,9 @@
 use crate::attack::BaselineAttack;
 use netsim_graph::NodeId;
 use netsim_runtime::{
-    run_with_engine_recorded, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
-    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RunResult, SizedMessage, Topology,
+    run_with_engine_fleet, Action, EngineConfig, EngineKind, Envelope, FaultPlan, MessageSize,
+    NodeContext, NullAdversary, Outbox, Protocol, Recorder, RemoteFleet, RunError, RunResult,
+    SizedMessage, Topology,
 };
 use netsim_wire::{Reader, Wire, WireError};
 use rand_chacha::ChaCha8Rng;
@@ -267,14 +268,46 @@ pub fn run_spanning_tree_count_recorded<T: Topology>(
     engine: EngineKind,
     recorder: Option<&dyn Recorder>,
 ) -> RunResult<u64> {
-    let nodes: Vec<SpanningTreeCounter> = (0..topo.len())
+    run_spanning_tree_count_fleet(
+        topo, byzantine, attack, max_rounds, seed, fault_plan, engine, recorder, None,
+    )
+    .expect("in-process engines are infallible")
+}
+
+/// Build the per-node counter states for global node ids `range` (the full
+/// run is `0..topo.len()`; shard workers build their assigned chunk).
+/// Node 0 is always the root.
+pub fn spanning_tree_nodes(
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    range: std::ops::Range<usize>,
+) -> Vec<SpanningTreeCounter> {
+    range
         .map(|i| SpanningTreeCounter::new(i == 0, if byzantine[i] { Some(attack) } else { None }))
-        .collect();
+        .collect()
+}
+
+/// [`run_spanning_tree_count_recorded`] with an optional remote
+/// shard-worker fleet for the distributed engine — the only spanning-tree
+/// runner that can fail, and only on remote transports.
+#[allow(clippy::too_many_arguments)]
+pub fn run_spanning_tree_count_fleet<T: Topology>(
+    topo: &T,
+    byzantine: &[bool],
+    attack: BaselineAttack,
+    max_rounds: u64,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+    recorder: Option<&dyn Recorder>,
+    fleet: Option<&RemoteFleet>,
+) -> Result<RunResult<u64>, RunError> {
+    let nodes = spanning_tree_nodes(byzantine, attack, 0..topo.len());
     let config = EngineConfig {
         max_rounds,
         stop_when_all_decided: true,
     };
-    run_with_engine_recorded(
+    run_with_engine_fleet(
         engine,
         topo,
         nodes,
@@ -284,6 +317,7 @@ pub fn run_spanning_tree_count_recorded<T: Topology>(
         seed,
         fault_plan,
         recorder,
+        fleet,
     )
 }
 

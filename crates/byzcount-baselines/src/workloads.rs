@@ -8,12 +8,16 @@
 
 use crate::attack::BaselineAttack;
 use crate::{
-    run_exponential_support_recorded, run_flood_diameter_recorded, run_geometric_support_recorded,
-    run_spanning_tree_count_recorded,
+    exponential_support_nodes, flood_diameter_nodes, geometric_support_nodes,
+    run_exponential_support_fleet, run_flood_diameter_fleet, run_geometric_support_fleet,
+    run_spanning_tree_count_fleet, spanning_tree_nodes,
 };
-use byzcount_core::sim::{AttackSpec, Estimand, Estimator, SimContext, SimError, WorkloadRun};
+use byzcount_core::sim::{
+    AttackSpec, Estimand, Estimator, RunError, ShardServeConfig, SimContext, SimError, WorkloadRun,
+};
 use netsim_graph::log2n;
-use netsim_runtime::RunResult;
+use netsim_runtime::wire::IoStream;
+use netsim_runtime::{serve_shard_session, RunResult};
 
 /// Map the spec-layer attack to the baseline crate's enum.
 pub fn attack_from_spec(spec: AttackSpec) -> BaselineAttack {
@@ -35,6 +39,13 @@ fn resolve_ttl(explicit: Option<u64>, ctx: &SimContext<'_>, derived: u64) -> u64
     explicit
         .or(ctx.max_rounds.map(|m| m.saturating_sub(4).max(1)))
         .unwrap_or(derived)
+}
+
+/// Map a worker-side wire failure to the sim error space.
+fn serve_error(start: usize, end: usize, e: netsim_runtime::wire::WireError) -> SimError {
+    SimError::Engine(RunError::Fleet(format!(
+        "shard session ({start}..{end}): {e}"
+    )))
 }
 
 fn workload_run<O: Copy>(
@@ -72,7 +83,7 @@ impl Estimator for GeometricSupportWorkload {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
-        let result = run_geometric_support_recorded(
+        let result = run_geometric_support_fleet(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
@@ -81,8 +92,28 @@ impl Estimator for GeometricSupportWorkload {
             ctx.build_fault_plan(),
             ctx.engine,
             ctx.recorder,
-        );
+            ctx.fleet,
+        )?;
         Ok(workload_run(Estimand::LogN, result, |v| v as f64))
+    }
+
+    fn serve_shard(
+        &self,
+        ctx: &SimContext<'_>,
+        cfg: &ShardServeConfig,
+        end: usize,
+        chan: &mut IoStream,
+    ) -> Result<(), SimError> {
+        let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
+        let nodes = geometric_support_nodes(
+            ctx.byzantine,
+            attack_from_spec(self.attack),
+            ttl,
+            cfg.start..end,
+        );
+        let byzantine = ctx.byzantine[cfg.start..end].to_vec();
+        serve_shard_session(ctx.topology, nodes, byzantine, cfg, chan)
+            .map_err(|e| serve_error(cfg.start, end, e))
     }
 }
 
@@ -106,7 +137,7 @@ impl Estimator for ExponentialSupportWorkload {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
-        let result = run_exponential_support_recorded(
+        let result = run_exponential_support_fleet(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
@@ -115,8 +146,28 @@ impl Estimator for ExponentialSupportWorkload {
             ctx.build_fault_plan(),
             ctx.engine,
             ctx.recorder,
-        );
+            ctx.fleet,
+        )?;
         Ok(workload_run(Estimand::N, result, |v| v))
+    }
+
+    fn serve_shard(
+        &self,
+        ctx: &SimContext<'_>,
+        cfg: &ShardServeConfig,
+        end: usize,
+        chan: &mut IoStream,
+    ) -> Result<(), SimError> {
+        let ttl = resolve_ttl(self.ttl, ctx, default_ttl(ctx.topology.len()));
+        let nodes = exponential_support_nodes(
+            ctx.byzantine,
+            attack_from_spec(self.attack),
+            ttl,
+            cfg.start..end,
+        );
+        let byzantine = ctx.byzantine[cfg.start..end].to_vec();
+        serve_shard_session(ctx.topology, nodes, byzantine, cfg, chan)
+            .map_err(|e| serve_error(cfg.start, end, e))
     }
 }
 
@@ -144,7 +195,7 @@ impl Estimator for SpanningTreeWorkload {
         // other high-diameter graphs get a cap linear in n.
         let derived = (4 * default_ttl(n)).max(2 * n as u64 + 8);
         let max_rounds = self.max_rounds.or(ctx.max_rounds).unwrap_or(derived);
-        let result = run_spanning_tree_count_recorded(
+        let result = run_spanning_tree_count_fleet(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
@@ -153,8 +204,23 @@ impl Estimator for SpanningTreeWorkload {
             ctx.build_fault_plan(),
             ctx.engine,
             ctx.recorder,
-        );
+            ctx.fleet,
+        )?;
         Ok(workload_run(Estimand::N, result, |v| v as f64))
+    }
+
+    fn serve_shard(
+        &self,
+        ctx: &SimContext<'_>,
+        cfg: &ShardServeConfig,
+        end: usize,
+        chan: &mut IoStream,
+    ) -> Result<(), SimError> {
+        let nodes =
+            spanning_tree_nodes(ctx.byzantine, attack_from_spec(self.attack), cfg.start..end);
+        let byzantine = ctx.byzantine[cfg.start..end].to_vec();
+        serve_shard_session(ctx.topology, nodes, byzantine, cfg, chan)
+            .map_err(|e| serve_error(cfg.start, end, e))
     }
 }
 
@@ -179,7 +245,7 @@ impl Estimator for FloodDiameterWorkload {
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let n = ctx.topology.len();
         let ttl = resolve_ttl(self.ttl, ctx, default_ttl(n).max(n as u64));
-        let result = run_flood_diameter_recorded(
+        let result = run_flood_diameter_fleet(
             ctx.topology,
             ctx.byzantine,
             attack_from_spec(self.attack),
@@ -188,8 +254,29 @@ impl Estimator for FloodDiameterWorkload {
             ctx.build_fault_plan(),
             ctx.engine,
             ctx.recorder,
-        );
+            ctx.fleet,
+        )?;
         Ok(workload_run(Estimand::Diameter, result, |v| v as f64))
+    }
+
+    fn serve_shard(
+        &self,
+        ctx: &SimContext<'_>,
+        cfg: &ShardServeConfig,
+        end: usize,
+        chan: &mut IoStream,
+    ) -> Result<(), SimError> {
+        let n = ctx.topology.len();
+        let ttl = resolve_ttl(self.ttl, ctx, default_ttl(n).max(n as u64));
+        let nodes = flood_diameter_nodes(
+            ctx.byzantine,
+            attack_from_spec(self.attack),
+            ttl,
+            cfg.start..end,
+        );
+        let byzantine = ctx.byzantine[cfg.start..end].to_vec();
+        serve_shard_session(ctx.topology, nodes, byzantine, cfg, chan)
+            .map_err(|e| serve_error(cfg.start, end, e))
     }
 }
 
@@ -211,6 +298,7 @@ mod tests {
             fault_seed: 0,
             engine: byzcount_core::sim::EngineKind::Sync,
             recorder: None,
+            fleet: None,
         }
     }
 

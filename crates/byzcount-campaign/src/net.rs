@@ -1,149 +1,13 @@
 //! Transport layer: one address grammar, two socket families.
 //!
-//! Addresses starting with `unix:` name a Unix-domain socket path
-//! (`unix:/tmp/byzcount.sock`); anything else is a TCP `host:port`
-//! (`127.0.0.1:7171`, with port `0` for an ephemeral port).  Both sides
-//! of the protocol are stream-oriented and line-delimited, so the two
-//! families are interchangeable behind [`Listener`] / [`IoStream`].
+//! The `unix:<path>` / `host:port` grammar and the [`Listener`] /
+//! [`IoStream`] pair started here and moved down into
+//! [`netsim_wire::net`] when the distributed engine's shard workers
+//! became separate processes — both protocols (the campaign's
+//! line-delimited JSON and the engine's binary frames) now share one
+//! socket layer, including the stale-Unix-socket reclaim probe and
+//! `TCP_NODELAY` on connect/accept.  This module re-exports it; methods
+//! return `std::io::Error`, which converts into
+//! [`CampaignError`](crate::error::CampaignError) via `?`.
 
-use crate::error::CampaignError;
-use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
-use std::time::Duration;
-
-/// A bound server socket of either family.
-pub enum Listener {
-    /// Unix-domain socket.
-    Unix(UnixListener),
-    /// TCP socket.
-    Tcp(TcpListener),
-}
-
-/// An accepted or dialed connection of either family.
-pub enum IoStream {
-    /// Unix-domain stream.
-    Unix(UnixStream),
-    /// TCP stream.
-    Tcp(TcpStream),
-}
-
-impl Listener {
-    /// Bind `addr` (`unix:<path>` or `<host>:<port>`).
-    ///
-    /// A *stale* socket file at a Unix path — left behind by a killed
-    /// server, exactly the resume scenario — is removed first.  Staleness
-    /// is probed by connecting: if something answers, another server owns
-    /// the path and binding fails loudly instead of silently unlinking a
-    /// live server's socket out from under it (its clients would hang and
-    /// two servers would believe they own the same store).
-    pub fn bind(addr: &str) -> Result<Self, CampaignError> {
-        if let Some(path) = addr.strip_prefix("unix:") {
-            if Path::new(path).exists() {
-                if UnixStream::connect(path).is_ok() {
-                    return Err(CampaignError::Io(format!(
-                        "{addr}: socket is in use by a live server \
-                         (refusing to unlink it)"
-                    )));
-                }
-                // Nothing is accepting: a stale leftover; reclaim it.
-                std::fs::remove_file(path)?;
-            }
-            Ok(Listener::Unix(UnixListener::bind(path)?))
-        } else {
-            Ok(Listener::Tcp(TcpListener::bind(addr)?))
-        }
-    }
-
-    /// The bound address in the same grammar [`bind`](Listener::bind)
-    /// accepts — for TCP this resolves port `0` to the real port.
-    pub fn local_addr(&self) -> Result<String, CampaignError> {
-        match self {
-            Listener::Unix(l) => {
-                let addr = l.local_addr()?;
-                let path = addr
-                    .as_pathname()
-                    .ok_or_else(|| CampaignError::Io("unnamed unix socket".into()))?;
-                Ok(format!("unix:{}", path.display()))
-            }
-            Listener::Tcp(l) => Ok(l.local_addr()?.to_string()),
-        }
-    }
-
-    /// Switch the accept loop between blocking and polling mode.
-    pub fn set_nonblocking(&self, nonblocking: bool) -> Result<(), CampaignError> {
-        match self {
-            Listener::Unix(l) => l.set_nonblocking(nonblocking)?,
-            Listener::Tcp(l) => l.set_nonblocking(nonblocking)?,
-        }
-        Ok(())
-    }
-
-    /// Accept one connection (respects the nonblocking mode: callers see
-    /// `WouldBlock` as `Ok(None)`).
-    pub fn accept(&self) -> Result<Option<IoStream>, CampaignError> {
-        let result = match self {
-            Listener::Unix(l) => l.accept().map(|(s, _)| IoStream::Unix(s)),
-            Listener::Tcp(l) => l.accept().map(|(s, _)| IoStream::Tcp(s)),
-        };
-        match result {
-            Ok(stream) => Ok(Some(stream)),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
-            Err(e) => Err(e.into()),
-        }
-    }
-}
-
-impl IoStream {
-    /// Dial `addr` (same grammar as [`Listener::bind`]).
-    pub fn connect(addr: &str) -> Result<Self, CampaignError> {
-        if let Some(path) = addr.strip_prefix("unix:") {
-            Ok(IoStream::Unix(UnixStream::connect(path)?))
-        } else {
-            Ok(IoStream::Tcp(TcpStream::connect(addr)?))
-        }
-    }
-
-    /// A second handle on the same connection (reader/writer split).
-    pub fn try_clone(&self) -> Result<Self, CampaignError> {
-        Ok(match self {
-            IoStream::Unix(s) => IoStream::Unix(s.try_clone()?),
-            IoStream::Tcp(s) => IoStream::Tcp(s.try_clone()?),
-        })
-    }
-
-    /// Cap how long a blocking read may stall.
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), CampaignError> {
-        match self {
-            IoStream::Unix(s) => s.set_read_timeout(timeout)?,
-            IoStream::Tcp(s) => s.set_read_timeout(timeout)?,
-        }
-        Ok(())
-    }
-}
-
-impl Read for IoStream {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            IoStream::Unix(s) => s.read(buf),
-            IoStream::Tcp(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for IoStream {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            IoStream::Unix(s) => s.write(buf),
-            IoStream::Tcp(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            IoStream::Unix(s) => s.flush(),
-            IoStream::Tcp(s) => s.flush(),
-        }
-    }
-}
+pub use netsim_wire::net::{IoStream, Listener};

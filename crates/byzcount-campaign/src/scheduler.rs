@@ -16,8 +16,10 @@ use crate::error::CampaignError;
 use crate::spec::CampaignCell;
 use crate::telemetry::Telemetry;
 use crate::wal::{CampaignStore, CellRecord};
-use byzcount_core::sim::{execute_spec, BatchReport, RunReport, ScenarioRegistry};
-use std::collections::VecDeque;
+use byzcount_core::sim::{
+    execute_spec, BatchReport, RunError, RunReport, ScenarioRegistry, SimError,
+};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
 
@@ -30,6 +32,14 @@ pub struct RunnerConfig {
     /// Checkpoint (snapshot + WAL truncation) after this many appends;
     /// `0` disables periodic checkpoints (one is still taken at the end).
     pub snapshot_every: usize,
+    /// How many times a cell whose remote shard worker died
+    /// ([`RunError::WorkerLost`]) is re-queued before the failure is
+    /// terminal.  Lost-worker failures are transport faults, not spec
+    /// faults, so a retry on a healthy worker is sound — and determinism
+    /// guarantees the retried cell lands the exact report the lost run
+    /// would have produced.  `0` fails on the first loss; other errors
+    /// are never retried.
+    pub cell_retries: u32,
 }
 
 impl Default for RunnerConfig {
@@ -37,8 +47,20 @@ impl Default for RunnerConfig {
         RunnerConfig {
             workers: 2,
             snapshot_every: 32,
+            cell_retries: 2,
         }
     }
+}
+
+/// Is this the loss of a remote shard worker (retryable), as opposed to a
+/// spec/semantic failure (terminal)?
+fn is_worker_loss(err: &CampaignError) -> bool {
+    matches!(
+        err,
+        CampaignError::Sim(SimError::Engine(
+            RunError::WorkerLost { .. } | RunError::Fleet(_)
+        ))
+    )
 }
 
 /// Outcome of one [`run_campaign`] drive.
@@ -87,6 +109,7 @@ pub fn run_campaign_telemetry(
     let total = pending.len();
     let workers = config.workers.max(1).min(total);
     let queue: Mutex<VecDeque<CampaignCell>> = Mutex::new(pending.into());
+    let retries: Mutex<HashMap<u64, u32>> = Mutex::new(HashMap::new());
     let (tx, rx) = mpsc::channel::<(u64, Result<RunReport, CampaignError>)>();
 
     let mut failure: Option<CampaignError> = None;
@@ -96,6 +119,7 @@ pub fn run_campaign_telemetry(
         for _ in 0..workers {
             let tx = tx.clone();
             let queue = &queue;
+            let retries = &retries;
             scope.spawn(move || loop {
                 if stop.load(Ordering::SeqCst) {
                     break;
@@ -117,7 +141,24 @@ pub fn run_campaign_telemetry(
                         break;
                     }
                     let _busy = telemetry.map(|t| t.busy_guard());
-                    let result = execute_spec(&cell.spec, registry).map_err(Into::into);
+                    let result: Result<RunReport, CampaignError> =
+                        execute_spec(&cell.spec, registry).map_err(Into::into);
+                    if let Err(err) = &result {
+                        // A lost shard worker is a transport fault: put
+                        // the cell back (bounded) instead of failing the
+                        // job.  This worker keeps looping, so a
+                        // re-queued cell is always picked up again even
+                        // if every other worker already exited.
+                        if is_worker_loss(err) {
+                            let mut r = retries.lock().expect("retries lock");
+                            let attempts = r.entry(cell.index).or_insert(0);
+                            if *attempts < config.cell_retries {
+                                *attempts += 1;
+                                queue.lock().expect("queue lock").push_back(cell);
+                                continue;
+                            }
+                        }
+                    }
                     if tx.send((cell.index, result)).is_err() {
                         return;
                     }
@@ -228,6 +269,7 @@ mod tests {
             RunnerConfig {
                 workers: 3,
                 snapshot_every: 2,
+                cell_retries: 2,
             },
             &stop,
             |r| seen.push(r.seq),
@@ -257,6 +299,7 @@ mod tests {
             RunnerConfig {
                 workers: 1,
                 snapshot_every: 0,
+                cell_retries: 2,
             },
             &stop,
             |_| {
@@ -309,6 +352,7 @@ mod tests {
             RunnerConfig {
                 workers: 2,
                 snapshot_every: 0,
+                cell_retries: 2,
             },
             &stop,
             Some(&telemetry),
@@ -326,6 +370,133 @@ mod tests {
         let merged = merged_report(&store.lock().unwrap()).unwrap();
         let oneshot = execute_batch(&spec.batch, &FullRegistry).unwrap();
         assert_eq!(merged.to_json(), oneshot.to_json());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Wraps the full registry in estimators that report a lost shard
+    /// worker the first `failures` times each cell executes, then run
+    /// normally — the unit-level stand-in for a SIGKILLed worker process.
+    struct FlakyRegistry {
+        failures: u32,
+        attempts: std::sync::Arc<Mutex<HashMap<u64, u32>>>,
+    }
+
+    impl FlakyRegistry {
+        fn failing(failures: u32) -> Self {
+            FlakyRegistry {
+                failures,
+                attempts: std::sync::Arc::new(Mutex::new(HashMap::new())),
+            }
+        }
+    }
+
+    struct FlakyEstimator {
+        inner: std::sync::Arc<dyn byzcount_core::sim::Estimator>,
+        failures: u32,
+        attempts: std::sync::Arc<Mutex<HashMap<u64, u32>>>,
+    }
+
+    impl byzcount_core::sim::Estimator for FlakyEstimator {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn estimand(&self) -> byzcount_core::sim::Estimand {
+            self.inner.estimand()
+        }
+        fn run(
+            &self,
+            ctx: &byzcount_core::sim::SimContext<'_>,
+        ) -> Result<byzcount_core::sim::WorkloadRun, SimError> {
+            {
+                let mut m = self.attempts.lock().unwrap();
+                let a = m.entry(ctx.seed).or_insert(0);
+                if *a < self.failures {
+                    *a += 1;
+                    return Err(SimError::Engine(RunError::WorkerLost {
+                        shard: 0,
+                        during: "arenas",
+                        detail: "injected loss".to_string(),
+                    }));
+                }
+            }
+            self.inner.run(ctx)
+        }
+    }
+
+    impl byzcount_core::sim::ScenarioRegistry for FlakyRegistry {
+        fn estimator(
+            &self,
+            spec: &byzcount_core::sim::RunSpec,
+            params: &byzcount_core::ProtocolParams,
+        ) -> Result<std::sync::Arc<dyn byzcount_core::sim::Estimator>, SimError> {
+            let inner = FullRegistry.estimator(spec, params)?;
+            // One attempts map shared across estimator instances, keyed by
+            // run seed, so retries of the same cell are counted together.
+            Ok(std::sync::Arc::new(FlakyEstimator {
+                inner,
+                failures: self.failures,
+                attempts: std::sync::Arc::clone(&self.attempts),
+            }))
+        }
+    }
+
+    #[test]
+    fn lost_shard_workers_are_requeued_and_the_job_completes_identically() {
+        let root = tmp_root("requeue");
+        let spec = CampaignSpec::for_batch("requeue", demo_batch());
+        let (store, _) = CampaignStore::open_or_create(&root, &spec).unwrap();
+        let store = Mutex::new(store);
+        let stop = AtomicBool::new(false);
+        // Every cell loses its worker once; with retries allowed the job
+        // still completes and the merged report is byte-identical to a
+        // loss-free one-shot batch (determinism makes retries exact).
+        let registry = FlakyRegistry::failing(1);
+        let outcome = run_campaign(
+            &store,
+            &registry,
+            RunnerConfig {
+                workers: 2,
+                snapshot_every: 0,
+                cell_retries: 2,
+            },
+            &stop,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(outcome, RunOutcome::Complete);
+        let merged = merged_report(&store.lock().unwrap()).unwrap();
+        let oneshot = execute_batch(&spec.batch, &FullRegistry).unwrap();
+        assert_eq!(merged.to_json(), oneshot.to_json());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn worker_loss_beyond_the_retry_cap_fails_the_job_cleanly() {
+        let root = tmp_root("retry-cap");
+        let spec = CampaignSpec::for_batch("retry-cap", demo_batch());
+        let (store, _) = CampaignStore::open_or_create(&root, &spec).unwrap();
+        let store = Mutex::new(store);
+        let stop = AtomicBool::new(false);
+        let registry = FlakyRegistry::failing(u32::MAX);
+        let err = run_campaign(
+            &store,
+            &registry,
+            RunnerConfig {
+                workers: 1,
+                snapshot_every: 0,
+                cell_retries: 1,
+            },
+            &stop,
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CampaignError::Sim(SimError::Engine(RunError::WorkerLost { .. }))
+            ),
+            "expected a clean WorkerLost failure, got {err:?}"
+        );
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -275,6 +275,7 @@ fn scheduler_loop(shared: &Arc<Shared>) {
         let config = RunnerConfig {
             workers: shared.config.workers,
             snapshot_every: shared.config.snapshot_every,
+            ..RunnerConfig::default()
         };
         // The job's cancel flag doubles as the graceful-shutdown signal:
         // a stopping server cancels the running job's *scheduling*, never

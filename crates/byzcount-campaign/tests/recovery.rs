@@ -134,6 +134,7 @@ fn kill_and_resume_merges_byte_identical_to_one_shot() {
         RunnerConfig {
             workers: 1,
             snapshot_every: 1,
+            ..RunnerConfig::default()
         },
         &stop,
         |_| {

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! byzcount-cli <experiment> [options]     # regenerate paper tables
-//! byzcount-cli run <spec.json|-> [--trace F] [--profile] # execute a spec
+//! byzcount-cli run <spec.json|-> [--trace F] [--profile] [--workers A1,A2]
+//! byzcount-cli shard-worker --listen <addr> # serve distributed shard sessions
 //! byzcount-cli template [run|batch|faulty|async] # print an example spec
 //! byzcount-cli bench [--smoke] [--out F] [--profile] # standardized perf suite
 //! byzcount-cli trace-check <trace.ndjson> # validate a trace file
@@ -30,6 +31,18 @@
 //! `seeds` field) from the given file or stdin (`-`), executes it with the
 //! full scenario registry, and prints the `RunReport` / `BatchReport` JSON
 //! to stdout.  The same spec and seed always produce byte-identical output.
+//! `--workers addr1,addr2,...` makes distributed-engine runs (`"engine":
+//! {"distributed": ...}` / `--engine dist-S`) dial remote `shard-worker`
+//! processes instead of spawning in-process pipe threads — shard `s`
+//! connects to address `s % len`.  Pure transport policy: the spec never
+//! records the transport and the report is byte-identical either way.
+//!
+//! `shard-worker --listen <addr>` runs a stateless shard-worker process:
+//! it accepts connections on a Unix (`unix:/path.sock`) or TCP
+//! (`host:port`) socket, prints `listening on <addr>` to stdout once
+//! bound, and serves each connection's shard session on its own thread
+//! (the coordinator's hello carries the shard assignment and the run's
+//! spec, so one worker fleet serves any sequence of runs).
 //! `--trace FILE` additionally writes an NDJSON structured trace of the
 //! run (Chrome trace-event format, byte-deterministic for equal
 //! spec+seed; load it in `chrome://tracing` or Perfetto) and `--profile`
@@ -76,7 +89,7 @@ use byzcount_core::sim::{
 };
 use netsim_trace::{check_trace, Fanout, PhaseProfiler, Recorder, TraceWriter};
 use std::env;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -85,7 +98,9 @@ fn usage() -> ExitCode {
         "usage: byzcount-cli <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all> \
          [--quick|--standard] [--n 512,1024] [--d 6] [--delta 0.6] \
          [--epsilon 0.1] [--trials 3] [--seed 42] [--json]\n\
-         \x20      byzcount-cli run <spec.json|-> [--trace FILE] [--profile]\n\
+         \x20      byzcount-cli run <spec.json|-> [--trace FILE] [--profile] \
+         [--workers ADDR1,ADDR2,...]\n\
+         \x20      byzcount-cli shard-worker --listen <unix:PATH|HOST:PORT>\n\
          \x20      byzcount-cli template [run|batch|faulty|async]\n\
          \x20      byzcount-cli bench [--smoke] [--sizes 1024,4096] \
          [--repeats 3] [--seed N] [--out FILE|-] [--baseline PREV.json] \
@@ -373,6 +388,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let mut trace_path: Option<String> = None;
     let mut profile = false;
+    let mut workers: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -382,6 +398,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 trace_path = Some(value.clone());
+                i += 1;
+            }
+            "--workers" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                workers = value
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if workers.is_empty() {
+                    eprintln!("byzcount-cli: invalid --workers value `{value}`");
+                    return usage();
+                }
                 i += 1;
             }
             other => {
@@ -419,11 +450,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         .unwrap_or(false);
     let outcome = if is_batch {
         BatchSpec::from_json(&text)
-            .and_then(|spec| campaign::execute_batch_recorded(&spec, recorder))
+            .and_then(|spec| campaign::execute_batch_workers(&spec, recorder, &workers))
             .map(|report| report.to_json())
     } else {
         RunSpec::from_json(&text)
-            .and_then(|spec| campaign::execute_recorded(&spec, recorder))
+            .and_then(|spec| campaign::execute_workers(&spec, recorder, &workers))
             .map(|report| report.to_json())
     };
     if let Some(writer) = &writer {
@@ -440,6 +471,79 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Err(err) => {
             eprintln!("byzcount-cli: {err}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `shard-worker --listen <addr>`: a stateless shard-worker process for
+/// the distributed engine.  Each accepted connection is one shard
+/// session — the coordinator's hello carries the shard assignment and
+/// the run's serialized spec, the worker rebuilds its node chunk and
+/// serves the round loop, then the connection closes.  Sessions run on
+/// their own threads so a multi-shard coordinator (several shards
+/// dialing the same worker) cannot deadlock the accept loop.
+fn cmd_shard_worker(args: &[String]) -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                listen = Some(value.clone());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown shard-worker option: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let Some(addr) = listen else {
+        eprintln!("byzcount-cli: shard-worker requires --listen <addr>");
+        return usage();
+    };
+    let listener = match byzcount_campaign::net::Listener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(err) => {
+            eprintln!("byzcount-cli: cannot listen on {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = match listener.local_addr() {
+        Ok(bound) => bound,
+        Err(err) => {
+            eprintln!("byzcount-cli: cannot resolve bound address: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Coordinators (and tests) wait for this line before dialing; flush
+    // so it is visible even through a pipe.
+    println!("listening on {bound}");
+    let _ = std::io::stdout().flush();
+    loop {
+        match listener.accept() {
+            Ok(Some(mut stream)) => {
+                std::thread::spawn(move || {
+                    if let Err(err) = byzcount_core::sim::serve_shard_conn(
+                        &mut stream,
+                        &campaign::FullRegistry,
+                        byzcount_core::sim::SHARD_HELLO_TIMEOUT,
+                    ) {
+                        // One bad session (version skew, mute peer, a
+                        // coordinator that died) never takes the worker
+                        // down; the fleet stays dialable.
+                        eprintln!("byzcount-cli: shard session failed: {err}");
+                    }
+                });
+            }
+            Ok(None) => {} // nonblocking accept returned WouldBlock
+            Err(err) => {
+                eprintln!("byzcount-cli: accept failed on {bound}: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 }
@@ -799,6 +903,9 @@ fn main() -> ExitCode {
     let experiment = args[0].to_lowercase();
     if experiment == "run" {
         return cmd_run(&args[1..]);
+    }
+    if experiment == "shard-worker" {
+        return cmd_shard_worker(&args[1..]);
     }
     if experiment == "bench" {
         return cmd_bench(&args[1..]);

@@ -1,12 +1,15 @@
 //! End-to-end tests of the `byzcount-cli` binary: argument hardening
 //! (unknown subcommands and malformed flag values must fail loudly on
-//! stderr with a nonzero exit) and a full serve → submit → watch smoke
-//! over a Unix socket.
+//! stderr with a nonzero exit), a full serve → submit → watch smoke
+//! over a Unix socket, and the distributed engine's process mode —
+//! real `shard-worker` child processes serving socket shard sessions,
+//! including a SIGKILL mid-run that must surface as a clean error.
 
 use byzcount_core::sim::{
     AdversarySpec, BatchSpec, EngineSpec, FaultSpec, ParamsSpec, PlacementSpec, RunSpec,
     SeedPolicy, TopologySpec, WorkloadSpec, SPEC_VERSION,
 };
+use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
@@ -69,6 +72,15 @@ fn malformed_flag_values_are_rejected_not_defaulted() {
         (
             vec!["watch", "unix:/tmp/x.sock", "j", "--cursor", "minus"],
             "invalid --cursor",
+        ),
+        (vec!["shard-worker"], "requires --listen"),
+        (
+            vec!["shard-worker", "--bogus"],
+            "unknown shard-worker option",
+        ),
+        (
+            vec!["run", "nope.json", "--workers", ","],
+            "invalid --workers",
         ),
     ] {
         let out = run_cli(&argv);
@@ -213,5 +225,142 @@ fn serve_submit_watch_round_trip_over_unix_socket() {
     );
 
     drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A running `shard-worker` child plus the address it actually bound
+/// (TCP port 0 resolves on bind); killed on drop.
+struct WorkerGuard {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn `byzcount-cli shard-worker --listen <listen>` and wait for its
+/// `listening on <addr>` banner — the synchronization point coordinators
+/// rely on before dialing.
+fn spawn_shard_worker(listen: &str) -> WorkerGuard {
+    let mut child = bin()
+        .args(["shard-worker", "--listen", listen])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shard-worker");
+    let stdout = child.stdout.take().expect("worker stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read the worker banner");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected worker banner: {line:?}"))
+        .to_string();
+    WorkerGuard { child, addr }
+}
+
+fn dist_run_spec(n: usize, shards: u32, seed: u64) -> RunSpec {
+    RunSpec {
+        version: SPEC_VERSION,
+        topology: TopologySpec::SmallWorld { n, d: 6 },
+        workload: WorkloadSpec::Byzantine,
+        placement: PlacementSpec::RandomBudget { delta: 0.6 },
+        adversary: AdversarySpec::Combined,
+        fault: FaultSpec::None,
+        engine: EngineSpec::Distributed { shards },
+        params: ParamsSpec::Derived {
+            delta: 0.6,
+            epsilon: 0.1,
+        },
+        seed,
+        max_rounds: None,
+    }
+}
+
+#[test]
+fn shard_worker_processes_produce_byte_identical_reports() {
+    // The process-mode parity contract, end to end through the real
+    // binary: one Unix-socket worker and one TCP worker serve a dist-2
+    // run whose report must be byte-identical to the in-process run of
+    // the same spec (the transport is never a spec field).
+    let dir = std::env::temp_dir().join(format!("byzcount-cli-sw-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("dist2.json");
+    std::fs::write(&spec_path, dist_run_spec(128, 2, 7).to_json()).unwrap();
+
+    let unix_worker = spawn_shard_worker(&format!("unix:{}", dir.join("w0.sock").display()));
+    let tcp_worker = spawn_shard_worker("127.0.0.1:0");
+    let fleet = format!("{},{}", unix_worker.addr, tcp_worker.addr);
+
+    let in_process = run_cli(&["run", spec_path.to_str().unwrap()]);
+    assert!(in_process.status.success(), "{}", stderr_of(&in_process));
+    let remote = run_cli(&["run", spec_path.to_str().unwrap(), "--workers", &fleet]);
+    assert!(remote.status.success(), "{}", stderr_of(&remote));
+    assert_eq!(
+        String::from_utf8_lossy(&in_process.stdout),
+        String::from_utf8_lossy(&remote.stdout),
+        "process-mode report must be byte-identical to the in-process run"
+    );
+
+    drop(unix_worker);
+    drop(tcp_worker);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_shard_worker_surfaces_as_a_clean_error_not_a_panic() {
+    // Kill-and-recover: SIGKILL the worker process mid-run.  The
+    // coordinator must exit nonzero with a `WorkerLost`-style message on
+    // stderr — never a panic, never a hang.  The spec is sized so a
+    // debug-mode remote run takes several seconds; the kill lands ~1 s
+    // in, far from both edges.
+    let dir = std::env::temp_dir().join(format!("byzcount-cli-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("dist2-big.json");
+    std::fs::write(&spec_path, dist_run_spec(1024, 2, 11).to_json()).unwrap();
+
+    let mut worker = spawn_shard_worker(&format!("unix:{}", dir.join("victim.sock").display()));
+    let run = bin()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "--workers",
+            &worker.addr,
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn run");
+    std::thread::sleep(Duration::from_millis(1200));
+    // SIGKILL, not a graceful shutdown: the worker gets no chance to
+    // flush or close cleanly.
+    worker.child.kill().expect("SIGKILL the worker");
+    let out = run.wait_with_output().expect("run exits");
+    assert!(
+        !out.status.success(),
+        "a run whose worker died must fail, stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("shard worker") && err.contains("lost during"),
+        "stderr must carry the WorkerLost error, got: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "a lost worker must never panic the coordinator: {err}"
+    );
+
+    drop(worker);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -44,6 +44,21 @@ pub struct Decision {
     pub phase: u64,
 }
 
+/// Protocol outputs cross the shard channel in the distributed engine's
+/// final `Done` frame, so the decision is a wire type.
+impl netsim_runtime::wire::Wire for Decision {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.phase.encode(out);
+    }
+    fn decode(
+        r: &mut netsim_runtime::wire::Reader<'_>,
+    ) -> Result<Self, netsim_runtime::wire::WireError> {
+        Ok(Decision {
+            phase: u64::decode(r)?,
+        })
+    }
+}
+
 /// Per-node protocol state.
 #[derive(Clone, Debug)]
 pub struct CountingNode {

@@ -8,14 +8,36 @@ use crate::schedule::Schedule;
 use netsim_faults::FaultPlan;
 use netsim_graph::SmallWorldNetwork;
 use netsim_runtime::{
-    run_with_engine_recorded, Adversary, EngineConfig, EngineKind, NullAdversary, Recorder,
-    Topology,
+    run_with_engine_fleet, Adversary, EngineConfig, EngineKind, NullAdversary, Recorder,
+    RemoteFleet, RunError, Topology,
 };
 
 /// How many phases past the reference decision phase the engine allows
 /// before giving up (safety cap; honest runs finish well before it).
 const PHASE_SLACK_FACTOR: f64 = 3.0;
 const PHASE_SLACK_EXTRA: u64 = 8;
+
+/// Build the per-node protocol states for global node ids `range`.
+///
+/// The full run is `0..n`; shard workers build only their assigned chunk.
+/// Construction is a pure function of `(params, verify)` per node, so a
+/// chunk built remotely is identical to the coordinator's slice — the
+/// distributed engine's byte-identity contract depends on this.
+pub fn counting_nodes(
+    params: &ProtocolParams,
+    verify: bool,
+    range: std::ops::Range<usize>,
+) -> Vec<CountingNode> {
+    range
+        .map(|_| {
+            if verify {
+                CountingNode::byzantine_variant(*params)
+            } else {
+                CountingNode::basic_variant(*params)
+            }
+        })
+        .collect()
+}
 
 /// Compute the engine round cap for a network of size `n`.
 pub fn round_cap(params: &ProtocolParams, n: usize) -> u64 {
@@ -221,22 +243,44 @@ where
     T: Topology,
     A: Adversary<CountingNode>,
 {
+    run_counting_fleet(
+        net, params, byzantine, adversary, verify, seed, max_rounds, fault_plan, engine, recorder,
+        None,
+    )
+    .expect("in-process engines are infallible")
+}
+
+/// [`run_counting_recorded`] with an optional [`RemoteFleet`]: when the
+/// engine is distributed and a fleet is given, shard workers are dialed
+/// over sockets instead of spawned as in-process threads.  This is the
+/// only counting runner that can fail — every wire mishap surfaces as a
+/// [`RunError`] instead of a panic.
+#[allow(clippy::too_many_arguments)]
+pub fn run_counting_fleet<T, A>(
+    net: &T,
+    params: &ProtocolParams,
+    byzantine: &[bool],
+    adversary: A,
+    verify: bool,
+    seed: u64,
+    max_rounds: Option<u64>,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    engine: EngineKind,
+    recorder: Option<&dyn Recorder>,
+    fleet: Option<&RemoteFleet>,
+) -> Result<CountingOutcome, RunError>
+where
+    T: Topology,
+    A: Adversary<CountingNode>,
+{
     let n = net.len();
     assert_eq!(byzantine.len(), n, "byzantine mask must cover every node");
-    let nodes: Vec<CountingNode> = (0..n)
-        .map(|_| {
-            if verify {
-                CountingNode::byzantine_variant(*params)
-            } else {
-                CountingNode::basic_variant(*params)
-            }
-        })
-        .collect();
+    let nodes = counting_nodes(params, verify, 0..n);
     let config = EngineConfig {
         max_rounds: max_rounds.unwrap_or_else(|| round_cap(params, n)),
         stop_when_all_decided: true,
     };
-    let result = run_with_engine_recorded(
+    let result = run_with_engine_fleet(
         engine,
         net,
         nodes,
@@ -246,8 +290,9 @@ where
         seed,
         fault_plan,
         recorder,
-    );
-    CountingOutcome {
+        fleet,
+    )?;
+    Ok(CountingOutcome {
         n,
         estimates: result
             .outputs
@@ -260,7 +305,7 @@ where
         params: *params,
         metrics: result.metrics,
         completed: result.completed,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -35,9 +35,11 @@ use crate::sim::spec::{
 };
 use crate::ProtocolParams;
 use netsim_faults::FaultSpec;
-use netsim_runtime::Recorder;
+use netsim_runtime::wire::{IoStream, WireError, WireHello};
+use netsim_runtime::{Recorder, RemoteFleet, RunError, ShardServeConfig};
 use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A cloneable, debug-printable handle around a shared [`Recorder`], so
 /// recorders can ride along inside the (otherwise `Clone + Debug`) builder
@@ -185,6 +187,20 @@ impl PreparedRun {
         registry: &dyn ScenarioRegistry,
         recorder: Option<&dyn Recorder>,
     ) -> Result<RunReport, SimError> {
+        self.execute_fleet(registry, recorder, None)
+    }
+
+    /// [`execute_recorded`](Self::execute_recorded) with an optional remote
+    /// shard-worker fleet for the distributed engine.  Pure transport
+    /// policy: the report is byte-identical whether shard workers run as
+    /// in-process threads (`fleet` = `None` or empty) or remote
+    /// `shard-worker` processes — the spec never records the transport.
+    pub fn execute_fleet(
+        &self,
+        registry: &dyn ScenarioRegistry,
+        recorder: Option<&dyn Recorder>,
+        fleet: Option<&RemoteFleet>,
+    ) -> Result<RunReport, SimError> {
         let estimator = registry.estimator(&self.spec, &self.params)?;
         let ctx = SimContext {
             topology: &self.topology,
@@ -195,6 +211,7 @@ impl PreparedRun {
             fault_seed: derive_seed(self.spec.seed, seed_stream::FAULTS),
             engine: self.spec.engine.kind(),
             recorder,
+            fleet,
         };
         let run = estimator.run(&ctx)?;
         Ok(RunReport::from_run(
@@ -203,6 +220,80 @@ impl PreparedRun {
             &run,
         ))
     }
+
+    /// Describe a remote shard-worker fleet for this run: the assignment
+    /// payload is the migrated spec's JSON (workers rebuild topology,
+    /// placement and node states from it), pinned to [`SPEC_VERSION`].
+    pub fn remote_fleet(&self, addrs: Vec<String>) -> RemoteFleet {
+        RemoteFleet::new(addrs, self.spec.to_json().into_bytes(), SPEC_VERSION)
+    }
+}
+
+/// How long a shard worker waits for the coordinator's hello before
+/// abandoning a freshly accepted connection.
+pub const SHARD_HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Serve one shard-worker connection: the process-level worker's half of
+/// the distributed engine.
+///
+/// Exchanges versioned hellos (bounded by `hello_timeout`; a mute or
+/// incompatible peer is an error, not a hang), requires the coordinator's
+/// [`ShardAssignment`](netsim_wire::ShardAssignment), rebuilds the run from
+/// the spec JSON it carries — topology, placement, parameters, node states
+/// all re-derived exactly as the coordinator derived them — and then serves
+/// the round loop until the coordinator's Finish frame.
+///
+/// Workers are stateless between sessions: everything a session needs
+/// arrives in its hello.
+pub fn serve_shard_conn(
+    stream: &mut IoStream,
+    registry: &dyn ScenarioRegistry,
+    hello_timeout: Duration,
+) -> Result<(), SimError> {
+    let ours = WireHello::current(SPEC_VERSION);
+    let theirs = stream
+        .exchange_hello(&ours, hello_timeout)
+        .map_err(|e| SimError::Engine(RunError::Fleet(format!("shard handshake: {e}"))))?;
+    let assignment = theirs.assignment.ok_or_else(|| {
+        SimError::Spec("coordinator hello carried no shard assignment".to_string())
+    })?;
+    let text = std::str::from_utf8(&assignment.payload)
+        .map_err(|_| SimError::Spec("shard assignment payload is not UTF-8".to_string()))?;
+    let spec = RunSpec::from_json(text)?;
+    let prepared = PreparedRun::new(&spec)?;
+    let n = prepared.topology.len();
+    if assignment.n as usize != n {
+        return Err(SimError::Spec(format!(
+            "shard assignment says n = {}, rebuilt topology has {n} nodes",
+            assignment.n
+        )));
+    }
+    let (start, end) = (assignment.start as usize, assignment.end as usize);
+    if start > end || end > n {
+        return Err(SimError::Spec(format!(
+            "shard assignment range {start}..{end} out of bounds for n = {n}"
+        )));
+    }
+    let estimator = registry.estimator(&prepared.spec, &prepared.params)?;
+    let ctx = SimContext {
+        topology: &prepared.topology,
+        byzantine: &prepared.byzantine,
+        seed: derive_seed(prepared.spec.seed, seed_stream::RUN),
+        max_rounds: prepared.spec.max_rounds,
+        fault: &prepared.spec.fault,
+        fault_seed: derive_seed(prepared.spec.seed, seed_stream::FAULTS),
+        engine: prepared.spec.engine.kind(),
+        recorder: None,
+        fleet: None,
+    };
+    let cfg = ShardServeConfig::from_assignment(&assignment);
+    estimator.serve_shard(&ctx, &cfg, end, stream)
+}
+
+/// A [`WireError`] surfaced while serving a shard connection, as a
+/// [`SimError`] (used by accept loops that keep serving after a bad peer).
+pub fn shard_serve_error(err: WireError) -> SimError {
+    SimError::Engine(RunError::Fleet(format!("shard connection: {err}")))
 }
 
 /// Execute one validated [`RunSpec`] through a registry.
@@ -237,13 +328,46 @@ pub fn execute_batch_recorded(
     registry: &dyn ScenarioRegistry,
     recorder: Option<&dyn Recorder>,
 ) -> Result<BatchReport, SimError> {
+    execute_batch_workers(spec, registry, recorder, &[])
+}
+
+/// [`execute_spec_recorded`] dialing a remote shard-worker fleet for
+/// distributed-engine runs: each run's shard sessions connect to
+/// `workers` (shard `s` dials `workers[s % len]`) instead of spawning
+/// in-process pipe threads.  An empty list is the in-process fallback.
+/// Pure transport policy: the report is byte-identical either way, and
+/// the spec never records the transport.
+pub fn execute_spec_workers(
+    spec: &RunSpec,
+    registry: &dyn ScenarioRegistry,
+    recorder: Option<&dyn Recorder>,
+    workers: &[String],
+) -> Result<RunReport, SimError> {
+    let prepared = PreparedRun::new(spec)?;
+    if workers.is_empty() {
+        prepared.execute_fleet(registry, recorder, None)
+    } else {
+        let fleet = prepared.remote_fleet(workers.to_vec());
+        prepared.execute_fleet(registry, recorder, Some(&fleet))
+    }
+}
+
+/// [`execute_batch_recorded`] dialing a remote shard-worker fleet (see
+/// [`execute_spec_workers`]).  Runs still execute in parallel; each run
+/// opens its own shard sessions against the shared worker addresses.
+pub fn execute_batch_workers(
+    spec: &BatchSpec,
+    registry: &dyn ScenarioRegistry,
+    recorder: Option<&dyn Recorder>,
+    workers: &[String],
+) -> Result<BatchReport, SimError> {
     spec.validate()?;
     let mut spec = spec.clone();
     spec.migrate();
     let runs: Result<Vec<RunReport>, SimError> = spec
         .expand()
         .into_par_iter()
-        .map(|run_spec| execute_spec_recorded(&run_spec, registry, recorder))
+        .map(|run_spec| execute_spec_workers(&run_spec, registry, recorder, workers))
         .collect::<Vec<Result<RunReport, SimError>>>()
         .into_iter()
         .collect();

@@ -1,6 +1,7 @@
 //! Simulation API errors.
 
 use netsim_graph::GraphError;
+use netsim_runtime::RunError;
 use std::fmt;
 
 /// Errors raised while building or executing a simulation.
@@ -16,6 +17,10 @@ pub enum SimError {
     Unsupported(String),
     /// The builder is missing a required component.
     Incomplete(&'static str),
+    /// The execution engine failed — with remote shard workers this means
+    /// a worker died or the fleet was unreachable (in-process engines
+    /// never raise it).
+    Engine(RunError),
 }
 
 impl fmt::Display for SimError {
@@ -25,6 +30,7 @@ impl fmt::Display for SimError {
             SimError::Graph(err) => write!(f, "topology generation failed: {err}"),
             SimError::Unsupported(msg) => write!(f, "unsupported scenario: {msg}"),
             SimError::Incomplete(what) => write!(f, "simulation builder is missing {what}"),
+            SimError::Engine(err) => write!(f, "engine execution failed: {err}"),
         }
     }
 }
@@ -34,5 +40,11 @@ impl std::error::Error for SimError {}
 impl From<GraphError> for SimError {
     fn from(err: GraphError) -> Self {
         SimError::Graph(err)
+    }
+}
+
+impl From<RunError> for SimError {
+    fn from(err: RunError) -> Self {
+        SimError::Engine(err)
     }
 }

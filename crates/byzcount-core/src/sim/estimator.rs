@@ -14,7 +14,11 @@ use crate::runner;
 use crate::sim::error::SimError;
 use crate::sim::spec::BuiltTopology;
 use netsim_faults::{FaultPlan, FaultSpec};
-use netsim_runtime::{Adversary, EngineKind, NullAdversary, Recorder, RunMetrics};
+use netsim_runtime::wire::IoStream;
+use netsim_runtime::{
+    Adversary, EngineKind, NullAdversary, Recorder, RemoteFleet, RunError, RunMetrics,
+    ShardServeConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -62,6 +66,11 @@ pub struct SimContext<'a> {
     /// Observation-only: reports are byte-identical with any recorder
     /// installed or none.
     pub recorder: Option<&'a dyn Recorder>,
+    /// Optional remote shard-worker fleet for the distributed engine.
+    /// Pure transport policy: reports are byte-identical whether shard
+    /// workers run as in-process threads or remote processes.  Ignored by
+    /// the non-distributed engines.
+    pub fleet: Option<&'a RemoteFleet>,
 }
 
 impl SimContext<'_> {
@@ -105,6 +114,31 @@ pub trait Estimator: Send + Sync {
 
     /// Execute once.
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError>;
+
+    /// Serve one shard-worker session for this workload: rebuild the node
+    /// states for global ids `cfg.start..end` exactly as [`run`](Self::run)
+    /// would and drive them round-by-round under the dialing coordinator's
+    /// commands until its Finish frame.
+    ///
+    /// `ctx` is the worker's reconstruction of the coordinator's context
+    /// (same spec, same derived seeds); `chan` is the already-handshaken
+    /// coordinator connection.  The default declines — only workloads whose
+    /// state construction is a pure function of `(spec, global node id)`
+    /// can serve shards, which is exactly what the distributed engine's
+    /// byte-identity contract requires.
+    fn serve_shard(
+        &self,
+        ctx: &SimContext<'_>,
+        cfg: &ShardServeConfig,
+        end: usize,
+        chan: &mut IoStream,
+    ) -> Result<(), SimError> {
+        let _ = (ctx, cfg, end, chan);
+        Err(SimError::Unsupported(format!(
+            "workload `{}` cannot serve shard-worker sessions",
+            self.name()
+        )))
+    }
 }
 
 /// Builds a fresh adversary for each run of a counting workload (adversaries
@@ -196,7 +230,7 @@ impl Estimator for CountingEstimator {
 
     fn run(&self, ctx: &SimContext<'_>) -> Result<WorkloadRun, SimError> {
         let adversary = self.adversary.build(ctx, &self.params)?;
-        let outcome = runner::run_counting_recorded(
+        let outcome = runner::run_counting_fleet(
             ctx.topology,
             &self.params,
             ctx.byzantine,
@@ -207,7 +241,8 @@ impl Estimator for CountingEstimator {
             ctx.build_fault_plan(),
             ctx.engine,
             ctx.recorder,
-        );
+            ctx.fleet,
+        )?;
         Ok(WorkloadRun {
             estimand: Estimand::LogN,
             per_node: outcome
@@ -220,6 +255,25 @@ impl Estimator for CountingEstimator {
             completed: outcome.completed,
             counting: Some(outcome),
         })
+    }
+
+    fn serve_shard(
+        &self,
+        ctx: &SimContext<'_>,
+        cfg: &ShardServeConfig,
+        end: usize,
+        chan: &mut IoStream,
+    ) -> Result<(), SimError> {
+        let nodes = runner::counting_nodes(&self.params, self.verify, cfg.start..end);
+        let byzantine = ctx.byzantine[cfg.start..end].to_vec();
+        netsim_runtime::serve_shard_session(ctx.topology, nodes, byzantine, cfg, chan).map_err(
+            |e| {
+                SimError::Engine(RunError::Fleet(format!(
+                    "shard session ({}..{end}): {e}",
+                    cfg.start
+                )))
+            },
+        )
     }
 }
 
@@ -250,6 +304,7 @@ mod tests {
             fault_seed: 0,
             engine: EngineKind::Sync,
             recorder: None,
+            fleet: None,
         };
         let run = est.run(&ctx).unwrap();
         assert!(run.completed);

@@ -8,12 +8,27 @@
 //! streams, inbox double-buffers, deferred-delivery ring and delivery-side
 //! metrics never leave it), and talks to a central **coordinator**
 //! exclusively through `netsim-wire`'s versioned, checksummed binary frames.
-//! Workers run as scoped threads over in-memory [`netsim_wire::pipe`]
-//! duplexes — the hermetic transport — but nothing they exchange with the
-//! coordinator is an in-process shortcut: every per-round payload crosses
-//! the full handshake/frame/codec stack, so the same conversation works
-//! verbatim over any `Read + Write` transport (e.g. one socket per worker
-//! process).
+//!
+//! Workers run over one of two transports, chosen per run and invisible to
+//! the protocol (the transport is an execution knob, never a spec field):
+//!
+//! * **In-process pipes** (the default): one scoped thread per shard over
+//!   an in-memory [`netsim_wire::pipe`] duplex — the hermetic mode the
+//!   differential suites and CI use.
+//! * **Remote sockets** ([`with_remote_fleet`]): the coordinator dials a
+//!   fleet of worker *processes* (Unix-domain or TCP, round-robin over the
+//!   address list) and carries a [`ShardAssignment`] in its hello — the
+//!   node range, the determinism anchors (engine seed, initial crashes,
+//!   pristine flag) and an opaque payload (the serialized run spec) from
+//!   which the worker rebuilds its slice of the simulation and then calls
+//!   [`serve_shard_session`].
+//!
+//! Nothing the two sides exchange is an in-process shortcut: every
+//! per-round payload crosses the full handshake/frame/codec stack, so the
+//! same conversation is byte-identical over pipes, Unix sockets, TCP
+//! loopback, or a mix.
+//!
+//! [`with_remote_fleet`]: DistributedSyncEngine::with_remote_fleet
 //!
 //! ## The conversation
 //!
@@ -31,7 +46,6 @@
 //!    worker must ship is its gathered envelope arena — plus the
 //!    status transitions (`Decide`/`Crash`) its nodes took, which the
 //!    coordinator needs for admissibility checks and the stop condition.
-//!    Outputs themselves stay worker-side (they are not wire types).
 //! 3. The coordinator gathers arenas **in shard order** (= global node
 //!    order), shows the single gathered stream to the adversary against the
 //!    pre-action statuses, applies the reported transitions, and routes
@@ -45,20 +59,31 @@
 //!    is due this round, and swaps its inbox double-buffer.
 //!
 //! At the end, **`Finish`** prompts each worker to expire its in-flight
-//! deferrals and ship its [`RunMetrics`] as the final frame; outputs and
-//! decision rounds return through the scoped-thread join.
+//! deferrals and ship one final **`Done`** frame: its [`RunMetrics`], its
+//! range's outputs and its decision rounds.  Outputs travel the wire in
+//! both transports (a `Protocol::Output` must be a [`Wire`] type to run
+//! distributed) — one code path, no join-based side channel.
+//!
+//! ## Failure semantics
+//!
+//! A worker channel failing mid-conversation — a torn frame, a dead
+//! process, an incompatible hello — is **not** a panic: every wire
+//! interaction surfaces as [`RunError::WorkerLost`] naming the shard and
+//! the protocol step it died in.  A SIGKILLed worker process closes its
+//! socket, the coordinator's next read sees EOF, and the run returns a
+//! clean `Err` the caller (e.g. the campaign scheduler) can retry.
 //!
 //! ## Determinism contract
 //!
 //! For equal `(topology, protocol, adversary, seed, fault plan)`, a
 //! distributed run is **byte-identical** to `ShardedSyncEngine` and
-//! `SyncEngine` for every shard count — the differential suite
-//! (`tests/distributed_parity.rs`) locks this down over the golden
-//! fixtures.  One documented caveat: the coordinator shows the adversary an
-//! empty `states` slice (worker-owned protocol states are not shipped).
-//! No adversary in this workspace reads `AdversaryView::states`; one that
-//! did would need the states on the wire, which plain `Protocol` types do
-//! not support.
+//! `SyncEngine` for every shard count *and every transport* — the
+//! differential suite (`tests/distributed_parity.rs`) locks this down over
+//! the golden fixtures.  One documented caveat: the coordinator shows the
+//! adversary an empty `states` slice (worker-owned protocol states are not
+//! shipped).  No adversary in this workspace reads `AdversaryView::states`;
+//! one that did would need the states on the wire, which plain `Protocol`
+//! types do not support.
 //!
 //! Observability: a [`Recorder`] observes the coordinator side only (churn,
 //! adversary cut, routing and the router's metric deltas, all under
@@ -80,11 +105,102 @@ use netsim_graph::NodeId;
 use netsim_trace::{Counter, Gauge, Phase, Recorder, SHARD_ROUTER};
 use netsim_wire::{
     decode_from_slice, duplex, encode_to_vec, read_frame, recv_hello, send_hello, write_frame,
-    PipeEnd, Reader, Wire, WireError, WireHello, SPEC_VERSION_ANY,
+    IoStream, PipeEnd, Reader, ShardAssignment, Wire, WireError, WireHello, SPEC_VERSION_ANY,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::io::{Read, Write};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Errors.
+
+/// Why a distributed run could not complete.
+///
+/// These are *engine* faults (a transport or peer failed), never protocol
+/// results: a run that merely fails to decide still returns
+/// `Ok(RunResult { completed: false, .. })`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// A shard worker's channel failed mid-conversation: torn frame,
+    /// closed socket (e.g. the worker process was killed), protocol
+    /// violation or incompatible hello.
+    WorkerLost {
+        /// Which shard's channel failed.
+        shard: usize,
+        /// The protocol step the failure surfaced in (`"hello"`,
+        /// `"round-begin"`, `"arenas"`, `"fates"`, `"finish"`, `"done"`).
+        during: &'static str,
+        /// The underlying error, stringified.
+        detail: String,
+    },
+    /// The worker fleet could not be set up (bad address, refused dial).
+    Fleet(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::WorkerLost {
+                shard,
+                during,
+                detail,
+            } => {
+                write!(f, "shard worker {shard} lost during {during}: {detail}")
+            }
+            RunError::Fleet(msg) => write!(f, "worker fleet unavailable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Shorthand for the per-step `WireError` → [`RunError::WorkerLost`]
+/// mapping.
+fn lost(shard: usize, during: &'static str) -> impl Fn(WireError) -> RunError {
+    move |e| RunError::WorkerLost {
+        shard,
+        during,
+        detail: e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The remote fleet knob.
+
+/// Where (and how) to find process-level shard workers.
+///
+/// Handed to [`DistributedSyncEngine::with_remote_fleet`]; shard `s` dials
+/// `addrs[s % addrs.len()]` (round-robin, so a fleet smaller than the
+/// shard count serves several sessions per process, and a mixed
+/// Unix/TCP address list yields a mixed-transport run).  The `payload`
+/// rides the hello's [`ShardAssignment`] opaquely — for spec-driven runs
+/// it is the serialized `RunSpec` the worker rebuilds its node range from.
+#[derive(Clone, Debug)]
+pub struct RemoteFleet {
+    /// Worker addresses, `unix:<path>` or `host:port`.
+    pub addrs: Vec<String>,
+    /// Opaque application bytes shipped in every assignment.
+    pub payload: Vec<u8>,
+    /// Payload schema pin for the handshake ([`SPEC_VERSION_ANY`] to opt
+    /// out).
+    pub spec_version: u32,
+    /// Read deadline for the handshake only (cleared once the hello
+    /// verifies); a mute worker fails the run instead of hanging it.
+    pub handshake_timeout: Duration,
+}
+
+impl RemoteFleet {
+    /// A fleet with the default 10 s handshake deadline.
+    pub fn new(addrs: Vec<String>, payload: Vec<u8>, spec_version: u32) -> Self {
+        RemoteFleet {
+            addrs,
+            payload,
+            spec_version,
+            handshake_timeout: Duration::from_secs(10),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Wire encodings for the runtime's transferable types.
@@ -172,12 +288,12 @@ enum CoordMsg<M> {
         deliveries: Vec<Envelope<M>>,
         deferred: Vec<(u64, Envelope<M>)>,
     },
-    /// The run is over: expire in-flight deferrals and ship metrics.
+    /// The run is over: expire in-flight deferrals and ship `Done`.
     Finish,
 }
 
 /// Worker → coordinator messages.
-enum WorkerMsg<M> {
+enum WorkerMsg<M, O> {
     /// The round's gathered outboxes (honest and Byzantine-default arenas,
     /// each in node order) plus the status transitions the worker's nodes
     /// took (`(global node id, TRANSITION_*)`, in node order).
@@ -186,8 +302,13 @@ enum WorkerMsg<M> {
         byz: Vec<Envelope<M>>,
         transitions: Vec<(u32, u8)>,
     },
-    /// The worker's final delivery-side metrics.
-    Metrics(RunMetrics),
+    /// The worker's final frame: delivery-side metrics, its range's
+    /// outputs and decision rounds.
+    Done {
+        metrics: RunMetrics,
+        outputs: Vec<Option<O>>,
+        decided: Vec<Option<u64>>,
+    },
 }
 
 impl<M: Wire> Wire for CoordMsg<M> {
@@ -227,7 +348,7 @@ impl<M: Wire> Wire for CoordMsg<M> {
     }
 }
 
-impl<M: Wire> Wire for WorkerMsg<M> {
+impl<M: Wire, O: Wire> Wire for WorkerMsg<M, O> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
             WorkerMsg::Arenas {
@@ -240,9 +361,15 @@ impl<M: Wire> Wire for WorkerMsg<M> {
                 byz.encode(out);
                 transitions.encode(out);
             }
-            WorkerMsg::Metrics(metrics) => {
+            WorkerMsg::Done {
+                metrics,
+                outputs,
+                decided,
+            } => {
                 out.push(1);
                 metrics.encode(out);
+                outputs.encode(out);
+                decided.encode(out);
             }
         }
     }
@@ -253,7 +380,11 @@ impl<M: Wire> Wire for WorkerMsg<M> {
                 byz: Vec::decode(r)?,
                 transitions: Vec::decode(r)?,
             }),
-            1 => Ok(WorkerMsg::Metrics(RunMetrics::decode(r)?)),
+            1 => Ok(WorkerMsg::Done {
+                metrics: RunMetrics::decode(r)?,
+                outputs: Vec::decode(r)?,
+                decided: Vec::decode(r)?,
+            }),
             other => Err(WireError::Corrupt(format!(
                 "unknown worker message tag {other}"
             ))),
@@ -273,11 +404,46 @@ fn recv_msg<R: Read, V: Wire>(r: &mut R, scratch: &mut Vec<u8>) -> Result<V, Wir
 }
 
 // ---------------------------------------------------------------------------
+// The shard channel: one coordinator-side handle per worker, pipe or
+// socket, behind one `Read + Write` face.
+
+enum ShardChannel {
+    /// In-memory duplex to a scoped worker thread.
+    Pipe(PipeEnd),
+    /// Socket to a worker process.
+    Socket(IoStream),
+}
+
+impl Read for ShardChannel {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ShardChannel::Pipe(p) => p.read(buf),
+            ShardChannel::Socket(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ShardChannel {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ShardChannel::Pipe(p) => p.write(buf),
+            ShardChannel::Socket(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ShardChannel::Pipe(p) => p.flush(),
+            ShardChannel::Socket(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The worker.
 
 /// One shard worker's private state: a contiguous node range no other
-/// thread can see.  Everything that crosses its boundary goes through the
-/// wire protocol above.
+/// thread (or process) can see.  Everything that crosses its boundary goes
+/// through the wire protocol above.
 struct Worker<'a, T, P: Protocol> {
     topology: &'a T,
     /// First global node id of this worker's range.
@@ -303,29 +469,62 @@ struct Worker<'a, T, P: Protocol> {
     round: u64,
 }
 
-/// What a worker hands back when its loop exits: the range's outputs and
-/// decision rounds (which never travel over the wire — protocol outputs
-/// are not wire types).
-type WorkerExit<O> = Result<(Vec<Option<O>>, Vec<Option<u64>>), WireError>;
+/// Build a worker over a node range.  Per-node RNG streams derive from the
+/// *global* node id (`start + local`), so the shard layout — and the
+/// transport — never reaches the randomness.
+fn make_worker<T, P>(
+    topology: &T,
+    start: usize,
+    states: Vec<P>,
+    byzantine: Vec<bool>,
+    statuses: Vec<NodeStatus>,
+    seed: u64,
+    keep_pristine: bool,
+) -> Worker<'_, T, P>
+where
+    T: Topology,
+    P: Protocol + Clone,
+{
+    let len = states.len();
+    debug_assert_eq!(byzantine.len(), len);
+    debug_assert_eq!(statuses.len(), len);
+    let pristine = keep_pristine.then(|| states.clone());
+    Worker {
+        topology,
+        start,
+        states,
+        pristine,
+        byzantine,
+        statuses,
+        rngs: (start..start + len)
+            .map(|i| ChaCha8Rng::seed_from_u64(splitmix(seed, i as u64)))
+            .collect(),
+        outputs: vec![None; len],
+        decided_round: vec![None; len],
+        inboxes: vec![Vec::new(); len],
+        next_inboxes: vec![Vec::new(); len],
+        outboxes: (0..len).map(|_| Outbox::new()).collect(),
+        actions: vec![Action::Continue; len],
+        ring: DelayRing::new(),
+        metrics: RunMetrics::default(),
+        round: 0,
+    }
+}
 
-/// The worker's event loop: handshake, then serve `CoordMsg`s until
-/// `Finish`.
-fn worker_loop<T, P>(
-    mut w: Worker<'_, T, P>,
-    mut pipe: PipeEnd,
-    hello: WireHello,
-) -> WorkerExit<P::Output>
+/// The worker's post-handshake event loop: serve `CoordMsg`s until
+/// `Finish`, then ship the final `Done` frame (metrics, outputs, decision
+/// rounds) and return.
+fn serve_worker<T, P, S>(mut w: Worker<'_, T, P>, chan: &mut S) -> Result<(), WireError>
 where
     T: Topology,
     P: Protocol + Clone,
     P::Message: Wire,
+    P::Output: Wire,
+    S: Read + Write,
 {
-    send_hello(&mut pipe, &hello)?;
-    let theirs = recv_hello(&mut pipe)?;
-    theirs.check_compatible(&hello)?;
     let mut scratch = Vec::new();
     loop {
-        match recv_msg::<_, CoordMsg<P::Message>>(&mut pipe, &mut scratch)? {
+        match recv_msg::<_, CoordMsg<P::Message>>(chan, &mut scratch)? {
             CoordMsg::RoundBegin { round, churn } => {
                 w.round = round;
                 w.metrics.begin_round();
@@ -413,8 +612,8 @@ where
                     }
                 }
                 send_msg(
-                    &mut pipe,
-                    &WorkerMsg::Arenas {
+                    chan,
+                    &WorkerMsg::<_, P::Output>::Arenas {
                         honest,
                         byz,
                         transitions,
@@ -463,11 +662,105 @@ where
                 if in_flight > 0 {
                     w.metrics.record_fault_expired(in_flight);
                 }
-                send_msg(&mut pipe, &WorkerMsg::<P::Message>::Metrics(w.metrics))?;
-                return Ok((w.outputs, w.decided_round));
+                send_msg(
+                    chan,
+                    &WorkerMsg::<P::Message, P::Output>::Done {
+                        metrics: w.metrics,
+                        outputs: w.outputs,
+                        decided: w.decided_round,
+                    },
+                )?;
+                return Ok(());
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Process-level worker entry point.
+
+/// Everything a process-level shard worker needs beyond its node range's
+/// states and Byzantine mask — normally lifted straight off the
+/// coordinator's hello via [`ShardServeConfig::from_assignment`].
+#[derive(Clone, Debug)]
+pub struct ShardServeConfig {
+    /// First global node id of the range.
+    pub start: usize,
+    /// The engine seed (per-node RNG sub-streams derive from it by global
+    /// node id).
+    pub seed: u64,
+    /// Keep pristine state clones for churn recovery (true iff the
+    /// coordinator runs a fault plan).
+    pub keep_pristine: bool,
+    /// Global ids within the range that start crashed.
+    pub crashed: Vec<u32>,
+}
+
+impl ShardServeConfig {
+    /// Lift the serve parameters off a coordinator's [`ShardAssignment`].
+    pub fn from_assignment(a: &ShardAssignment) -> Self {
+        ShardServeConfig {
+            start: a.start as usize,
+            seed: a.seed,
+            keep_pristine: a.pristine,
+            crashed: a.crashed.clone(),
+        }
+    }
+}
+
+/// Serve one coordinator session over an already-handshaken channel: the
+/// process-level worker's side of the engine, fed with the node range's
+/// freshly built states (`states`/`byzantine` cover the range only).
+///
+/// Determinism: given states built identically to the coordinator's (the
+/// spec-driven runners construct per-node states by global node id, so a
+/// range chunk is trivially identical), the conversation — and therefore
+/// the run result — is byte-identical to the in-process transport.
+pub fn serve_shard_session<T, P, S>(
+    topology: &T,
+    states: Vec<P>,
+    byzantine: Vec<bool>,
+    cfg: &ShardServeConfig,
+    chan: &mut S,
+) -> Result<(), WireError>
+where
+    T: Topology,
+    P: Protocol + Clone,
+    P::Message: Wire,
+    P::Output: Wire,
+    S: Read + Write,
+{
+    let len = states.len();
+    if byzantine.len() != len {
+        return Err(WireError::Corrupt(format!(
+            "byzantine mask covers {} nodes, range has {len}",
+            byzantine.len()
+        )));
+    }
+    let mut statuses = vec![NodeStatus::Active; len];
+    for &id in &cfg.crashed {
+        let local = (id as usize)
+            .checked_sub(cfg.start)
+            .filter(|&l| l < len)
+            .ok_or_else(|| {
+                WireError::Corrupt(format!(
+                    "initial crash id {id} outside range {}..{}",
+                    cfg.start,
+                    cfg.start + len
+                ))
+            })?;
+        statuses[local] = NodeStatus::Crashed;
+    }
+    let worker = make_worker(
+        topology,
+        cfg.start,
+        states,
+        byzantine,
+        statuses,
+        cfg.seed,
+        cfg.keep_pristine,
+    );
+    serve_worker(worker, chan)
 }
 
 // ---------------------------------------------------------------------------
@@ -511,6 +804,332 @@ fn route_one<T: Topology, M: MessageSize>(
     }
 }
 
+/// The coordinator's round loop over already-handshaken worker channels.
+/// Transport-generic: the channels may be pipes to scoped threads or
+/// sockets to worker processes — the conversation is identical.
+#[allow(clippy::too_many_arguments)]
+fn coordinate<T, P, A, S>(
+    topology: &T,
+    byzantine: Vec<bool>,
+    mut adversary: A,
+    config: EngineConfig,
+    seed: u64,
+    bounds: &[usize],
+    mut statuses: Vec<NodeStatus>,
+    mut fault_plan: Option<Box<dyn FaultPlan>>,
+    recorder: Option<&dyn Recorder>,
+    chans: &mut [S],
+) -> Result<RunResult<P::Output>, RunError>
+where
+    T: Topology,
+    P: Protocol,
+    P::Message: Wire,
+    P::Output: Wire,
+    A: Adversary<P>,
+    S: Read + Write,
+{
+    let n = topology.len();
+    let shard_count = bounds.len() - 1;
+    let mut shard_of = vec![0u32; n];
+    for (s, w) in bounds.windows(2).enumerate() {
+        for owner in &mut shard_of[w[0]..w[1]] {
+            *owner = s as u32;
+        }
+    }
+    let mut adversary_rng = ChaCha8Rng::seed_from_u64(splitmix(seed, u64::MAX));
+    let mut churned_down = vec![false; n];
+    let mut router_metrics = RunMetrics::default();
+    let mut round: u64 = 0;
+    let mut scratch = Vec::new();
+    let mut crashed_scratch: Vec<bool> = Vec::with_capacity(n);
+
+    loop {
+        // Stop condition, identical to the other engines.
+        if round >= config.max_rounds {
+            break;
+        }
+        if config.stop_when_all_decided
+            && statuses
+                .iter()
+                .zip(&byzantine)
+                .filter(|(_, byz)| !**byz)
+                .all(|(s, _)| *s != NodeStatus::Active)
+        {
+            break;
+        }
+
+        router_metrics.begin_round();
+        let rec = recorder;
+        let router_snap = rec.map(|_| MetricsSnap::of(&router_metrics));
+        if let Some(rec) = rec {
+            rec.phase_begin(SHARD_ROUTER, round, Phase::Round);
+            rec.phase_begin(SHARD_ROUTER, round, Phase::Churn);
+        }
+
+        // Phase 0: churn — validated centrally in the plan's global
+        // order (its RNG stream depends on it), then forwarded as
+        // effective events to the owning workers.
+        let mut shard_churn: Vec<Vec<(u32, u8)>> = vec![Vec::new(); shard_count];
+        if let Some(plan) = fault_plan.as_mut() {
+            for event in plan.begin_round(round) {
+                match event {
+                    ChurnEvent::Crash(v) => {
+                        let i = v.index();
+                        if i < n && !byzantine[i] && statuses[i] != NodeStatus::Crashed {
+                            statuses[i] = NodeStatus::Crashed;
+                            churned_down[i] = true;
+                            router_metrics.record_churn_crash();
+                            shard_churn[shard_of[i] as usize].push((i as u32, CHURN_CRASH));
+                        }
+                    }
+                    ChurnEvent::Recover(v) => {
+                        let i = v.index();
+                        // Workers hold pristine states whenever a fault
+                        // plan is installed, so the sharded engine's
+                        // reset-availability guard is implied here.
+                        if i < n && churned_down[i] && statuses[i] == NodeStatus::Crashed {
+                            statuses[i] = NodeStatus::Active;
+                            churned_down[i] = false;
+                            router_metrics.record_churn_recovery();
+                            shard_churn[shard_of[i] as usize].push((i as u32, CHURN_RECOVER));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(rec) = rec {
+            rec.phase_end(SHARD_ROUTER, round, Phase::Churn);
+        }
+
+        // Open the round on every worker.
+        for (s, chan) in chans.iter_mut().enumerate() {
+            send_msg(
+                chan,
+                &CoordMsg::<P::Message>::RoundBegin {
+                    round,
+                    churn: std::mem::take(&mut shard_churn[s]),
+                },
+            )
+            .map_err(lost(s, "round-begin"))?;
+        }
+
+        // Gather arenas in shard order (= global node order).
+        let mut honest_arena: Vec<Envelope<P::Message>> = Vec::new();
+        let mut byz_default: Vec<Envelope<P::Message>> = Vec::new();
+        let mut transitions_all: Vec<(u32, u8)> = Vec::new();
+        for (s, chan) in chans.iter_mut().enumerate() {
+            match recv_msg::<_, WorkerMsg<P::Message, P::Output>>(chan, &mut scratch)
+                .map_err(lost(s, "arenas"))?
+            {
+                WorkerMsg::Arenas {
+                    honest,
+                    byz,
+                    transitions,
+                } => {
+                    honest_arena.extend(honest);
+                    byz_default.extend(byz);
+                    transitions_all.extend(transitions);
+                }
+                WorkerMsg::Done { .. } => {
+                    return Err(RunError::WorkerLost {
+                        shard: s,
+                        during: "arenas",
+                        detail: "worker sent its final frame mid-run".into(),
+                    });
+                }
+            }
+        }
+
+        if let Some(rec) = rec {
+            rec.phase_begin(SHARD_ROUTER, round, Phase::AdversaryCut);
+        }
+        // The adversary observes the gathered stream against the
+        // pre-action statuses (worker-owned protocol states are not
+        // shipped; see the module docs).
+        crashed_scratch.clear();
+        crashed_scratch.extend(statuses.iter().map(|s| *s == NodeStatus::Crashed));
+        let decision = {
+            let view = AdversaryView {
+                round,
+                byzantine: &byzantine,
+                crashed: &crashed_scratch,
+                states: &[],
+                honest_messages: &honest_arena,
+                byzantine_default_messages: &byz_default,
+            };
+            adversary.act(&view, &mut adversary_rng)
+        };
+        // Phase 3: apply the worker-reported transitions, after the
+        // adversary observed the pre-action statuses.
+        for &(node, op) in &transitions_all {
+            statuses[node as usize] = if op == TRANSITION_DECIDED {
+                NodeStatus::Decided
+            } else {
+                NodeStatus::Crashed
+            };
+        }
+        if let Some(rec) = rec {
+            rec.gauge(
+                SHARD_ROUTER,
+                round,
+                Gauge::HonestArenaHighWater,
+                honest_arena.len() as u64,
+            );
+            rec.gauge(
+                SHARD_ROUTER,
+                round,
+                Gauge::ByzArenaHighWater,
+                byz_default.len() as u64,
+            );
+            rec.phase_end(SHARD_ROUTER, round, Phase::AdversaryCut);
+            rec.phase_begin(SHARD_ROUTER, round, Phase::Routing);
+        }
+
+        // Route every envelope in the unsharded engine's exact order:
+        // honest stream first, then the Byzantine path.
+        let mut deliveries: Vec<Vec<Envelope<P::Message>>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        let mut deferred: Vec<Vec<(u64, Envelope<P::Message>)>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        for env in honest_arena.drain(..) {
+            route_one(
+                topology,
+                &statuses,
+                &byzantine,
+                &shard_of,
+                round,
+                env,
+                false,
+                &mut fault_plan,
+                &mut router_metrics,
+                &mut deliveries,
+                &mut deferred,
+            );
+        }
+        match decision {
+            AdversaryDecision::FollowProtocol => {
+                for env in byz_default.drain(..) {
+                    route_one(
+                        topology,
+                        &statuses,
+                        &byzantine,
+                        &shard_of,
+                        round,
+                        env,
+                        false,
+                        &mut fault_plan,
+                        &mut router_metrics,
+                        &mut deliveries,
+                        &mut deferred,
+                    );
+                }
+            }
+            AdversaryDecision::Replace(msgs) => {
+                for env in msgs {
+                    route_one(
+                        topology,
+                        &statuses,
+                        &byzantine,
+                        &shard_of,
+                        round,
+                        env,
+                        true,
+                        &mut fault_plan,
+                        &mut router_metrics,
+                        &mut deliveries,
+                        &mut deferred,
+                    );
+                }
+            }
+        }
+        if let Some(rec) = rec {
+            rec.phase_end(SHARD_ROUTER, round, Phase::Routing);
+        }
+
+        // Scatter the fates back to the owning workers.
+        for (s, chan) in chans.iter_mut().enumerate() {
+            send_msg(
+                chan,
+                &CoordMsg::Fates {
+                    deliveries: std::mem::take(&mut deliveries[s]),
+                    deferred: std::mem::take(&mut deferred[s]),
+                },
+            )
+            .map_err(lost(s, "fates"))?;
+        }
+
+        if let Some(rec) = rec {
+            emit_metric_deltas(
+                rec,
+                SHARD_ROUTER,
+                round,
+                router_snap.expect("snapshotted with recorder"),
+                MetricsSnap::of(&router_metrics),
+            );
+            rec.add(SHARD_ROUTER, round, Counter::Rounds, 1);
+            rec.phase_end(SHARD_ROUTER, round, Phase::Round);
+        }
+        round += 1;
+    }
+
+    // Wind down: one `Done` frame per worker (shard order) carries its
+    // metrics, outputs and decision rounds.
+    for (s, chan) in chans.iter_mut().enumerate() {
+        send_msg(chan, &CoordMsg::<P::Message>::Finish).map_err(lost(s, "finish"))?;
+    }
+    let mut metrics = router_metrics;
+    let mut outputs = Vec::with_capacity(n);
+    let mut decided_round = Vec::with_capacity(n);
+    for (s, chan) in chans.iter_mut().enumerate() {
+        match recv_msg::<_, WorkerMsg<P::Message, P::Output>>(chan, &mut scratch)
+            .map_err(lost(s, "done"))?
+        {
+            WorkerMsg::Done {
+                metrics: shard,
+                outputs: shard_outputs,
+                decided,
+            } => {
+                let expected = bounds[s + 1] - bounds[s];
+                if shard_outputs.len() != expected || decided.len() != expected {
+                    return Err(RunError::WorkerLost {
+                        shard: s,
+                        during: "done",
+                        detail: format!(
+                            "worker reported {} outputs / {} decisions for a {expected}-node range",
+                            shard_outputs.len(),
+                            decided.len()
+                        ),
+                    });
+                }
+                metrics.absorb_shard(&shard);
+                outputs.extend(shard_outputs);
+                decided_round.extend(decided);
+            }
+            WorkerMsg::Arenas { .. } => {
+                return Err(RunError::WorkerLost {
+                    shard: s,
+                    during: "done",
+                    detail: "worker sent arenas at finish".into(),
+                });
+            }
+        }
+    }
+    let completed = statuses
+        .iter()
+        .zip(&byzantine)
+        .filter(|(_, byz)| !**byz)
+        .all(|(s, _)| *s != NodeStatus::Active);
+    let crashed = statuses.iter().map(|s| *s == NodeStatus::Crashed).collect();
+    Ok(RunResult {
+        outputs,
+        decided_round,
+        crashed,
+        statuses,
+        metrics,
+        completed,
+    })
+}
+
 /// The distributed synchronous engine; see the module documentation.
 pub struct DistributedSyncEngine<'a, T, P, A>
 where
@@ -529,13 +1148,14 @@ where
     initial_crashed: Vec<bool>,
     recorder: Option<&'a dyn Recorder>,
     spec_version: u32,
+    fleet: Option<RemoteFleet>,
 }
 
 impl<'a, T, P, A> DistributedSyncEngine<'a, T, P, A>
 where
     T: Topology,
     P: Protocol + Clone,
-    P::Output: Send,
+    P::Output: Send + Wire,
     P::Message: Wire,
     A: Adversary<P>,
 {
@@ -571,6 +1191,7 @@ where
             initial_crashed: vec![false; n],
             recorder: None,
             spec_version: SPEC_VERSION_ANY,
+            fleet: None,
         }
     }
 
@@ -614,9 +1235,21 @@ where
 
     /// Pin the handshake's payload-schema version (defaults to
     /// [`SPEC_VERSION_ANY`]; in-process workers always share the build, so
-    /// the pin is exercised rather than load-bearing here).
+    /// the pin is exercised rather than load-bearing there — a remote
+    /// fleet carries its own pin in [`RemoteFleet::spec_version`]).
     pub fn with_spec_version(mut self, spec_version: u32) -> Self {
         self.spec_version = spec_version;
+        self
+    }
+
+    /// Run the workers as separate processes dialed from `fleet` instead
+    /// of scoped threads over pipes.  `None` (or an empty address list)
+    /// keeps the in-process transport — results are byte-identical either
+    /// way.  Coordinator-side `states` are discarded in remote mode: each
+    /// worker rebuilds its range deterministically from the assignment's
+    /// payload.
+    pub fn with_remote_fleet(mut self, fleet: Option<RemoteFleet>) -> Self {
+        self.fleet = fleet;
         self
     }
 
@@ -627,10 +1260,12 @@ where
 
     /// Run to the stop condition and return the result.
     ///
-    /// # Panics
-    /// Panics if a worker channel fails mid-conversation (a torn frame or
-    /// a dead worker is an unrecoverable engine fault, surfaced loudly).
-    pub fn run(self) -> RunResult<P::Output>
+    /// # Errors
+    /// A worker channel failing mid-conversation (a torn frame, a dead
+    /// worker process, an incompatible hello) surfaces as
+    /// [`RunError::WorkerLost`]; a fleet address that cannot be dialed as
+    /// [`RunError::Fleet`].  This path never panics on wire faults.
+    pub fn run(self) -> Result<RunResult<P::Output>, RunError>
     where
         P: Send,
     {
@@ -638,24 +1273,18 @@ where
             topology,
             states,
             byzantine,
-            mut adversary,
+            adversary,
             config,
             seed,
             shards,
-            mut fault_plan,
+            fault_plan,
             initial_crashed,
             recorder,
             spec_version,
+            fleet,
         } = self;
         let n = topology.len();
         let bounds = shard_bounds(n, shards);
-        let shard_count = bounds.len() - 1;
-        let mut shard_of = vec![0u32; n];
-        for (s, w) in bounds.windows(2).enumerate() {
-            for owner in &mut shard_of[w[0]..w[1]] {
-                *owner = s as u32;
-            }
-        }
         let mut statuses = vec![NodeStatus::Active; n];
         for (status, &is_crashed) in statuses.iter_mut().zip(&initial_crashed) {
             if is_crashed {
@@ -663,327 +1292,85 @@ where
             }
         }
         let pristine_needed = fault_plan.is_some();
-        let mut adversary_rng = ChaCha8Rng::seed_from_u64(splitmix(seed, u64::MAX));
-        let hello = WireHello::current(spec_version);
-        let mut churned_down = vec![false; n];
-        let mut router_metrics = RunMetrics::default();
-        let mut round: u64 = 0;
-        let mut scratch = Vec::new();
-        let mut crashed_scratch: Vec<bool> = Vec::with_capacity(n);
 
-        std::thread::scope(|scope| {
-            // Spawn one worker per shard, handing each its private range.
-            let mut pipes: Vec<PipeEnd> = Vec::with_capacity(shard_count);
-            let mut handles = Vec::with_capacity(shard_count);
-            let mut state_iter = states.into_iter();
+        if let Some(fleet) = fleet.as_ref().filter(|f| !f.addrs.is_empty()) {
+            // Remote transport: dial one socket per shard (round-robin
+            // over the fleet) and hand each worker its assignment in the
+            // hello.  The workers rebuild their states from the payload;
+            // ours are not needed.
+            drop(states);
+            let mut chans: Vec<ShardChannel> = Vec::with_capacity(bounds.len() - 1);
             for (s, w) in bounds.windows(2).enumerate() {
-                let (start, end) = (w[0], w[1]);
-                let len = end - start;
-                let chunk: Vec<P> = state_iter.by_ref().take(len).collect();
-                let pristine = pristine_needed.then(|| chunk.clone());
-                let worker = Worker {
-                    topology,
-                    start,
-                    states: chunk,
-                    pristine,
-                    byzantine: byzantine[start..end].to_vec(),
-                    statuses: statuses[start..end].to_vec(),
-                    rngs: (start..end)
-                        .map(|i| ChaCha8Rng::seed_from_u64(splitmix(seed, i as u64)))
-                        .collect(),
-                    outputs: vec![None; len],
-                    decided_round: vec![None; len],
-                    inboxes: vec![Vec::new(); len],
-                    next_inboxes: vec![Vec::new(); len],
-                    outboxes: (0..len).map(|_| Outbox::new()).collect(),
-                    actions: vec![Action::Continue; len],
-                    ring: DelayRing::new(),
-                    metrics: RunMetrics::default(),
-                    round: 0,
-                };
-                let (coord_end, worker_end) = duplex();
-                handles.push(scope.spawn(move || {
-                    worker_loop(worker, worker_end, hello)
-                        .unwrap_or_else(|e| panic!("shard worker {s} failed: {e}"))
-                }));
-                pipes.push(coord_end);
+                let addr = &fleet.addrs[s % fleet.addrs.len()];
+                let mut stream = IoStream::connect(addr)
+                    .map_err(|e| RunError::Fleet(format!("dialing {addr} for shard {s}: {e}")))?;
+                let crashed: Vec<u32> = (w[0]..w[1])
+                    .filter(|&i| initial_crashed[i])
+                    .map(|i| i as u32)
+                    .collect();
+                let hello = WireHello::with_assignment(
+                    fleet.spec_version,
+                    ShardAssignment {
+                        start: w[0] as u32,
+                        end: w[1] as u32,
+                        n: n as u32,
+                        seed,
+                        pristine: pristine_needed,
+                        crashed,
+                        payload: fleet.payload.clone(),
+                    },
+                );
+                stream
+                    .exchange_hello(&hello, fleet.handshake_timeout)
+                    .map_err(lost(s, "hello"))?;
+                chans.push(ShardChannel::Socket(stream));
             }
-            // Handshake every worker channel before the first round.
-            for (s, pipe) in pipes.iter_mut().enumerate() {
-                send_hello(pipe, &hello)
-                    .unwrap_or_else(|e| panic!("hello to shard worker {s} failed: {e}"));
-                let theirs = recv_hello(pipe)
-                    .unwrap_or_else(|e| panic!("hello from shard worker {s} failed: {e}"));
-                theirs
-                    .check_compatible(&hello)
-                    .unwrap_or_else(|e| panic!("shard worker {s} incompatible: {e}"));
-            }
-
-            loop {
-                // Stop condition, identical to the other engines.
-                if round >= config.max_rounds {
-                    break;
-                }
-                if config.stop_when_all_decided
-                    && statuses
-                        .iter()
-                        .zip(&byzantine)
-                        .filter(|(_, byz)| !**byz)
-                        .all(|(s, _)| *s != NodeStatus::Active)
-                {
-                    break;
-                }
-
-                router_metrics.begin_round();
-                let rec = recorder;
-                let router_snap = rec.map(|_| MetricsSnap::of(&router_metrics));
-                if let Some(rec) = rec {
-                    rec.phase_begin(SHARD_ROUTER, round, Phase::Round);
-                    rec.phase_begin(SHARD_ROUTER, round, Phase::Churn);
-                }
-
-                // Phase 0: churn — validated centrally in the plan's global
-                // order (its RNG stream depends on it), then forwarded as
-                // effective events to the owning workers.
-                let mut shard_churn: Vec<Vec<(u32, u8)>> = vec![Vec::new(); shard_count];
-                if let Some(plan) = fault_plan.as_mut() {
-                    for event in plan.begin_round(round) {
-                        match event {
-                            ChurnEvent::Crash(v) => {
-                                let i = v.index();
-                                if i < n && !byzantine[i] && statuses[i] != NodeStatus::Crashed {
-                                    statuses[i] = NodeStatus::Crashed;
-                                    churned_down[i] = true;
-                                    router_metrics.record_churn_crash();
-                                    shard_churn[shard_of[i] as usize].push((i as u32, CHURN_CRASH));
-                                }
-                            }
-                            ChurnEvent::Recover(v) => {
-                                let i = v.index();
-                                // Workers hold pristine states whenever a
-                                // fault plan is installed, so the sharded
-                                // engine's reset-availability guard is
-                                // implied here.
-                                if i < n && churned_down[i] && statuses[i] == NodeStatus::Crashed {
-                                    statuses[i] = NodeStatus::Active;
-                                    churned_down[i] = false;
-                                    router_metrics.record_churn_recovery();
-                                    shard_churn[shard_of[i] as usize]
-                                        .push((i as u32, CHURN_RECOVER));
-                                }
-                            }
-                        }
-                    }
-                }
-                if let Some(rec) = rec {
-                    rec.phase_end(SHARD_ROUTER, round, Phase::Churn);
-                }
-
-                // Open the round on every worker.
-                for (s, pipe) in pipes.iter_mut().enumerate() {
-                    send_msg(
-                        pipe,
-                        &CoordMsg::<P::Message>::RoundBegin {
-                            round,
-                            churn: std::mem::take(&mut shard_churn[s]),
-                        },
-                    )
-                    .unwrap_or_else(|e| panic!("round-begin to shard worker {s} failed: {e}"));
-                }
-
-                // Gather arenas in shard order (= global node order).
-                let mut honest_arena: Vec<Envelope<P::Message>> = Vec::new();
-                let mut byz_default: Vec<Envelope<P::Message>> = Vec::new();
-                let mut transitions_all: Vec<(u32, u8)> = Vec::new();
-                for (s, pipe) in pipes.iter_mut().enumerate() {
-                    match recv_msg::<_, WorkerMsg<P::Message>>(pipe, &mut scratch)
-                        .unwrap_or_else(|e| panic!("arenas from shard worker {s} failed: {e}"))
-                    {
-                        WorkerMsg::Arenas {
-                            honest,
-                            byz,
-                            transitions,
-                        } => {
-                            honest_arena.extend(honest);
-                            byz_default.extend(byz);
-                            transitions_all.extend(transitions);
-                        }
-                        WorkerMsg::Metrics(_) => {
-                            panic!("shard worker {s} sent metrics mid-run")
-                        }
-                    }
-                }
-
-                if let Some(rec) = rec {
-                    rec.phase_begin(SHARD_ROUTER, round, Phase::AdversaryCut);
-                }
-                // The adversary observes the gathered stream against the
-                // pre-action statuses (worker-owned protocol states are not
-                // shipped; see the module docs).
-                crashed_scratch.clear();
-                crashed_scratch.extend(statuses.iter().map(|s| *s == NodeStatus::Crashed));
-                let decision = {
-                    let view = AdversaryView {
-                        round,
-                        byzantine: &byzantine,
-                        crashed: &crashed_scratch,
-                        states: &[],
-                        honest_messages: &honest_arena,
-                        byzantine_default_messages: &byz_default,
-                    };
-                    adversary.act(&view, &mut adversary_rng)
-                };
-                // Phase 3: apply the worker-reported transitions, after the
-                // adversary observed the pre-action statuses.
-                for &(node, op) in &transitions_all {
-                    statuses[node as usize] = if op == TRANSITION_DECIDED {
-                        NodeStatus::Decided
-                    } else {
-                        NodeStatus::Crashed
-                    };
-                }
-                if let Some(rec) = rec {
-                    rec.gauge(
-                        SHARD_ROUTER,
-                        round,
-                        Gauge::HonestArenaHighWater,
-                        honest_arena.len() as u64,
-                    );
-                    rec.gauge(
-                        SHARD_ROUTER,
-                        round,
-                        Gauge::ByzArenaHighWater,
-                        byz_default.len() as u64,
-                    );
-                    rec.phase_end(SHARD_ROUTER, round, Phase::AdversaryCut);
-                    rec.phase_begin(SHARD_ROUTER, round, Phase::Routing);
-                }
-
-                // Route every envelope in the unsharded engine's exact
-                // order: honest stream first, then the Byzantine path.
-                let mut deliveries: Vec<Vec<Envelope<P::Message>>> =
-                    (0..shard_count).map(|_| Vec::new()).collect();
-                let mut deferred: Vec<Vec<(u64, Envelope<P::Message>)>> =
-                    (0..shard_count).map(|_| Vec::new()).collect();
-                for env in honest_arena.drain(..) {
-                    route_one(
+            coordinate::<T, P, A, _>(
+                topology, byzantine, adversary, config, seed, &bounds, statuses, fault_plan,
+                recorder, &mut chans,
+            )
+        } else {
+            // In-process transport: one scoped worker thread per shard
+            // over a pipe duplex.  Worker closures return `Result` and
+            // never panic; when the coordinator errors out, dropping the
+            // channels gives every worker EOF and the scope joins cleanly.
+            let hello = WireHello::current(spec_version);
+            std::thread::scope(|scope| {
+                let mut chans: Vec<ShardChannel> = Vec::with_capacity(bounds.len() - 1);
+                let mut state_iter = states.into_iter();
+                for w in bounds.windows(2) {
+                    let (start, end) = (w[0], w[1]);
+                    let worker = make_worker(
                         topology,
-                        &statuses,
-                        &byzantine,
-                        &shard_of,
-                        round,
-                        env,
-                        false,
-                        &mut fault_plan,
-                        &mut router_metrics,
-                        &mut deliveries,
-                        &mut deferred,
+                        start,
+                        state_iter.by_ref().take(end - start).collect(),
+                        byzantine[start..end].to_vec(),
+                        statuses[start..end].to_vec(),
+                        seed,
+                        pristine_needed,
                     );
+                    let (coord_end, mut worker_end) = duplex();
+                    let worker_hello = hello.clone();
+                    scope.spawn(move || -> Result<(), WireError> {
+                        send_hello(&mut worker_end, &worker_hello)?;
+                        let theirs = recv_hello(&mut worker_end)?;
+                        theirs.check_compatible(&worker_hello)?;
+                        serve_worker(worker, &mut worker_end)
+                    });
+                    chans.push(ShardChannel::Pipe(coord_end));
                 }
-                match decision {
-                    AdversaryDecision::FollowProtocol => {
-                        for env in byz_default.drain(..) {
-                            route_one(
-                                topology,
-                                &statuses,
-                                &byzantine,
-                                &shard_of,
-                                round,
-                                env,
-                                false,
-                                &mut fault_plan,
-                                &mut router_metrics,
-                                &mut deliveries,
-                                &mut deferred,
-                            );
-                        }
-                    }
-                    AdversaryDecision::Replace(msgs) => {
-                        for env in msgs {
-                            route_one(
-                                topology,
-                                &statuses,
-                                &byzantine,
-                                &shard_of,
-                                round,
-                                env,
-                                true,
-                                &mut fault_plan,
-                                &mut router_metrics,
-                                &mut deliveries,
-                                &mut deferred,
-                            );
-                        }
-                    }
+                // Handshake every worker channel before the first round.
+                for (s, chan) in chans.iter_mut().enumerate() {
+                    send_hello(chan, &hello).map_err(lost(s, "hello"))?;
+                    let theirs = recv_hello(chan).map_err(lost(s, "hello"))?;
+                    theirs.check_compatible(&hello).map_err(lost(s, "hello"))?;
                 }
-                if let Some(rec) = rec {
-                    rec.phase_end(SHARD_ROUTER, round, Phase::Routing);
-                }
-
-                // Scatter the fates back to the owning workers.
-                for (s, pipe) in pipes.iter_mut().enumerate() {
-                    send_msg(
-                        pipe,
-                        &CoordMsg::Fates {
-                            deliveries: std::mem::take(&mut deliveries[s]),
-                            deferred: std::mem::take(&mut deferred[s]),
-                        },
-                    )
-                    .unwrap_or_else(|e| panic!("fates to shard worker {s} failed: {e}"));
-                }
-
-                if let Some(rec) = rec {
-                    emit_metric_deltas(
-                        rec,
-                        SHARD_ROUTER,
-                        round,
-                        router_snap.expect("snapshotted with recorder"),
-                        MetricsSnap::of(&router_metrics),
-                    );
-                    rec.add(SHARD_ROUTER, round, Counter::Rounds, 1);
-                    rec.phase_end(SHARD_ROUTER, round, Phase::Round);
-                }
-                round += 1;
-            }
-
-            // Wind down: collect each worker's metrics (shard order), then
-            // its outputs through the join.
-            for (s, pipe) in pipes.iter_mut().enumerate() {
-                send_msg(pipe, &CoordMsg::<P::Message>::Finish)
-                    .unwrap_or_else(|e| panic!("finish to shard worker {s} failed: {e}"));
-            }
-            let mut metrics = router_metrics;
-            for (s, pipe) in pipes.iter_mut().enumerate() {
-                match recv_msg::<_, WorkerMsg<P::Message>>(pipe, &mut scratch)
-                    .unwrap_or_else(|e| panic!("metrics from shard worker {s} failed: {e}"))
-                {
-                    WorkerMsg::Metrics(shard) => metrics.absorb_shard(&shard),
-                    WorkerMsg::Arenas { .. } => panic!("shard worker {s} sent arenas at finish"),
-                }
-            }
-            let mut outputs = Vec::with_capacity(n);
-            let mut decided_round = Vec::with_capacity(n);
-            for handle in handles {
-                let (worker_outputs, worker_decided) =
-                    handle.join().expect("shard worker panicked");
-                outputs.extend(worker_outputs);
-                decided_round.extend(worker_decided);
-            }
-            let completed = statuses
-                .iter()
-                .zip(&byzantine)
-                .filter(|(_, byz)| !**byz)
-                .all(|(s, _)| *s != NodeStatus::Active);
-            let crashed = statuses.iter().map(|s| *s == NodeStatus::Crashed).collect();
-            RunResult {
-                outputs,
-                decided_round,
-                crashed,
-                statuses,
-                metrics,
-                completed,
-            }
-        })
+                coordinate::<T, P, A, _>(
+                    topology, byzantine, adversary, config, seed, &bounds, statuses, fault_plan,
+                    recorder, &mut chans,
+                )
+            })
+        }
     }
 }
 
@@ -995,6 +1382,7 @@ mod tests {
     use crate::sharded::ShardedSyncEngine;
     use netsim_faults::FaultSpec;
     use netsim_graph::Csr;
+    use netsim_wire::Listener;
     use rand::Rng;
 
     #[derive(Clone, Debug, PartialEq)]
@@ -1105,6 +1493,23 @@ mod tests {
 
         // Truncation is a clean error for composite payloads too.
         assert!(decode_from_slice::<RunMetrics>(&bytes[..bytes.len() - 3]).is_err());
+
+        // The final worker frame round-trips with outputs and decisions.
+        let done = WorkerMsg::<Val, u64>::Done {
+            metrics: back,
+            outputs: vec![Some(9), None, Some(u64::MAX)],
+            decided: vec![Some(4), None, Some(7)],
+        };
+        let bytes = encode_to_vec(&done);
+        match decode_from_slice::<WorkerMsg<Val, u64>>(&bytes).unwrap() {
+            WorkerMsg::Done {
+                outputs, decided, ..
+            } => {
+                assert_eq!(outputs, vec![Some(9), None, Some(u64::MAX)]);
+                assert_eq!(decided, vec![Some(4), None, Some(7)]);
+            }
+            WorkerMsg::Arenas { .. } => panic!("wrong tag"),
+        }
     }
 
     #[test]
@@ -1130,7 +1535,8 @@ mod tests {
                 42,
                 shards,
             )
-            .run();
+            .run()
+            .unwrap();
             assert_results_equal(&reference, &distributed, &format!("S={shards}"));
         }
     }
@@ -1180,7 +1586,8 @@ mod tests {
                 shards,
             )
             .with_fault_plan(plan(7))
-            .run();
+            .run()
+            .unwrap();
             assert_results_equal(&reference, &distributed, &format!("faulty S={shards}"));
             let sharded = ShardedSyncEngine::new(
                 &g,
@@ -1232,7 +1639,8 @@ mod tests {
             4,
         )
         .with_initial_crashes(&crashed)
-        .run();
+        .run()
+        .unwrap();
         assert_results_equal(&reference, &distributed, "initial crashes");
     }
 
@@ -1290,7 +1698,8 @@ mod tests {
                 3,
                 shards,
             )
-            .run();
+            .run()
+            .unwrap();
             assert_results_equal(&reference, &distributed, &format!("adversarial S={shards}"));
         }
         assert!(reference.metrics.messages_dropped > 0);
@@ -1336,7 +1745,8 @@ mod tests {
             2,
         )
         .with_fault_plan(Box::new(DelayAcross))
-        .run();
+        .run()
+        .unwrap();
         assert_results_equal(&reference, &distributed, "cross-shard expiry");
         assert_eq!(distributed.metrics.messages_delayed, 1);
         assert_eq!(
@@ -1360,7 +1770,187 @@ mod tests {
         .with_spec_version(6);
         assert_eq!(engine.shard_count(), 4, "shards clamp to the node count");
         // Both sides pin spec 6 → the handshake passes and the run works.
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert!(result.completed);
+    }
+
+    /// A process-worker stand-in: accept `sessions` coordinator sessions,
+    /// serving each in its own thread (a coordinator holds several
+    /// sessions on one address concurrently), rebuild the assigned node
+    /// range from the hello, and serve it — exactly what
+    /// `byzcount-cli shard-worker` does, minus the spec parsing.
+    fn spawn_flood_worker(
+        listener: Listener,
+        sessions: usize,
+        ttl: u64,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let mut serving = Vec::new();
+            for _ in 0..sessions {
+                let mut stream = listener.accept().unwrap().expect("blocking accept");
+                serving.push(std::thread::spawn(move || {
+                    let theirs = stream
+                        .exchange_hello(
+                            &WireHello::current(SPEC_VERSION_ANY),
+                            Duration::from_secs(5),
+                        )
+                        .unwrap();
+                    let a = theirs.assignment.expect("coordinator sends an assignment");
+                    let g = line_graph(a.n as usize);
+                    let len = (a.end - a.start) as usize;
+                    let cfg = ShardServeConfig::from_assignment(&a);
+                    serve_shard_session(
+                        &g,
+                        flood_states(len, ttl),
+                        vec![false; len],
+                        &cfg,
+                        &mut stream,
+                    )
+                    .unwrap();
+                }));
+            }
+            for handle in serving {
+                handle.join().unwrap();
+            }
+        })
+    }
+
+    #[test]
+    fn remote_socket_workers_match_in_process_pipes_unix_tcp_and_mixed() {
+        let n = 24;
+        let ttl = 3 * n as u64;
+        let g = line_graph(n);
+        let reference = DistributedSyncEngine::new(
+            &g,
+            flood_states(n, ttl),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            42,
+            2,
+        )
+        .run()
+        .unwrap();
+        let unix_addr = format!(
+            "unix:{}",
+            std::env::temp_dir()
+                .join(format!("nsr-dist-{}.sock", std::process::id()))
+                .display()
+        );
+        let unix_listener = Listener::bind(&unix_addr).unwrap();
+        let tcp_listener = Listener::bind("127.0.0.1:0").unwrap();
+        let tcp_addr = tcp_listener.local_addr().unwrap();
+        // Three transport legs: all-unix (both shards via one listener),
+        // all-tcp, and mixed (shard 0 unix, shard 1 tcp) — so each worker
+        // serves 2 + 1 sessions.
+        let unix_worker = spawn_flood_worker(unix_listener, 3, ttl);
+        let tcp_worker = spawn_flood_worker(tcp_listener, 3, ttl);
+        for (label, addrs) in [
+            ("unix", vec![unix_addr.clone()]),
+            ("tcp", vec![tcp_addr.clone()]),
+            ("mixed", vec![unix_addr.clone(), tcp_addr.clone()]),
+        ] {
+            let remote = DistributedSyncEngine::new(
+                &g,
+                flood_states(n, ttl),
+                vec![false; n],
+                NullAdversary,
+                EngineConfig::default(),
+                42,
+                2,
+            )
+            .with_remote_fleet(Some(RemoteFleet::new(addrs, Vec::new(), SPEC_VERSION_ANY)))
+            .run()
+            .unwrap();
+            assert_results_equal(&reference, &remote, label);
+        }
+        unix_worker.join().unwrap();
+        tcp_worker.join().unwrap();
+        if let Some(path) = unix_addr.strip_prefix("unix:") {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn a_worker_dying_mid_run_is_a_clean_error_not_a_panic() {
+        // The worker accepts, handshakes, answers the first round, then
+        // drops the connection cold — exactly what SIGKILL does to a real
+        // worker process.  The coordinator must surface
+        // `RunError::WorkerLost`, never panic (regression for the eleven
+        // panicking wire call sites this path used to have).
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let quitter = std::thread::spawn(move || {
+            let mut stream = listener.accept().unwrap().expect("blocking accept");
+            let theirs = stream
+                .exchange_hello(
+                    &WireHello::current(SPEC_VERSION_ANY),
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+            assert!(
+                theirs.assignment.is_some(),
+                "assignment must ride the hello"
+            );
+            let mut scratch = Vec::new();
+            let _round: CoordMsg<Val> = recv_msg(&mut stream, &mut scratch).unwrap();
+            send_msg(
+                &mut stream,
+                &WorkerMsg::<Val, u64>::Arenas {
+                    honest: Vec::new(),
+                    byz: Vec::new(),
+                    transitions: Vec::new(),
+                },
+            )
+            .unwrap();
+            // Drop the stream: the coordinator's next read sees EOF.
+        });
+        let n = 8;
+        let g = line_graph(n);
+        let err = DistributedSyncEngine::new(
+            &g,
+            flood_states(n, 20),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            1,
+            1,
+        )
+        .with_remote_fleet(Some(RemoteFleet::new(
+            vec![addr],
+            Vec::new(),
+            SPEC_VERSION_ANY,
+        )))
+        .run()
+        .expect_err("a dead worker must fail the run cleanly");
+        match err {
+            RunError::WorkerLost { shard, .. } => assert_eq!(shard, 0),
+            other => panic!("expected WorkerLost, got {other}"),
+        }
+        quitter.join().unwrap();
+    }
+
+    #[test]
+    fn an_unreachable_fleet_is_a_clean_error() {
+        let n = 4;
+        let g = line_graph(n);
+        let err = DistributedSyncEngine::new(
+            &g,
+            flood_states(n, 10),
+            vec![false; n],
+            NullAdversary,
+            EngineConfig::default(),
+            0,
+            2,
+        )
+        .with_remote_fleet(Some(RemoteFleet::new(
+            // A reserved port nobody listens on.
+            vec!["127.0.0.1:1".into()],
+            Vec::new(),
+            SPEC_VERSION_ANY,
+        )))
+        .run()
+        .expect_err("nothing listens there");
+        assert!(matches!(err, RunError::Fleet(_)), "{err}");
     }
 }

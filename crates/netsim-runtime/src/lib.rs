@@ -56,14 +56,17 @@ pub mod topology;
 
 pub use adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
 pub use async_engine::{AsyncEngine, CalendarQueue, ClockPlan, EventClass, EventKey};
-pub use distributed::DistributedSyncEngine;
+pub use distributed::{
+    serve_shard_session, DistributedSyncEngine, RemoteFleet, RunError, ShardServeConfig,
+};
 pub use engine::{EngineConfig, RunResult, SyncEngine};
 pub use message::{Envelope, MessageSize, SizedMessage};
 pub use metrics::RunMetrics;
 pub use node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
 pub use ring::DelayRing;
 pub use sharded::{
-    run_with_engine, run_with_engine_recorded, shard_bounds, EngineKind, ShardedSyncEngine,
+    run_with_engine, run_with_engine_fleet, run_with_engine_recorded, shard_bounds, EngineKind,
+    ShardedSyncEngine,
 };
 pub use sharded_async::ShardedAsyncEngine;
 pub use topology::Topology;
@@ -91,13 +94,16 @@ pub use netsim_faults::{ChurnEvent, EnvelopeFate, FaultPlan, FaultSpec, NoFaults
 pub mod prelude {
     pub use crate::adversary::{Adversary, AdversaryDecision, AdversaryView, NullAdversary};
     pub use crate::async_engine::{AsyncEngine, ClockPlan};
-    pub use crate::distributed::DistributedSyncEngine;
+    pub use crate::distributed::{
+        serve_shard_session, DistributedSyncEngine, RemoteFleet, RunError, ShardServeConfig,
+    };
     pub use crate::engine::{EngineConfig, RunResult, SyncEngine};
     pub use crate::message::{Envelope, MessageSize, SizedMessage};
     pub use crate::metrics::RunMetrics;
     pub use crate::node::{Action, NodeContext, NodeStatus, Outbox, Protocol};
     pub use crate::sharded::{
-        run_with_engine, run_with_engine_recorded, EngineKind, ShardedSyncEngine,
+        run_with_engine, run_with_engine_fleet, run_with_engine_recorded, EngineKind,
+        ShardedSyncEngine,
     };
     pub use crate::sharded_async::ShardedAsyncEngine;
     pub use crate::topology::Topology;

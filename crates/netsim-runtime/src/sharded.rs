@@ -133,6 +133,11 @@ pub fn shard_bounds(n: usize, shards: usize) -> Vec<usize> {
 /// This is the single dispatch point the spec-driven runners (counting and
 /// all baselines) go through, so an engine knob in a `RunSpec` reaches
 /// every workload the same way.
+///
+/// # Errors
+/// Only the distributed engine can fail (a lost worker channel surfaces
+/// as [`RunError`](crate::distributed::RunError)); every in-process engine
+/// is infallible and always returns `Ok`.
 #[allow(clippy::too_many_arguments)]
 pub fn run_with_engine<T, P, A>(
     kind: EngineKind,
@@ -143,11 +148,11 @@ pub fn run_with_engine<T, P, A>(
     config: EngineConfig,
     seed: u64,
     fault_plan: Option<Box<dyn FaultPlan>>,
-) -> RunResult<P::Output>
+) -> Result<RunResult<P::Output>, crate::distributed::RunError>
 where
     T: Topology,
     P: Protocol + Clone + Send + Sync + 'static,
-    P::Output: Send,
+    P::Output: Send + netsim_wire::Wire,
     P::Message: netsim_wire::Wire,
     A: Adversary<P>,
 {
@@ -175,44 +180,79 @@ pub fn run_with_engine_recorded<T, P, A>(
     seed: u64,
     fault_plan: Option<Box<dyn FaultPlan>>,
     recorder: Option<&dyn Recorder>,
-) -> RunResult<P::Output>
+) -> Result<RunResult<P::Output>, crate::distributed::RunError>
 where
     T: Topology,
     P: Protocol + Clone + Send + Sync + 'static,
-    P::Output: Send,
+    P::Output: Send + netsim_wire::Wire,
+    P::Message: netsim_wire::Wire,
+    A: Adversary<P>,
+{
+    run_with_engine_fleet(
+        kind, topology, states, byzantine, adversary, config, seed, fault_plan, recorder, None,
+    )
+}
+
+/// [`run_with_engine_recorded`] with an optional remote worker
+/// [`RemoteFleet`](crate::distributed::RemoteFleet).
+///
+/// The fleet is a *transport* knob for the distributed engine only: with
+/// `kind = Distributed` and a non-empty fleet, workers are dialed as
+/// separate processes; every other engine kind ignores it (they have no
+/// workers to place), and results are byte-identical across transports.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_engine_fleet<T, P, A>(
+    kind: EngineKind,
+    topology: &T,
+    states: Vec<P>,
+    byzantine: Vec<bool>,
+    adversary: A,
+    config: EngineConfig,
+    seed: u64,
+    fault_plan: Option<Box<dyn FaultPlan>>,
+    recorder: Option<&dyn Recorder>,
+    fleet: Option<&crate::distributed::RemoteFleet>,
+) -> Result<RunResult<P::Output>, crate::distributed::RunError>
+where
+    T: Topology,
+    P: Protocol + Clone + Send + Sync + 'static,
+    P::Output: Send + netsim_wire::Wire,
     P::Message: netsim_wire::Wire,
     A: Adversary<P>,
 {
     match kind {
-        EngineKind::Sync => SyncEngine::new(topology, states, byzantine, adversary, config, seed)
-            .with_fault_plan_opt(fault_plan)
-            .with_recorder_opt(recorder)
-            .run(),
-        EngineKind::Sharded { shards } => {
-            ShardedSyncEngine::new(topology, states, byzantine, adversary, config, seed, shards)
-                .with_fault_plan_opt(fault_plan)
-                .with_recorder_opt(recorder)
-                .run()
-        }
-        EngineKind::Async { clocks } => {
-            AsyncEngine::new(topology, states, byzantine, adversary, config, seed, clocks)
-                .with_fault_plan_opt(fault_plan)
-                .with_recorder_opt(recorder)
-                .run()
-        }
+        EngineKind::Sync => Ok(SyncEngine::new(
+            topology, states, byzantine, adversary, config, seed,
+        )
+        .with_fault_plan_opt(fault_plan)
+        .with_recorder_opt(recorder)
+        .run()),
+        EngineKind::Sharded { shards } => Ok(ShardedSyncEngine::new(
+            topology, states, byzantine, adversary, config, seed, shards,
+        )
+        .with_fault_plan_opt(fault_plan)
+        .with_recorder_opt(recorder)
+        .run()),
+        EngineKind::Async { clocks } => Ok(AsyncEngine::new(
+            topology, states, byzantine, adversary, config, seed, clocks,
+        )
+        .with_fault_plan_opt(fault_plan)
+        .with_recorder_opt(recorder)
+        .run()),
         EngineKind::ShardedAsync { shards, clocks } => {
-            crate::sharded_async::ShardedAsyncEngine::new(
+            Ok(crate::sharded_async::ShardedAsyncEngine::new(
                 topology, states, byzantine, adversary, config, seed, shards, clocks,
             )
             .with_fault_plan_opt(fault_plan)
             .with_recorder_opt(recorder)
-            .run()
+            .run())
         }
         EngineKind::Distributed { shards } => crate::distributed::DistributedSyncEngine::new(
             topology, states, byzantine, adversary, config, seed, shards,
         )
         .with_fault_plan_opt(fault_plan)
         .with_recorder_opt(recorder)
+        .with_remote_fleet(fleet.cloned())
         .run(),
     }
 }
@@ -1280,6 +1320,7 @@ mod tests {
                 9,
                 None,
             )
+            .expect("in-process transports are infallible")
         };
         let sync = run(EngineKind::Sync);
         let sharded = run(EngineKind::Sharded { shards: 3 });

@@ -13,10 +13,23 @@
 //! attacker-sized allocation, and never a half-interpreted message.
 
 use crate::WireError;
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 
 /// Upper bound on one frame's payload (the WAL's own cap).
 pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Granularity of payload reads: the buffer grows at most this much ahead
+/// of the bytes actually received, so a lying length header costs bounded
+/// memory instead of a full up-front `MAX_FRAME_BYTES` allocation.
+pub const READ_CHUNK_BYTES: usize = 1024 * 1024;
+
+/// A read timeout (`SO_RCVTIMEO` surfaces as either kind, per platform).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
 
 /// FNV-1a over the payload — cheap, deterministic, and identical to the
 /// WAL's record checksum, so both persistence and transport share one
@@ -31,6 +44,12 @@ pub fn checksum32(bytes: &[u8]) -> u32 {
 }
 
 /// Write one frame (length, checksum, payload) and flush it.
+///
+/// Header and payload are coalesced into a single `write_all`: the
+/// request/response cadence of the coordinator protocol means every frame
+/// is immediately waited on, and separate small writes over TCP invite
+/// Nagle + delayed-ACK stalls (40 ms per exchange) even with
+/// `TCP_NODELAY` unset on one side.  One write, one segment.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(WireError::Corrupt(format!(
@@ -38,9 +57,11 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError>
             payload.len()
         )));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(&checksum32(payload).to_le_bytes())?;
-    w.write_all(payload)?;
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&checksum32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
     w.flush()?;
     Ok(())
 }
@@ -62,20 +83,33 @@ pub fn read_frame<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<(), WireError
 /// [`read_frame`] that reports a clean EOF at a frame boundary as
 /// `Ok(false)` instead of an error.  EOF *inside* a frame is always
 /// corruption (a torn frame).
+/// A read timeout while any part of a frame has already been consumed is
+/// unrecoverable — the stream position is inside the frame and no retry
+/// can re-synchronize it.  Timeouts *between* frames (no bytes consumed)
+/// stay plain retryable [`WireError::Io`]: the handshake deadline relies
+/// on exactly that distinction.
 pub fn read_frame_opt<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<bool, WireError> {
     let mut header = [0u8; 8];
     let mut filled = 0;
     while filled < header.len() {
-        let n = r.read(&mut header[filled..])?;
-        if n == 0 {
-            if filled == 0 {
-                return Ok(false);
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(WireError::Corrupt(format!(
+                    "torn frame header: {filled} of 8 bytes"
+                )));
             }
-            return Err(WireError::Corrupt(format!(
-                "torn frame header: {filled} of 8 bytes"
-            )));
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) && filled > 0 => {
+                return Err(WireError::Desync(format!(
+                    "read timed out mid-frame ({filled} of 8 header bytes consumed)"
+                )));
+            }
+            Err(e) => return Err(WireError::Io(e)),
         }
-        filled += n;
     }
     let len = u32::from_le_bytes(header[0..4].try_into().expect("sized")) as usize;
     let expected = u32::from_le_bytes(header[4..8].try_into().expect("sized"));
@@ -85,14 +119,29 @@ pub fn read_frame_opt<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<bool, Wir
         )));
     }
     buf.clear();
-    buf.resize(len, 0);
-    r.read_exact(buf).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            WireError::Corrupt(format!("torn frame: payload short of {len} bytes"))
-        } else {
-            WireError::Io(e)
+    let mut got = 0;
+    while got < len {
+        let want = (len - got).min(READ_CHUNK_BYTES);
+        if buf.len() < got + want {
+            buf.resize(got + want, 0);
         }
-    })?;
+        match r.read(&mut buf[got..got + want]) {
+            Ok(0) => {
+                return Err(WireError::Corrupt(format!(
+                    "torn frame: payload short of {len} bytes"
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return Err(WireError::Desync(format!(
+                    "read timed out mid-frame ({got} of {len} payload bytes consumed)"
+                )));
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    debug_assert_eq!(buf.len(), len);
     let actual = checksum32(buf);
     if actual != expected {
         return Err(WireError::Corrupt(format!(
@@ -169,5 +218,143 @@ mod tests {
         assert_eq!(checksum32(b""), 0x811c_9dc5);
         assert_eq!(checksum32(b"a"), 0xe40c_292c);
         assert_eq!(checksum32(b"foobar"), 0xbf9c_f968);
+    }
+
+    /// Injects `Err(Interrupted)` before every successful read, the way a
+    /// signal-heavy host delivers EINTR on a socket.
+    struct Interrupting<R> {
+        inner: R,
+        pending_eintr: bool,
+    }
+
+    impl<R: Read> Read for Interrupting<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pending_eintr {
+                self.pending_eintr = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+            }
+            self.pending_eintr = true;
+            // One byte at a time, so the header and payload loops both see
+            // many interruptions per frame.
+            let n = buf.len().min(1);
+            self.inner.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_not_fatal() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"survives EINTR").unwrap();
+        let mut reader = Interrupting {
+            inner: &stream[..],
+            pending_eintr: true,
+        };
+        let mut buf = Vec::new();
+        assert!(read_frame_opt(&mut reader, &mut buf).unwrap());
+        assert_eq!(buf, b"survives EINTR");
+    }
+
+    /// Yields `data`, then an endless stream of timeout errors.
+    struct TimingOut<'a> {
+        data: &'a [u8],
+        kind: io::ErrorKind,
+    }
+
+    impl Read for TimingOut<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.data.is_empty() {
+                return Err(io::Error::new(self.kind, "timed out"));
+            }
+            let n = buf.len().min(self.data.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn timeout_mid_frame_is_a_fatal_desync_between_frames_it_is_retryable_io() {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, b"half a frame").unwrap();
+        let mut buf = Vec::new();
+        for kind in [io::ErrorKind::WouldBlock, io::ErrorKind::TimedOut] {
+            // Timeout with zero bytes consumed: the stream is still at a
+            // frame boundary, so this is a plain (retryable) I/O error.
+            let mut idle = TimingOut { data: &[], kind };
+            assert!(matches!(
+                read_frame_opt(&mut idle, &mut buf),
+                Err(WireError::Io(_))
+            ));
+            // Timeout after part of the header: unrecoverable.
+            let mut torn_header = TimingOut {
+                data: &frame[..3],
+                kind,
+            };
+            assert!(matches!(
+                read_frame_opt(&mut torn_header, &mut buf),
+                Err(WireError::Desync(_))
+            ));
+            // Timeout inside the payload: unrecoverable.
+            let mut torn_payload = TimingOut {
+                data: &frame[..frame.len() - 4],
+                kind,
+            };
+            assert!(matches!(
+                read_frame_opt(&mut torn_payload, &mut buf),
+                Err(WireError::Desync(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn lying_length_header_costs_bounded_memory() {
+        // A peer claims a 32 MiB payload but sends only a handful of
+        // bytes.  The buffer must grow with the bytes that actually
+        // arrive (chunk granularity), not with the claimed length.
+        let claimed: u32 = 32 * 1024 * 1024;
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&claimed.to_le_bytes());
+        stream.extend_from_slice(&0u32.to_le_bytes());
+        stream.extend_from_slice(&[0xEE; 100]);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame_opt(&mut &stream[..], &mut buf),
+            Err(WireError::Corrupt(_))
+        ));
+        assert!(
+            buf.capacity() <= 2 * READ_CHUNK_BYTES,
+            "allocated {} bytes for a frame that delivered 100",
+            buf.capacity()
+        );
+    }
+
+    /// Counts `write` calls; each one would be a separate TCP segment.
+    struct CountingWriter {
+        sink: Vec<u8>,
+        writes: usize,
+    }
+
+    impl Write for CountingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.writes += 1;
+            self.sink.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn a_frame_is_one_coalesced_write() {
+        let mut w = CountingWriter {
+            sink: Vec::new(),
+            writes: 0,
+        };
+        write_frame(&mut w, b"one segment please").unwrap();
+        assert_eq!(w.writes, 1, "header and payload must leave in one write");
+        let mut buf = Vec::new();
+        read_frame(&mut &w.sink[..], &mut buf).unwrap();
+        assert_eq!(buf, b"one segment please");
     }
 }

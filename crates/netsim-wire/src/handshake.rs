@@ -32,13 +32,63 @@ use std::io::{Read, Write};
 pub const WIRE_MAGIC: [u8; 4] = *b"NSW1";
 /// Wire-format major version; peers must match exactly.
 pub const WIRE_MAJOR: u16 = 1;
-/// Wire-format minor version; additive changes only.
-pub const WIRE_MINOR: u16 = 0;
+/// Wire-format minor version; additive changes only.  Minor 1 added the
+/// optional trailing [`ShardAssignment`] to the hello (a minor-0 hello
+/// is byte-identical to a minor-1 hello carrying no assignment).
+pub const WIRE_MINOR: u16 = 1;
 /// `spec_version` wildcard: this peer carries no payload schema pin.
 pub const SPEC_VERSION_ANY: u32 = 0;
 
+/// A coordinator's shard assignment, carried in its hello (minor ≥ 1) so
+/// a process-level shard worker is stateless until the handshake: the
+/// node range it owns, the determinism anchors (engine seed, initial
+/// crashes), and an opaque application payload (the serialized run spec)
+/// from which it rebuilds its slice of the simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// First node id of the shard's contiguous range.
+    pub start: u32,
+    /// One past the last node id of the range.
+    pub end: u32,
+    /// Total node count of the run (cross-checked against the rebuilt
+    /// topology before any envelope flows).
+    pub n: u32,
+    /// The engine seed: per-node RNG sub-streams derive from it by
+    /// global node id, so every transport yields identical randomness.
+    pub seed: u64,
+    /// Keep pristine state copies for churn recovery.
+    pub pristine: bool,
+    /// Global ids (within the range) of nodes that start crashed.
+    pub crashed: Vec<u32>,
+    /// Opaque application bytes (the coordinator's serialized spec).
+    pub payload: Vec<u8>,
+}
+
+impl Wire for ShardAssignment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.start.encode(out);
+        self.end.encode(out);
+        self.n.encode(out);
+        self.seed.encode(out);
+        self.pristine.encode(out);
+        self.crashed.encode(out);
+        self.payload.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardAssignment {
+            start: u32::decode(r)?,
+            end: u32::decode(r)?,
+            n: u32::decode(r)?,
+            seed: u64::decode(r)?,
+            pristine: bool::decode(r)?,
+            crashed: Vec::<u32>::decode(r)?,
+            payload: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
 /// The handshake frame body (sent by both peers).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireHello {
     /// Wire-format major version; must equal the peer's.
     pub major: u16,
@@ -46,6 +96,9 @@ pub struct WireHello {
     pub minor: u16,
     /// Payload schema version ([`SPEC_VERSION_ANY`] = unpinned).
     pub spec_version: u32,
+    /// Coordinator → worker shard assignment (minor ≥ 1, additive:
+    /// absent bytes decode as `None`, `None` encodes as absent bytes).
+    pub assignment: Option<ShardAssignment>,
 }
 
 impl WireHello {
@@ -55,6 +108,15 @@ impl WireHello {
             major: WIRE_MAJOR,
             minor: WIRE_MINOR,
             spec_version,
+            assignment: None,
+        }
+    }
+
+    /// [`current`](Self::current) carrying a shard assignment.
+    pub fn with_assignment(spec_version: u32, assignment: ShardAssignment) -> Self {
+        WireHello {
+            assignment: Some(assignment),
+            ..Self::current(spec_version)
         }
     }
 
@@ -97,6 +159,13 @@ impl Wire for WireHello {
         self.major.encode(out);
         self.minor.encode(out);
         self.spec_version.encode(out);
+        // Additive tail (minor 1): a `None` assignment encodes as *no*
+        // bytes at all, keeping the frame byte-identical to a minor-0
+        // hello; `Some` appends a presence byte plus the assignment.
+        if let Some(assignment) = &self.assignment {
+            out.push(1);
+            assignment.encode(out);
+        }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let magic = r.take(4)?;
@@ -105,10 +174,27 @@ impl Wire for WireHello {
                 "bad hello magic {magic:02x?} (expected {WIRE_MAGIC:02x?})"
             )));
         }
+        let major = u16::decode(r)?;
+        let minor = u16::decode(r)?;
+        let spec_version = u32::decode(r)?;
+        let assignment = if r.remaining() > 0 {
+            match u8::decode(r)? {
+                0 => None,
+                1 => Some(ShardAssignment::decode(r)?),
+                tag => {
+                    return Err(WireError::Corrupt(format!(
+                        "bad hello assignment presence byte {tag}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
         Ok(WireHello {
-            major: u16::decode(r)?,
-            minor: u16::decode(r)?,
-            spec_version: u32::decode(r)?,
+            major,
+            minor,
+            spec_version,
+            assignment,
         })
     }
 }
@@ -144,7 +230,7 @@ mod tests {
         let ours = WireHello::current(6);
         let alien = WireHello {
             major: WIRE_MAJOR + 1,
-            ..ours
+            ..ours.clone()
         };
         assert!(matches!(
             alien.check_compatible(&ours),
@@ -152,7 +238,7 @@ mod tests {
         ));
         let future_minor = WireHello {
             minor: WIRE_MINOR + 9,
-            ..ours
+            ..ours.clone()
         };
         assert!(future_minor.check_compatible(&ours).is_ok());
     }
@@ -162,7 +248,7 @@ mod tests {
         let ours = WireHello::current(6);
         let newer = WireHello {
             spec_version: 7,
-            ..ours
+            ..ours.clone()
         };
         assert!(matches!(
             newer.check_compatible(&ours),
@@ -170,12 +256,12 @@ mod tests {
         ));
         let older = WireHello {
             spec_version: 5,
-            ..ours
+            ..ours.clone()
         };
         assert!(older.check_compatible(&ours).is_ok());
         let unpinned = WireHello {
             spec_version: SPEC_VERSION_ANY,
-            ..ours
+            ..ours.clone()
         };
         assert!(unpinned.check_compatible(&ours).is_ok());
         assert!(ours.check_compatible(&unpinned).is_ok());
@@ -183,6 +269,42 @@ mod tests {
         assert!(check_spec_version(6, 6).is_ok());
         assert!(check_spec_version(6, 9).is_err());
         assert!(check_spec_version(9, 6).is_ok());
+    }
+
+    #[test]
+    fn assignment_rides_the_hello_additively() {
+        // A minor-0 hello (no assignment bytes) and a minor-1 hello with
+        // `assignment: None` are the same frame: old and new builds
+        // interoperate as long as no assignment is sent.
+        let bare = WireHello::current(6);
+        let bytes = crate::codec::encode_to_vec(&bare);
+        let mut minor0 = Vec::new();
+        WIRE_MAGIC.iter().for_each(|b| minor0.push(*b));
+        WIRE_MAJOR.encode(&mut minor0);
+        WIRE_MINOR.encode(&mut minor0);
+        6u32.encode(&mut minor0);
+        assert_eq!(bytes, minor0, "None must add zero bytes");
+        let decoded: WireHello = crate::codec::decode_from_slice(&minor0).unwrap();
+        assert_eq!(decoded.assignment, None);
+
+        // A full assignment round-trips through frames.
+        let assigned = WireHello::with_assignment(
+            6,
+            ShardAssignment {
+                start: 64,
+                end: 128,
+                n: 256,
+                seed: 0xFEED_BEEF,
+                pristine: true,
+                crashed: vec![65, 90],
+                payload: b"{\"spec\":1}".to_vec(),
+            },
+        );
+        let mut stream = Vec::new();
+        send_hello(&mut stream, &assigned).unwrap();
+        let back = recv_hello(&mut &stream[..]).unwrap();
+        assert_eq!(back, assigned);
+        assert!(back.check_compatible(&WireHello::current(6)).is_ok());
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //!   `Read`/`Write`, so shard workers can run as threads speaking the
 //!   exact production codec with no sockets involved — the hermetic mode
 //!   the differential suites and CI use.
+//! * [`net`] is the Unix/TCP socket transport (one `unix:<path>` /
+//!   `host:port` address grammar behind [`Listener`] / [`IoStream`],
+//!   shared with the campaign service, which re-exports it).  TCP
+//!   streams get `TCP_NODELAY` on connect *and* accept, and
+//!   [`IoStream::exchange_hello`] bounds the handshake with a read
+//!   deadline so a mute peer cannot hang an accept loop.
 //!
 //! Decoding **never panics** on malformed input: truncated, bit-flipped
 //! and over-length frames all surface as [`WireError`] values (the
@@ -43,13 +49,16 @@
 pub mod codec;
 pub mod frame;
 pub mod handshake;
+pub mod net;
 pub mod pipe;
 
 pub use codec::{decode_from_slice, encode_to_vec, Reader, Wire, MAX_SEQ_LEN};
 pub use frame::{checksum32, read_frame, read_frame_opt, write_frame, MAX_FRAME_BYTES};
 pub use handshake::{
-    check_spec_version, recv_hello, send_hello, WireHello, SPEC_VERSION_ANY, WIRE_MAJOR, WIRE_MINOR,
+    check_spec_version, recv_hello, send_hello, ShardAssignment, WireHello, SPEC_VERSION_ANY,
+    WIRE_MAJOR, WIRE_MINOR,
 };
+pub use net::{IoStream, Listener};
 pub use pipe::{duplex, PipeEnd};
 
 /// Errors of the wire layer.
@@ -62,6 +71,10 @@ pub enum WireError {
     Corrupt(String),
     /// The peer's handshake is incompatible (major or spec mismatch).
     Incompatible(String),
+    /// A read timed out partway through a frame.  Unlike [`WireError::Io`]
+    /// this is unrecoverable: part of the frame was consumed, so the
+    /// stream can never be re-synchronized — callers must not retry.
+    Desync(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -70,6 +83,7 @@ impl std::fmt::Display for WireError {
             WireError::Io(e) => write!(f, "wire i/o error: {e}"),
             WireError::Corrupt(msg) => write!(f, "corrupt wire data: {msg}"),
             WireError::Incompatible(msg) => write!(f, "incompatible peer: {msg}"),
+            WireError::Desync(msg) => write!(f, "wire stream desynchronized: {msg}"),
         }
     }
 }

@@ -92,8 +92,8 @@ pub use netsim_runtime::faults;
 /// the full scenario registry from `byzcount_analysis::campaign`.
 pub mod sim {
     pub use byzcount_analysis::campaign::{
-        execute, execute_batch, execute_batch_recorded, execute_recorded, FullRegistry,
-        RunSimulation,
+        execute, execute_batch, execute_batch_recorded, execute_batch_workers, execute_recorded,
+        execute_workers, FullRegistry, RunSimulation,
     };
     pub use byzcount_core::sim::*;
 }
